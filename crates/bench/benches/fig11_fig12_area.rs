@@ -1,0 +1,46 @@
+//! Figures 11/12 bench: the active-area accounting (occupancy integrals →
+//! µm²·cycles) and its reduced regeneration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use energy_model::active_area;
+use ooo_sim::Simulator;
+use samie_lsq::{ConventionalLsq, SamieConfig, SamieLsq};
+use spec_traces::{by_name, SpecTrace};
+use std::hint::black_box;
+
+const INSTRS: u64 = 30_000;
+
+fn bench_area(c: &mut Criterion) {
+    let cfg = SamieConfig::paper();
+    let spec = by_name("galgel").unwrap();
+    let mut sim = Simulator::paper(SamieLsq::paper(), SpecTrace::new(spec, 42));
+    let samie_stats = sim.run(INSTRS);
+
+    c.bench_function("active_area_accounting", |b| {
+        b.iter(|| active_area(black_box(&samie_stats.lsq), black_box(&cfg)).total())
+    });
+
+    eprintln!("\nFigures 11/12 (reduced): accumulated active area (um2*cycles)");
+    for bench in ["gcc", "galgel", "facerec"] {
+        let spec = by_name(bench).unwrap();
+        let mut sim = Simulator::paper(SamieLsq::paper(), SpecTrace::new(spec, 42));
+        let s = sim.run(INSTRS);
+        let mut sim = Simulator::paper(ConventionalLsq::paper(), SpecTrace::new(spec, 42));
+        let cst = sim.run(INSTRS);
+        let sa = active_area(&s.lsq, &cfg);
+        let ca = active_area(&cst.lsq, &cfg);
+        let (d, sh, ab) = sa.breakdown_fractions();
+        eprintln!(
+            "  {bench:>8}: conventional {:.2e}, SAMIE {:.2e} ({:.0}%)  breakdown d/s/a {:.0}/{:.0}/{:.0}%",
+            ca.total(),
+            sa.total(),
+            sa.total() / ca.total() * 100.0,
+            d * 100.0,
+            sh * 100.0,
+            ab * 100.0
+        );
+    }
+}
+
+criterion_group!(benches, bench_area);
+criterion_main!(benches);

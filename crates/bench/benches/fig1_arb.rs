@@ -1,0 +1,55 @@
+//! Figure 1 bench: ARB vs unbounded LSQ simulation throughput.
+//!
+//! Criterion measures the cost of the simulations that regenerate
+//! Figure 1; the bench also prints a reduced version of the figure's data
+//! series as a side effect, so a `cargo bench` run doubles as a smoke
+//! regeneration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ooo_sim::Simulator;
+use samie_lsq::{ArbConfig, ArbLsq, UnboundedLsq};
+use spec_traces::{by_name, SpecTrace};
+
+const INSTRS: u64 = 30_000;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_arb");
+    group.sample_size(10);
+    let spec = by_name("gcc").unwrap();
+    for (banks, rows) in [(1usize, 128usize), (64, 2), (128, 1)] {
+        group.bench_with_input(
+            BenchmarkId::new("arb", format!("{banks}x{rows}")),
+            &(banks, rows),
+            |b, &(banks, rows)| {
+                b.iter(|| {
+                    let lsq = ArbLsq::new(ArbConfig::fig1(banks, rows));
+                    let mut sim = Simulator::paper(lsq, SpecTrace::new(spec, 42));
+                    sim.run(INSTRS).ipc()
+                })
+            },
+        );
+    }
+    group.bench_function("unbounded_reference", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::paper(UnboundedLsq::new(), SpecTrace::new(spec, 42));
+            sim.run(INSTRS).ipc()
+        })
+    });
+    group.finish();
+
+    // Side-effect regeneration at bench scale.
+    let reference = {
+        let mut sim = Simulator::paper(UnboundedLsq::new(), SpecTrace::new(spec, 42));
+        sim.run(INSTRS).ipc()
+    };
+    eprintln!("\nFigure 1 (gcc, reduced): IPC relative to unbounded");
+    for (banks, rows) in [(1usize, 128usize), (8, 16), (64, 2), (128, 1)] {
+        let lsq = ArbLsq::new(ArbConfig::fig1(banks, rows));
+        let mut sim = Simulator::paper(lsq, SpecTrace::new(spec, 42));
+        let ipc = sim.run(INSTRS).ipc();
+        eprintln!("  {banks:>3}x{rows:<3} {:>6.1}%", ipc / reference * 100.0);
+    }
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figures 3/4 bench: the SharedLSQ sizing-study simulation (unbounded
+//! SharedLSQ occupancy tracking) across the DistribLSQ geometries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ooo_sim::Simulator;
+use samie_lsq::{LoadStoreQueue, SamieConfig, SamieLsq};
+use spec_traces::{by_name, SpecTrace};
+
+const INSTRS: u64 = 30_000;
+
+fn bench_sizing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_fig4_sizing");
+    group.sample_size(10);
+    let spec = by_name("facerec").unwrap();
+    for (banks, epb) in [(128usize, 1usize), (64, 2), (32, 4)] {
+        group.bench_with_input(
+            BenchmarkId::new("sizing", format!("{banks}x{epb}")),
+            &(banks, epb),
+            |b, &(banks, epb)| {
+                b.iter(|| {
+                    let lsq = SamieLsq::new(SamieConfig::sizing_study(banks, epb));
+                    let mut sim = Simulator::paper(lsq, SpecTrace::new(spec, 42));
+                    sim.run(INSTRS);
+                    sim.lsq().activity().occupancy.mean_shared_entries()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    eprintln!("\nFigure 3 (facerec, reduced): mean unbounded-SharedLSQ occupancy");
+    for (banks, epb) in [(128usize, 1usize), (64, 2), (32, 4)] {
+        let lsq = SamieLsq::new(SamieConfig::sizing_study(banks, epb));
+        let mut sim = Simulator::paper(lsq, SpecTrace::new(spec, 42));
+        sim.run(INSTRS);
+        eprintln!(
+            "  {banks:>3}x{epb}: mean {:.2}, p99 {}",
+            sim.lsq().activity().occupancy.mean_shared_entries(),
+            sim.lsq().shared_entries_for_quantile(0.99)
+        );
+    }
+}
+
+criterion_group!(benches, bench_sizing);
+criterion_main!(benches);

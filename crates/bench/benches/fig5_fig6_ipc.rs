@@ -1,0 +1,48 @@
+//! Figures 5/6 bench: paired (conventional vs SAMIE) simulation — the
+//! workhorse behind the IPC-loss and deadlock-rate figures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ooo_sim::Simulator;
+use samie_lsq::{ConventionalLsq, SamieLsq};
+use spec_traces::{by_name, SpecTrace};
+
+const INSTRS: u64 = 30_000;
+
+fn bench_paired(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_fig6_paired");
+    group.sample_size(10);
+    for bench in ["gcc", "swim", "ammp"] {
+        let spec = by_name(bench).unwrap();
+        group.bench_with_input(BenchmarkId::new("samie", bench), &spec, |b, spec| {
+            b.iter(|| {
+                let mut sim = Simulator::paper(SamieLsq::paper(), SpecTrace::new(spec, 42));
+                sim.run(INSTRS).ipc()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("conventional", bench), &spec, |b, spec| {
+            b.iter(|| {
+                let mut sim =
+                    Simulator::paper(ConventionalLsq::paper(), SpecTrace::new(spec, 42));
+                sim.run(INSTRS).ipc()
+            })
+        });
+    }
+    group.finish();
+
+    eprintln!("\nFigures 5/6 (reduced): IPC loss and deadlock rate");
+    for bench in ["gcc", "swim", "ammp"] {
+        let spec = by_name(bench).unwrap();
+        let mut s = Simulator::paper(SamieLsq::paper(), SpecTrace::new(spec, 42));
+        let samie = s.run(INSTRS);
+        let mut c2 = Simulator::paper(ConventionalLsq::paper(), SpecTrace::new(spec, 42));
+        let conv = c2.run(INSTRS);
+        eprintln!(
+            "  {bench:>8}: loss {:+.2}%  deadlocks {:.0}/Mcycle",
+            (conv.ipc() - samie.ipc()) / conv.ipc() * 100.0,
+            samie.deadlocks_per_mcycle()
+        );
+    }
+}
+
+criterion_group!(benches, bench_paired);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figures 7/8 bench: activity-ledger pricing (the conversion from
+//! simulator counters to nanojoules) and its regeneration at bench scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use energy_model::price_lsq;
+use ooo_sim::Simulator;
+use samie_lsq::{ConventionalLsq, SamieLsq};
+use spec_traces::{by_name, SpecTrace};
+use std::hint::black_box;
+
+const INSTRS: u64 = 30_000;
+
+fn bench_pricing(c: &mut Criterion) {
+    let spec = by_name("swim").unwrap();
+    let mut sim = Simulator::paper(SamieLsq::paper(), SpecTrace::new(spec, 42));
+    let samie_stats = sim.run(INSTRS);
+    let mut sim = Simulator::paper(ConventionalLsq::paper(), SpecTrace::new(spec, 42));
+    let conv_stats = sim.run(INSTRS);
+
+    c.bench_function("price_lsq_ledger", |b| {
+        b.iter(|| price_lsq(black_box(&samie_stats.lsq)).total())
+    });
+
+    let se = price_lsq(&samie_stats.lsq);
+    let ce = price_lsq(&conv_stats.lsq);
+    let (d, s, a, u) = se.breakdown_fractions();
+    eprintln!("\nFigure 7 (swim, reduced): conventional {:.0} nJ vs SAMIE {:.0} nJ ({:.1}% saved)",
+        ce.total(), se.total(), (1.0 - se.total() / ce.total()) * 100.0);
+    eprintln!("Figure 8 (swim): dist {:.0}% shared {:.0}% abuf {:.0}% bus {:.0}%",
+        d * 100.0, s * 100.0, a * 100.0, u * 100.0);
+}
+
+criterion_group!(benches, bench_pricing);
+criterion_main!(benches);

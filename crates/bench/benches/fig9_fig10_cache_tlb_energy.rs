@@ -1,0 +1,44 @@
+//! Figures 9/10 bench: the D-cache/D-TLB energy comparison — dominated by
+//! the simulation producing the access counters; the bench tracks that
+//! cost and regenerates the reduced figures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use energy_model::{dcache_energy_nj, dtlb_energy_nj};
+use ooo_sim::Simulator;
+use samie_lsq::{ConventionalLsq, SamieLsq};
+use spec_traces::{by_name, SpecTrace};
+
+const INSTRS: u64 = 30_000;
+
+fn bench_cache_energy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_fig10");
+    group.sample_size(10);
+    for bench in ["swim", "mcf"] {
+        let spec = by_name(bench).unwrap();
+        group.bench_with_input(BenchmarkId::new("samie_run", bench), &spec, |b, spec| {
+            b.iter(|| {
+                let mut sim = Simulator::paper(SamieLsq::paper(), SpecTrace::new(spec, 42));
+                let st = sim.run(INSTRS);
+                dcache_energy_nj(&st.l1d) + dtlb_energy_nj(st.dtlb_accesses)
+            })
+        });
+    }
+    group.finish();
+
+    eprintln!("\nFigures 9/10 (reduced): D-cache / D-TLB energy savings");
+    for bench in ["swim", "mcf", "sixtrack"] {
+        let spec = by_name(bench).unwrap();
+        let mut sim = Simulator::paper(SamieLsq::paper(), SpecTrace::new(spec, 42));
+        let s = sim.run(INSTRS);
+        let mut sim = Simulator::paper(ConventionalLsq::paper(), SpecTrace::new(spec, 42));
+        let cst = sim.run(INSTRS);
+        eprintln!(
+            "  {bench:>8}: D$ saved {:.1}%  D-TLB saved {:.1}%",
+            (1.0 - dcache_energy_nj(&s.l1d) / dcache_energy_nj(&cst.l1d)) * 100.0,
+            (1.0 - dtlb_energy_nj(s.dtlb_accesses) / dtlb_energy_nj(cst.dtlb_accesses)) * 100.0
+        );
+    }
+}
+
+criterion_group!(benches, bench_cache_energy);
+criterion_main!(benches);

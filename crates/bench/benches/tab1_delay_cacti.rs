@@ -1,0 +1,40 @@
+//! Table 1 / §3.6 bench: the cacti-lite analytic model (it is nearly free;
+//! the bench guards against accidental regressions into expensive
+//! numerics) plus a printed regeneration of both artefacts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use energy_model::cacti::{cache_access_times, lsq_delays, CactiParams};
+use energy_model::constants::TABLE1;
+use std::hint::black_box;
+
+fn bench_cacti(c: &mut Criterion) {
+    let p = CactiParams::default();
+    c.bench_function("tab1_all_configs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (kb, assoc, ports, _, _) in TABLE1 {
+                let d = cache_access_times(black_box(&p), kb, assoc, ports);
+                acc += d.conventional_ns + d.way_known_ns;
+            }
+            acc
+        })
+    });
+    c.bench_function("section36_lsq_delays", |b| b.iter(|| lsq_delays(black_box(&p))));
+
+    eprintln!("\nTable 1 regeneration (model vs paper):");
+    for (kb, assoc, ports, conv, known) in TABLE1 {
+        let d = cache_access_times(&p, kb, assoc, ports);
+        eprintln!(
+            "  {kb:>2}KB {assoc}-way {ports}p: conv {:.3} (paper {:.3})  known {:.3} (paper {:.3})",
+            d.conventional_ns, conv, d.way_known_ns, known
+        );
+    }
+    let d = lsq_delays(&p);
+    eprintln!(
+        "§3.6: conv128 {:.3} / dist {:.3} / shared {:.3} / abuf {:.3} ns",
+        d.conventional_128, d.dist_total, d.shared, d.addr_buffer
+    );
+}
+
+criterion_group!(benches, bench_cacti);
+criterion_main!(benches);

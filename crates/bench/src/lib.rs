@@ -1,0 +1,13 @@
+//! # samie-bench — benchmark support
+//!
+//! This crate exists to host the Criterion bench targets (one per paper
+//! table/figure, see `benches/`). The library itself only re-exports the
+//! workspace crates the benches drive.
+
+pub use energy_model;
+pub use exp_harness;
+pub use mem_hier;
+pub use ooo_sim;
+pub use samie_lsq;
+pub use spec_traces;
+pub use trace_isa;

@@ -1,0 +1,102 @@
+//! SAMIE-LSQ configuration (Table 3 of the paper and the §3.5 sizing
+//! study variants).
+
+/// Geometry of a [`crate::SamieLsq`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamieConfig {
+    /// DistribLSQ banks, selected direct-mapped by low-order line-address
+    /// bits (power of two).
+    pub banks: usize,
+    /// Entries per DistribLSQ bank, searched fully associatively.
+    pub entries_per_bank: usize,
+    /// Instruction slots per entry (DistribLSQ and SharedLSQ alike).
+    pub slots_per_entry: usize,
+    /// SharedLSQ entries; [`SamieConfig::UNBOUNDED_SHARED`] lets the
+    /// SharedLSQ grow without limit (the Figure 3 occupancy study).
+    pub shared_entries: usize,
+    /// AddrBuffer slots (a simple FIFO, §3.3).
+    pub abuf_slots: usize,
+}
+
+impl SamieConfig {
+    /// Sentinel for an unbounded SharedLSQ.
+    pub const UNBOUNDED_SHARED: usize = usize::MAX;
+
+    /// The paper's configuration (Table 3): 64 banks × 2 entries ×
+    /// 8 slots, 8 SharedLSQ entries, 64 AddrBuffer slots.
+    pub fn paper() -> Self {
+        SamieConfig {
+            banks: 64,
+            entries_per_bank: 2,
+            slots_per_entry: 8,
+            shared_entries: 8,
+            abuf_slots: 64,
+        }
+    }
+
+    /// A §3.5 sizing-study configuration: `banks × entries` DistribLSQ,
+    /// 8 slots per entry, unbounded SharedLSQ (so its occupancy can be
+    /// measured), and an AddrBuffer that is never needed.
+    pub fn sizing_study(banks: usize, entries_per_bank: usize) -> Self {
+        SamieConfig {
+            banks,
+            entries_per_bank,
+            slots_per_entry: 8,
+            shared_entries: Self::UNBOUNDED_SHARED,
+            abuf_slots: 64,
+        }
+    }
+
+    /// Is the SharedLSQ unbounded?
+    pub fn shared_unbounded(&self) -> bool {
+        self.shared_entries == Self::UNBOUNDED_SHARED
+    }
+
+    /// Total DistribLSQ instruction capacity.
+    pub fn dist_capacity(&self) -> usize {
+        self.banks * self.entries_per_bank * self.slots_per_entry
+    }
+
+    pub(crate) fn validate(&self) {
+        assert!(self.banks.is_power_of_two(), "banks must be a power of two");
+        assert!(self.entries_per_bank > 0);
+        assert!(self.slots_per_entry > 0);
+        assert!(self.shared_entries > 0);
+        assert!(self.abuf_slots > 0);
+    }
+}
+
+impl Default for SamieConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table3() {
+        let c = SamieConfig::paper();
+        assert_eq!((c.banks, c.entries_per_bank, c.slots_per_entry), (64, 2, 8));
+        assert_eq!(c.shared_entries, 8);
+        assert_eq!(c.abuf_slots, 64);
+        assert!(!c.shared_unbounded());
+        assert_eq!(c.dist_capacity(), 1024);
+        c.validate();
+    }
+
+    #[test]
+    fn sizing_study_is_unbounded() {
+        let c = SamieConfig::sizing_study(128, 1);
+        assert!(c.shared_unbounded());
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_banks_rejected() {
+        SamieConfig { banks: 3, ..SamieConfig::paper() }.validate();
+    }
+}

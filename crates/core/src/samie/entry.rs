@@ -1,0 +1,163 @@
+//! SAMIE-LSQ entries and instruction slots.
+//!
+//! An entry is keyed by a cache-line address and holds up to
+//! `slots_per_entry` memory instructions referencing that line, plus the
+//! §3.4 cached metadata: the L1D physical location of the line and its
+//! D-TLB translation.
+
+use crate::types::Age;
+
+/// One instruction slot within an entry (§3.1: offset within the line,
+/// age identifier, datum/status bits, load/store type, byte count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    /// Age identifier (ROB position + wrap bit in hardware).
+    pub age: Age,
+    /// Store (`true`) or load (`false`).
+    pub is_store: bool,
+    /// Byte offset of the access within the cache line.
+    pub offset: u32,
+    /// Access size in bytes.
+    pub size: u8,
+    /// For stores: datum available for forwarding. For loads: datum
+    /// received.
+    pub data_ready: bool,
+}
+
+/// A multiple-instruction entry.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Cache-line index this entry disambiguates (valid iff `!is_free()`).
+    pub line: u64,
+    /// Occupied slots (bounded by `slots_per_entry`; kept dense).
+    pub slots: Vec<Slot>,
+    /// Cached L1D `(set, way)` of the line, if still valid (§3.4).
+    pub cached_loc: Option<(u32, u32)>,
+    /// Is the D-TLB translation cached in this entry?
+    pub translation_cached: bool,
+}
+
+impl Entry {
+    /// An empty entry with slot storage pre-allocated.
+    pub fn with_slot_capacity(slots: usize) -> Self {
+        Entry { line: 0, slots: Vec::with_capacity(slots), cached_loc: None, translation_cached: false }
+    }
+
+    /// Is the entry unallocated?
+    #[inline]
+    pub fn is_free(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of occupied slots.
+    #[inline]
+    pub fn used_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Allocate this (free) entry for `line`.
+    pub fn allocate(&mut self, line: u64) {
+        debug_assert!(self.is_free());
+        self.line = line;
+        self.cached_loc = None;
+        self.translation_cached = false;
+    }
+
+    /// Insert a slot; caller has verified there is room.
+    pub fn insert(&mut self, slot: Slot) {
+        debug_assert!(self.slots.capacity() > 0);
+        self.slots.push(slot);
+    }
+
+    /// Remove the slot of `age`; returns true if the entry became free.
+    pub fn remove(&mut self, age: Age) -> bool {
+        let i = self.slots.iter().position(|s| s.age == age).expect("slot not in entry");
+        self.slots.swap_remove(i);
+        self.is_free()
+    }
+
+    /// Slot of `age`, if present.
+    pub fn slot(&self, age: Age) -> Option<&Slot> {
+        self.slots.iter().find(|s| s.age == age)
+    }
+
+    /// Mutable slot of `age`, if present.
+    pub fn slot_mut(&mut self, age: Age) -> Option<&mut Slot> {
+        self.slots.iter_mut().find(|s| s.age == age)
+    }
+
+    /// The youngest store older than `age` whose bytes overlap
+    /// `[offset, offset+size)` — the forwarding candidate within this
+    /// entry.
+    pub fn youngest_older_overlapping_store(&self, age: Age, offset: u32, size: u8) -> Option<&Slot> {
+        self.slots
+            .iter()
+            .filter(|s| {
+                s.is_store
+                    && s.age < age
+                    && (s.offset < offset + size as u32) && (offset < s.offset + s.size as u32)
+            })
+            .max_by_key(|s| s.age)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(age: Age, is_store: bool, offset: u32, size: u8) -> Slot {
+        Slot { age, is_store, offset, size, data_ready: false }
+    }
+
+    #[test]
+    fn allocate_insert_remove() {
+        let mut e = Entry::with_slot_capacity(8);
+        assert!(e.is_free());
+        e.allocate(42);
+        e.insert(slot(1, false, 0, 4));
+        e.insert(slot(2, true, 8, 8));
+        assert_eq!(e.used_slots(), 2);
+        assert!(!e.remove(1));
+        assert!(e.remove(2));
+        assert!(e.is_free());
+    }
+
+    #[test]
+    fn forwarding_picks_youngest_older_store() {
+        let mut e = Entry::with_slot_capacity(8);
+        e.allocate(7);
+        e.insert(slot(1, true, 0, 8));
+        e.insert(slot(3, true, 0, 8));
+        e.insert(slot(5, true, 16, 8)); // no overlap
+        e.insert(slot(6, true, 4, 4)); // younger than the load below? no: 6 < 9
+        let hit = e.youngest_older_overlapping_store(9, 4, 4).unwrap();
+        assert_eq!(hit.age, 6);
+        // For a load at age 2 only store 1 is older.
+        let hit = e.youngest_older_overlapping_store(2, 0, 4).unwrap();
+        assert_eq!(hit.age, 1);
+        // No older overlapping store for offset 24.
+        assert!(e.youngest_older_overlapping_store(9, 24, 8).is_none());
+    }
+
+    #[test]
+    fn overlap_is_byte_precise() {
+        let mut e = Entry::with_slot_capacity(4);
+        e.allocate(0);
+        e.insert(slot(1, true, 0, 4));
+        assert!(e.youngest_older_overlapping_store(2, 4, 4).is_none());
+        assert!(e.youngest_older_overlapping_store(2, 3, 1).is_some());
+    }
+
+    #[test]
+    fn allocate_clears_cached_metadata() {
+        let mut e = Entry::with_slot_capacity(4);
+        e.allocate(1);
+        e.insert(slot(1, false, 0, 4));
+        e.cached_loc = Some((3, 1));
+        e.translation_cached = true;
+        e.remove(1);
+        e.allocate(2);
+        assert_eq!(e.cached_loc, None);
+        assert!(!e.translation_cached);
+    }
+}

@@ -1,0 +1,154 @@
+//! Ideal unbounded LSQ — the reference point of Figure 1.
+//!
+//! Behaves exactly like a conventional fully-associative LSQ but never
+//! runs out of entries and records no energy activity (its energy is not
+//! under study; it exists to measure the IPC that a given pipeline could
+//! achieve if the LSQ were never the bottleneck).
+
+use crate::activity::LsqActivity;
+use crate::conventional::ConventionalLsq;
+use crate::traits::{CachePlan, LoadStoreQueue};
+use crate::types::{Age, ForwardStatus, LsqOccupancy, MemOp, PlaceOutcome};
+
+/// Unbounded ideal LSQ (delegates to a conventional LSQ with effectively
+/// infinite capacity; the 256-entry ROB bounds real occupancy long before).
+#[derive(Debug, Clone)]
+pub struct UnboundedLsq {
+    inner: ConventionalLsq,
+}
+
+impl UnboundedLsq {
+    /// Build the ideal LSQ.
+    pub fn new() -> Self {
+        UnboundedLsq { inner: ConventionalLsq::ideal(usize::MAX >> 1, "unbounded") }
+    }
+}
+
+impl Default for UnboundedLsq {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LoadStoreQueue for UnboundedLsq {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn can_dispatch(&self, is_store: bool) -> bool {
+        self.inner.can_dispatch(is_store)
+    }
+
+    fn dispatch(&mut self, op: MemOp) {
+        self.inner.dispatch(op)
+    }
+
+    fn address_ready(&mut self, age: Age) -> PlaceOutcome {
+        self.inner.address_ready(age)
+    }
+
+    fn store_executed(&mut self, age: Age) {
+        self.inner.store_executed(age)
+    }
+
+    fn load_forward_status(&mut self, age: Age) -> ForwardStatus {
+        self.inner.load_forward_status(age)
+    }
+
+    fn take_forward(&mut self, load: Age, store: Age) {
+        self.inner.take_forward(load, store)
+    }
+
+    fn cache_access_plan(&mut self, age: Age) -> CachePlan {
+        self.inner.cache_access_plan(age)
+    }
+
+    fn note_cache_access(&mut self, age: Age, set: u32, way: u32) -> bool {
+        self.inner.note_cache_access(age, set, way)
+    }
+
+    fn load_data_arrived(&mut self, age: Age) {
+        self.inner.load_data_arrived(age)
+    }
+
+    fn on_line_replaced(&mut self, set: u32, way: u32) {
+        self.inner.on_line_replaced(set, way)
+    }
+
+    fn commit(&mut self, age: Age) {
+        self.inner.commit(age)
+    }
+
+    fn squash_younger(&mut self, age: Age) {
+        self.inner.squash_younger(age)
+    }
+
+    fn flush_all(&mut self) {
+        self.inner.flush_all()
+    }
+
+    fn is_buffered(&self, age: Age) -> bool {
+        self.inner.is_buffered(age)
+    }
+
+    fn tick(&mut self, promoted: &mut Vec<Age>) {
+        self.inner.tick(promoted)
+    }
+
+    fn activity(&self) -> &LsqActivity {
+        self.inner.activity()
+    }
+
+    fn reset_activity(&mut self) {
+        self.inner.reset_activity()
+    }
+
+    fn occupancy(&self) -> LsqOccupancy {
+        self.inner.occupancy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_isa::MemRef;
+
+    #[test]
+    fn never_stalls_dispatch() {
+        let mut l = UnboundedLsq::new();
+        for age in 0..10_000u64 {
+            assert!(l.can_dispatch(age % 3 == 0));
+            l.dispatch(MemOp::load(age, MemRef::new(age * 8, 8)));
+        }
+        assert_eq!(l.occupancy().conv_entries, 10_000);
+    }
+
+    #[test]
+    fn records_no_cam_activity() {
+        let mut l = UnboundedLsq::new();
+        l.dispatch(MemOp::store(1, MemRef::new(0, 8)));
+        l.dispatch(MemOp::load(2, MemRef::new(0, 8)));
+        l.address_ready(1);
+        l.address_ready(2);
+        l.store_executed(1);
+        assert_eq!(l.load_forward_status(2), ForwardStatus::Forward { store: 1 });
+        assert_eq!(l.activity().conv_addr.cmp_ops, 0);
+        assert_eq!(l.activity().conv_data_rw, 0);
+    }
+
+    #[test]
+    fn forwarding_matches_conventional_semantics() {
+        let mut l = UnboundedLsq::new();
+        l.dispatch(MemOp::store(1, MemRef::new(64, 4)));
+        l.dispatch(MemOp::load(2, MemRef::new(66, 2)));
+        l.address_ready(1);
+        l.address_ready(2);
+        l.store_executed(1);
+        assert_eq!(l.load_forward_status(2), ForwardStatus::Forward { store: 1 });
+    }
+
+    #[test]
+    fn name_is_unbounded() {
+        assert_eq!(UnboundedLsq::new().name(), "unbounded");
+    }
+}

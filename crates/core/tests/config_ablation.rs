@@ -1,0 +1,108 @@
+//! Geometry-ablation tests for the SAMIE-LSQ: the §3.5 design arguments
+//! must hold as code-level monotonicity properties.
+
+use samie_lsq::{Age, LoadStoreQueue, MemOp, PlaceOutcome, SamieConfig, SamieLsq};
+use trace_isa::MemRef;
+
+/// Place `n` ops on distinct lines that all map to bank 0 of a 64-bank
+/// DistribLSQ (line stride 64).
+fn fill_bank0(lsq: &mut SamieLsq, n: u64) -> Vec<PlaceOutcome> {
+    (0..n)
+        .map(|i| {
+            let age = i + 1;
+            lsq.dispatch(MemOp::load(age, MemRef::new(i * 64 * 32, 8)));
+            lsq.address_ready(age)
+        })
+        .collect()
+}
+
+#[test]
+fn capacity_chain_distrib_then_shared_then_buffer() {
+    let mut lsq = SamieLsq::paper();
+    let outcomes = fill_bank0(&mut lsq, 2 + 8 + 3);
+    // 2 bank entries, then 8 SharedLSQ entries, then the AddrBuffer.
+    for (i, o) in outcomes.iter().enumerate() {
+        let expect = if i < 10 { PlaceOutcome::Placed } else { PlaceOutcome::Buffered };
+        assert_eq!(*o, expect, "op {i}");
+    }
+    let occ = lsq.occupancy();
+    assert_eq!(occ.dist_entries, 2);
+    assert_eq!(occ.shared_entries, 8);
+    assert_eq!(occ.addr_buffer, 3);
+}
+
+#[test]
+fn more_shared_entries_absorb_more_conflicts() {
+    for shared in [2usize, 4, 8, 16] {
+        let mut lsq = SamieLsq::new(SamieConfig { shared_entries: shared, ..SamieConfig::paper() });
+        let outcomes = fill_bank0(&mut lsq, 30);
+        let placed = outcomes.iter().filter(|o| **o == PlaceOutcome::Placed).count();
+        assert_eq!(placed, 2 + shared, "shared={shared}");
+    }
+}
+
+#[test]
+fn more_slots_per_entry_absorb_more_same_line_ops() {
+    for slots in [1usize, 2, 4, 8] {
+        let mut lsq = SamieLsq::new(SamieConfig { slots_per_entry: slots, ..SamieConfig::paper() });
+        // 40 ops to the SAME line: they consume entries at line granularity.
+        for i in 0..40u64 {
+            let age = i + 1;
+            lsq.dispatch(MemOp::load(age, MemRef::new((i % 4) * 8, 8)));
+            lsq.address_ready(age);
+        }
+        let occ = lsq.occupancy();
+        // Entries needed = ceil(40 / slots), capped by bank(2) + shared(8).
+        let need = 40usize.div_ceil(slots);
+        let entries = occ.dist_entries + occ.shared_entries;
+        assert_eq!(entries, need.min(10), "slots={slots}");
+    }
+}
+
+#[test]
+fn abuf_size_bounds_buffering() {
+    for abuf in [1usize, 4, 16, 64] {
+        let mut lsq = SamieLsq::new(SamieConfig { abuf_slots: abuf, ..SamieConfig::paper() });
+        let outcomes = fill_bank0(&mut lsq, 60);
+        let buffered = outcomes.iter().filter(|o| **o == PlaceOutcome::Buffered).count();
+        let nospace = outcomes.iter().filter(|o| **o == PlaceOutcome::NoSpace).count();
+        assert_eq!(buffered, abuf.min(50), "abuf={abuf}");
+        assert_eq!(nospace, 50usize.saturating_sub(abuf), "abuf={abuf}");
+    }
+}
+
+#[test]
+fn unbounded_shared_never_refuses() {
+    let mut lsq = SamieLsq::new(SamieConfig::sizing_study(64, 2));
+    let outcomes = fill_bank0(&mut lsq, 200);
+    assert!(outcomes.iter().all(|o| *o == PlaceOutcome::Placed));
+    assert_eq!(lsq.occupancy().shared_entries, 198);
+}
+
+#[test]
+fn commit_releases_capacity_for_promotion() {
+    let mut lsq = SamieLsq::paper();
+    fill_bank0(&mut lsq, 12); // 10 placed, 2 buffered
+    let mut promoted = Vec::new();
+    lsq.tick(&mut promoted);
+    assert!(promoted.is_empty());
+    lsq.commit(1);
+    lsq.commit(2);
+    lsq.tick(&mut promoted);
+    assert_eq!(promoted, vec![11, 12]);
+    assert_eq!(lsq.occupancy().addr_buffer, 0);
+}
+
+#[test]
+fn banking_spreads_independent_lines() {
+    // 64 ops on 64 consecutive lines: one per bank, zero SharedLSQ use.
+    let mut lsq = SamieLsq::paper();
+    for i in 0..64u64 {
+        let age: Age = i + 1;
+        lsq.dispatch(MemOp::load(age, MemRef::new(i * 32, 8)));
+        assert_eq!(lsq.address_ready(age), PlaceOutcome::Placed);
+    }
+    let occ = lsq.occupancy();
+    assert_eq!(occ.dist_entries, 64);
+    assert_eq!(occ.shared_entries, 0);
+}

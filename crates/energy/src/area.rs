@@ -1,0 +1,204 @@
+//! Active-area accounting — the paper's leakage proxy (§4.2,
+//! Figures 11–12).
+//!
+//! CACTI 3.0 does not model leakage, so the paper accumulates the *active
+//! area* every cycle under these activation policies:
+//!
+//! * conventional LSQ: all in-use entries plus four spare entries;
+//! * SAMIE: all in-use entries plus one spare entry per DistribLSQ bank
+//!   and one spare SharedLSQ entry; within each active entry, the in-use
+//!   slots plus one spare slot; the AddrBuffer keeps its in-use slots plus
+//!   four spares active.
+//!
+//! Areas come from the Table 6 cell sizes times the field widths of
+//! `constants`.
+
+use crate::constants as k;
+use samie_lsq::{LsqActivity, SamieConfig};
+
+/// Accumulated active area (µm² · cycles) per structure.
+///
+/// Note the paper's Figure 11 labels its axis mm²; the magnitudes only
+/// make sense as accumulated µm²·cycles, which is what we report.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ActiveArea {
+    /// Conventional LSQ.
+    pub conventional: f64,
+    /// DistribLSQ.
+    pub dist: f64,
+    /// SharedLSQ.
+    pub shared: f64,
+    /// AddrBuffer.
+    pub abuf: f64,
+}
+
+impl ActiveArea {
+    /// Total accumulated active area.
+    pub fn total(&self) -> f64 {
+        self.conventional + self.dist + self.shared + self.abuf
+    }
+
+    /// SAMIE breakdown fractions `(dist, shared, abuf)` — Figure 12.
+    pub fn breakdown_fractions(&self) -> (f64, f64, f64) {
+        let t = self.dist + self.shared + self.abuf;
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (self.dist / t, self.shared / t, self.abuf / t)
+    }
+}
+
+/// Area of one conventional LSQ entry (address CAM + datum RAM).
+pub fn conv_entry_area() -> f64 {
+    k::ADDR_BITS as f64 * k::AREA_CONV_ADDR_CAM + k::DATA_BITS as f64 * k::AREA_CONV_DATA_RAM
+}
+
+/// Static (per-entry) area of a DistribLSQ entry: line-address CAM tag,
+/// cached translation, cached line id.
+pub fn dist_entry_area() -> f64 {
+    let tag_bits = k::ADDR_BITS - k::LINE_OFFSET_BITS - k::BANK_BITS;
+    tag_bits as f64 * k::AREA_SAMIE_ADDR_CAM
+        + k::TLB_TRANSLATION_BITS as f64 * k::AREA_SAMIE_TLB_RAM
+        + k::DIST_LINEID_BITS as f64 * k::AREA_SAMIE_LINEID_RAM
+}
+
+/// Static (per-entry) area of a SharedLSQ entry (full line address —
+/// no bank implied — plus cached metadata).
+pub fn shared_entry_area() -> f64 {
+    let tag_bits = k::ADDR_BITS - k::LINE_OFFSET_BITS;
+    tag_bits as f64 * k::AREA_SAMIE_ADDR_CAM
+        + k::TLB_TRANSLATION_BITS as f64 * k::AREA_SAMIE_TLB_RAM
+        + k::SHARED_LINEID_BITS as f64 * k::AREA_SAMIE_LINEID_RAM
+}
+
+/// Area of one instruction slot (age-id CAM, datum, metadata) — the same
+/// for DistribLSQ and SharedLSQ.
+pub fn slot_area() -> f64 {
+    k::AGE_BITS as f64 * k::AREA_SAMIE_AGE_CAM
+        + k::DATA_BITS as f64 * k::AREA_SAMIE_DATA_RAM
+        + k::SLOT_META_BITS as f64 * k::AREA_SAMIE_DATA_RAM
+}
+
+/// Area of one AddrBuffer slot (full address + metadata, age id).
+pub fn abuf_slot_area() -> f64 {
+    (k::ADDR_BITS + k::SLOT_META_BITS) as f64 * k::AREA_ABUF_DATA_RAM
+        + k::AGE_BITS as f64 * k::AREA_ABUF_AGE_RAM
+}
+
+/// Accumulated active area for a run.
+///
+/// `samie_cfg` supplies the spare-entry policy parameters for SAMIE runs
+/// (pass the configuration the run used); conventional runs only use the
+/// `conv_entries` integral.
+pub fn active_area(a: &LsqActivity, samie_cfg: &SamieConfig) -> ActiveArea {
+    let occ = &a.occupancy;
+    let cycles = occ.cycles as f64;
+
+    // Conventional: in-use + 4 spare entries.
+    let conv_entries = occ.conv_entries as f64 + 4.0 * cycles;
+    let conventional = if occ.conv_entries > 0 { conv_entries * conv_entry_area() } else { 0.0 };
+
+    let samie_ran = occ.dist_entries > 0 || occ.dist_slots > 0 || a.bus_sends > 0;
+    let (dist, shared, abuf) = if samie_ran {
+        // DistribLSQ: in-use entries + 1 spare per bank, each active entry
+        // keeps in-use slots + 1 spare slot.
+        let active_entries = occ.dist_entries as f64 + samie_cfg.banks as f64 * cycles;
+        let active_slots = occ.dist_slots as f64 + active_entries;
+        let dist = active_entries * dist_entry_area() + active_slots * slot_area();
+        // SharedLSQ: in-use + 1 spare entry.
+        let s_entries = occ.shared_entries as f64 + cycles;
+        let s_slots = occ.shared_slots as f64 + s_entries;
+        let shared = s_entries * shared_entry_area() + s_slots * slot_area();
+        // AddrBuffer: in-use + 4 spare slots.
+        let abuf = (occ.abuf_slots as f64 + 4.0 * cycles) * abuf_slot_area();
+        (dist, shared, abuf)
+    } else {
+        (0.0, 0.0, 0.0)
+    };
+
+    ActiveArea { conventional, dist, shared, abuf }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samie_lsq::OccupancyIntegrals;
+
+    #[test]
+    fn entry_areas_are_plausible() {
+        // A conventional entry (wide CAM + 64-bit datum) must dwarf a
+        // SAMIE slot (narrow CAM + RAM cells) — the structural argument
+        // behind Figure 11.
+        assert!(conv_entry_area() > 2.0 * slot_area());
+        assert!(dist_entry_area() < shared_entry_area());
+        assert!(abuf_slot_area() < conv_entry_area());
+    }
+
+    #[test]
+    fn conventional_accounting() {
+        let a = LsqActivity {
+            occupancy: OccupancyIntegrals {
+                cycles: 100,
+                conv_entries: 2000, // mean 20 in use
+                ..OccupancyIntegrals::default()
+            },
+            ..LsqActivity::default()
+        };
+        let area = active_area(&a, &SamieConfig::paper());
+        assert!((area.conventional - (2000.0 + 400.0) * conv_entry_area()).abs() < 1e-6);
+        assert_eq!(area.dist, 0.0);
+    }
+
+    #[test]
+    fn samie_accounting_includes_spares() {
+        let a = LsqActivity {
+            bus_sends: 1,
+            occupancy: OccupancyIntegrals {
+                cycles: 10,
+                dist_entries: 50,
+                dist_slots: 100,
+                shared_entries: 5,
+                shared_slots: 20,
+                abuf_slots: 7,
+                ..OccupancyIntegrals::default()
+            },
+            ..LsqActivity::default()
+        };
+        let cfg = SamieConfig::paper();
+        let area = active_area(&a, &cfg);
+        let active_entries = 50.0 + 64.0 * 10.0;
+        let expect_dist =
+            active_entries * dist_entry_area() + (100.0 + active_entries) * slot_area();
+        assert!((area.dist - expect_dist).abs() < 1e-6);
+        let s_entries = 5.0 + 10.0;
+        let expect_shared = s_entries * shared_entry_area() + (20.0 + s_entries) * slot_area();
+        assert!((area.shared - expect_shared).abs() < 1e-6);
+        assert!((area.abuf - (7.0 + 40.0) * abuf_slot_area()).abs() < 1e-6);
+        let (d, s, b) = area.breakdown_fractions();
+        assert!((d + s + b - 1.0).abs() < 1e-9);
+        assert!(d > s && d > b, "DistribLSQ dominates the SAMIE area");
+    }
+
+    #[test]
+    fn idle_samie_still_pays_spare_area() {
+        // Integer codes barely use the LSQ, yet SAMIE keeps one spare
+        // entry per bank active — why they are its worst case (Fig. 11).
+        let a = LsqActivity {
+            bus_sends: 1,
+            occupancy: OccupancyIntegrals { cycles: 1000, ..OccupancyIntegrals::default() },
+            ..LsqActivity::default()
+        };
+        let area = active_area(&a, &SamieConfig::paper());
+        assert!(area.dist > 0.0);
+        let conv_idle = LsqActivity {
+            occupancy: OccupancyIntegrals {
+                cycles: 1000,
+                conv_entries: 1000, // mean occupancy 1
+                ..OccupancyIntegrals::default()
+            },
+            ..LsqActivity::default()
+        };
+        let conv_area = active_area(&conv_idle, &SamieConfig::paper());
+        assert!(area.total() > conv_area.total());
+    }
+}

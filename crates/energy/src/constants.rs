@@ -1,0 +1,182 @@
+//! The paper's published CACTI-3.0-derived constants (0.10 µm).
+//!
+//! Everything here is copied from the paper verbatim; the `cacti` module
+//! regenerates approximations of the same values from geometry.
+
+/// Energy of one access type with an affine per-operand cost:
+/// `base + per_operand × n` (picojoules).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AffinePj {
+    /// Fixed cost of the operation.
+    pub base: f64,
+    /// Additional cost per operand compared.
+    pub per_operand: f64,
+}
+
+impl AffinePj {
+    /// Total picojoules for `ops` operations comparing `operands` total
+    /// operands.
+    pub fn total_pj(&self, ops: u64, operands: u64) -> f64 {
+        self.base * ops as f64 + self.per_operand * operands as f64
+    }
+}
+
+// ---- Table 4: conventional 128-entry LSQ ------------------------------
+
+/// Address comparison: 452 pJ + 3.53 pJ per address compared.
+pub const CONV_ADDR_CMP: AffinePj = AffinePj { base: 452.0, per_operand: 3.53 };
+/// Read/write an address: 57.1 pJ.
+pub const CONV_ADDR_RW_PJ: f64 = 57.1;
+/// Read/write a datum: 93.2 pJ.
+pub const CONV_DATA_RW_PJ: f64 = 93.2;
+
+// ---- Table 5: SAMIE-LSQ -------------------------------------------------
+
+/// DistribLSQ address comparison: 4.33 pJ + 2.17 pJ per address.
+pub const DIST_ADDR_CMP: AffinePj = AffinePj { base: 4.33, per_operand: 2.17 };
+/// DistribLSQ address read/write.
+pub const DIST_ADDR_RW_PJ: f64 = 4.07;
+/// DistribLSQ age-id comparison in one entry: 19.4 pJ + 1.21 pJ per id.
+pub const DIST_AGE_CMP: AffinePj = AffinePj { base: 19.4, per_operand: 1.21 };
+/// DistribLSQ age-id read/write.
+pub const DIST_AGE_RW_PJ: f64 = 1.64;
+/// DistribLSQ datum read/write.
+pub const DIST_DATA_RW_PJ: f64 = 10.9;
+/// DistribLSQ cached-TLB-translation read/write.
+pub const DIST_TLB_RW_PJ: f64 = 6.02;
+/// DistribLSQ cached-cache-line-id read/write.
+pub const DIST_LINEID_RW_PJ: f64 = 0.236;
+/// Bus to the DistribLSQ: send one address.
+pub const BUS_SEND_PJ: f64 = 54.4;
+/// SharedLSQ address comparison: 22.7 pJ + 2.83 pJ per address.
+pub const SHARED_ADDR_CMP: AffinePj = AffinePj { base: 22.7, per_operand: 2.83 };
+/// SharedLSQ address read/write.
+pub const SHARED_ADDR_RW_PJ: f64 = 6.16;
+/// SharedLSQ age-id comparison in one entry: 19.4 pJ + 2.43 pJ per id.
+pub const SHARED_AGE_CMP: AffinePj = AffinePj { base: 19.4, per_operand: 2.43 };
+/// SharedLSQ age-id read/write.
+pub const SHARED_AGE_RW_PJ: f64 = 1.64;
+/// SharedLSQ datum read/write.
+pub const SHARED_DATA_RW_PJ: f64 = 10.9;
+/// SharedLSQ cached-TLB-translation read/write.
+pub const SHARED_TLB_RW_PJ: f64 = 8.73;
+/// SharedLSQ cached-cache-line-id read/write.
+pub const SHARED_LINEID_RW_PJ: f64 = 0.342;
+/// AddrBuffer datum read/write.
+pub const ABUF_DATA_RW_PJ: f64 = 31.6;
+/// AddrBuffer age-id read/write.
+pub const ABUF_AGE_RW_PJ: f64 = 15.7;
+
+// ---- D-cache / D-TLB access energies (§4.2 text) ------------------------
+
+/// Full 8 KB 4-way D-cache access (all ways + tag compare).
+pub const DCACHE_FULL_PJ: f64 = 1009.0;
+/// Single-way, no-tag-check D-cache access.
+pub const DCACHE_WAY_KNOWN_PJ: f64 = 276.0;
+/// One D-TLB lookup.
+pub const DTLB_ACCESS_PJ: f64 = 273.0;
+
+// ---- Table 6: cell areas (µm² per bit cell) ------------------------------
+
+/// Conventional LSQ address CAM cell.
+pub const AREA_CONV_ADDR_CAM: f64 = 28.0;
+/// Conventional LSQ datum RAM cell.
+pub const AREA_CONV_DATA_RAM: f64 = 20.0;
+/// DistribLSQ/SharedLSQ address CAM cell.
+pub const AREA_SAMIE_ADDR_CAM: f64 = 10.0;
+/// DistribLSQ/SharedLSQ age-id CAM cell.
+pub const AREA_SAMIE_AGE_CAM: f64 = 10.0;
+/// DistribLSQ/SharedLSQ datum RAM cell.
+pub const AREA_SAMIE_DATA_RAM: f64 = 6.0;
+/// DistribLSQ/SharedLSQ TLB-translation RAM cell.
+pub const AREA_SAMIE_TLB_RAM: f64 = 6.0;
+/// DistribLSQ/SharedLSQ cache-line-id RAM cell.
+pub const AREA_SAMIE_LINEID_RAM: f64 = 6.0;
+/// AddrBuffer datum RAM cell.
+pub const AREA_ABUF_DATA_RAM: f64 = 20.0;
+/// AddrBuffer age-id RAM cell.
+pub const AREA_ABUF_AGE_RAM: f64 = 20.0;
+
+// ---- field widths (bits) used to turn cell areas into entry areas -------
+
+/// Virtual address width assumed throughout (Alpha-like).
+pub const ADDR_BITS: u32 = 44;
+/// Line-offset bits (32-byte lines).
+pub const LINE_OFFSET_BITS: u32 = 5;
+/// Bank-select bits (64 banks).
+pub const BANK_BITS: u32 = 6;
+/// Age identifier: ROB position (8 bits for 256 entries) + wrap bit.
+pub const AGE_BITS: u32 = 9;
+/// Datum width.
+pub const DATA_BITS: u32 = 64;
+/// Physical page number bits cached as the TLB translation.
+pub const TLB_TRANSLATION_BITS: u32 = 28;
+/// Cache line id bits in a DistribLSQ entry (bank fixes the set for the
+/// paper geometry — 64 banks, 64 L1D sets — so only the way is stored).
+pub const DIST_LINEID_BITS: u32 = 2;
+/// Cache line id bits in a SharedLSQ entry (set + way).
+pub const SHARED_LINEID_BITS: u32 = 8;
+/// Per-slot status bits (offset, size, type, data-ready, forwarding slot).
+pub const SLOT_META_BITS: u32 = 14;
+
+// ---- §3.6 delays (ns) -----------------------------------------------------
+
+/// Bus latency to a DistribLSQ bank.
+pub const DELAY_BUS_NS: f64 = 0.124;
+/// Comparison within one DistribLSQ bank.
+pub const DELAY_DIST_BANK_NS: f64 = 0.590;
+/// Total DistribLSQ delay (bus + bank).
+pub const DELAY_DIST_TOTAL_NS: f64 = 0.714;
+/// SharedLSQ delay.
+pub const DELAY_SHARED_NS: f64 = 0.617;
+/// AddrBuffer delay.
+pub const DELAY_ABUF_NS: f64 = 0.319;
+/// 128-entry conventional LSQ delay.
+pub const DELAY_CONV128_NS: f64 = 0.881;
+/// 16-entry conventional LSQ delay (4 % above SAMIE's 0.714).
+pub const DELAY_CONV16_NS: f64 = 0.743;
+
+/// Table 1: (size KB, assoc, ports, conventional ns, way-known ns).
+pub const TABLE1: [(u32, u32, u32, f64, f64); 8] = [
+    (8, 2, 2, 0.865, 0.700),
+    (8, 2, 4, 1.014, 0.875),
+    (8, 4, 2, 1.008, 0.878),
+    (8, 4, 4, 1.307, 1.266),
+    (32, 2, 2, 1.195, 1.092),
+    (32, 2, 4, 1.551, 1.490),
+    (32, 4, 2, 1.194, 1.165),
+    (32, 4, 4, 1.693, 1.693),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_pricing() {
+        let e = CONV_ADDR_CMP.total_pj(2, 10);
+        assert!((e - (904.0 + 35.3)).abs() < 1e-9);
+        assert_eq!(AffinePj { base: 1.0, per_operand: 2.0 }.total_pj(0, 0), 0.0);
+    }
+
+    #[test]
+    fn headline_relationships_hold() {
+        // The SAMIE structures are far cheaper per access than the
+        // conventional CAM — the root of the 82 % saving.
+        let cheap_cam = DIST_ADDR_CMP.base < CONV_ADDR_CMP.base / 50.0;
+        let cheap_way = DCACHE_WAY_KNOWN_PJ < DCACHE_FULL_PJ / 3.0;
+        assert!(cheap_cam && cheap_way);
+        // §3.6: SAMIE is 23 % faster than the 128-entry CAM.
+        let speedup = DELAY_CONV128_NS / DELAY_DIST_TOTAL_NS;
+        assert!((speedup - 1.23).abs() < 0.01, "speedup {speedup}");
+        assert!((DELAY_BUS_NS + DELAY_DIST_BANK_NS - DELAY_DIST_TOTAL_NS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_improvements_are_nonnegative() {
+        for (kb, assoc, ports, conv, known) in TABLE1 {
+            assert!(known <= conv, "{kb}KB {assoc}w {ports}p");
+            assert!(conv > 0.5 && conv < 2.0);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # energy-model — CACTI-style pricing of simulator activity
+//!
+//! The paper derives per-access energies, cell areas and delays from
+//! CACTI 3.0 at 0.10 µm and multiplies them by activity counts from
+//! sim-outorder. This crate does the same in two layers:
+//!
+//! * [`constants`] — the paper's published numbers (Tables 1, 4, 5, 6 and
+//!   the §3.6 delays), used as the authoritative pricing so that the
+//!   energy comparison reproduces the paper's arithmetic exactly;
+//! * [`cacti`] — an analytic CAM/RAM timing model ("cacti-lite") that
+//!   *regenerates* the delay results (Table 1, §3.6) from structure
+//!   geometry, demonstrating the trends are not baked in.
+//!
+//! [`price`] converts a [`samie_lsq::LsqActivity`] ledger into nanojoules
+//! (Figures 7–10); [`area`] converts occupancy integrals into active-area
+//! integrals under the §4.2 activation policies (Figures 11–12).
+
+pub mod area;
+pub mod cacti;
+pub mod constants;
+pub mod price;
+
+pub use area::{active_area, ActiveArea};
+pub use cacti::{cache_access_times, lsq_delays, CacheDelay, CactiParams, LsqDelays};
+pub use price::{dcache_energy_nj, dtlb_energy_nj, price_lsq, LsqEnergy};

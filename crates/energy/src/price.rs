@@ -1,0 +1,150 @@
+//! Activity → energy pricing (Figures 7–10).
+
+use crate::constants as k;
+use mem_hier::CacheStats;
+use samie_lsq::LsqActivity;
+
+/// LSQ dynamic energy, broken down by structure (nanojoules).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LsqEnergy {
+    /// Conventional LSQ energy (zero for SAMIE runs).
+    pub conventional: f64,
+    /// DistribLSQ energy.
+    pub dist: f64,
+    /// SharedLSQ energy.
+    pub shared: f64,
+    /// AddrBuffer energy.
+    pub abuf: f64,
+    /// Distribution-bus energy.
+    pub bus: f64,
+}
+
+impl LsqEnergy {
+    /// Total LSQ energy.
+    pub fn total(&self) -> f64 {
+        self.conventional + self.dist + self.shared + self.abuf + self.bus
+    }
+
+    /// SAMIE breakdown fractions `(dist, shared, abuf, bus)` — Figure 8.
+    pub fn breakdown_fractions(&self) -> (f64, f64, f64, f64) {
+        let t = self.dist + self.shared + self.abuf + self.bus;
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        (self.dist / t, self.shared / t, self.abuf / t, self.bus / t)
+    }
+}
+
+/// Price an activity ledger with the Table 4/5 constants.
+pub fn price_lsq(a: &LsqActivity) -> LsqEnergy {
+    let pj = LsqEnergy {
+        conventional: k::CONV_ADDR_CMP.total_pj(a.conv_addr.cmp_ops, a.conv_addr.cmp_operands)
+            + k::CONV_ADDR_RW_PJ * a.conv_addr.reads_writes as f64
+            + k::CONV_DATA_RW_PJ * a.conv_data_rw as f64,
+        dist: k::DIST_ADDR_CMP.total_pj(a.dist_addr.cmp_ops, a.dist_addr.cmp_operands)
+            + k::DIST_ADDR_RW_PJ * a.dist_addr.reads_writes as f64
+            + k::DIST_AGE_CMP.total_pj(a.dist_age.cmp_ops, a.dist_age.cmp_operands)
+            + k::DIST_AGE_RW_PJ * a.dist_age_rw as f64
+            + k::DIST_DATA_RW_PJ * a.dist_data_rw as f64
+            + k::DIST_TLB_RW_PJ * a.dist_tlb_rw as f64
+            + k::DIST_LINEID_RW_PJ * a.dist_lineid_rw as f64,
+        shared: k::SHARED_ADDR_CMP.total_pj(a.shared_addr.cmp_ops, a.shared_addr.cmp_operands)
+            + k::SHARED_ADDR_RW_PJ * a.shared_addr.reads_writes as f64
+            + k::SHARED_AGE_CMP.total_pj(a.shared_age.cmp_ops, a.shared_age.cmp_operands)
+            + k::SHARED_AGE_RW_PJ * a.shared_age_rw as f64
+            + k::SHARED_DATA_RW_PJ * a.shared_data_rw as f64
+            + k::SHARED_TLB_RW_PJ * a.shared_tlb_rw as f64
+            + k::SHARED_LINEID_RW_PJ * a.shared_lineid_rw as f64,
+        abuf: k::ABUF_DATA_RW_PJ * a.abuf_data_rw as f64 + k::ABUF_AGE_RW_PJ * a.abuf_age_rw as f64,
+        bus: k::BUS_SEND_PJ * a.bus_sends as f64,
+    };
+    // pJ → nJ
+    LsqEnergy {
+        conventional: pj.conventional / 1e3,
+        dist: pj.dist / 1e3,
+        shared: pj.shared / 1e3,
+        abuf: pj.abuf / 1e3,
+        bus: pj.bus / 1e3,
+    }
+}
+
+/// L1 D-cache dynamic energy in nJ: full accesses at 1009 pJ, way-known
+/// accesses at 276 pJ (Figure 9).
+pub fn dcache_energy_nj(stats: &CacheStats) -> f64 {
+    (stats.conventional_accesses() as f64 * k::DCACHE_FULL_PJ
+        + stats.way_known_accesses as f64 * k::DCACHE_WAY_KNOWN_PJ)
+        / 1e3
+}
+
+/// D-TLB dynamic energy in nJ (Figure 10).
+pub fn dtlb_energy_nj(accesses: u64) -> f64 {
+    accesses as f64 * k::DTLB_ACCESS_PJ / 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samie_lsq::CamActivity;
+
+    #[test]
+    fn conventional_pricing_matches_hand_computation() {
+        let a = LsqActivity {
+            conv_addr: CamActivity { cmp_ops: 100, cmp_operands: 1000, reads_writes: 100 },
+            conv_data_rw: 50,
+            ..LsqActivity::default()
+        };
+        let e = price_lsq(&a);
+        let expect_pj = 452.0 * 100.0 + 3.53 * 1000.0 + 57.1 * 100.0 + 93.2 * 50.0;
+        assert!((e.conventional - expect_pj / 1e3).abs() < 1e-9);
+        assert_eq!(e.dist, 0.0);
+        assert!((e.total() - e.conventional).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samie_pricing_sums_structures() {
+        let a = LsqActivity {
+            dist_addr: CamActivity { cmp_ops: 10, cmp_operands: 20, reads_writes: 5 },
+            dist_age: CamActivity { cmp_ops: 10, cmp_operands: 40, reads_writes: 0 },
+            dist_age_rw: 10,
+            dist_data_rw: 10,
+            dist_tlb_rw: 4,
+            dist_lineid_rw: 4,
+            bus_sends: 10,
+            shared_addr: CamActivity { cmp_ops: 10, cmp_operands: 15, reads_writes: 2 },
+            abuf_data_rw: 6,
+            abuf_age_rw: 6,
+            ..LsqActivity::default()
+        };
+        let e = price_lsq(&a);
+        assert!(e.dist > 0.0 && e.shared > 0.0 && e.abuf > 0.0 && e.bus > 0.0);
+        assert_eq!(e.conventional, 0.0);
+        let (d, s, b, u) = e.breakdown_fractions();
+        assert!((d + s + b + u - 1.0).abs() < 1e-9);
+        assert!((e.bus - 54.4 * 10.0 / 1e3).abs() < 1e-9);
+        assert!((e.abuf - (31.6 + 15.7) * 6.0 / 1e3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn way_known_accesses_are_cheap() {
+        let full = CacheStats { read_accesses: 1000, read_hits: 1000, ..CacheStats::default() };
+        let full_e = dcache_energy_nj(&full);
+        let mut known = full;
+        known.way_known_accesses = 800;
+        let known_e = dcache_energy_nj(&known);
+        let saving = 1.0 - known_e / full_e;
+        // 80 % way-known → 80 % × (1 − 276/1009) ≈ 58 % saving (the
+        // paper's best case, ammp/swim).
+        assert!((saving - 0.8 * (1.0 - 276.0 / 1009.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dtlb_energy_is_linear() {
+        assert!((dtlb_energy_nj(1000) - 273.0).abs() < 1e-9);
+        assert_eq!(dtlb_energy_nj(0), 0.0);
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        assert_eq!(LsqEnergy::default().breakdown_fractions(), (0.0, 0.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the pricing and cacti-lite models.
+
+use proptest::prelude::*;
+
+use energy_model::cacti::{cache_access_times, cam_delay_ns, ram_delay_ns, CactiParams};
+use energy_model::{active_area, dcache_energy_nj, price_lsq};
+use mem_hier::CacheStats;
+use samie_lsq::{CamActivity, LsqActivity, SamieConfig};
+
+fn activity_strategy() -> impl Strategy<Value = LsqActivity> {
+    (
+        (0u64..10_000, 0u64..100_000, 0u64..10_000),
+        (0u64..10_000, 0u64..10_000, 0u64..10_000),
+        0u64..10_000,
+        (0u64..10_000, 0u64..10_000, 0u64..10_000),
+    )
+        .prop_map(|((c1, c2, c3), (d1, d2, d3), bus, (s1, s2, s3))| LsqActivity {
+            conv_addr: CamActivity { cmp_ops: c1, cmp_operands: c2, reads_writes: c3 },
+            conv_data_rw: c3,
+            dist_addr: CamActivity { cmp_ops: d1, cmp_operands: d2, reads_writes: d3 },
+            dist_age_rw: d1,
+            dist_data_rw: d2 % 1000,
+            dist_tlb_rw: d3 % 500,
+            dist_lineid_rw: d3 % 500,
+            bus_sends: bus,
+            shared_addr: CamActivity { cmp_ops: s1, cmp_operands: s2, reads_writes: s3 },
+            shared_data_rw: s1,
+            abuf_data_rw: s2 % 100,
+            abuf_age_rw: s2 % 100,
+            ..LsqActivity::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pricing_is_nonnegative_and_additive(a in activity_strategy(), b in activity_strategy()) {
+        let ea = price_lsq(&a);
+        let eb = price_lsq(&b);
+        prop_assert!(ea.total() >= 0.0);
+        let mut merged = a;
+        merged.merge(&b);
+        let em = price_lsq(&merged);
+        // Pricing is linear in the counters, so merging ledgers adds energy.
+        prop_assert!((em.total() - (ea.total() + eb.total())).abs() < 1e-6 * em.total().max(1.0));
+    }
+
+    #[test]
+    fn pricing_is_monotone_in_every_counter(a in activity_strategy()) {
+        let base = price_lsq(&a).total();
+        let mut more = a;
+        more.bus_sends += 100;
+        more.dist_addr.cmp_ops += 10;
+        more.conv_data_rw += 5;
+        prop_assert!(price_lsq(&more).total() > base);
+    }
+
+    #[test]
+    fn way_known_conversion_always_saves(reads in 1u64..100_000, known in 0u64..100_000) {
+        let known = known.min(reads);
+        let all_full = CacheStats { read_accesses: reads, read_hits: reads, ..CacheStats::default() };
+        let mixed = CacheStats { way_known_accesses: known, ..all_full };
+        prop_assert!(dcache_energy_nj(&mixed) <= dcache_energy_nj(&all_full));
+    }
+
+    #[test]
+    fn cam_delay_monotone(rows in 1u32..4096, bits in 1u32..128) {
+        let p = CactiParams::default();
+        prop_assert!(cam_delay_ns(&p, rows + 1, bits, true) >= cam_delay_ns(&p, rows, bits, true));
+        prop_assert!(cam_delay_ns(&p, rows, bits + 1, false) >= cam_delay_ns(&p, rows, bits, false));
+        prop_assert!(ram_delay_ns(&p, rows, bits) < cam_delay_ns(&p, rows, bits, false),
+            "RAM access must beat a CAM search of the same geometry");
+    }
+
+    #[test]
+    fn cache_model_is_sane_over_the_design_space(
+        size_kb in prop::sample::select(vec![4u32, 8, 16, 32, 64]),
+        assoc in prop::sample::select(vec![1u32, 2, 4, 8]),
+        ports in 1u32..6,
+    ) {
+        let p = CactiParams::default();
+        let d = cache_access_times(&p, size_kb, assoc, ports);
+        prop_assert!(d.way_known_ns > 0.0);
+        prop_assert!(d.way_known_ns <= d.conventional_ns + 1e-12);
+        prop_assert!(d.conventional_ns < 5.0, "unreasonable delay {d:?}");
+    }
+
+    #[test]
+    fn active_area_monotone_in_occupancy(cycles in 1u64..10_000, occ in 0u64..100) {
+        let cfg = SamieConfig::paper();
+        let mk = |dist_slots: u64| LsqActivity {
+            bus_sends: 1,
+            occupancy: samie_lsq::OccupancyIntegrals {
+                cycles,
+                dist_entries: occ * cycles / 8,
+                dist_slots: dist_slots * cycles,
+                ..Default::default()
+            },
+            ..LsqActivity::default()
+        };
+        let small = active_area(&mk(occ), &cfg).total();
+        let large = active_area(&mk(occ + 10), &cfg).total();
+        prop_assert!(large > small);
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 1 — ARB IPC relative to an unbounded LSQ.
+//!
+//! The paper's motivation study: Franklin & Sohi's ARB distributed over
+//! `banks × addresses-per-bank`, from fully associative (1×128) to fully
+//! banked (128×1), plus the "half the in-flight memory instructions"
+//! variant. Each point is the suite-average IPC normalised to the same
+//! trace under an unbounded LSQ. The paper's headline: 64×2 loses ~28 %.
+
+use samie_lsq::{ArbConfig, ArbLsq, UnboundedLsq};
+use spec_traces::all_benchmarks;
+
+use crate::runner::{parallel_map, run_one, RunConfig};
+use crate::table::{fmt, Table};
+
+/// The banking sweep of Figure 1 (banks, addresses per bank).
+pub const CONFIGS: [(usize, usize); 8] =
+    [(1, 128), (2, 64), (4, 32), (8, 16), (16, 8), (32, 4), (64, 2), (128, 1)];
+
+/// One point of Figure 1.
+#[derive(Debug, Clone)]
+pub struct Fig1Point {
+    /// Banks × addresses label, e.g. "64x2".
+    pub label: String,
+    /// Suite-average IPC as a fraction of the unbounded-LSQ IPC, with the
+    /// normal (128) in-flight cap.
+    pub normal: f64,
+    /// Same with the halved (64) cap.
+    pub half: f64,
+}
+
+/// Run the Figure 1 sweep.
+pub fn run(rc: &RunConfig) -> Vec<Fig1Point> {
+    let specs = all_benchmarks();
+    // Reference: unbounded LSQ per benchmark.
+    let reference: Vec<f64> =
+        parallel_map(specs, |s| run_one(s, UnboundedLsq::new(), rc).ipc());
+
+    CONFIGS
+        .iter()
+        .map(|&(banks, rows)| {
+            let norm_cfg = ArbConfig::fig1(banks, rows);
+            let half_cfg = norm_cfg.half_inflight();
+            let normal: Vec<f64> =
+                parallel_map(specs, |s| run_one(s, ArbLsq::new(norm_cfg), rc).ipc());
+            let half: Vec<f64> =
+                parallel_map(specs, |s| run_one(s, ArbLsq::new(half_cfg), rc).ipc());
+            let avg = |v: &[f64]| -> f64 {
+                v.iter().zip(&reference).map(|(i, r)| i / r).sum::<f64>() / v.len() as f64
+            };
+            Fig1Point {
+                label: format!("{banks}x{rows}"),
+                normal: avg(&normal),
+                half: avg(&half),
+            }
+        })
+        .collect()
+}
+
+/// Render as the paper's figure data.
+pub fn table(points: &[Fig1Point]) -> Table {
+    let mut t = Table::new(
+        "Figure 1 - ARB IPC relative to unbounded LSQ",
+        &["banks_x_addresses", "normal_%ipc", "half_inflight_%ipc"],
+    );
+    for p in points {
+        t.push_row(vec![
+            p.label.clone(),
+            fmt(p.normal * 100.0, 1),
+            fmt(p.half * 100.0, 1),
+        ]);
+    }
+    t
+}

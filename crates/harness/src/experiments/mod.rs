@@ -1,0 +1,7 @@
+//! One module per paper artefact.
+
+pub mod fig1;
+pub mod fig3_4;
+pub mod paired;
+pub mod tab1_delay;
+pub mod tab456;

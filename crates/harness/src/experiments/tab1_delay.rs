@@ -1,0 +1,67 @@
+//! Table 1 and the §3.6 delays, regenerated from cacti-lite.
+
+use energy_model::cacti::{cache_access_times, lsq_delays, CactiParams};
+use energy_model::constants::{
+    DELAY_ABUF_NS, DELAY_BUS_NS, DELAY_CONV128_NS, DELAY_CONV16_NS, DELAY_DIST_BANK_NS,
+    DELAY_DIST_TOTAL_NS, DELAY_SHARED_NS, TABLE1,
+};
+
+use crate::table::{fmt, Table};
+
+/// Table 1: conventional vs physical-line-known access time for the eight
+/// cache geometries, model vs paper.
+pub fn tab1_table() -> Table {
+    let p = CactiParams::default();
+    let mut t = Table::new(
+        "Table 1 - cache access times (model vs paper)",
+        &[
+            "size",
+            "assoc",
+            "ports",
+            "conv_model_ns",
+            "conv_paper_ns",
+            "known_model_ns",
+            "known_paper_ns",
+            "improv_model",
+            "improv_paper",
+        ],
+    );
+    for (kb, assoc, ports, conv_paper, known_paper) in TABLE1 {
+        let d = cache_access_times(&p, kb, assoc, ports);
+        let improv_paper = 1.0 - known_paper / conv_paper;
+        t.push_row(vec![
+            format!("{kb}KB"),
+            assoc.to_string(),
+            ports.to_string(),
+            fmt(d.conventional_ns, 3),
+            fmt(conv_paper, 3),
+            fmt(d.way_known_ns, 3),
+            fmt(known_paper, 3),
+            format!("{:.1}%", d.improvement() * 100.0),
+            format!("{:.1}%", improv_paper * 100.0),
+        ]);
+    }
+    t
+}
+
+/// §3.6 delay comparison, model vs paper.
+pub fn delay_table() -> Table {
+    let d = lsq_delays(&CactiParams::default());
+    let mut t = Table::new(
+        "Section 3.6 - LSQ component delays (model vs paper)",
+        &["component", "model_ns", "paper_ns"],
+    );
+    let rows: [(&str, f64, f64); 7] = [
+        ("conventional LSQ (128)", d.conventional_128, DELAY_CONV128_NS),
+        ("conventional LSQ (16)", d.conventional_16, DELAY_CONV16_NS),
+        ("bus to DistribLSQ", d.bus, DELAY_BUS_NS),
+        ("DistribLSQ bank compare", d.dist_bank, DELAY_DIST_BANK_NS),
+        ("DistribLSQ total", d.dist_total, DELAY_DIST_TOTAL_NS),
+        ("SharedLSQ", d.shared, DELAY_SHARED_NS),
+        ("AddrBuffer", d.addr_buffer, DELAY_ABUF_NS),
+    ];
+    for (name, model, paper) in rows {
+        t.push_row(vec![name.to_string(), fmt(model, 3), fmt(paper, 3)]);
+    }
+    t
+}

@@ -1,0 +1,25 @@
+//! # exp-harness — regenerating every table and figure of the paper
+//!
+//! One experiment module per paper artefact:
+//!
+//! | id | artefact | module |
+//! |----|----------|--------|
+//! | `fig1` | Figure 1 — ARB IPC vs unbounded LSQ | [`experiments::fig1`] |
+//! | `fig3` / `fig4` | SharedLSQ occupancy / sizing CDF | [`experiments::fig3_4`] |
+//! | `tab1` / `delay` | cache access times / §3.6 LSQ delays | [`experiments::tab1_delay`] |
+//! | `fig5`…`fig12` | IPC, deadlocks, energy, area | [`experiments::paired`] |
+//! | `tab456` | energy/area constants, regenerated | [`experiments::tab456`] |
+//! | `summary` | §4 headline numbers | [`experiments::paired`] |
+//!
+//! The `samie-exp` binary (`src/main.rs`) exposes each as a subcommand and
+//! writes CSVs under `results/`. Simulation length is configurable; the
+//! paper uses 100 M instructions per benchmark after 100 M warm-up, the
+//! harness defaults to 1 M after 200 k (scaled for wall-clock; the
+//! occupancy and energy statistics are flat well before that).
+
+pub mod experiments;
+pub mod runner;
+pub mod table;
+
+pub use runner::{parallel_map, run_paired, run_paired_suite, PairedRun, RunConfig};
+pub use table::Table;

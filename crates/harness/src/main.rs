@@ -1,0 +1,152 @@
+//! `samie-exp` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! samie-exp <experiment> [--instrs N] [--warmup N] [--seed N] [--out DIR] [--quick] [--chart]
+//!
+//! experiments:
+//!   fig1      ARB IPC vs unbounded LSQ
+//!   fig3      SharedLSQ occupancy (sizing study)
+//!   fig4      programs vs SharedLSQ entries (from the same runs)
+//!   tab1      cache access times (cacti-lite vs paper)
+//!   delay     §3.6 LSQ component delays
+//!   fig5..fig12  IPC / deadlocks / energy / area (paired runs)
+//!   tab456    energy & area constants, regenerated
+//!   summary   headline numbers vs the paper
+//!   all       everything above
+//! ```
+
+use std::path::PathBuf;
+
+use exp_harness::experiments::{fig1, fig3_4, paired, tab1_delay, tab456};
+use exp_harness::runner::{run_paired_suite, RunConfig};
+use exp_harness::table::Table;
+use spec_traces::all_benchmarks;
+
+struct Args {
+    experiment: String,
+    rc: RunConfig,
+    out: PathBuf,
+    chart: bool,
+}
+
+fn parse_args() -> Args {
+    let mut experiment = String::from("all");
+    let mut rc = RunConfig::default();
+    let mut out = PathBuf::from("results");
+    let mut chart = false;
+    let mut it = std::env::args().skip(1);
+    let mut positional_seen = false;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--instrs" => rc.instrs = it.next().expect("--instrs N").parse().expect("number"),
+            "--warmup" => rc.warmup = it.next().expect("--warmup N").parse().expect("number"),
+            "--seed" => rc.seed = it.next().expect("--seed N").parse().expect("number"),
+            "--out" => out = PathBuf::from(it.next().expect("--out DIR")),
+            "--chart" => chart = true,
+            "--quick" => {
+                let q = RunConfig::quick();
+                rc.instrs = q.instrs;
+                rc.warmup = q.warmup;
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: samie-exp <fig1|fig3|fig4|tab1|delay|fig5..fig12|tab456|summary|all> [--instrs N] [--warmup N] [--seed N] [--out DIR] [--quick] [--chart]");
+                std::process::exit(0);
+            }
+            other if !positional_seen => {
+                experiment = other.to_string();
+                positional_seen = true;
+            }
+            other => panic!("unexpected argument {other}"),
+        }
+    }
+    Args { experiment, rc, out, chart }
+}
+
+fn emit(t: &Table, out: &std::path::Path, chart: bool) {
+    println!("{}", t.render());
+    if chart && t.headers.len() >= 2 {
+        // Chart the last column against the first (the key series of
+        // every figure table).
+        println!("{}", exp_harness::table::bar_chart(t, 0, t.headers.len() - 1, 50));
+    }
+    match t.write_csv(out) {
+        Ok(p) => eprintln!("  -> {}", p.display()),
+        Err(e) => eprintln!("  (csv not written: {e})"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let rc = args.rc;
+    let exp = args.experiment.as_str();
+    eprintln!(
+        "running `{exp}` with {} measured / {} warm-up instructions per benchmark (seed {})",
+        rc.instrs, rc.warmup, rc.seed
+    );
+
+    let needs_paired = matches!(
+        exp,
+        "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "fig12" | "summary" | "all"
+    );
+    let paired_runs = if needs_paired {
+        eprintln!("simulating the 26-benchmark suite under both LSQs...");
+        Some(run_paired_suite(&all_benchmarks().iter().collect::<Vec<_>>(), &rc))
+    } else {
+        None
+    };
+
+    let mut emitted = false;
+    if exp == "fig1" || exp == "all" {
+        eprintln!("ARB sweep (17 configurations x 26 benchmarks)...");
+        let points = fig1::run(&rc);
+        emit(&fig1::table(&points), &args.out, args.chart);
+        emitted = true;
+    }
+    if matches!(exp, "fig3" | "fig4" | "all") {
+        eprintln!("SharedLSQ sizing study (3 geometries x 26 benchmarks)...");
+        let runs = fig3_4::run(&rc);
+        if exp != "fig4" {
+            emit(&fig3_4::fig3_table(&runs), &args.out, args.chart);
+        }
+        if exp != "fig3" {
+            emit(&fig3_4::fig4_table(&runs), &args.out, args.chart);
+        }
+        emitted = true;
+    }
+    if matches!(exp, "tab1" | "all") {
+        emit(&tab1_delay::tab1_table(), &args.out, args.chart);
+        emitted = true;
+    }
+    if matches!(exp, "delay" | "all") {
+        emit(&tab1_delay::delay_table(), &args.out, args.chart);
+        emitted = true;
+    }
+    if let Some(runs) = &paired_runs {
+        let tables: Vec<(&str, Table)> = vec![
+            ("fig5", paired::fig5_table(runs)),
+            ("fig6", paired::fig6_table(runs)),
+            ("fig7", paired::fig7_table(runs)),
+            ("fig8", paired::fig8_table(runs)),
+            ("fig9", paired::fig9_table(runs)),
+            ("fig10", paired::fig10_table(runs)),
+            ("fig11", paired::fig11_table(runs)),
+            ("fig12", paired::fig12_table(runs)),
+            ("summary", paired::summary_table(runs)),
+        ];
+        for (id, t) in tables {
+            if exp == id || exp == "all" {
+                emit(&t, &args.out, args.chart);
+                emitted = true;
+            }
+        }
+    }
+    if matches!(exp, "tab456" | "all") {
+        emit(&tab456::regen_table45(), &args.out, args.chart);
+        emit(&tab456::table6(), &args.out, args.chart);
+        emitted = true;
+    }
+    if !emitted {
+        eprintln!("unknown experiment `{exp}`; run with --help");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Simulation runners: per-benchmark runs, paired (baseline vs SAMIE)
+//! runs, and a scoped parallel map used by every experiment.
+
+use crossbeam::queue::SegQueue;
+use parking_lot::Mutex;
+
+use ooo_sim::{SimStats, Simulator};
+use samie_lsq::{ConventionalLsq, LoadStoreQueue, SamieLsq};
+use spec_traces::{SpecTrace, WorkloadSpec};
+
+/// Simulation length parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Instructions measured per benchmark (paper: 100 M).
+    pub instrs: u64,
+    /// Warm-up instructions before measurement (paper: 100 M).
+    pub warmup: u64,
+    /// Trace seed (same seed → byte-identical runs).
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { instrs: 1_000_000, warmup: 200_000, seed: 42 }
+    }
+}
+
+impl RunConfig {
+    /// A fast configuration for smoke tests and Criterion benches.
+    pub fn quick() -> Self {
+        RunConfig { instrs: 120_000, warmup: 30_000, seed: 42 }
+    }
+}
+
+/// Run one benchmark under one LSQ design.
+pub fn run_one<L: LoadStoreQueue>(spec: &WorkloadSpec, lsq: L, rc: &RunConfig) -> SimStats {
+    let mut sim = Simulator::paper(lsq, SpecTrace::new(spec, rc.seed));
+    sim.warm_up(rc.warmup);
+    sim.run(rc.instrs)
+}
+
+/// Baseline vs SAMIE results for one benchmark.
+#[derive(Debug, Clone)]
+pub struct PairedRun {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Conventional 128-entry LSQ run.
+    pub conv: SimStats,
+    /// SAMIE-LSQ (Table 3 configuration) run.
+    pub samie: SimStats,
+}
+
+impl PairedRun {
+    /// Relative IPC loss of SAMIE vs the baseline (Figure 5's metric;
+    /// negative = SAMIE is faster).
+    pub fn ipc_loss(&self) -> f64 {
+        let c = self.conv.ipc();
+        if c == 0.0 {
+            0.0
+        } else {
+            (c - self.samie.ipc()) / c
+        }
+    }
+}
+
+/// Run one benchmark under both designs (identical traces).
+pub fn run_paired(spec: &'static WorkloadSpec, rc: &RunConfig) -> PairedRun {
+    PairedRun {
+        name: spec.name,
+        conv: run_one(spec, ConventionalLsq::paper(), rc),
+        samie: run_one(spec, SamieLsq::paper(), rc),
+    }
+}
+
+/// Paired runs for a whole suite, in suite order, in parallel.
+pub fn run_paired_suite(specs: &[&'static WorkloadSpec], rc: &RunConfig) -> Vec<PairedRun> {
+    parallel_map(specs, |s| run_paired(s, rc))
+}
+
+/// Order-preserving parallel map over `items` using all available cores.
+///
+/// Work is distributed through a lock-free queue so long-running items
+/// (e.g. `ammp` with its deadlock replays) do not serialise the suite.
+pub fn parallel_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(items: &[T], f: F) -> Vec<R> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n);
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let queue = SegQueue::new();
+    for i in 0..n {
+        queue.push(i);
+    }
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                while let Some(i) = queue.pop() {
+                    let r = f(&items[i]);
+                    results.lock()[i] = Some(r);
+                }
+            });
+        }
+    });
+    results.into_inner().into_iter().map(|r| r.expect("worker completed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spec_traces::by_name;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        assert!(parallel_map::<u64, u64, _>(&[], |&x| x).is_empty());
+    }
+
+    #[test]
+    fn paired_run_smoke() {
+        let rc = RunConfig { instrs: 20_000, warmup: 5_000, seed: 1 };
+        let pr = run_paired(by_name("gzip").unwrap(), &rc);
+        assert!(pr.conv.ipc() > 0.1);
+        assert!(pr.samie.ipc() > 0.1);
+        assert!(pr.ipc_loss().abs() < 0.5);
+        // Identical traces: committed mixes match (up to the final
+        // commit-group overshoot).
+        assert!(pr.conv.loads.abs_diff(pr.samie.loads) < 64);
+        assert!(pr.conv.stores.abs_diff(pr.samie.stores) < 64);
+    }
+
+    #[test]
+    fn run_config_defaults() {
+        let rc = RunConfig::default();
+        assert!(rc.instrs >= rc.warmup);
+        assert!(RunConfig::quick().instrs < rc.instrs);
+    }
+}

@@ -1,0 +1,248 @@
+//! Result tables: aligned console rendering and CSV output.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A rectangular result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (used for the CSV file name and console heading).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; panics if the width disagrees with the headers.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch in {}", self.title);
+        self.rows.push(row);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// CSV encoding (quotes cells containing separators).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Write `<dir>/<slug>.csv`, creating the directory.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let slug: String = self
+            .title
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect();
+        let path = dir.join(format!("{}.csv", slug.trim_matches('_')));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Format a float with `digits` decimals.
+pub fn fmt(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Format a percentage with sign.
+pub fn pct(v: f64) -> String {
+    format!("{:+.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Fig X", &["bench", "value"]);
+        t.push_row(vec!["gcc".into(), "1.25".into()]);
+        t.push_row(vec!["swim,fp".into(), "2.50".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns() {
+        let r = sample().render();
+        assert!(r.contains("== Fig X =="));
+        assert!(r.contains("gcc"));
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let csv = sample().to_csv();
+        assert!(csv.starts_with("bench,value\n"));
+        assert!(csv.contains("\"swim,fp\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn write_csv_roundtrip() {
+        let dir = std::env::temp_dir().join("samie_table_test");
+        let path = sample().write_csv(&dir).unwrap();
+        let read = std::fs::read_to_string(path).unwrap();
+        assert!(read.contains("gcc"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(pct(0.0061), "+0.61%");
+        assert_eq!(pct(-0.02), "-2.00%");
+    }
+}
+
+/// Render a numeric column of the table as a horizontal ASCII bar chart —
+/// the terminal rendition of the paper's figures.
+///
+/// `label_col` supplies the row labels and `value_col` the bar lengths;
+/// non-numeric cells (e.g. blank summary cells) are skipped. Negative
+/// values grow leftwards from the axis, mirroring the paper's Figure 5
+/// whose IPC-loss bars go both ways.
+pub fn bar_chart(t: &Table, label_col: usize, value_col: usize, width: usize) -> String {
+    use std::fmt::Write as _;
+    let rows: Vec<(&str, f64)> = t
+        .rows
+        .iter()
+        .filter_map(|r| {
+            let v: f64 = r.get(value_col)?.parse().ok()?;
+            Some((r[label_col].as_str(), v))
+        })
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} [{}] ==", t.title, t.headers[value_col]);
+    if rows.is_empty() {
+        return out;
+    }
+    let max_abs = rows.iter().map(|(_, v)| v.abs()).fold(0.0f64, f64::max).max(1e-12);
+    let has_neg = rows.iter().any(|(_, v)| *v < 0.0);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let neg_w = if has_neg { width / 4 } else { 0 };
+    let pos_w = width - neg_w;
+    for (label, v) in rows {
+        let frac = v.abs() / max_abs;
+        if v >= 0.0 {
+            let n = (frac * pos_w as f64).round() as usize;
+            let _ = writeln!(
+                out,
+                "{label:>label_w$} {pad}|{bar} {v:.2}",
+                pad = " ".repeat(neg_w),
+                bar = "#".repeat(n),
+            );
+        } else {
+            let n = ((frac * neg_w as f64).round() as usize).min(neg_w);
+            let _ = writeln!(
+                out,
+                "{label:>label_w$} {pad}{bar}| {v:.2}",
+                pad = " ".repeat(neg_w - n),
+                bar = "#".repeat(n),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod chart_tests {
+    use super::*;
+
+    fn chart_table() -> Table {
+        let mut t = Table::new("Figure X", &["bench", "loss_%"]);
+        t.push_row(vec!["ammp".into(), "5.0".into()]);
+        t.push_row(vec!["fma3d".into(), "-6.0".into()]);
+        t.push_row(vec!["gzip".into(), "0.0".into()]);
+        t.push_row(vec!["SPEC".into(), String::new()]); // skipped
+        t
+    }
+
+    #[test]
+    fn bars_scale_to_the_maximum() {
+        let c = bar_chart(&chart_table(), 0, 1, 40);
+        assert!(c.contains("ammp"));
+        // fma3d has the largest |value| -> longest bar among the rows.
+        let bar_len = |name: &str| {
+            c.lines().find(|l| l.contains(name)).map(|l| l.matches('#').count()).unwrap()
+        };
+        // fma3d has the largest |value|: it fills its (narrower) negative
+        // axis completely (width/4 = 10 columns).
+        assert_eq!(bar_len("fma3d"), 10);
+        assert!(bar_len("ammp") > bar_len("fma3d"), "positive axis is wider");
+        assert_eq!(bar_len("gzip"), 0);
+    }
+
+    #[test]
+    fn negative_values_sit_left_of_the_axis() {
+        let c = bar_chart(&chart_table(), 0, 1, 40);
+        let fma = c.lines().find(|l| l.contains("fma3d")).unwrap();
+        assert!(fma.contains("#|"), "negative bar must end at the axis: {fma}");
+        let ammp = c.lines().find(|l| l.contains("ammp")).unwrap();
+        assert!(ammp.contains("|#"), "positive bar must start at the axis: {ammp}");
+    }
+
+    #[test]
+    fn blank_cells_are_skipped() {
+        let c = bar_chart(&chart_table(), 0, 1, 40);
+        assert!(!c.contains("SPEC"));
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new("empty", &["a", "b"]);
+        let c = bar_chart(&t, 0, 1, 30);
+        assert_eq!(c.lines().count(), 1);
+    }
+}

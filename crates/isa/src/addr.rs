@@ -1,0 +1,85 @@
+//! Address geometry helpers.
+//!
+//! The paper's configuration (Table 2) uses 32-byte L1 lines throughout and
+//! an Alpha-like machine; Alpha uses 8 KB pages. Both constants are fixed
+//! here — the whole reproduction (LSQ banking, presentBit bookkeeping,
+//! energy constants) is calibrated to them, exactly as the paper fixes them
+//! for CACTI.
+
+/// L1 cache line size in bytes (Table 2: 32-byte lines for L1 I/D).
+pub const LINE_BYTES: u32 = 32;
+
+/// log2 of [`LINE_BYTES`].
+pub const LINE_SHIFT: u32 = LINE_BYTES.trailing_zeros();
+
+/// Virtual-memory page size in bytes (Alpha: 8 KB).
+pub const PAGE_BYTES: u64 = 8192;
+
+/// log2 of [`PAGE_BYTES`].
+pub const PAGE_SHIFT: u32 = PAGE_BYTES.trailing_zeros();
+
+/// Byte address of the cache line containing `addr`.
+#[inline]
+pub fn line_addr(addr: u64) -> u64 {
+    addr & !(LINE_BYTES as u64 - 1)
+}
+
+/// Cache-line index (line address >> line shift) — what SAMIE-LSQ entries
+/// are keyed by and what selects a DistribLSQ bank.
+#[inline]
+pub fn line_index(addr: u64) -> u64 {
+    addr >> LINE_SHIFT
+}
+
+/// Offset of `addr` within its cache line.
+#[inline]
+pub fn line_offset(addr: u64) -> u32 {
+    (addr as u32) & (LINE_BYTES - 1)
+}
+
+/// Virtual page number of `addr`.
+#[inline]
+pub fn page_number(addr: u64) -> u64 {
+    addr >> PAGE_SHIFT
+}
+
+/// Offset of `addr` within its page.
+#[inline]
+pub fn page_offset(addr: u64) -> u64 {
+    addr & (PAGE_BYTES - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_powers_of_two() {
+        assert!(LINE_BYTES.is_power_of_two());
+        assert!(PAGE_BYTES.is_power_of_two());
+        assert_eq!(1u32 << LINE_SHIFT, LINE_BYTES);
+        assert_eq!(1u64 << PAGE_SHIFT, PAGE_BYTES);
+    }
+
+    #[test]
+    fn line_decomposition_roundtrips() {
+        for addr in [0u64, 1, 31, 32, 33, 0xdead_beef, u64::MAX - 31] {
+            assert_eq!(line_addr(addr) + line_offset(addr) as u64, addr);
+            assert_eq!(line_addr(addr) % LINE_BYTES as u64, 0);
+            assert_eq!(line_index(addr), line_addr(addr) >> LINE_SHIFT);
+        }
+    }
+
+    #[test]
+    fn page_decomposition_roundtrips() {
+        for addr in [0u64, 8191, 8192, 0x12345678] {
+            assert_eq!(page_number(addr) * PAGE_BYTES + page_offset(addr), addr);
+        }
+    }
+
+    #[test]
+    fn same_line_iff_same_index() {
+        assert_eq!(line_index(64), line_index(95));
+        assert_ne!(line_index(64), line_index(96));
+    }
+}

@@ -1,0 +1,117 @@
+//! Functional-unit kinds and execution latencies (Table 2 of the paper).
+
+use crate::op::OpClass;
+
+/// Functional-unit pools of the simulated core.
+///
+/// Pool sizes (Table 2): 6 integer ALUs, 3 integer mult/div, 4 FP ALUs,
+/// 2 FP mult/div, and 4 D-cache read/write ports shared by loads and
+/// stores. Branches resolve on integer ALUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FuKind {
+    /// Integer ALU (also executes branches).
+    IntAlu,
+    /// Integer multiplier/divider.
+    IntMulDiv,
+    /// Floating-point ALU.
+    FpAlu,
+    /// Floating-point multiplier/divider.
+    FpMulDiv,
+    /// D-cache read/write port.
+    MemPort,
+}
+
+impl FuKind {
+    /// All kinds, in the order used by the simulator's FU scoreboard.
+    pub const ALL: [FuKind; 5] =
+        [FuKind::IntAlu, FuKind::IntMulDiv, FuKind::FpAlu, FuKind::FpMulDiv, FuKind::MemPort];
+
+    /// Default pool size for this kind (Table 2).
+    pub fn default_count(self) -> usize {
+        match self {
+            FuKind::IntAlu => 6,
+            FuKind::IntMulDiv => 3,
+            FuKind::FpAlu => 4,
+            FuKind::FpMulDiv => 2,
+            FuKind::MemPort => 4,
+        }
+    }
+}
+
+/// Execution latency and pipelining of an op on its functional unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecLatency {
+    /// Cycles from issue to result.
+    pub cycles: u32,
+    /// If false, the FU is busy for the whole `cycles` (divides).
+    pub pipelined: bool,
+}
+
+/// Functional unit used by an op class.
+///
+/// Loads and stores occupy a [`FuKind::MemPort`]; their address generation
+/// adds one cycle before the port access, modelled by the simulator.
+pub fn fu_kind(class: OpClass) -> FuKind {
+    match class {
+        OpClass::IntAlu | OpClass::CondBranch | OpClass::UncondBranch => FuKind::IntAlu,
+        OpClass::IntMul | OpClass::IntDiv => FuKind::IntMulDiv,
+        OpClass::FpAlu => FuKind::FpAlu,
+        OpClass::FpMul | OpClass::FpDiv => FuKind::FpMulDiv,
+        OpClass::Load | OpClass::Store => FuKind::MemPort,
+    }
+}
+
+/// Execution latency of an op class (Table 2).
+///
+/// For loads/stores this is the address-generation latency only; cache
+/// access latency is added by the memory hierarchy model.
+pub fn exec_latency(class: OpClass) -> ExecLatency {
+    let (cycles, pipelined) = match class {
+        OpClass::IntAlu | OpClass::CondBranch | OpClass::UncondBranch => (1, true),
+        OpClass::IntMul => (3, true),
+        OpClass::IntDiv => (20, false),
+        OpClass::FpAlu => (2, true),
+        OpClass::FpMul => (4, true),
+        OpClass::FpDiv => (12, false),
+        OpClass::Load | OpClass::Store => (1, true),
+    };
+    ExecLatency { cycles, pipelined }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_match_table2() {
+        assert_eq!(exec_latency(OpClass::IntAlu).cycles, 1);
+        assert_eq!(exec_latency(OpClass::IntMul).cycles, 3);
+        assert_eq!(exec_latency(OpClass::IntDiv).cycles, 20);
+        assert!(!exec_latency(OpClass::IntDiv).pipelined);
+        assert_eq!(exec_latency(OpClass::FpAlu).cycles, 2);
+        assert_eq!(exec_latency(OpClass::FpMul).cycles, 4);
+        assert_eq!(exec_latency(OpClass::FpDiv).cycles, 12);
+        assert!(!exec_latency(OpClass::FpDiv).pipelined);
+    }
+
+    #[test]
+    fn fu_pool_sizes_match_table2() {
+        assert_eq!(FuKind::IntAlu.default_count(), 6);
+        assert_eq!(FuKind::IntMulDiv.default_count(), 3);
+        assert_eq!(FuKind::FpAlu.default_count(), 4);
+        assert_eq!(FuKind::FpMulDiv.default_count(), 2);
+        assert_eq!(FuKind::MemPort.default_count(), 4);
+    }
+
+    #[test]
+    fn every_class_has_a_unit() {
+        for c in OpClass::ALL {
+            let k = fu_kind(c);
+            assert!(FuKind::ALL.contains(&k));
+            assert!(exec_latency(c).cycles >= 1);
+        }
+        assert_eq!(fu_kind(OpClass::Load), FuKind::MemPort);
+        assert_eq!(fu_kind(OpClass::CondBranch), FuKind::IntAlu);
+    }
+}

@@ -1,0 +1,31 @@
+//! # trace-isa — micro-op and trace model
+//!
+//! This crate defines the instruction representation shared by every other
+//! crate in the SAMIE-LSQ reproduction: a compact, architecture-neutral
+//! *micro-op* ([`MicroOp`]) carrying exactly the information a trace-driven
+//! timing simulator needs:
+//!
+//! * an operation class ([`OpClass`]) selecting functional unit and latency
+//!   (latencies follow Table 2 of the paper),
+//! * register dependencies expressed as *producer distances* (how many
+//!   dynamic instructions earlier the producing op appeared),
+//! * a memory reference ([`MemRef`]) for loads and stores, and
+//! * a resolved branch outcome ([`BranchInfo`]) for control-flow ops.
+//!
+//! Traces are infinite deterministic streams implementing [`TraceSource`];
+//! the synthetic SPEC CPU2000 workload generators in `spec-traces` and the
+//! ad-hoc vectors used by unit tests both implement it.
+//!
+//! The original paper drives an enhanced SimpleScalar `sim-outorder` with
+//! Alpha binaries; this trace model is the substitution layer that lets the
+//! same microarchitectural mechanisms be exercised without an ISA frontend.
+
+pub mod addr;
+pub mod latency;
+pub mod op;
+pub mod source;
+
+pub use addr::{line_addr, line_offset, page_number, LINE_BYTES, PAGE_BYTES};
+pub use latency::{ExecLatency, FuKind};
+pub use op::{BranchInfo, MemRef, MicroOp, OpClass, Payload};
+pub use source::{FnTrace, TraceSource, VecTrace};

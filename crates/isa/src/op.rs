@@ -1,0 +1,353 @@
+//! Micro-op definition: operation classes, memory references and branch
+//! outcomes.
+
+use crate::addr::{line_addr, line_offset};
+
+/// Operation class of a micro-op.
+///
+/// The classes mirror the functional-unit mix of the simulated processor
+/// (Table 2 of the paper): integer ALUs, integer multiply/divide, FP ALUs,
+/// FP multiply/divide, memory ports, and the branch unit (which executes on
+/// an integer ALU).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum OpClass {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Integer multiply (3 cycles, pipelined).
+    IntMul,
+    /// Integer divide (20 cycles, non-pipelined).
+    IntDiv,
+    /// Floating-point add/sub/convert (2 cycles, pipelined).
+    FpAlu,
+    /// Floating-point multiply (4 cycles, pipelined).
+    FpMul,
+    /// Floating-point divide (12 cycles, non-pipelined).
+    FpDiv,
+    /// Memory load. Carries a [`MemRef`] payload.
+    Load,
+    /// Memory store. Carries a [`MemRef`] payload.
+    Store,
+    /// Conditional branch. Carries a [`BranchInfo`] payload.
+    CondBranch,
+    /// Unconditional branch / jump / call. Carries a [`BranchInfo`] payload.
+    UncondBranch,
+}
+
+impl OpClass {
+    /// All classes, useful for exhaustive tests.
+    pub const ALL: [OpClass; 10] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::IntDiv,
+        OpClass::FpAlu,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::CondBranch,
+        OpClass::UncondBranch,
+    ];
+
+    /// Is this a load or a store?
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Is this a load?
+    #[inline]
+    pub fn is_load(self) -> bool {
+        self == OpClass::Load
+    }
+
+    /// Is this a store?
+    #[inline]
+    pub fn is_store(self) -> bool {
+        self == OpClass::Store
+    }
+
+    /// Is this a control-flow op?
+    #[inline]
+    pub fn is_branch(self) -> bool {
+        matches!(self, OpClass::CondBranch | OpClass::UncondBranch)
+    }
+
+    /// Does this class dispatch to the floating-point issue queue?
+    ///
+    /// Memory ops and branches dispatch to the integer queue, as in
+    /// SimpleScalar's `sim-outorder`.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        matches!(self, OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv)
+    }
+}
+
+/// A memory reference: virtual byte address plus access size.
+///
+/// Addresses are virtual; the D-TLB in `mem-hier` performs the translation.
+/// `size` is 1, 2, 4 or 8 bytes and never straddles a cache line in traces
+/// produced by `spec-traces` (the generators align accesses), matching the
+/// paper's implicit assumption that an LSQ slot records a single
+/// line-offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Virtual byte address.
+    pub addr: u64,
+    /// Access size in bytes (1, 2, 4 or 8).
+    pub size: u8,
+}
+
+impl MemRef {
+    /// Create a reference, asserting the size is sane in debug builds.
+    #[inline]
+    pub fn new(addr: u64, size: u8) -> Self {
+        debug_assert!(matches!(size, 1 | 2 | 4 | 8), "bad access size {size}");
+        MemRef { addr, size }
+    }
+
+    /// Cache-line address (byte address of the containing line).
+    #[inline]
+    pub fn line(self) -> u64 {
+        line_addr(self.addr)
+    }
+
+    /// Offset of the access within its cache line.
+    #[inline]
+    pub fn offset(self) -> u32 {
+        line_offset(self.addr)
+    }
+
+    /// Do two references overlap in bytes?
+    ///
+    /// This is the condition under which a store must forward to (or order
+    /// against) a load.
+    #[inline]
+    pub fn overlaps(self, other: MemRef) -> bool {
+        let a0 = self.addr;
+        let a1 = self.addr + self.size as u64;
+        let b0 = other.addr;
+        let b1 = other.addr + other.size as u64;
+        a0 < b1 && b0 < a1
+    }
+
+    /// Does `self` fully cover `other` (so a store `self` can forward the
+    /// whole datum `other` wants)?
+    #[inline]
+    pub fn covers(self, other: MemRef) -> bool {
+        self.addr <= other.addr && self.addr + self.size as u64 >= other.addr + other.size as u64
+    }
+}
+
+/// Resolved outcome of a branch, known at trace-generation time.
+///
+/// The timing simulator uses this as the oracle against which its branch
+/// predictor is scored; mispredictions cost fetch-redirect bubbles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchInfo {
+    /// Was the branch taken?
+    pub taken: bool,
+    /// Target PC if taken.
+    pub target: u64,
+}
+
+/// Class-specific payload of a [`MicroOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Payload {
+    /// Non-memory, non-branch op.
+    None,
+    /// Load/store memory reference.
+    Mem(MemRef),
+    /// Branch outcome.
+    Branch(BranchInfo),
+}
+
+/// A dynamic micro-op in a trace.
+///
+/// Dependencies are *producer distances*: `deps[k] == d` (with `d > 0`)
+/// means the op depends on the value produced by the op `d` positions
+/// earlier in the dynamic instruction stream; `0` means "no dependency".
+/// This representation needs no register renamer in the simulator — the ROB
+/// index arithmetic resolves producers directly — while still exposing
+/// realistic ILP structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroOp {
+    /// Program counter (used by the branch predictor and I-fetch model).
+    pub pc: u64,
+    /// Operation class.
+    pub class: OpClass,
+    /// Producer distances for up to two source operands; 0 = no dependency.
+    pub deps: [u32; 2],
+    /// Class-specific payload.
+    pub payload: Payload,
+}
+
+impl MicroOp {
+    /// A plain integer ALU op with the given dependencies.
+    #[inline]
+    pub fn alu(pc: u64, deps: [u32; 2]) -> Self {
+        MicroOp { pc, class: OpClass::IntAlu, deps, payload: Payload::None }
+    }
+
+    /// A non-memory op of an arbitrary class.
+    #[inline]
+    pub fn compute(pc: u64, class: OpClass, deps: [u32; 2]) -> Self {
+        debug_assert!(!class.is_mem() && !class.is_branch());
+        MicroOp { pc, class, deps, payload: Payload::None }
+    }
+
+    /// A load of `size` bytes from `addr`.
+    #[inline]
+    pub fn load(pc: u64, addr: u64, size: u8, deps: [u32; 2]) -> Self {
+        MicroOp { pc, class: OpClass::Load, deps, payload: Payload::Mem(MemRef::new(addr, size)) }
+    }
+
+    /// A store of `size` bytes to `addr`.
+    #[inline]
+    pub fn store(pc: u64, addr: u64, size: u8, deps: [u32; 2]) -> Self {
+        MicroOp { pc, class: OpClass::Store, deps, payload: Payload::Mem(MemRef::new(addr, size)) }
+    }
+
+    /// A conditional branch with a resolved outcome.
+    #[inline]
+    pub fn branch(pc: u64, taken: bool, target: u64, deps: [u32; 2]) -> Self {
+        MicroOp {
+            pc,
+            class: OpClass::CondBranch,
+            deps,
+            payload: Payload::Branch(BranchInfo { taken, target }),
+        }
+    }
+
+    /// An unconditional branch to `target`.
+    #[inline]
+    pub fn jump(pc: u64, target: u64) -> Self {
+        MicroOp {
+            pc,
+            class: OpClass::UncondBranch,
+            deps: [0, 0],
+            payload: Payload::Branch(BranchInfo { taken: true, target }),
+        }
+    }
+
+    /// The memory reference, if this is a load/store.
+    #[inline]
+    pub fn mem(&self) -> Option<MemRef> {
+        match self.payload {
+            Payload::Mem(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The branch outcome, if this is a branch.
+    #[inline]
+    pub fn branch_info(&self) -> Option<BranchInfo> {
+        match self.payload {
+            Payload::Branch(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Internal consistency: payload matches class.
+    pub fn is_well_formed(&self) -> bool {
+        match self.payload {
+            Payload::None => !self.class.is_mem() && !self.class.is_branch(),
+            Payload::Mem(m) => {
+                self.class.is_mem()
+                    && matches!(m.size, 1 | 2 | 4 | 8)
+                    // accesses must not straddle a cache line
+                    && m.offset() as u64 + m.size as u64 <= crate::addr::LINE_BYTES as u64
+            }
+            Payload::Branch(_) => self.class.is_branch(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_predicates_are_disjoint_and_complete() {
+        for c in OpClass::ALL {
+            let kinds =
+                [c.is_mem(), c.is_branch(), !(c.is_mem() || c.is_branch())];
+            assert_eq!(kinds.iter().filter(|&&k| k).count(), 1, "{c:?}");
+        }
+        assert!(OpClass::Load.is_mem() && OpClass::Load.is_load());
+        assert!(OpClass::Store.is_mem() && OpClass::Store.is_store());
+        assert!(!OpClass::Load.is_fp() && !OpClass::Store.is_fp());
+        assert!(OpClass::CondBranch.is_branch() && !OpClass::CondBranch.is_fp());
+        assert!(OpClass::FpMul.is_fp());
+    }
+
+    #[test]
+    fn memref_line_and_offset() {
+        let m = MemRef::new(0x1234, 4);
+        assert_eq!(m.line(), 0x1220);
+        assert_eq!(m.offset(), 0x14);
+    }
+
+    #[test]
+    fn memref_overlap_cases() {
+        let a = MemRef::new(100, 4);
+        assert!(a.overlaps(MemRef::new(100, 4)));
+        assert!(a.overlaps(MemRef::new(102, 4)));
+        assert!(a.overlaps(MemRef::new(96, 8)));
+        assert!(!a.overlaps(MemRef::new(104, 4)));
+        assert!(!a.overlaps(MemRef::new(96, 4)));
+        assert!(a.overlaps(MemRef::new(103, 1)));
+        assert!(!a.overlaps(MemRef::new(99, 1)));
+    }
+
+    #[test]
+    fn memref_covers_cases() {
+        let st = MemRef::new(100, 8);
+        assert!(st.covers(MemRef::new(100, 8)));
+        assert!(st.covers(MemRef::new(104, 4)));
+        assert!(st.covers(MemRef::new(100, 1)));
+        assert!(!st.covers(MemRef::new(96, 8)));
+        assert!(!st.covers(MemRef::new(104, 8)));
+        // partial overlap is not coverage
+        let st2 = MemRef::new(100, 4);
+        assert!(!st2.covers(MemRef::new(102, 4)));
+    }
+
+    #[test]
+    fn constructors_produce_well_formed_ops() {
+        assert!(MicroOp::alu(0, [1, 2]).is_well_formed());
+        assert!(MicroOp::load(4, 0x1000, 8, [1, 0]).is_well_formed());
+        assert!(MicroOp::store(8, 0x2000, 4, [2, 1]).is_well_formed());
+        assert!(MicroOp::branch(12, true, 0x40, [1, 0]).is_well_formed());
+        assert!(MicroOp::jump(16, 0x80).is_well_formed());
+        assert!(MicroOp::compute(20, OpClass::FpDiv, [3, 4]).is_well_formed());
+    }
+
+    #[test]
+    fn straddling_access_is_ill_formed() {
+        // offset 30 + size 4 crosses a 32-byte line boundary
+        let op = MicroOp {
+            pc: 0,
+            class: OpClass::Load,
+            deps: [0, 0],
+            payload: Payload::Mem(MemRef { addr: 30, size: 4 }),
+        };
+        assert!(!op.is_well_formed());
+    }
+
+    #[test]
+    fn payload_accessors() {
+        let ld = MicroOp::load(0, 64, 4, [0, 0]);
+        assert_eq!(ld.mem(), Some(MemRef::new(64, 4)));
+        assert_eq!(ld.branch_info(), None);
+        let br = MicroOp::branch(0, false, 4, [0, 0]);
+        assert_eq!(br.mem(), None);
+        assert_eq!(br.branch_info(), Some(BranchInfo { taken: false, target: 4 }));
+    }
+
+    #[test]
+    fn microop_is_compact() {
+        // The simulator keeps a 256-deep window of these; keep them small.
+        assert!(std::mem::size_of::<MicroOp>() <= 48);
+    }
+}

@@ -1,0 +1,147 @@
+//! Trace sources: infinite deterministic micro-op streams.
+
+use crate::op::MicroOp;
+
+/// An infinite, deterministic stream of micro-ops.
+///
+/// The timing simulator pulls one op at a time; a source must keep
+/// producing forever (generators wrap around their synthetic program).
+/// Determinism — the same source constructed the same way yields the same
+/// stream — is what makes every experiment in the harness reproducible.
+pub trait TraceSource {
+    /// Produce the next dynamic micro-op.
+    fn next_op(&mut self) -> MicroOp;
+
+    /// Human-readable name for reports ("gcc", "swim", ...).
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+}
+
+/// A trace that replays a vector of ops, cycling when exhausted.
+///
+/// Used throughout the test suites to drive the simulator with hand-built
+/// instruction sequences.
+#[derive(Debug, Clone)]
+pub struct VecTrace {
+    ops: Vec<MicroOp>,
+    pos: usize,
+    name: String,
+}
+
+impl VecTrace {
+    /// Build a cycling trace from `ops`. Panics if `ops` is empty.
+    pub fn new(ops: Vec<MicroOp>) -> Self {
+        assert!(!ops.is_empty(), "VecTrace requires at least one op");
+        VecTrace { ops, pos: 0, name: "vec".to_string() }
+    }
+
+    /// Same, with a display name.
+    pub fn named(ops: Vec<MicroOp>, name: impl Into<String>) -> Self {
+        let mut t = VecTrace::new(ops);
+        t.name = name.into();
+        t
+    }
+
+    /// Number of ops before the trace wraps around.
+    pub fn period(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+impl TraceSource for VecTrace {
+    fn next_op(&mut self) -> MicroOp {
+        let op = self.ops[self.pos];
+        self.pos += 1;
+        if self.pos == self.ops.len() {
+            self.pos = 0;
+        }
+        op
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A trace produced by a closure, indexed by dynamic instruction number.
+pub struct FnTrace<F: FnMut(u64) -> MicroOp> {
+    f: F,
+    n: u64,
+    name: String,
+}
+
+impl<F: FnMut(u64) -> MicroOp> FnTrace<F> {
+    /// Build a closure-backed trace.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnTrace { f, n: 0, name: name.into() }
+    }
+}
+
+impl<F: FnMut(u64) -> MicroOp> TraceSource for FnTrace<F> {
+    fn next_op(&mut self) -> MicroOp {
+        let op = (self.f)(self.n);
+        self.n += 1;
+        op
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
+    fn next_op(&mut self) -> MicroOp {
+        (**self).next_op()
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpClass;
+
+    #[test]
+    fn vec_trace_cycles() {
+        let ops = vec![MicroOp::alu(0, [0, 0]), MicroOp::load(4, 64, 4, [1, 0])];
+        let mut t = VecTrace::named(ops.clone(), "t");
+        assert_eq!(t.name(), "t");
+        assert_eq!(t.period(), 2);
+        for i in 0..10 {
+            assert_eq!(t.next_op(), ops[i % 2]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one op")]
+    fn empty_vec_trace_panics() {
+        let _ = VecTrace::new(vec![]);
+    }
+
+    #[test]
+    fn fn_trace_counts() {
+        let mut t = FnTrace::new("f", |n| {
+            if n % 2 == 0 {
+                MicroOp::alu(n * 4, [0, 0])
+            } else {
+                MicroOp::load(n * 4, n * 8, 8, [1, 0])
+            }
+        });
+        assert_eq!(t.next_op().class, OpClass::IntAlu);
+        let op = t.next_op();
+        assert_eq!(op.class, OpClass::Load);
+        assert_eq!(op.mem().unwrap().addr, 8);
+        assert_eq!(t.next_op().pc, 8);
+    }
+
+    #[test]
+    fn boxed_trace_delegates() {
+        let mut t: Box<VecTrace> = Box::new(VecTrace::named(vec![MicroOp::alu(0, [0, 0])], "b"));
+        assert_eq!(t.name(), "b");
+        assert_eq!(t.next_op().class, OpClass::IntAlu);
+    }
+}

@@ -1,0 +1,486 @@
+//! Generic set-associative, write-back, LRU cache model.
+//!
+//! This is a *timing/occupancy* model: it tracks which lines are resident
+//! (tags, LRU order, dirty and present bits) but not data contents — the
+//! trace-driven simulator never needs values, only hits, misses, evictions
+//! and latencies.
+
+use crate::stats::CacheStats;
+
+/// Static geometry and latency of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set). Use `num_lines()` for full
+    /// associativity.
+    pub assoc: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Hit latency in cycles.
+    pub hit_latency: u32,
+}
+
+impl CacheConfig {
+    /// The paper's L1 D-cache: 8 KB, 4-way, 32 B lines, 2-cycle hit.
+    pub fn l1d() -> Self {
+        CacheConfig { size_bytes: 8 * 1024, assoc: 4, line_bytes: 32, hit_latency: 2 }
+    }
+
+    /// The paper's L1 I-cache: 64 KB, 2-way, 32 B lines, 1-cycle hit.
+    pub fn l1i() -> Self {
+        CacheConfig { size_bytes: 64 * 1024, assoc: 2, line_bytes: 32, hit_latency: 1 }
+    }
+
+    /// The paper's unified L2: 512 KB, 4-way, 64 B lines, 10-cycle hit.
+    pub fn l2() -> Self {
+        CacheConfig { size_bytes: 512 * 1024, assoc: 4, line_bytes: 64, hit_latency: 10 }
+    }
+
+    /// Total number of lines.
+    pub fn num_lines(&self) -> u32 {
+        (self.size_bytes / self.line_bytes as u64) as u32
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u32 {
+        self.num_lines() / self.assoc
+    }
+
+    /// Validity: power-of-two geometry, associativity divides lines.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.line_bytes.is_power_of_two() {
+            return Err(format!("line_bytes {} not a power of two", self.line_bytes));
+        }
+        if !self.size_bytes.is_multiple_of(self.line_bytes as u64) {
+            return Err("size not a multiple of line size".into());
+        }
+        if self.assoc == 0 || !self.num_lines().is_multiple_of(self.assoc) {
+            return Err(format!("associativity {} does not divide {} lines", self.assoc, self.num_lines()));
+        }
+        if !self.num_sets().is_power_of_two() {
+            return Err(format!("{} sets is not a power of two", self.num_sets()));
+        }
+        Ok(())
+    }
+}
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Load.
+    Read,
+    /// Store.
+    Write,
+}
+
+/// A line evicted by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Byte address of the first byte of the evicted line.
+    pub line_addr: u64,
+    /// Set it lived in.
+    pub set: u32,
+    /// Way it lived in.
+    pub way: u32,
+    /// Was it dirty (write-back needed)?
+    pub dirty: bool,
+    /// Was its location cached in some LSQ entry (presentBit set)?
+    pub present_bit: bool,
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Did the access hit?
+    pub hit: bool,
+    /// Set index of the (now-resident) line.
+    pub set: u32,
+    /// Way of the (now-resident) line.
+    pub way: u32,
+    /// Line evicted to make room, if the access missed in a full set.
+    pub evicted: Option<Eviction>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LineState {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// SAMIE presentBit: the physical location of this line is cached in an
+    /// LSQ entry (§3.4). Cleared on replacement; the eviction report lets
+    /// the LSQ invalidate its copy.
+    present: bool,
+    /// LRU stamp; larger = more recently used.
+    lru: u64,
+}
+
+const INVALID: LineState = LineState { tag: 0, valid: false, dirty: false, present: false, lru: 0 };
+
+/// A set-associative, write-back, write-allocate, LRU cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<LineState>,
+    stamp: u64,
+    line_shift: u32,
+    set_mask: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Build a cache; panics on invalid geometry (configs are static in
+    /// this reproduction, so misconfiguration is a programming error).
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate().expect("invalid cache configuration");
+        Cache {
+            cfg,
+            lines: vec![INVALID; cfg.num_lines() as usize],
+            stamp: 0,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: (cfg.num_sets() - 1) as u64,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Geometry of this cache.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Access statistics accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Reset statistics (geometry and contents are preserved) — used at the
+    /// end of simulation warm-up.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn set_of(&self, addr: u64) -> u32 {
+        ((addr >> self.line_shift) & self.set_mask) as u32
+    }
+
+    #[inline]
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift >> self.set_mask.count_ones()
+    }
+
+    #[inline]
+    fn line_addr_of(&self, set: u32, tag: u64) -> u64 {
+        ((tag << self.set_mask.count_ones()) | set as u64) << self.line_shift
+    }
+
+    #[inline]
+    fn slot(&self, set: u32, way: u32) -> usize {
+        (set * self.cfg.assoc + way) as usize
+    }
+
+    /// Probe for `addr` without changing any state (no LRU update, no
+    /// stats). Returns the way if resident.
+    pub fn probe(&self, addr: u64) -> Option<u32> {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        (0..self.cfg.assoc)
+            .find(|&w| {
+                let l = &self.lines[self.slot(set, w)];
+                l.valid && l.tag == tag
+            })
+    }
+
+    /// Full (conventional) access: tag compare across all ways, allocate on
+    /// miss, LRU replacement. Returns hit/miss, the line's location, and
+    /// any eviction.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> AccessOutcome {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        self.stamp += 1;
+        self.stats.record_access(kind);
+
+        // Hit path.
+        for way in 0..self.cfg.assoc {
+            let slot = self.slot(set, way);
+            if self.lines[slot].valid && self.lines[slot].tag == tag {
+                self.lines[slot].lru = self.stamp;
+                if kind == AccessKind::Write {
+                    self.lines[slot].dirty = true;
+                }
+                self.stats.record_hit(kind);
+                return AccessOutcome { hit: true, set, way, evicted: None };
+            }
+        }
+
+        // Miss: pick victim = invalid way, else LRU way.
+        let victim = (0..self.cfg.assoc)
+            .find(|&w| !self.lines[self.slot(set, w)].valid)
+            .unwrap_or_else(|| {
+                (0..self.cfg.assoc)
+                    .min_by_key(|&w| self.lines[self.slot(set, w)].lru)
+                    .expect("assoc >= 1")
+            });
+        let slot = self.slot(set, victim);
+        let evicted = if self.lines[slot].valid {
+            let old = self.lines[slot];
+            self.stats.evictions += 1;
+            if old.dirty {
+                self.stats.writebacks += 1;
+            }
+            Some(Eviction {
+                line_addr: self.line_addr_of(set, old.tag),
+                set,
+                way: victim,
+                dirty: old.dirty,
+                present_bit: old.present,
+            })
+        } else {
+            None
+        };
+        self.lines[slot] = LineState {
+            tag,
+            valid: true,
+            dirty: kind == AccessKind::Write,
+            present: false,
+            lru: self.stamp,
+        };
+        AccessOutcome { hit: false, set, way: victim, evicted }
+    }
+
+    /// Way-known access (SAMIE §3.4): the LSQ entry has cached `(set, way)`
+    /// for this line, so the access reads a single way and performs **no
+    /// tag comparison**. Only legal while the presentBit contract holds —
+    /// i.e. the line has not been replaced since the location was cached.
+    ///
+    /// Debug builds verify the contract; release builds trust it (as the
+    /// hardware would).
+    pub fn access_way_known(&mut self, addr: u64, set: u32, way: u32, kind: AccessKind) {
+        self.stamp += 1;
+        self.stats.record_access(kind);
+        self.stats.record_hit(kind);
+        self.stats.way_known_accesses += 1;
+        let slot = self.slot(set, way);
+        debug_assert!(
+            self.lines[slot].valid
+                && self.lines[slot].tag == self.tag_of(addr)
+                && self.lines[slot].present,
+            "way-known access to a line whose presentBit contract is broken \
+             (addr {addr:#x}, set {set}, way {way})"
+        );
+        self.lines[slot].lru = self.stamp;
+        if kind == AccessKind::Write {
+            self.lines[slot].dirty = true;
+        }
+    }
+
+    /// Mark the presentBit of the resident line at `(set, way)`: its
+    /// physical location is now cached in an LSQ entry.
+    pub fn set_present_bit(&mut self, set: u32, way: u32) {
+        let slot = self.slot(set, way);
+        debug_assert!(self.lines[slot].valid, "presentBit on an invalid line");
+        self.lines[slot].present = true;
+    }
+
+    /// Clear the presentBit at `(set, way)` (the LSQ entry that cached the
+    /// location was deallocated).
+    pub fn clear_present_bit(&mut self, set: u32, way: u32) {
+        let slot = self.slot(set, way);
+        self.lines[slot].present = false;
+    }
+
+    /// Is the presentBit set at `(set, way)`?
+    pub fn present_bit(&self, set: u32, way: u32) -> bool {
+        self.lines[self.slot(set, way)].present
+    }
+
+    /// Is the line holding `addr` resident with its presentBit set?
+    pub fn is_present_line(&self, addr: u64) -> bool {
+        self.probe(addr).is_some_and(|way| self.present_bit(self.set_of(addr), way))
+    }
+
+    /// Number of valid lines (occupancy), mostly for tests.
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Invalidate everything (used between simulator phases in tests).
+    pub fn flush_all(&mut self) {
+        self.lines.fill(INVALID);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 32B lines = 256 B
+        Cache::new(CacheConfig { size_bytes: 256, assoc: 2, line_bytes: 32, hit_latency: 1 })
+    }
+
+    #[test]
+    fn paper_geometries_are_valid() {
+        for cfg in [CacheConfig::l1d(), CacheConfig::l1i(), CacheConfig::l2()] {
+            cfg.validate().unwrap();
+        }
+        assert_eq!(CacheConfig::l1d().num_lines(), 256);
+        assert_eq!(CacheConfig::l1d().num_sets(), 64);
+        assert_eq!(CacheConfig::l2().num_sets(), 2048);
+    }
+
+    #[test]
+    fn invalid_geometries_rejected() {
+        assert!(CacheConfig { size_bytes: 100, assoc: 2, line_bytes: 32, hit_latency: 1 }
+            .validate()
+            .is_err());
+        assert!(CacheConfig { size_bytes: 256, assoc: 0, line_bytes: 32, hit_latency: 1 }
+            .validate()
+            .is_err());
+        assert!(CacheConfig { size_bytes: 256, assoc: 2, line_bytes: 33, hit_latency: 1 }
+            .validate()
+            .is_err());
+        // 3 sets: not a power of two
+        assert!(CacheConfig { size_bytes: 192, assoc: 2, line_bytes: 32, hit_latency: 1 }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        let out = c.access(0x1000, AccessKind::Read);
+        assert!(!out.hit);
+        let out2 = c.access(0x1004, AccessKind::Read);
+        assert!(out2.hit);
+        assert_eq!(out.set, out2.set);
+        assert_eq!(out.way, out2.way);
+        assert_eq!(c.stats().accesses(), 2);
+        assert_eq!(c.stats().hits(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Three lines mapping to set 0 (set stride = 4 sets * 32 B = 128 B).
+        let (a, b, d) = (0x0000, 0x0080 * 2, 0x0080 * 4);
+        c.access(a, AccessKind::Read);
+        c.access(b, AccessKind::Read);
+        // touch a so b is LRU
+        c.access(a, AccessKind::Read);
+        let out = c.access(d, AccessKind::Read);
+        assert!(!out.hit);
+        let ev = out.evicted.unwrap();
+        assert_eq!(ev.line_addr, b);
+        assert!(c.probe(a).is_some());
+        assert!(c.probe(b).is_none());
+        assert!(c.probe(d).is_some());
+    }
+
+    #[test]
+    fn writeback_only_when_dirty() {
+        let mut c = tiny();
+        let (a, b, d) = (0x0000u64, 0x0100, 0x0200);
+        c.access(a, AccessKind::Write);
+        c.access(b, AccessKind::Read);
+        let out = c.access(d, AccessKind::Read); // evicts a (LRU, dirty)
+        let ev = out.evicted.unwrap();
+        assert_eq!(ev.line_addr, a);
+        assert!(ev.dirty);
+        assert_eq!(c.stats().writebacks, 1);
+        // Fill a back clean, evicting b (clean): no new writeback.
+        let out = c.access(a, AccessKind::Read);
+        assert!(!out.evicted.unwrap().dirty);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(0x40, AccessKind::Read);
+        c.access(0x44, AccessKind::Write); // hit, dirties line
+        let (b, d) = (0x40 + 0x80u64, 0x40 + 0x100u64);
+        c.access(b, AccessKind::Read);
+        c.access(d, AccessKind::Read); // evicts 0x40
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn present_bit_lifecycle() {
+        let mut c = tiny();
+        let out = c.access(0x1000, AccessKind::Read);
+        assert!(!c.present_bit(out.set, out.way));
+        c.set_present_bit(out.set, out.way);
+        assert!(c.present_bit(out.set, out.way));
+        assert!(c.is_present_line(0x1010));
+        // way-known access keeps the bit
+        c.access_way_known(0x1008, out.set, out.way, AccessKind::Read);
+        assert!(c.present_bit(out.set, out.way));
+        assert_eq!(c.stats().way_known_accesses, 1);
+        c.clear_present_bit(out.set, out.way);
+        assert!(!c.is_present_line(0x1000));
+    }
+
+    #[test]
+    fn eviction_reports_present_bit() {
+        let mut c = tiny();
+        let out = c.access(0x0, AccessKind::Read);
+        c.set_present_bit(out.set, out.way);
+        c.access(0x80, AccessKind::Read);
+        let out3 = c.access(0x100, AccessKind::Read); // evicts 0x0
+        let ev = out3.evicted.unwrap();
+        assert_eq!(ev.line_addr, 0);
+        assert!(ev.present_bit);
+        // replacement cleared the bit on the new occupant
+        assert!(!c.present_bit(ev.set, ev.way));
+    }
+
+    #[test]
+    fn way_known_counts_as_hit() {
+        let mut c = tiny();
+        let out = c.access(0x2000, AccessKind::Read);
+        c.set_present_bit(out.set, out.way);
+        c.access_way_known(0x2004, out.set, out.way, AccessKind::Write);
+        assert_eq!(c.stats().hits(), 1);
+        assert_eq!(c.stats().accesses(), 2);
+        // the write dirtied the line through the way-known path
+        let (b, d) = (0x2000 + 0x80u64, 0x2000 + 0x100u64);
+        c.access(b, AccessKind::Read);
+        c.access(d, AccessKind::Read);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru_or_stats() {
+        let mut c = tiny();
+        c.access(0x0, AccessKind::Read);
+        c.access(0x80, AccessKind::Read);
+        let _ = c.probe(0x0); // would make 0x0 MRU if it updated LRU
+        let out = c.access(0x100, AccessKind::Read);
+        assert_eq!(out.evicted.unwrap().line_addr, 0x0);
+        assert_eq!(c.stats().accesses(), 3);
+    }
+
+    #[test]
+    fn fully_associative_configuration() {
+        let cfg = CacheConfig { size_bytes: 128, assoc: 4, line_bytes: 32, hit_latency: 1 };
+        let mut c = Cache::new(cfg);
+        assert_eq!(cfg.num_sets(), 1);
+        for i in 0..4 {
+            assert!(!c.access(i * 0x1000, AccessKind::Read).hit);
+        }
+        assert_eq!(c.valid_lines(), 4);
+        for i in 0..4 {
+            assert!(c.access(i * 0x1000, AccessKind::Read).hit);
+        }
+    }
+
+    #[test]
+    fn flush_all_empties() {
+        let mut c = tiny();
+        c.access(0x0, AccessKind::Read);
+        c.flush_all();
+        assert_eq!(c.valid_lines(), 0);
+        assert!(c.probe(0x0).is_none());
+    }
+}

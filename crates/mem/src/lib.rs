@@ -1,0 +1,33 @@
+//! # mem-hier — memory hierarchy substrate
+//!
+//! Set-associative write-back caches, a fully-associative TLB, and a
+//! deterministic page table, composed into the two-level data-memory
+//! hierarchy of the simulated processor (Table 2 of the paper):
+//!
+//! * L1 D-cache: 8 KB, 4-way, 32 B lines, 2-cycle hit, 4 R/W ports
+//! * L1 I-cache: 64 KB, 2-way, 32 B lines, 1-cycle hit
+//! * Unified L2: 512 KB, 4-way, 64 B lines, 10-cycle hit, 100-cycle miss
+//! * D-TLB / I-TLB: 128 entries, fully associative, 1 cycle
+//!
+//! Two features exist specifically for the SAMIE-LSQ extensions (§3.4 of
+//! the paper):
+//!
+//! * **way-known accesses** — [`Cache::access_way_known`] reads a single
+//!   way without a tag comparison, the low-energy access mode enabled when
+//!   an LSQ entry has cached the physical line location;
+//! * **presentBit tracking** — each L1D line carries a `presentBit` set
+//!   when its location is cached in some LSQ entry; replacements report
+//!   which line/set/way was evicted so the LSQ can (conservatively)
+//!   invalidate cached locations.
+
+pub mod cache;
+pub mod hierarchy;
+pub mod page;
+pub mod stats;
+pub mod tlb;
+
+pub use cache::{AccessKind, AccessOutcome, Cache, CacheConfig, Eviction};
+pub use hierarchy::{DataMemory, DataMemoryConfig, DcacheAccessMode, MemAccessResult};
+pub use page::PageTable;
+pub use stats::CacheStats;
+pub use tlb::{Tlb, TlbOutcome};

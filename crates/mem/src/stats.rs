@@ -1,0 +1,95 @@
+//! Access counters shared by caches and TLBs.
+
+use crate::cache::AccessKind;
+
+/// Hit/miss/traffic counters for one cache-like structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read accesses.
+    pub read_accesses: u64,
+    /// Write accesses.
+    pub write_accesses: u64,
+    /// Read hits.
+    pub read_hits: u64,
+    /// Write hits.
+    pub write_hits: u64,
+    /// Valid lines displaced by fills.
+    pub evictions: u64,
+    /// Dirty lines written back.
+    pub writebacks: u64,
+    /// Accesses served in single-way, no-tag-check mode (SAMIE §3.4).
+    pub way_known_accesses: u64,
+}
+
+impl CacheStats {
+    pub(crate) fn record_access(&mut self, kind: AccessKind) {
+        match kind {
+            AccessKind::Read => self.read_accesses += 1,
+            AccessKind::Write => self.write_accesses += 1,
+        }
+    }
+
+    pub(crate) fn record_hit(&mut self, kind: AccessKind) {
+        match kind {
+            AccessKind::Read => self.read_hits += 1,
+            AccessKind::Write => self.write_hits += 1,
+        }
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.read_accesses + self.write_accesses
+    }
+
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.read_hits + self.write_hits
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.accesses() - self.hits()
+    }
+
+    /// Miss ratio in [0, 1]; 0 when there were no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Conventional (full tag-compare, all-way) accesses.
+    pub fn conventional_accesses(&self) -> u64 {
+        self.accesses() - self.way_known_accesses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let s = CacheStats {
+            read_accesses: 10,
+            write_accesses: 5,
+            read_hits: 8,
+            write_hits: 4,
+            evictions: 1,
+            writebacks: 1,
+            way_known_accesses: 6,
+        };
+        assert_eq!(s.accesses(), 15);
+        assert_eq!(s.hits(), 12);
+        assert_eq!(s.misses(), 3);
+        assert!((s.miss_ratio() - 0.2).abs() < 1e-12);
+        assert_eq!(s.conventional_accesses(), 9);
+    }
+
+    #[test]
+    fn empty_stats_ratio_is_zero() {
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+}

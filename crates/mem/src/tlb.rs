@@ -1,0 +1,164 @@
+//! Fully-associative translation lookaside buffer.
+//!
+//! Table 2: 128-entry fully-associative I-TLB and D-TLB, 1-cycle access.
+//! A TLB miss walks the [`crate::page::PageTable`] with a fixed penalty.
+
+use crate::page::PageTable;
+
+/// Result of a TLB translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbOutcome {
+    /// Physical frame number.
+    pub pfn: u64,
+    /// Did the translation hit in the TLB?
+    pub hit: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TlbEntry {
+    vpn: u64,
+    pfn: u64,
+    valid: bool,
+    lru: u64,
+}
+
+/// Fully-associative, LRU TLB backed by a first-touch page table.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<TlbEntry>,
+    stamp: u64,
+    accesses: u64,
+    misses: u64,
+    miss_penalty: u32,
+}
+
+impl Tlb {
+    /// Paper configuration: 128 entries, 30-cycle walk on a miss.
+    ///
+    /// The paper does not state the walk penalty; 30 cycles is a typical
+    /// software-walk cost for the era and only affects absolute IPC, not
+    /// any LSQ comparison (both LSQ models share the TLB behaviour).
+    pub fn paper_dtlb() -> Self {
+        Tlb::new(128, 30)
+    }
+
+    /// Build a TLB with `entries` slots and a fixed `miss_penalty`.
+    pub fn new(entries: usize, miss_penalty: u32) -> Self {
+        assert!(entries > 0);
+        Tlb {
+            entries: vec![TlbEntry { vpn: 0, pfn: 0, valid: false, lru: 0 }; entries],
+            stamp: 0,
+            accesses: 0,
+            misses: 0,
+            miss_penalty,
+        }
+    }
+
+    /// Translate `vpn`, filling from `pt` on a miss.
+    pub fn translate(&mut self, vpn: u64, pt: &mut PageTable) -> TlbOutcome {
+        self.stamp += 1;
+        self.accesses += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.valid && e.vpn == vpn) {
+            e.lru = self.stamp;
+            return TlbOutcome { pfn: e.pfn, hit: true };
+        }
+        self.misses += 1;
+        let pfn = pt.translate(vpn);
+        let victim = self
+            .entries
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.lru } else { 0 })
+            .expect("tlb has entries");
+        *victim = TlbEntry { vpn, pfn, valid: true, lru: self.stamp };
+        TlbOutcome { pfn, hit: false }
+    }
+
+    /// Translate without touching TLB state or stats — used when the LSQ
+    /// entry has cached the translation (SAMIE §3.4) and the real TLB is
+    /// bypassed entirely.
+    pub fn peek(&self, vpn: u64) -> Option<u64> {
+        self.entries.iter().find(|e| e.valid && e.vpn == vpn).map(|e| e.pfn)
+    }
+
+    /// Cycles added by a miss.
+    pub fn miss_penalty(&self) -> u32 {
+        self.miss_penalty
+    }
+
+    /// Total translations requested through [`Self::translate`].
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Translations that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Reset counters (keeps contents) — used after simulator warm-up.
+    pub fn reset_stats(&mut self) {
+        self.accesses = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut tlb = Tlb::new(4, 30);
+        let mut pt = PageTable::new();
+        let o1 = tlb.translate(42, &mut pt);
+        assert!(!o1.hit);
+        let o2 = tlb.translate(42, &mut pt);
+        assert!(o2.hit);
+        assert_eq!(o1.pfn, o2.pfn);
+        assert_eq!(tlb.accesses(), 2);
+        assert_eq!(tlb.misses(), 1);
+    }
+
+    #[test]
+    fn lru_replacement() {
+        let mut tlb = Tlb::new(2, 30);
+        let mut pt = PageTable::new();
+        tlb.translate(1, &mut pt);
+        tlb.translate(2, &mut pt);
+        tlb.translate(1, &mut pt); // 2 is now LRU
+        tlb.translate(3, &mut pt); // evicts 2
+        assert!(tlb.peek(1).is_some());
+        assert!(tlb.peek(2).is_none());
+        assert!(tlb.peek(3).is_some());
+    }
+
+    #[test]
+    fn translation_consistent_with_page_table() {
+        let mut tlb = Tlb::new(2, 30);
+        let mut pt = PageTable::new();
+        let pfn = tlb.translate(9, &mut pt).pfn;
+        // evict 9, translate again: same frame (page table is authoritative)
+        tlb.translate(10, &mut pt);
+        tlb.translate(11, &mut pt);
+        assert!(tlb.peek(9).is_none());
+        assert_eq!(tlb.translate(9, &mut pt).pfn, pfn);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut tlb = Tlb::new(2, 30);
+        let mut pt = PageTable::new();
+        tlb.translate(5, &mut pt);
+        let (a, m) = (tlb.accesses(), tlb.misses());
+        let _ = tlb.peek(5);
+        let _ = tlb.peek(6);
+        assert_eq!((tlb.accesses(), tlb.misses()), (a, m));
+    }
+
+    #[test]
+    fn paper_dtlb_shape() {
+        let tlb = Tlb::paper_dtlb();
+        assert_eq!(tlb.entries.len(), 128);
+        assert_eq!(tlb.miss_penalty(), 30);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the cache model: residency, LRU and presentBit
+//! invariants under arbitrary access sequences.
+
+use proptest::prelude::*;
+
+use mem_hier::{AccessKind, Cache, CacheConfig};
+
+fn tiny_cfg() -> CacheConfig {
+    // 4 sets x 2 ways x 32-byte lines.
+    CacheConfig { size_bytes: 256, assoc: 2, line_bytes: 32, hit_latency: 1 }
+}
+
+fn addr_strategy() -> impl Strategy<Value = u64> {
+    // 16 distinct lines over 4 sets: plenty of conflicts.
+    (0u64..16).prop_map(|line| line * 32 + 4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn occupancy_never_exceeds_capacity(addrs in prop::collection::vec(addr_strategy(), 1..200)) {
+        let mut c = Cache::new(tiny_cfg());
+        for a in addrs {
+            c.access(a, AccessKind::Read);
+            prop_assert!(c.valid_lines() <= 8);
+        }
+    }
+
+    #[test]
+    fn immediate_reaccess_always_hits(addrs in prop::collection::vec(addr_strategy(), 1..100)) {
+        let mut c = Cache::new(tiny_cfg());
+        for a in addrs {
+            c.access(a, AccessKind::Write);
+            let again = c.access(a, AccessKind::Read);
+            prop_assert!(again.hit, "just-filled line must be resident");
+        }
+    }
+
+    #[test]
+    fn most_recent_line_survives_one_fill(addrs in prop::collection::vec(addr_strategy(), 2..100)) {
+        // With 2-way LRU, the most recently used line of a set survives
+        // any single subsequent fill into that set.
+        let mut c = Cache::new(tiny_cfg());
+        for w in addrs.windows(2) {
+            c.access(w[0], AccessKind::Read);
+            c.access(w[1], AccessKind::Read);
+            prop_assert!(c.probe(w[1]).is_some());
+        }
+    }
+
+    #[test]
+    fn eviction_reports_are_exact(addrs in prop::collection::vec(addr_strategy(), 1..200)) {
+        // Every eviction names a line that was resident and is no longer;
+        // total fills == evictions + current occupancy.
+        let mut c = Cache::new(tiny_cfg());
+        let mut fills = 0u64;
+        for a in addrs {
+            let out = c.access(a, AccessKind::Read);
+            if !out.hit {
+                fills += 1;
+            }
+            if let Some(ev) = out.evicted {
+                prop_assert!(c.probe(ev.line_addr).is_none(), "evicted line still probes");
+                prop_assert_eq!(ev.line_addr % 32, 0);
+            }
+        }
+        prop_assert_eq!(fills, c.stats().evictions + c.valid_lines() as u64);
+    }
+
+    #[test]
+    fn writeback_only_for_dirty_lines(ops in prop::collection::vec((addr_strategy(), any::<bool>()), 1..200)) {
+        let mut c = Cache::new(tiny_cfg());
+        for (a, is_write) in ops {
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            if let Some(ev) = c.access(a, kind).evicted {
+                if ev.dirty {
+                    // a dirty eviction must follow at least one write
+                    prop_assert!(c.stats().write_accesses > 0);
+                }
+            }
+        }
+        prop_assert!(c.stats().writebacks <= c.stats().evictions);
+    }
+
+    #[test]
+    fn present_bit_round_trips(addrs in prop::collection::vec(addr_strategy(), 1..100)) {
+        let mut c = Cache::new(tiny_cfg());
+        for a in addrs {
+            let out = c.access(a, AccessKind::Read);
+            c.set_present_bit(out.set, out.way);
+            prop_assert!(c.is_present_line(a));
+            // The way-known contract holds immediately after caching.
+            c.access_way_known(a, out.set, out.way, AccessKind::Read);
+        }
+    }
+
+    #[test]
+    fn stats_accounting_is_consistent(addrs in prop::collection::vec(addr_strategy(), 1..200)) {
+        let mut c = Cache::new(tiny_cfg());
+        for a in addrs.iter() {
+            c.access(*a, AccessKind::Read);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses(), addrs.len() as u64);
+        prop_assert_eq!(s.hits() + s.misses(), s.accesses());
+        prop_assert!(s.miss_ratio() >= 0.0 && s.miss_ratio() <= 1.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Simulator configuration (Table 2 of the paper).
+
+use mem_hier::{CacheConfig, DataMemoryConfig};
+
+/// Core + memory configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: u32,
+    /// Instructions dispatched (renamed) per cycle.
+    pub dispatch_width: u32,
+    /// Integer-side issue width.
+    pub issue_width_int: u32,
+    /// FP-side issue width.
+    pub issue_width_fp: u32,
+    /// Instructions committed per cycle.
+    pub commit_width: u32,
+    /// Fetch-queue entries.
+    pub fetch_queue: usize,
+    /// Reorder-buffer entries.
+    pub rob_size: usize,
+    /// Integer issue-queue entries.
+    pub iq_int: usize,
+    /// FP issue-queue entries.
+    pub iq_fp: usize,
+    /// Cycles between a mispredicted branch resolving and useful fetch
+    /// resuming (front-end refill).
+    pub mispredict_redirect: u32,
+    /// L1 I-cache geometry.
+    pub l1i: CacheConfig,
+    /// Data-memory hierarchy (L1D + L2 + D-TLB).
+    pub mem: DataMemoryConfig,
+    /// D-cache read/write ports (Table 2: 4).
+    pub mem_ports: u32,
+    /// Commit watchdog: a debug panic fires if no instruction commits for
+    /// this many cycles (forward-progress property of the design).
+    pub watchdog_cycles: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            fetch_width: 8,
+            dispatch_width: 8,
+            issue_width_int: 8,
+            issue_width_fp: 8,
+            commit_width: 8,
+            fetch_queue: 64,
+            rob_size: 256,
+            iq_int: 128,
+            iq_fp: 128,
+            mispredict_redirect: 6,
+            l1i: CacheConfig::l1i(),
+            mem: DataMemoryConfig::default(),
+            mem_ports: 4,
+            watchdog_cycles: 100_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Sanity checks.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rob_size == 0 || self.fetch_queue == 0 {
+            return Err("rob/fetch queue must be positive".into());
+        }
+        if self.fetch_width == 0 || self.dispatch_width == 0 || self.commit_width == 0 {
+            return Err("pipeline widths must be positive".into());
+        }
+        if self.mem_ports == 0 {
+            return Err("need at least one memory port".into());
+        }
+        self.l1i.validate()?;
+        self.mem.l1d.validate()?;
+        self.mem.l2.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table2() {
+        let c = SimConfig::paper();
+        assert_eq!(c.fetch_width, 8);
+        assert_eq!(c.rob_size, 256);
+        assert_eq!(c.iq_int, 128);
+        assert_eq!(c.iq_fp, 128);
+        assert_eq!(c.mem_ports, 4);
+        assert_eq!(c.l1i.size_bytes, 64 * 1024);
+        assert_eq!(c.mem.l1d.size_bytes, 8 * 1024);
+        c.validate().unwrap();
+    }
+}

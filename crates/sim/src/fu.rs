@@ -1,0 +1,116 @@
+//! Functional-unit scoreboard.
+//!
+//! Tracks per-unit availability: pipelined units accept one op per cycle;
+//! non-pipelined units (the divides) stay busy for the full latency
+//! (Table 2: integer divide 20 cycles, FP divide 12 cycles,
+//! non-pipelined).
+
+use trace_isa::latency::{exec_latency, fu_kind};
+use trace_isa::{FuKind, OpClass};
+
+/// Scoreboard over all functional-unit pools.
+#[derive(Debug, Clone)]
+pub struct FuScoreboard {
+    /// `busy_until[kind][unit]`: first cycle the unit is free again.
+    busy_until: [Vec<u64>; 5],
+}
+
+impl Default for FuScoreboard {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl FuScoreboard {
+    /// Table 2 pool sizes.
+    pub fn paper() -> Self {
+        FuScoreboard {
+            busy_until: FuKind::ALL.map(|k| vec![0u64; k.default_count()]),
+        }
+    }
+
+    /// Custom pool sizes, in [`FuKind::ALL`] order.
+    pub fn new(counts: [usize; 5]) -> Self {
+        FuScoreboard { busy_until: counts.map(|n| vec![0u64; n]) }
+    }
+
+    #[inline]
+    fn pool(&self, kind: FuKind) -> &[u64] {
+        &self.busy_until[kind as usize]
+    }
+
+    /// Is a unit of `kind` free at `now`?
+    pub fn available(&self, kind: FuKind, now: u64) -> bool {
+        self.pool(kind).iter().any(|&b| b <= now)
+    }
+
+    /// Try to issue an op of `class` at `now`. Returns the cycle its
+    /// result is ready, or `None` if every unit is busy.
+    pub fn try_issue(&mut self, class: OpClass, now: u64) -> Option<u64> {
+        let kind = fu_kind(class);
+        let lat = exec_latency(class);
+        let unit = self.busy_until[kind as usize].iter_mut().find(|b| **b <= now)?;
+        // A pipelined unit can accept a new op next cycle; a
+        // non-pipelined one is blocked for the whole operation.
+        *unit = if lat.pipelined { now + 1 } else { now + lat.cycles as u64 };
+        Some(now + lat.cycles as u64)
+    }
+
+    /// Units of `kind` free at `now` (for tests/diagnostics).
+    pub fn free_units(&self, kind: FuKind, now: u64) -> usize {
+        self.pool(kind).iter().filter(|&&b| b <= now).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_unit_accepts_back_to_back() {
+        let mut fu = FuScoreboard::new([1, 1, 1, 1, 1]);
+        assert_eq!(fu.try_issue(OpClass::IntMul, 10), Some(13));
+        // Pipelined: busy only this cycle.
+        assert!(fu.try_issue(OpClass::IntMul, 10).is_none());
+        assert_eq!(fu.try_issue(OpClass::IntMul, 11), Some(14));
+    }
+
+    #[test]
+    fn non_pipelined_divide_blocks_unit() {
+        let mut fu = FuScoreboard::new([1, 1, 1, 1, 1]);
+        assert_eq!(fu.try_issue(OpClass::IntDiv, 0), Some(20));
+        for c in 1..20 {
+            assert!(fu.try_issue(OpClass::IntDiv, c).is_none(), "cycle {c}");
+            assert!(fu.try_issue(OpClass::IntMul, c).is_none(), "mul shares the unit");
+        }
+        assert!(fu.try_issue(OpClass::IntDiv, 20).is_some());
+    }
+
+    #[test]
+    fn pools_are_independent() {
+        let mut fu = FuScoreboard::new([1, 1, 1, 1, 1]);
+        fu.try_issue(OpClass::IntDiv, 0);
+        assert!(fu.try_issue(OpClass::IntAlu, 0).is_some());
+        assert!(fu.try_issue(OpClass::FpDiv, 0).is_some());
+    }
+
+    #[test]
+    fn paper_pool_sizes() {
+        let fu = FuScoreboard::paper();
+        assert_eq!(fu.free_units(FuKind::IntAlu, 0), 6);
+        assert_eq!(fu.free_units(FuKind::IntMulDiv, 0), 3);
+        assert_eq!(fu.free_units(FuKind::FpAlu, 0), 4);
+        assert_eq!(fu.free_units(FuKind::FpMulDiv, 0), 2);
+        assert_eq!(fu.free_units(FuKind::MemPort, 0), 4);
+    }
+
+    #[test]
+    fn six_int_alus_per_cycle() {
+        let mut fu = FuScoreboard::paper();
+        for _ in 0..6 {
+            assert!(fu.try_issue(OpClass::IntAlu, 5).is_some());
+        }
+        assert!(fu.try_issue(OpClass::IntAlu, 5).is_none());
+        assert_eq!(fu.free_units(FuKind::IntAlu, 6), 6);
+    }
+}

@@ -1,0 +1,731 @@
+//! The out-of-order pipeline: fetch → dispatch → issue → execute →
+//! memory → commit, with the LSQ design as a pluggable backend.
+//!
+//! ## Cycle order
+//!
+//! Within a simulated cycle the stages run oldest-work-first:
+//!
+//! 1. **complete** — ops whose functional-unit latency expires this cycle
+//!    write back and wake their consumers; finished address computations
+//!    are handed to the LSQ ([`samie_lsq::LoadStoreQueue::address_ready`]).
+//! 2. **LSQ tick** — AddrBuffer promotion and occupancy integration.
+//! 3. **commit** — up to `commit_width` finished ops leave the ROB head;
+//!    stores perform their D-cache write here (through a port). The
+//!    deadlock-avoidance check (§3.3) fires first: a ROB head still parked
+//!    in the AddrBuffer can never be freed by in-order commit, so the
+//!    pipeline is flushed and replayed.
+//! 4. **memory issue** — disambiguated loads with satisfied readyBit
+//!    ordering either take a forward or access the D-cache via a port.
+//! 5. **issue** — ready ops go to functional units (address generation for
+//!    memory ops runs on the integer ALUs).
+//! 6. **dispatch** — fetch queue → ROB (+ LSQ dispatch for memory ops).
+//! 7. **fetch** — trace/replay → fetch queue, guided by the branch
+//!    predictor, BTB and L1 I-cache; a mispredicted branch blocks fetch
+//!    until it resolves plus a redirect penalty.
+//!
+//! ## Replay
+//!
+//! The only squashes in this trace-driven model are whole-pipeline flushes
+//! (deadlock avoidance and LSQ no-space, both counted for Figure 6). All
+//! uncommitted ops are pushed into a replay buffer and re-fetched with
+//! fresh ages, which preserves dependency distances (they are relative to
+//! dynamic program order).
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+
+use mem_hier::{AccessKind, Cache, DataMemory, DcacheAccessMode};
+use samie_lsq::{Age, CachePlan, ForwardStatus, LoadStoreQueue, MemOp, PlaceOutcome};
+use trace_isa::{FuKind, MicroOp, OpClass, TraceSource};
+
+use crate::config::SimConfig;
+use crate::fu::FuScoreboard;
+use crate::predictor::{BranchPredictor, Btb};
+use crate::stats::SimStats;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExecState {
+    /// Waiting for operands (in an issue queue).
+    Waiting,
+    /// Issued to a functional unit / memory.
+    Executing,
+    /// Result produced; may commit.
+    Done,
+}
+
+/// Memory-op progress past address generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemPhase {
+    /// Not a memory op, or address not yet generated.
+    PreAgen,
+    /// Address handed to the LSQ (placed or buffered); loads wait here for
+    /// disambiguation + readyBit.
+    InLsq,
+    /// Load issued to memory / forwarded; store finished (writes at
+    /// commit).
+    Finished,
+}
+
+#[derive(Debug)]
+struct RobEntry {
+    age: Age,
+    op: MicroOp,
+    state: ExecState,
+    mem_phase: MemPhase,
+    /// Producers still outstanding (0 → ready to issue).
+    waiting_on: u8,
+    /// Ages of dependents registered for wake-up.
+    consumers: Vec<Age>,
+    /// Occupies an issue-queue slot (dispatch gate accounting).
+    in_iq: bool,
+}
+
+/// The simulator. Generic over the LSQ design (`L`) and trace source
+/// (`T`) so every paper experiment is a type instantiation, not a flag.
+pub struct Simulator<L: LoadStoreQueue, T: TraceSource> {
+    cfg: SimConfig,
+    lsq: L,
+    trace: T,
+    mem: DataMemory,
+    icache: Cache,
+    predictor: BranchPredictor,
+    btb: Btb,
+    fu: FuScoreboard,
+
+    now: u64,
+    next_age: Age,
+
+    fetch_queue: VecDeque<(Age, MicroOp)>,
+    replay: VecDeque<MicroOp>,
+    /// Mispredicted branch blocking fetch until it resolves.
+    fetch_blocked_on: Option<Age>,
+    /// Earliest cycle fetch may run (redirect/flush/I-miss penalties).
+    fetch_resume_at: u64,
+    last_fetch_line: u64,
+
+    rob: VecDeque<RobEntry>,
+    iq_int: usize,
+    iq_fp: usize,
+
+    ready_int: BTreeSet<Age>,
+    ready_fp: BTreeSet<Age>,
+    /// Loads past agen awaiting forward/cache access.
+    pending_loads: BTreeSet<Age>,
+    /// In-flight stores whose address is still unknown (readyBit source).
+    unknown_store_addrs: BTreeSet<Age>,
+    /// Ops whose computed address the LSQ refused outright (no space even
+    /// in the AddrBuffer). They retry each cycle — the paper's §3.3
+    /// alternative of holding the address computation until space is
+    /// guaranteed. Stores here stay in `unknown_store_addrs` (they have
+    /// not been disambiguated against anything).
+    lsq_retry: VecDeque<Age>,
+
+    completions: BinaryHeap<Reverse<(u64, Age)>>,
+
+    stats: SimStats,
+    last_commit_cycle: u64,
+    scratch_promoted: Vec<Age>,
+}
+
+impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
+    /// Build a simulator.
+    pub fn new(cfg: SimConfig, lsq: L, trace: T) -> Self {
+        cfg.validate().expect("invalid simulator configuration");
+        Simulator {
+            mem: DataMemory::new(cfg.mem),
+            icache: Cache::new(cfg.l1i),
+            predictor: BranchPredictor::paper(),
+            btb: Btb::paper(),
+            fu: FuScoreboard::paper(),
+            now: 0,
+            next_age: 1,
+            fetch_queue: VecDeque::with_capacity(cfg.fetch_queue),
+            replay: VecDeque::new(),
+            fetch_blocked_on: None,
+            fetch_resume_at: 0,
+            last_fetch_line: u64::MAX,
+            rob: VecDeque::with_capacity(cfg.rob_size),
+            iq_int: 0,
+            iq_fp: 0,
+            ready_int: BTreeSet::new(),
+            ready_fp: BTreeSet::new(),
+            pending_loads: BTreeSet::new(),
+            unknown_store_addrs: BTreeSet::new(),
+            lsq_retry: VecDeque::new(),
+            completions: BinaryHeap::new(),
+            stats: SimStats::default(),
+            last_commit_cycle: 0,
+            scratch_promoted: Vec::new(),
+            cfg,
+            lsq,
+            trace,
+        }
+    }
+
+    /// The paper's core configuration around `lsq`.
+    pub fn paper(lsq: L, trace: T) -> Self {
+        Simulator::new(SimConfig::paper(), lsq, trace)
+    }
+
+    /// The LSQ under study.
+    pub fn lsq(&self) -> &L {
+        &self.lsq
+    }
+
+    /// Mutable access to the LSQ (experiment-specific statistics).
+    pub fn lsq_mut(&mut self) -> &mut L {
+        &mut self.lsq
+    }
+
+    /// The data-memory hierarchy.
+    pub fn mem(&self) -> &DataMemory {
+        &self.mem
+    }
+
+    /// Statistics of the measured interval so far (finalised copy).
+    pub fn stats(&self) -> SimStats {
+        let mut s = self.stats.clone();
+        s.l1d = *self.mem.l1d().stats();
+        s.l2 = *self.mem.l2().stats();
+        s.l1i = *self.icache.stats();
+        s.dtlb_accesses = self.mem.dtlb().accesses();
+        s.dtlb_misses = self.mem.dtlb().misses();
+        s.lsq = *self.lsq.activity();
+        s
+    }
+
+    /// Run until `instructions` more have committed; returns final stats.
+    pub fn run(&mut self, instructions: u64) -> SimStats {
+        let target = self.stats.committed + instructions;
+        while self.stats.committed < target {
+            self.step();
+        }
+        self.stats()
+    }
+
+    /// Run `instructions` then discard all statistics (cache/predictor/LSQ
+    /// state is kept) — the paper's warm-up protocol.
+    pub fn warm_up(&mut self, instructions: u64) {
+        self.run(instructions);
+        self.stats = SimStats::default();
+        self.mem.reset_stats();
+        self.icache.reset_stats();
+        self.lsq.reset_activity();
+        self.last_commit_cycle = self.now;
+    }
+
+    /// Advance one cycle.
+    pub fn step(&mut self) {
+        self.complete_stage();
+        let mut promoted = std::mem::take(&mut self.scratch_promoted);
+        promoted.clear();
+        self.lsq.tick(&mut promoted);
+        // Promoted stores become complete (they were held back while in
+        // the AddrBuffer so they could not commit undisambiguated).
+        for &age in &promoted {
+            if let Some(e) = self.entry(age) {
+                if e.op.class == OpClass::Store {
+                    self.entry_mut(age).unwrap().mem_phase = MemPhase::Finished;
+                    self.mark_done(age);
+                }
+            }
+        }
+        self.scratch_promoted = promoted;
+        self.drain_lsq_retry();
+        self.commit_stage();
+        self.memory_issue_stage();
+        self.issue_stage();
+        self.dispatch_stage();
+        self.fetch_stage();
+        self.stats.cycles += 1;
+        self.now += 1;
+        assert!(
+            self.now - self.last_commit_cycle < self.cfg.watchdog_cycles,
+            "no commit for {} cycles at cycle {} (rob head: {:?})",
+            self.cfg.watchdog_cycles,
+            self.now,
+            self.rob.front().map(|e| (e.age, e.op.class, e.state, e.mem_phase)),
+        );
+    }
+
+    // ---- ROB helpers -------------------------------------------------
+
+    #[inline]
+    fn rob_index(&self, age: Age) -> Option<usize> {
+        let front = self.rob.front()?.age;
+        if age < front {
+            return None;
+        }
+        let i = (age - front) as usize;
+        debug_assert!(i < self.rob.len() && self.rob[i].age == age);
+        Some(i)
+    }
+
+    fn entry(&self, age: Age) -> Option<&RobEntry> {
+        self.rob_index(age).map(|i| &self.rob[i])
+    }
+
+    fn entry_mut(&mut self, age: Age) -> Option<&mut RobEntry> {
+        self.rob_index(age).map(move |i| &mut self.rob[i])
+    }
+
+    // ---- stage 1: completion ------------------------------------------
+
+    fn complete_stage(&mut self) {
+        while let Some(&Reverse((cycle, age))) = self.completions.peek() {
+            if cycle > self.now {
+                break;
+            }
+            self.completions.pop();
+            // The op may have been flushed since scheduling.
+            if self.entry(age).is_none() {
+                continue;
+            }
+            self.finish_execution(age);
+        }
+    }
+
+    /// An op's FU latency expired. A memory op completes twice: once when
+    /// its address generation finishes (it then meets the LSQ) and — for
+    /// loads — once more when its datum arrives; `mem_phase` tells the two
+    /// events apart.
+    fn finish_execution(&mut self, age: Age) {
+        let e = self.entry(age).expect("completing a flushed op");
+        let (op, phase) = (e.op, e.mem_phase);
+        match op.class {
+            OpClass::Load | OpClass::Store if phase == MemPhase::PreAgen => {
+                self.agen_complete(age, op);
+            }
+            OpClass::Load => {
+                debug_assert_eq!(phase, MemPhase::Finished, "load datum without memory issue");
+                self.mark_done(age);
+            }
+            OpClass::Store => unreachable!("stores complete exactly once (at agen)"),
+            _ => {
+                if op.class.is_branch() {
+                    self.resolve_branch(age);
+                }
+                self.mark_done(age);
+            }
+        }
+    }
+
+    fn agen_complete(&mut self, age: Age, op: MicroOp) {
+        if !self.lsq_admit(age, op) {
+            self.lsq_retry.push_back(age);
+        }
+    }
+
+    /// Offer a computed address to the LSQ. Returns false on
+    /// [`PlaceOutcome::NoSpace`] (the op must retry).
+    fn lsq_admit(&mut self, age: Age, op: MicroOp) -> bool {
+        let is_store = op.class == OpClass::Store;
+        let outcome = self.lsq.address_ready(age);
+        if outcome == PlaceOutcome::NoSpace {
+            return false;
+        }
+        if is_store {
+            // readyBit (§3.1): the store's address is now known.
+            self.unknown_store_addrs.remove(&age);
+            // The store's datum is produced with its address; it forwards
+            // from the LSQ (once placed) and writes the cache at commit.
+            self.lsq.store_executed(age);
+        }
+        let e = self.entry_mut(age).expect("agen for a flushed op");
+        e.mem_phase = MemPhase::InLsq;
+        if is_store {
+            if outcome == PlaceOutcome::Placed {
+                // A store parked in the AddrBuffer is *not* complete: it
+                // has not been disambiguated, so it must not commit until
+                // promoted (the ROB-head deadlock check handles the stuck
+                // case).
+                self.entry_mut(age).unwrap().mem_phase = MemPhase::Finished;
+                self.mark_done(age);
+            }
+        } else {
+            self.pending_loads.insert(age);
+        }
+        true
+    }
+
+    /// Retry addresses the LSQ refused, oldest-arrival first.
+    fn drain_lsq_retry(&mut self) {
+        while let Some(&age) = self.lsq_retry.front() {
+            let Some(e) = self.entry(age) else {
+                self.lsq_retry.pop_front(); // flushed meanwhile
+                continue;
+            };
+            let op = e.op;
+            if self.lsq_admit(age, op) {
+                self.lsq_retry.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn resolve_branch(&mut self, age: Age) {
+        if self.fetch_blocked_on == Some(age) {
+            self.fetch_blocked_on = None;
+            self.fetch_resume_at = self.now + 1 + self.cfg.mispredict_redirect as u64;
+        }
+    }
+
+    /// Mark `age` Done and wake its consumers.
+    fn mark_done(&mut self, age: Age) {
+        let i = self.rob_index(age).expect("waking a flushed op");
+        self.rob[i].state = ExecState::Done;
+        let consumers = std::mem::take(&mut self.rob[i].consumers);
+        for c in consumers {
+            if let Some(j) = self.rob_index(c) {
+                let e = &mut self.rob[j];
+                debug_assert!(e.waiting_on > 0);
+                e.waiting_on -= 1;
+                let wake = e.waiting_on == 0 && e.state == ExecState::Waiting;
+                let class = e.op.class;
+                if wake {
+                    self.push_ready(c, class);
+                }
+            }
+        }
+    }
+
+    fn push_ready(&mut self, age: Age, class: OpClass) {
+        if class.is_fp() {
+            self.ready_fp.insert(age);
+        } else {
+            self.ready_int.insert(age);
+        }
+    }
+
+    // ---- stage 3: commit ----------------------------------------------
+
+    fn commit_stage(&mut self) {
+        // §3.3 deadlock avoidance: a ROB head stuck in the AddrBuffer (or
+        // refused by the LSQ entirely) can never be freed by in-order
+        // commit — everything older is gone and younger ops hold the
+        // entries — so flush and replay. The tick above already gave
+        // promotion its chance this cycle.
+        if let Some(head) = self.rob.front() {
+            if head.op.class.is_mem() {
+                if self.lsq.is_buffered(head.age) {
+                    self.stats.deadlock_flushes += 1;
+                    self.flush_pipeline();
+                    return;
+                }
+                if self.lsq_retry.front() == Some(&head.age) || self.lsq_retry.contains(&head.age)
+                {
+                    self.stats.nospace_flushes += 1;
+                    self.flush_pipeline();
+                    return;
+                }
+            }
+        }
+        for _ in 0..self.cfg.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            if head.state != ExecState::Done {
+                break;
+            }
+            let age = head.age;
+            let op = head.op;
+            match op.class {
+                OpClass::Store => {
+                    // The cache write needs a port; without one, commit
+                    // stalls this cycle.
+                    if !self.fu.available(FuKind::MemPort, self.now) {
+                        break;
+                    }
+                    self.fu.try_issue(OpClass::Store, self.now);
+                    self.dcache_access(age, op, AccessKind::Write);
+                    self.lsq.commit(age);
+                    self.stats.stores += 1;
+                }
+                OpClass::Load => {
+                    self.lsq.commit(age);
+                    self.stats.loads += 1;
+                }
+                OpClass::CondBranch => self.stats.branches += 1,
+                _ => {}
+            }
+            self.rob.pop_front();
+            self.stats.committed += 1;
+            self.last_commit_cycle = self.now;
+        }
+    }
+
+    /// Access the D-cache for `age` using the LSQ's cached-location /
+    /// cached-translation plan, wiring back presentBit maintenance.
+    /// Returns the access latency.
+    fn dcache_access(&mut self, age: Age, op: MicroOp, kind: AccessKind) -> u32 {
+        let mref = op.mem().expect("cache access needs a mem op");
+        let plan = self.lsq.cache_access_plan(age);
+        let mode = match plan {
+            CachePlan { location: Some((set, way)), .. } => DcacheAccessMode::way_known(set, way),
+            CachePlan { location: None, translation: true } => DcacheAccessMode::TRANSLATION_CACHED,
+            CachePlan { location: None, translation: false } => DcacheAccessMode::CONVENTIONAL,
+        };
+        let result = self.mem.access(mref.addr, kind, mode);
+        if plan.location.is_none() {
+            // Conventional access: the entry may cache the location (and
+            // the line's presentBit is set so replacement notifies us).
+            if self.lsq.note_cache_access(age, result.set, result.way) {
+                self.mem.set_present_bit(result.set, result.way);
+            }
+        }
+        if let Some(ev) = result.evicted {
+            if ev.present_bit {
+                self.lsq.on_line_replaced(ev.set, ev.way);
+            }
+        }
+        result.latency
+    }
+
+    // ---- stage 4: memory issue ------------------------------------------
+
+    fn memory_issue_stage(&mut self) {
+        // Oldest-first among disambiguation-ready loads.
+        let candidates: Vec<Age> = self.pending_loads.iter().copied().collect();
+        for age in candidates {
+            if self.entry(age).is_none() {
+                self.pending_loads.remove(&age);
+                continue;
+            }
+            // A buffered load cannot be disambiguated yet (§3.1).
+            if self.lsq.is_buffered(age) {
+                continue;
+            }
+            // readyBit: every older store address must be known.
+            if self.unknown_store_addrs.range(..age).next().is_some() {
+                continue;
+            }
+            match self.lsq.load_forward_status(age) {
+                ForwardStatus::Wait => continue,
+                ForwardStatus::Forward { store } => {
+                    self.lsq.take_forward(age, store);
+                    self.lsq.load_data_arrived(age);
+                    self.stats.forwarded_loads += 1;
+                    self.pending_loads.remove(&age);
+                    self.entry_mut(age).unwrap().mem_phase = MemPhase::Finished;
+                    self.completions.push(Reverse((self.now + 1, age)));
+                    self.entry_mut(age).unwrap().state = ExecState::Executing;
+                }
+                ForwardStatus::AccessCache => {
+                    if !self.fu.available(FuKind::MemPort, self.now) {
+                        break; // out of ports this cycle
+                    }
+                    self.fu.try_issue(OpClass::Load, self.now);
+                    let op = self.entry(age).unwrap().op;
+                    let latency = self.dcache_access(age, op, AccessKind::Read);
+                    self.lsq.load_data_arrived(age);
+                    self.pending_loads.remove(&age);
+                    let e = self.entry_mut(age).unwrap();
+                    e.mem_phase = MemPhase::Finished;
+                    e.state = ExecState::Executing;
+                    self.completions.push(Reverse((self.now + latency.max(1) as u64, age)));
+                }
+            }
+        }
+    }
+
+    // ---- stage 5: issue --------------------------------------------------
+
+    fn issue_stage(&mut self) {
+        self.issue_side(false);
+        self.issue_side(true);
+    }
+
+    fn issue_side(&mut self, fp: bool) {
+        let width = if fp { self.cfg.issue_width_fp } else { self.cfg.issue_width_int };
+        let ready: Vec<Age> = if fp {
+            self.ready_fp.iter().copied().collect()
+        } else {
+            self.ready_int.iter().copied().collect()
+        };
+        let mut issued = 0;
+        for age in ready {
+            if issued == width {
+                break;
+            }
+            let Some(i) = self.rob_index(age) else {
+                // Flushed while ready.
+                if fp {
+                    self.ready_fp.remove(&age);
+                } else {
+                    self.ready_int.remove(&age);
+                }
+                continue;
+            };
+            let class = self.rob[i].op.class;
+            // Memory ops run their address generation on an integer ALU.
+            let agen_class =
+                if class.is_mem() { OpClass::IntAlu } else { class };
+            let Some(done) = self.fu.try_issue(agen_class, self.now) else {
+                continue; // structural hazard; try a younger ready op
+            };
+            let e = &mut self.rob[i];
+            e.state = ExecState::Executing;
+            e.in_iq = false;
+            if class.is_fp() {
+                self.iq_fp -= 1;
+                self.ready_fp.remove(&age);
+            } else {
+                self.iq_int -= 1;
+                self.ready_int.remove(&age);
+            }
+            self.completions.push(Reverse((done, age)));
+            issued += 1;
+        }
+    }
+
+    // ---- stage 6: dispatch ----------------------------------------------
+
+    fn dispatch_stage(&mut self) {
+        for _ in 0..self.cfg.dispatch_width {
+            let Some(&(age, op)) = self.fetch_queue.front() else { break };
+            if self.rob.len() == self.cfg.rob_size {
+                break;
+            }
+            let fp = op.class.is_fp();
+            if fp && self.iq_fp == self.cfg.iq_fp {
+                break;
+            }
+            if !fp && self.iq_int == self.cfg.iq_int {
+                break;
+            }
+            if op.class.is_mem() && !self.lsq.can_dispatch(op.class.is_store()) {
+                break;
+            }
+            self.fetch_queue.pop_front();
+
+            // Resolve producers and register for wake-up.
+            let mut waiting = 0u8;
+            for d in op.deps {
+                if d == 0 || d as u64 > age {
+                    continue;
+                }
+                let producer = age - d as u64;
+                if let Some(j) = self.rob_index(producer) {
+                    if self.rob[j].state != ExecState::Done {
+                        self.rob[j].consumers.push(age);
+                        waiting += 1;
+                    }
+                }
+                // Producer already retired → operand ready.
+            }
+
+            if op.class.is_mem() {
+                let mref = op.mem().expect("well-formed mem op");
+                let mop = if op.class == OpClass::Store {
+                    self.unknown_store_addrs.insert(age);
+                    MemOp::store(age, mref)
+                } else {
+                    MemOp::load(age, mref)
+                };
+                self.lsq.dispatch(mop);
+            }
+
+            if fp {
+                self.iq_fp += 1;
+            } else {
+                self.iq_int += 1;
+            }
+            self.rob.push_back(RobEntry {
+                age,
+                op,
+                state: ExecState::Waiting,
+                mem_phase: MemPhase::PreAgen,
+                waiting_on: waiting,
+                consumers: Vec::new(),
+                in_iq: true,
+            });
+            if waiting == 0 {
+                self.push_ready(age, op.class);
+            }
+        }
+    }
+
+    // ---- stage 7: fetch ---------------------------------------------------
+
+    fn fetch_stage(&mut self) {
+        if self.fetch_blocked_on.is_some() || self.now < self.fetch_resume_at {
+            self.stats.fetch_blocked_cycles += 1;
+            return;
+        }
+        for _ in 0..self.cfg.fetch_width {
+            if self.fetch_queue.len() == self.cfg.fetch_queue {
+                break;
+            }
+            let op = match self.replay.pop_front() {
+                Some(op) => op,
+                None => self.trace.next_op(),
+            };
+            // I-cache: charged once per new line.
+            let line = op.pc & !(self.cfg.l1i.line_bytes as u64 - 1);
+            if line != self.last_fetch_line {
+                self.last_fetch_line = line;
+                let out = self.icache.access(op.pc, AccessKind::Read);
+                if !out.hit {
+                    // Refill from L2; fetch resumes afterwards.
+                    self.fetch_resume_at = self.now + self.cfg.mem.l2.hit_latency as u64;
+                }
+            }
+            let age = self.next_age;
+            self.next_age += 1;
+            self.fetch_queue.push_back((age, op));
+
+            if let Some(info) = op.branch_info() {
+                let (predicted_taken, predicted_target) = match op.class {
+                    OpClass::CondBranch => {
+                        let dir = self.predictor.predict(op.pc);
+                        self.predictor.update(op.pc, info.taken);
+                        (dir, self.btb.lookup(op.pc))
+                    }
+                    _ => (true, self.btb.lookup(op.pc)),
+                };
+                if info.taken {
+                    self.btb.update(op.pc, info.target);
+                }
+                let target_ok = !info.taken
+                    || (predicted_taken && predicted_target == Some(info.target));
+                let correct = predicted_taken == info.taken && target_ok;
+                if !correct {
+                    self.stats.mispredicts += 1;
+                    self.fetch_blocked_on = Some(age);
+                    break;
+                }
+                if info.taken {
+                    // Correctly predicted taken branches end the fetch group.
+                    break;
+                }
+            }
+            if self.now < self.fetch_resume_at {
+                break; // I-miss stall takes effect after this op
+            }
+        }
+    }
+
+    // ---- flush -------------------------------------------------------------
+
+    /// Whole-pipeline flush (§3.3): every uncommitted op is replayed.
+    fn flush_pipeline(&mut self) {
+        let mut replay: VecDeque<MicroOp> =
+            self.rob.iter().map(|e| e.op).collect();
+        replay.extend(self.fetch_queue.iter().map(|&(_, op)| op));
+        replay.append(&mut self.replay);
+        self.replay = replay;
+
+        self.rob.clear();
+        self.fetch_queue.clear();
+        self.ready_int.clear();
+        self.ready_fp.clear();
+        self.pending_loads.clear();
+        self.unknown_store_addrs.clear();
+        self.lsq_retry.clear();
+        self.completions.clear();
+        self.iq_int = 0;
+        self.iq_fp = 0;
+        self.fetch_blocked_on = None;
+        self.fetch_resume_at = self.now + 1 + self.cfg.mispredict_redirect as u64;
+        self.lsq.flush_all();
+    }
+}

@@ -1,0 +1,269 @@
+//! Hybrid branch predictor and branch target buffer (Table 2).
+//!
+//! * 2K-entry gshare (global history XOR PC, 2-bit counters)
+//! * 2K-entry bimodal (PC-indexed, 2-bit counters)
+//! * 1K-entry selector (PC-indexed, 2-bit "chooser" counters)
+//! * 2048-entry, 4-way BTB for taken targets
+//!
+//! Unconditional branches always predict taken and only need the BTB.
+
+/// A 2-bit saturating counter table.
+#[derive(Debug, Clone)]
+struct CounterTable {
+    counters: Vec<u8>,
+    mask: u64,
+}
+
+impl CounterTable {
+    fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two());
+        // Initialise weakly taken, the usual reset state.
+        CounterTable { counters: vec![2; entries], mask: entries as u64 - 1 }
+    }
+
+    #[inline]
+    fn index(&self, key: u64) -> usize {
+        (key & self.mask) as usize
+    }
+
+    fn predict(&self, key: u64) -> bool {
+        self.counters[self.index(key)] >= 2
+    }
+
+    fn update(&mut self, key: u64, taken: bool) {
+        let i = self.index(key);
+        let c = &mut self.counters[i];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+/// Hybrid gshare/bimodal predictor with a selector.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    gshare: CounterTable,
+    bimodal: CounterTable,
+    /// Selector: ≥2 chooses gshare, else bimodal.
+    selector: CounterTable,
+    history: u64,
+    history_bits: u32,
+}
+
+impl Default for BranchPredictor {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl BranchPredictor {
+    /// Table 2 configuration: 2K gshare, 2K bimodal, 1K selector.
+    pub fn paper() -> Self {
+        BranchPredictor::new(2048, 2048, 1024)
+    }
+
+    /// Custom-sized predictor (all sizes powers of two).
+    pub fn new(gshare: usize, bimodal: usize, selector: usize) -> Self {
+        BranchPredictor {
+            gshare: CounterTable::new(gshare),
+            bimodal: CounterTable::new(bimodal),
+            selector: CounterTable::new(selector),
+            history: 0,
+            history_bits: gshare.trailing_zeros(),
+        }
+    }
+
+    #[inline]
+    fn gshare_key(&self, pc: u64) -> u64 {
+        (pc >> 2) ^ (self.history & ((1 << self.history_bits) - 1))
+    }
+
+    /// Predict the direction of a conditional branch at `pc`.
+    pub fn predict(&self, pc: u64) -> bool {
+        if self.selector.predict(pc >> 2) {
+            self.gshare.predict(self.gshare_key(pc))
+        } else {
+            self.bimodal.predict(pc >> 2)
+        }
+    }
+
+    /// Train with the resolved outcome and advance the global history.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let g = self.gshare.predict(self.gshare_key(pc));
+        let b = self.bimodal.predict(pc >> 2);
+        // Selector trains toward whichever component was right.
+        if g != b {
+            self.selector.update(pc >> 2, g == taken);
+        }
+        self.gshare.update(self.gshare_key(pc), taken);
+        self.bimodal.update(pc >> 2, taken);
+        self.history = (self.history << 1) | taken as u64;
+    }
+}
+
+/// Branch target buffer: 2048 entries, 4-way set associative, LRU.
+#[derive(Debug, Clone)]
+pub struct Btb {
+    entries: Vec<BtbEntry>,
+    sets: usize,
+    ways: usize,
+    stamp: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BtbEntry {
+    tag: u64,
+    target: u64,
+    valid: bool,
+    lru: u64,
+}
+
+impl Default for Btb {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl Btb {
+    /// Table 2 configuration: 2048 entries, 4-way.
+    pub fn paper() -> Self {
+        Btb::new(2048, 4)
+    }
+
+    /// Custom geometry.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(entries.is_multiple_of(ways) && (entries / ways).is_power_of_two());
+        Btb { entries: vec![BtbEntry::default(); entries], sets: entries / ways, ways, stamp: 0 }
+    }
+
+    #[inline]
+    fn set_of(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.sets - 1)
+    }
+
+    /// Predicted target for a branch at `pc`, if present.
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
+        self.stamp += 1;
+        let set = self.set_of(pc);
+        let tag = pc >> 2;
+        for w in 0..self.ways {
+            let e = &mut self.entries[set * self.ways + w];
+            if e.valid && e.tag == tag {
+                e.lru = self.stamp;
+                return Some(e.target);
+            }
+        }
+        None
+    }
+
+    /// Install/refresh the target of a taken branch.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        self.stamp += 1;
+        let set = self.set_of(pc);
+        let tag = pc >> 2;
+        let base = set * self.ways;
+        // Hit: refresh.
+        for w in 0..self.ways {
+            let e = &mut self.entries[base + w];
+            if e.valid && e.tag == tag {
+                e.target = target;
+                e.lru = self.stamp;
+                return;
+            }
+        }
+        // Miss: LRU-fill.
+        let victim = (0..self.ways)
+            .min_by_key(|&w| {
+                let e = &self.entries[base + w];
+                if e.valid {
+                    e.lru
+                } else {
+                    0
+                }
+            })
+            .unwrap();
+        self.entries[base + victim] =
+            BtbEntry { tag, target, valid: true, lru: self.stamp };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_biased_branch() {
+        let mut p = BranchPredictor::paper();
+        let pc = 0x400100;
+        for _ in 0..32 {
+            p.update(pc, true);
+        }
+        assert!(p.predict(pc));
+        for _ in 0..32 {
+            p.update(pc, false);
+        }
+        assert!(!p.predict(pc));
+    }
+
+    #[test]
+    fn learns_an_alternating_pattern_via_gshare() {
+        let mut p = BranchPredictor::paper();
+        let pc = 0x400200;
+        // Train on a strict alternation; gshare (history-based) can track
+        // it, so accuracy over the last half of training should be high.
+        let mut correct = 0;
+        let n = 2000;
+        for i in 0..n {
+            let taken = i % 2 == 0;
+            if i > n / 2 && p.predict(pc) == taken {
+                correct += 1;
+            }
+            p.update(pc, taken);
+        }
+        let acc = correct as f64 / (n / 2 - 1) as f64;
+        assert!(acc > 0.9, "alternating accuracy {acc}");
+    }
+
+    #[test]
+    fn random_branches_hover_near_chance() {
+        let mut p = BranchPredictor::paper();
+        let pc = 0x400300;
+        let mut x = 0x12345678u64;
+        let mut correct = 0;
+        let n = 4000;
+        for _ in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let taken = (x >> 40) & 1 == 1;
+            if p.predict(pc) == taken {
+                correct += 1;
+            }
+            p.update(pc, taken);
+        }
+        let acc = correct as f64 / n as f64;
+        assert!((0.35..0.65).contains(&acc), "random accuracy {acc}");
+    }
+
+    #[test]
+    fn btb_roundtrip_and_lru() {
+        let mut btb = Btb::new(8, 2); // 4 sets x 2 ways
+        btb.update(0x1000, 0x2000);
+        assert_eq!(btb.lookup(0x1000), Some(0x2000));
+        assert_eq!(btb.lookup(0x1004), None);
+        // Fill the set of 0x1000 beyond capacity (same set = pc stride 16).
+        btb.update(0x1010, 0x3000);
+        btb.lookup(0x1010); // make 0x1000 LRU... (refresh 0x1010)
+        btb.update(0x1020, 0x4000); // evicts 0x1000
+        assert_eq!(btb.lookup(0x1000), None);
+        assert_eq!(btb.lookup(0x1020), Some(0x4000));
+    }
+
+    #[test]
+    fn btb_target_refresh() {
+        let mut btb = Btb::paper();
+        btb.update(0x5000, 0x100);
+        btb.update(0x5000, 0x200);
+        assert_eq!(btb.lookup(0x5000), Some(0x200));
+    }
+}

@@ -1,0 +1,99 @@
+//! Simulation statistics.
+
+use mem_hier::CacheStats;
+use samie_lsq::LsqActivity;
+
+/// Counters accumulated over a measured simulation interval.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Committed loads.
+    pub loads: u64,
+    /// Committed stores.
+    pub stores: u64,
+    /// Committed conditional branches.
+    pub branches: u64,
+    /// Mispredicted conditional branches (direction or BTB target).
+    pub mispredicts: u64,
+    /// Deadlock-avoidance pipeline flushes (§3.3 — Figure 6).
+    pub deadlock_flushes: u64,
+    /// Flushes because an address fit nowhere (DistribLSQ, SharedLSQ and
+    /// AddrBuffer all full).
+    pub nospace_flushes: u64,
+    /// Loads satisfied by store→load forwarding (no D-cache access).
+    pub forwarded_loads: u64,
+    /// Cycles fetch was blocked on an unresolved mispredicted branch.
+    pub fetch_blocked_cycles: u64,
+    /// L1 D-cache counters (includes way-known accesses).
+    pub l1d: CacheStats,
+    /// L2 counters.
+    pub l2: CacheStats,
+    /// L1 I-cache counters.
+    pub l1i: CacheStats,
+    /// D-TLB lookups (way-known/translation-cached accesses bypass it).
+    pub dtlb_accesses: u64,
+    /// D-TLB misses.
+    pub dtlb_misses: u64,
+    /// LSQ activity ledger (priced by `energy-model`).
+    pub lsq: LsqActivity,
+}
+
+impl SimStats {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction ratio.
+    pub fn mispredict_ratio(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Deadlock flushes per million cycles (the Figure 6 metric).
+    pub fn deadlocks_per_mcycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.deadlock_flushes as f64 * 1e6 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let s = SimStats {
+            cycles: 1000,
+            committed: 2500,
+            branches: 100,
+            mispredicts: 7,
+            deadlock_flushes: 3,
+            ..SimStats::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.mispredict_ratio() - 0.07).abs() < 1e-12);
+        assert!((s.deadlocks_per_mcycle() - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mispredict_ratio(), 0.0);
+        assert_eq!(s.deadlocks_per_mcycle(), 0.0);
+    }
+}

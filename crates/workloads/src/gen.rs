@@ -1,0 +1,538 @@
+//! The synthetic trace generator.
+//!
+//! A [`SpecTrace`] compiles its [`WorkloadSpec`] into a small *static
+//! program*: a cyclic array of slots with stable PCs, each slot having a
+//! fixed role (compute class + dependency distances, memory direction +
+//! address-generation role, or branch site with a fixed bias and target).
+//! Executing the program then resolves the per-visit randomness — branch
+//! outcomes, stream positions, reuse/random addresses — from a seeded
+//! PRNG, so the trace is deterministic, endless, and presents the
+//! I-side (stable PCs for the predictor/BTB) and D-side (streams, reuse,
+//! pointer chasing, bank skew) behaviours the spec calls for.
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use trace_isa::{MemRef, MicroOp, OpClass, TraceSource, LINE_BYTES};
+
+use crate::spec::WorkloadSpec;
+
+/// Static program length in slots. Large enough to exercise the branch
+/// predictor and I-side realistically, small enough to stay cache-warm.
+const CODE_SLOTS: usize = 2048;
+/// Base address of the synthetic code region.
+const CODE_BASE: u64 = 0x0040_0000;
+/// Base address of the data region.
+const DATA_BASE: u64 = 0x1000_0000;
+// (The recently-touched-line window size is per-benchmark:
+// `WorkloadSpec::reuse_window`. Reuse must land while the line's earlier
+// ops are still in flight for entries to hold multiple instructions — the
+// property SAMIE exploits — but too narrow a window overfills the 8-slot
+// entries of a single line.)
+/// Recent-store window driving the `forward_frac` role.
+const RECENT_STORES: usize = 8;
+
+/// Address-generation role of a memory slot.
+#[derive(Debug, Clone, Copy)]
+enum MemRole {
+    /// Follow sequential stream `s`.
+    Stream(u16),
+    /// Revisit a recently touched line at a fresh offset.
+    Reuse,
+    /// Uniformly random address in the working set.
+    Random,
+    /// Load the exact address of a recent store (forwarding pair).
+    ForwardPair,
+}
+
+/// Outcome model of a branch site.
+#[derive(Debug, Clone, Copy)]
+enum BranchKind {
+    /// Loop back-edge: taken until the sampled trip count is exhausted,
+    /// then falls through and resamples. Bounded trip counts guarantee
+    /// global forward progress through the static program (independent
+    /// 95 %-taken coin flips can trap execution in nested-loop cycles).
+    Loop { min_trip: u32, max_trip: u32 },
+    /// Data-dependent conditional: independent per-visit outcome.
+    Cond { taken_prob: f64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum SlotRole {
+    Compute { class: OpClass, deps: [u32; 2] },
+    Mem { is_store: bool, role: MemRole, deps: [u32; 2] },
+    Branch { kind: BranchKind, target_slot: u32, deps: [u32; 2] },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StreamState {
+    base: u64,
+    region: u64,
+    pos: u64,
+}
+
+/// A deterministic, endless synthetic SPEC-like trace.
+pub struct SpecTrace {
+    spec: WorkloadSpec,
+    rng: SmallRng,
+    program: Vec<SlotRole>,
+    pos: usize,
+    streams: Vec<StreamState>,
+    recent_lines: VecDeque<u64>,
+    recent_stores: VecDeque<MemRef>,
+    hot_banks: Vec<u64>,
+    /// Remaining trip count per loop-branch slot (0 = resample on visit).
+    loop_state: Vec<u32>,
+    /// Memory accesses issued so far (drives the conflict-phase clock).
+    mem_count: u64,
+}
+
+impl SpecTrace {
+    /// Build the generator for `spec` with a reproducibility `seed`.
+    pub fn new(spec: &WorkloadSpec, seed: u64) -> Self {
+        spec.validate().expect("invalid workload spec");
+        // Mix the benchmark name into the seed so distinct benchmarks
+        // never share a random stream even under the same global seed.
+        let mut h = seed ^ 0x9e37_79b9_7f4a_7c15;
+        for b in spec.name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        let mut rng = SmallRng::seed_from_u64(h);
+
+        let program = Self::build_program(spec, &mut rng);
+        let region = (spec.working_set / spec.streams as u64).max(LINE_BYTES as u64)
+            & !(LINE_BYTES as u64 - 1);
+        let streams = (0..spec.streams)
+            .map(|i| {
+                // Give every stream a random line offset inside its
+                // region: perfectly power-of-two-aligned bases would make
+                // all streams walk the DistribLSQ banks in phase — a
+                // same-bank collision pattern real arrays don't exhibit.
+                let lines = region / LINE_BYTES as u64;
+                let jitter = rng.gen_range(0..lines) * LINE_BYTES as u64;
+                StreamState { base: DATA_BASE + i as u64 * region + jitter, region, pos: 0 }
+            })
+            .collect();
+        // The banks that skewed lines collapse into (stable per trace).
+        let hot_banks = (0..spec.hot_banks).map(|_| rng.gen_range(0..64u64)).collect();
+        SpecTrace {
+            spec: *spec,
+            rng,
+            program,
+            pos: 0,
+            streams,
+            recent_lines: VecDeque::with_capacity(spec.reuse_window),
+            recent_stores: VecDeque::with_capacity(RECENT_STORES),
+            hot_banks,
+            loop_state: vec![0; CODE_SLOTS],
+            mem_count: 0,
+        }
+    }
+
+    /// The spec this trace was generated from.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    fn sample_deps(spec: &WorkloadSpec, rng: &mut SmallRng) -> [u32; 2] {
+        let mut deps = [0u32; 2];
+        for d in &mut deps {
+            if rng.gen_bool(spec.dep_density) {
+                *d = rng.gen_range(1..=spec.dep_distance.max(1));
+            }
+        }
+        deps
+    }
+
+    fn build_program(spec: &WorkloadSpec, rng: &mut SmallRng) -> Vec<SlotRole> {
+        let mut program = Vec::with_capacity(CODE_SLOTS);
+        let mut next_stream: u16 = 0;
+        // Loop back-edge spans are kept disjoint (targets never reach back
+        // across an earlier back-edge). Interleaved loops can otherwise
+        // reactivate each other's trip counters and trap execution in a
+        // small cycle forever; disjoint spans make the program reducible
+        // and guarantee forward progress.
+        let mut min_loop_target = 0u32;
+        for slot in 0..CODE_SLOTS {
+            let deps = Self::sample_deps(spec, rng);
+            let x: f64 = rng.gen();
+            let mut acc = spec.f_load;
+            let role = if x < acc {
+                SlotRole::Mem { is_store: false, role: Self::mem_role(spec, rng, false, &mut next_stream), deps }
+            } else if x < {
+                acc += spec.f_store;
+                acc
+            } {
+                SlotRole::Mem { is_store: true, role: Self::mem_role(spec, rng, true, &mut next_stream), deps }
+            } else if x < {
+                acc += spec.f_branch;
+                acc
+            } {
+                Self::branch_role(spec, rng, slot, deps, &mut min_loop_target)
+            } else if x < {
+                acc += spec.f_fp_alu;
+                acc
+            } {
+                SlotRole::Compute { class: OpClass::FpAlu, deps }
+            } else if x < {
+                acc += spec.f_fp_mul;
+                acc
+            } {
+                SlotRole::Compute { class: OpClass::FpMul, deps }
+            } else if x < {
+                acc += spec.f_fp_div;
+                acc
+            } {
+                SlotRole::Compute { class: OpClass::FpDiv, deps }
+            } else if x < {
+                acc += spec.f_int_mul;
+                acc
+            } {
+                SlotRole::Compute { class: OpClass::IntMul, deps }
+            } else if x < {
+                acc += spec.f_int_div;
+                acc
+            } {
+                SlotRole::Compute { class: OpClass::IntDiv, deps }
+            } else {
+                SlotRole::Compute { class: OpClass::IntAlu, deps }
+            };
+            program.push(role);
+        }
+        program
+    }
+
+    fn mem_role(spec: &WorkloadSpec, rng: &mut SmallRng, is_store: bool, next_stream: &mut u16) -> MemRole {
+        let x: f64 = rng.gen();
+        if !is_store && x < spec.forward_frac {
+            return MemRole::ForwardPair;
+        }
+        if x < spec.forward_frac + spec.line_reuse {
+            return MemRole::Reuse;
+        }
+        if x < spec.forward_frac + spec.line_reuse + spec.random_frac {
+            return MemRole::Random;
+        }
+        let s = *next_stream;
+        *next_stream = (*next_stream + 1) % spec.streams as u16;
+        MemRole::Stream(s)
+    }
+
+    fn branch_role(
+        spec: &WorkloadSpec,
+        rng: &mut SmallRng,
+        slot: usize,
+        deps: [u32; 2],
+        min_loop_target: &mut u32,
+    ) -> SlotRole {
+        let want_loop = !rng.gen_bool(spec.branch_entropy);
+        let back = rng.gen_range(4..=64u32);
+        let target = (slot as u32).saturating_sub(back).max(*min_loop_target);
+        if want_loop && target < slot as u32 {
+            *min_loop_target = slot as u32 + 1;
+            return SlotRole::Branch {
+                kind: BranchKind::Loop { min_trip: 4, max_trip: 24 },
+                target_slot: target,
+                deps,
+            };
+        }
+        // Data-dependent branch: weakly biased, short forward skip (an
+        // if/else), so mispredictions hurt without creating cycles.
+        let skip = rng.gen_range(2..=16u32);
+        SlotRole::Branch {
+            kind: BranchKind::Cond { taken_prob: rng.gen_range(0.3..0.7) },
+            target_slot: (slot as u32 + skip) % CODE_SLOTS as u32,
+            deps,
+        }
+    }
+
+    #[inline]
+    fn align(addr: u64, size: u8) -> u64 {
+        addr & !(size as u64 - 1)
+    }
+
+    /// Length of one conflict/calm phase pair in memory accesses. Long
+    /// enough that a conflict phase is a macroscopic program phase (it
+    /// fills and drains the AddrBuffer many times), as in the loop nests
+    /// of the real pathological benchmarks.
+    const PHASE_PERIOD: u64 = 16384;
+
+    /// Is the trace currently inside a conflict phase?
+    fn in_conflict_phase(&self) -> bool {
+        if self.spec.conflict_duty <= 0.0 {
+            return false;
+        }
+        let pos = self.mem_count % Self::PHASE_PERIOD;
+        (pos as f64) < self.spec.conflict_duty * Self::PHASE_PERIOD as f64
+    }
+
+    /// Coerce the line of `addr` into one of the hot banks (bank = line
+    /// index mod 64, matching the paper's 64-bank DistribLSQ). Only active
+    /// during conflict phases.
+    fn skew(&mut self, addr: u64) -> u64 {
+        if self.spec.bank_skew > 0.0
+            && self.in_conflict_phase()
+            && self.rng.gen_bool(self.spec.bank_skew)
+        {
+            let bank = self.hot_banks[self.rng.gen_range(0..self.hot_banks.len())];
+            let line = addr >> 5;
+            let skewed_line = (line & !63) | bank;
+            (skewed_line << 5) | (addr & 31)
+        } else {
+            addr
+        }
+    }
+
+    fn gen_address(&mut self, role: MemRole) -> MemRef {
+        let size = self.spec.access_size;
+        match role {
+            MemRole::Stream(s) => {
+                // Conflict-phase strides (e.g. 2048 = 64 banks x 32 B,
+                // hammering one bank) only apply inside a conflict phase;
+                // calm phases walk the banks like ordinary code.
+                let stride = if self.spec.conflict_duty == 0.0 || self.in_conflict_phase() {
+                    self.spec.stream_stride
+                } else {
+                    self.spec.stream_stride.min(32)
+                };
+                let st = &mut self.streams[s as usize];
+                let addr = st.base + (st.pos * stride) % st.region;
+                st.pos += 1;
+                MemRef::new(Self::align(self.skew(addr), size), size)
+            }
+            MemRole::Reuse => {
+                if let Some(&line) = self.recent_lines.get(self.rng.gen_range(0..self.recent_lines.len().max(1)).min(self.recent_lines.len().saturating_sub(1))) {
+                    let slots = (LINE_BYTES / size as u32) as u64;
+                    let off = self.rng.gen_range(0..slots) * size as u64;
+                    MemRef::new(line + off, size)
+                } else {
+                    // Cold start: fall back to stream 0.
+                    self.gen_address(MemRole::Stream(0))
+                }
+            }
+            MemRole::Random => {
+                let addr = DATA_BASE + self.rng.gen_range(0..self.spec.working_set);
+                MemRef::new(Self::align(self.skew(addr), size), size)
+            }
+            MemRole::ForwardPair => {
+                if self.recent_stores.is_empty() {
+                    self.gen_address(MemRole::Stream(0))
+                } else {
+                    let i = self.rng.gen_range(0..self.recent_stores.len());
+                    self.recent_stores[i]
+                }
+            }
+        }
+    }
+
+    fn note_access(&mut self, mref: MemRef, is_store: bool) {
+        self.mem_count += 1;
+        let line = mref.line();
+        if !self.recent_lines.contains(&line) {
+            if self.recent_lines.len() == self.spec.reuse_window {
+                self.recent_lines.pop_front();
+            }
+            self.recent_lines.push_back(line);
+        }
+        if is_store {
+            if self.recent_stores.len() == RECENT_STORES {
+                self.recent_stores.pop_front();
+            }
+            self.recent_stores.push_back(mref);
+        }
+    }
+}
+
+impl TraceSource for SpecTrace {
+    fn next_op(&mut self) -> MicroOp {
+        let slot = self.pos;
+        let pc = CODE_BASE + slot as u64 * 4;
+        let role = self.program[slot];
+        let (op, next) = match role {
+            SlotRole::Compute { class, deps } => {
+                (MicroOp { pc, class, deps, payload: trace_isa::Payload::None }, slot + 1)
+            }
+            SlotRole::Mem { is_store, role, deps } => {
+                let mref = self.gen_address(role);
+                self.note_access(mref, is_store);
+                let op = if is_store {
+                    MicroOp::store(pc, mref.addr, mref.size, deps)
+                } else {
+                    MicroOp::load(pc, mref.addr, mref.size, deps)
+                };
+                (op, slot + 1)
+            }
+            SlotRole::Branch { kind, target_slot, deps } => {
+                let taken = match kind {
+                    BranchKind::Cond { taken_prob } => self.rng.gen_bool(taken_prob),
+                    BranchKind::Loop { min_trip, max_trip } => {
+                        if self.loop_state[slot] == 0 {
+                            self.loop_state[slot] = self.rng.gen_range(min_trip..=max_trip);
+                        }
+                        self.loop_state[slot] -= 1;
+                        self.loop_state[slot] > 0
+                    }
+                };
+                let target_pc = CODE_BASE + target_slot as u64 * 4;
+                let op = MicroOp::branch(pc, taken, target_pc, deps);
+                (op, if taken { target_slot as usize } else { slot + 1 })
+            }
+        };
+        self.pos = next % CODE_SLOTS;
+        debug_assert!(op.is_well_formed());
+        op
+    }
+
+    fn name(&self) -> &str {
+        self.spec.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{all_benchmarks, by_name};
+    use std::collections::HashMap;
+
+    fn collect(name: &str, seed: u64, n: usize) -> Vec<MicroOp> {
+        let mut t = SpecTrace::new(by_name(name).unwrap(), seed);
+        (0..n).map(|_| t.next_op()).collect()
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let a = collect("gcc", 7, 5000);
+        let b = collect("gcc", 7, 5000);
+        assert_eq!(a, b);
+        let c = collect("gcc", 8, 5000);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn different_benchmarks_differ_under_same_seed() {
+        assert_ne!(collect("gcc", 7, 1000), collect("gzip", 7, 1000));
+    }
+
+    #[test]
+    fn all_ops_well_formed_for_every_benchmark() {
+        for spec in all_benchmarks() {
+            let mut t = SpecTrace::new(spec, 42);
+            for _ in 0..5000 {
+                let op = t.next_op();
+                assert!(op.is_well_formed(), "{}: {op:?}", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_mix_is_plausible() {
+        for name in ["gcc", "swim", "mcf", "ammp"] {
+            let ops = collect(name, 1, 50_000);
+            let n = ops.len() as f64;
+            let loads = ops.iter().filter(|o| o.class == OpClass::Load).count() as f64 / n;
+            let stores = ops.iter().filter(|o| o.class == OpClass::Store).count() as f64 / n;
+            let branches = ops.iter().filter(|o| o.class.is_branch()).count() as f64 / n;
+            let spec = by_name(name).unwrap();
+            // Control flow reweights the static mix; allow a 2x band.
+            assert!((spec.f_load * 0.5..spec.f_load * 2.0).contains(&loads), "{name} loads {loads}");
+            assert!((spec.f_store * 0.4..spec.f_store * 2.5).contains(&stores), "{name} stores {stores}");
+            assert!(branches > 0.01, "{name} branches {branches}");
+        }
+    }
+
+    #[test]
+    fn ammp_lines_concentrate_in_few_banks() {
+        // ammp's conflict phases concentrate lines in hot banks; its top-4
+        // bank share must clearly exceed an unskewed benchmark's.
+        let top4_share = |name: &str| {
+            let ops = collect(name, 3, 100_000);
+            let mut per_bank: HashMap<u64, usize> = HashMap::new();
+            let mut mem = 0usize;
+            for o in &ops {
+                if let Some(m) = o.mem() {
+                    *per_bank.entry((m.addr >> 5) & 63).or_default() += 1;
+                    mem += 1;
+                }
+            }
+            let mut counts: Vec<_> = per_bank.values().copied().collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            counts.iter().take(4).sum::<usize>() as f64 / mem as f64
+        };
+        let ammp = top4_share("ammp");
+        let gcc = top4_share("gcc");
+        assert!(ammp > 1.5 * gcc, "ammp {ammp:.2} vs gcc {gcc:.2}");
+    }
+
+    #[test]
+    fn gcc_lines_spread_across_banks() {
+        let ops = collect("gcc", 3, 50_000);
+        let mut banks = std::collections::HashSet::new();
+        for o in &ops {
+            if let Some(m) = o.mem() {
+                banks.insert((m.addr >> 5) & 63);
+            }
+        }
+        assert!(banks.len() > 32, "gcc touched only {} banks", banks.len());
+    }
+
+    #[test]
+    fn swim_shares_lines_more_than_sixtrack() {
+        let sharing = |name: &str| {
+            let ops = collect(name, 5, 50_000);
+            let mems: Vec<_> = ops.iter().filter_map(|o| o.mem()).collect();
+            let lines: std::collections::HashSet<_> = mems.iter().map(|m| m.line()).collect();
+            mems.len() as f64 / lines.len() as f64 // ops per distinct line
+        };
+        let swim = sharing("swim");
+        let sixtrack = sharing("sixtrack");
+        assert!(swim > 1.5 * sixtrack, "swim {swim:.1} vs sixtrack {sixtrack:.1}");
+    }
+
+    #[test]
+    fn forwarding_pairs_exist() {
+        let ops = collect("gcc", 9, 20_000);
+        let mut stores: Vec<MemRef> = Vec::new();
+        let mut pairs = 0;
+        for o in &ops {
+            if let Some(m) = o.mem() {
+                if o.class == OpClass::Store {
+                    stores.push(m);
+                } else if stores.iter().rev().take(RECENT_STORES).any(|s| *s == m) {
+                    pairs += 1;
+                }
+            }
+        }
+        assert!(pairs > 50, "only {pairs} load-after-store pairs");
+    }
+
+    #[test]
+    fn pcs_stay_in_code_region() {
+        let ops = collect("perlbmk", 2, 20_000);
+        for o in &ops {
+            assert!(o.pc >= CODE_BASE && o.pc < CODE_BASE + (CODE_SLOTS as u64) * 4);
+            if let Some(b) = o.branch_info() {
+                assert!(b.target >= CODE_BASE && b.target < CODE_BASE + (CODE_SLOTS as u64) * 4);
+            }
+        }
+    }
+
+    #[test]
+    fn mcf_touches_many_pages() {
+        let ops = collect("mcf", 11, 50_000);
+        let pages: std::collections::HashSet<_> =
+            ops.iter().filter_map(|o| o.mem()).map(|m| m.addr >> 13).collect();
+        let gzip_pages: std::collections::HashSet<_> =
+            collect("gzip", 11, 50_000).iter().filter_map(|o| o.mem()).map(|m| m.addr >> 13).collect();
+        assert!(pages.len() > 4 * gzip_pages.len(), "mcf {} vs gzip {}", pages.len(), gzip_pages.len());
+    }
+
+    #[test]
+    fn fp_benchmarks_issue_fp_ops() {
+        let ops = collect("swim", 1, 20_000);
+        assert!(ops.iter().any(|o| o.class.is_fp()));
+        let ops = collect("gcc", 1, 20_000);
+        assert!(ops.iter().all(|o| !o.class.is_fp()));
+    }
+}

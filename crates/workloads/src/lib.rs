@@ -1,0 +1,29 @@
+//! # spec-traces — synthetic SPEC CPU2000-like workloads
+//!
+//! The paper evaluates SAMIE-LSQ on the 26 SPEC CPU2000 benchmarks
+//! compiled for Alpha and run under SimpleScalar. Those binaries (and the
+//! ref inputs) are not available here, so this crate substitutes each
+//! benchmark with a **parameterised synthetic trace generator** whose
+//! address behaviour — the property every SAMIE result depends on — is
+//! calibrated to the per-benchmark facts the paper reports:
+//!
+//! * how many in-flight memory ops share a cache line (slots-per-entry
+//!   utilisation → D-cache/D-TLB savings, Figures 9–10),
+//! * how the touched lines spread over the 64 DistribLSQ banks
+//!   (SharedLSQ/AddrBuffer pressure → Figures 3, 4, 6, 8),
+//! * total LSQ occupancy (Figures 5, 11, 12),
+//! * instruction mix, dependency structure and branch behaviour (IPC).
+//!
+//! Each generator is a small *static program* (stable PCs, per-site branch
+//! biases, per-slot memory roles) executed cyclically with seeded
+//! randomness, so traces are deterministic, endless and exercise the same
+//! simulator code paths a real binary would.
+//!
+//! See [`spec::WorkloadSpec`] for the knobs and [`spec::ALL_BENCHMARKS`]
+//! for the calibrated table.
+
+pub mod gen;
+pub mod spec;
+
+pub use gen::SpecTrace;
+pub use spec::{all_benchmarks, by_name, WorkloadSpec, ALL_BENCHMARKS};

@@ -1,0 +1,491 @@
+//! Workload parameter table: one calibrated [`WorkloadSpec`] per SPEC
+//! CPU2000 benchmark.
+//!
+//! Calibration targets, all taken from the paper:
+//!
+//! * **Figure 3** — SharedLSQ pressure: `ammp`, `apsi`, `art`, `facerec`,
+//!   `mgrid` need many SharedLSQ entries; integer codes need almost none.
+//! * **Figure 5** — `ammp`, `apsi`, `mgrid` lose IPC under SAMIE;
+//!   `facerec`, `fma3d` gain (they can hold more than 128 mem ops when
+//!   well distributed).
+//! * **Figure 6** — only `ammp` deadlocks at a visible rate.
+//! * **Figure 9** — D-cache savings highest for `ammp`/`swim` (58 %),
+//!   lowest for `sixtrack` (21 %): line sharing among in-flight ops.
+//! * **Figure 10** — D-TLB savings highest for `ammp` (84 %), lowest for
+//!   `mcf` (55 %).
+//! * **Figure 11** — integer codes (`bzip2`, `crafty`, `gcc`, `parser`,
+//!   `perlbmk`) have the lowest LSQ occupancy (worst active-area case for
+//!   SAMIE).
+
+/// Parameters of one synthetic benchmark.
+///
+/// Fractions are of all dynamic micro-ops; the remainder after loads,
+/// stores, branches and the listed compute classes is single-cycle integer
+/// ALU work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// SPEC benchmark name.
+    pub name: &'static str,
+    /// Floating-point (CFP2000) benchmark?
+    pub is_fp: bool,
+
+    // ---- instruction mix ----
+    /// Fraction of loads.
+    pub f_load: f64,
+    /// Fraction of stores.
+    pub f_store: f64,
+    /// Fraction of conditional branches.
+    pub f_branch: f64,
+    /// Fraction of FP adds (2-cycle).
+    pub f_fp_alu: f64,
+    /// Fraction of FP multiplies (4-cycle).
+    pub f_fp_mul: f64,
+    /// Fraction of FP divides (12-cycle, non-pipelined).
+    pub f_fp_div: f64,
+    /// Fraction of integer multiplies (3-cycle).
+    pub f_int_mul: f64,
+    /// Fraction of integer divides (20-cycle, non-pipelined).
+    pub f_int_div: f64,
+
+    // ---- dependency structure (ILP) ----
+    /// Probability a source operand depends on a recent producer.
+    pub dep_density: f64,
+    /// Maximum producer distance for sampled dependencies (smaller =
+    /// tighter chains = less ILP).
+    pub dep_distance: u32,
+
+    // ---- branch behaviour ----
+    /// Fraction of branch sites with data-dependent (hard-to-predict)
+    /// outcomes; the rest are loop-like (95 % taken).
+    pub branch_entropy: f64,
+
+    // ---- memory behaviour ----
+    /// Concurrent sequential access streams.
+    pub streams: usize,
+    /// Per-step stride of each stream in bytes. Small strides (4/8) make
+    /// consecutive ops share cache lines; 32 touches a new line every
+    /// access; multiples of 2048 (= 64 banks × 32 B) hammer a single
+    /// DistribLSQ bank.
+    pub stream_stride: u64,
+    /// Probability a memory op revisits a recently touched line at a new
+    /// offset (drives multi-instruction entry sharing).
+    pub line_reuse: f64,
+    /// Probability a memory op targets a uniformly random address in the
+    /// working set (pointer chasing; defeats all locality).
+    pub random_frac: f64,
+    /// Probability a load reads the exact address of a recent store
+    /// (store→load forwarding opportunities).
+    pub forward_frac: f64,
+    /// Total data footprint in bytes (streams partition it; random
+    /// accesses draw from all of it).
+    pub working_set: u64,
+    /// Number of recently-touched lines the `line_reuse` role draws from.
+    /// Smaller = denser entry sharing (more in-flight ops per line);
+    /// larger spreads the same reuse over more concurrent lines.
+    pub reuse_window: usize,
+    /// Fraction of stream/random line addresses coerced into `hot_banks`
+    /// DistribLSQ banks (bank-conflict pathology) while a conflict phase
+    /// is active.
+    pub bank_skew: f64,
+    /// Number of banks the skewed lines collapse into.
+    pub hot_banks: usize,
+    /// Fraction of execution spent in conflict phases. Real programs
+    /// alternate between conflicting loop nests and calmer code, which is
+    /// what makes the paper's AddrBuffer deep *and* its deadlocks rare:
+    /// buffered bursts drain during calm phases before the buffered ops
+    /// reach the ROB head. 0 disables the pathology entirely.
+    pub conflict_duty: f64,
+    /// Access size in bytes (1/2/4/8).
+    pub access_size: u8,
+}
+
+impl WorkloadSpec {
+    /// Fraction of memory ops (loads + stores).
+    pub fn mem_fraction(&self) -> f64 {
+        self.f_load + self.f_store
+    }
+
+    /// Sanity: fractions form a sub-distribution and knobs are in range.
+    pub fn validate(&self) -> Result<(), String> {
+        let total = self.f_load
+            + self.f_store
+            + self.f_branch
+            + self.f_fp_alu
+            + self.f_fp_mul
+            + self.f_fp_div
+            + self.f_int_mul
+            + self.f_int_div;
+        if !(0.0..=1.0).contains(&total) {
+            return Err(format!("{}: class fractions sum to {total}", self.name));
+        }
+        for (label, v) in [
+            ("dep_density", self.dep_density),
+            ("branch_entropy", self.branch_entropy),
+            ("line_reuse", self.line_reuse),
+            ("random_frac", self.random_frac),
+            ("forward_frac", self.forward_frac),
+            ("bank_skew", self.bank_skew),
+            ("conflict_duty", self.conflict_duty),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{}: {label} = {v} out of range", self.name));
+            }
+        }
+        if self.line_reuse + self.random_frac + self.forward_frac > 1.0 {
+            return Err(format!("{}: memory-role fractions exceed 1", self.name));
+        }
+        if self.reuse_window == 0 || self.reuse_window > 64 {
+            return Err(format!("{}: reuse_window out of range", self.name));
+        }
+        if self.streams == 0 || self.working_set == 0 {
+            return Err(format!("{}: streams/working_set must be positive", self.name));
+        }
+        if !matches!(self.access_size, 1 | 2 | 4 | 8) {
+            return Err(format!("{}: bad access size", self.name));
+        }
+        if self.hot_banks == 0 || self.hot_banks > 64 {
+            return Err(format!("{}: hot_banks out of range", self.name));
+        }
+        Ok(())
+    }
+}
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+/// Baseline integer benchmark shape; individual entries override.
+const INT_BASE: WorkloadSpec = WorkloadSpec {
+    name: "",
+    is_fp: false,
+    f_load: 0.24,
+    f_store: 0.11,
+    f_branch: 0.17,
+    f_fp_alu: 0.0,
+    f_fp_mul: 0.0,
+    f_fp_div: 0.0,
+    f_int_mul: 0.01,
+    f_int_div: 0.002,
+    dep_density: 0.55,
+    dep_distance: 10,
+    branch_entropy: 0.15,
+    streams: 4,
+    stream_stride: 8,
+    line_reuse: 0.76,
+    random_frac: 0.08,
+    forward_frac: 0.10,
+    working_set: 256 * KB,
+    reuse_window: 4,
+    bank_skew: 0.0,
+    hot_banks: 1,
+    conflict_duty: 0.0,
+    access_size: 8,
+};
+
+/// Baseline floating-point benchmark shape.
+const FP_BASE: WorkloadSpec = WorkloadSpec {
+    name: "",
+    is_fp: true,
+    f_load: 0.28,
+    f_store: 0.10,
+    f_branch: 0.05,
+    f_fp_alu: 0.18,
+    f_fp_mul: 0.12,
+    f_fp_div: 0.003,
+    f_int_mul: 0.005,
+    f_int_div: 0.0,
+    dep_density: 0.40,
+    dep_distance: 24,
+    branch_entropy: 0.05,
+    streams: 8,
+    stream_stride: 8,
+    line_reuse: 0.74,
+    random_frac: 0.02,
+    forward_frac: 0.05,
+    working_set: 4 * MB,
+    reuse_window: 5,
+    bank_skew: 0.0,
+    hot_banks: 1,
+    conflict_duty: 0.0,
+    access_size: 8,
+};
+
+/// The 26 calibrated benchmarks, in the paper's (alphabetical) order.
+pub const ALL_BENCHMARKS: [WorkloadSpec; 26] = [
+    // ammp: the pathological program — molecular dynamics with indirect
+    // neighbour lists whose lines collapse into very few banks. Highest
+    // SharedLSQ need (Fig. 3), only visible deadlock rate (Fig. 6), worst
+    // IPC loss (Fig. 5), yet highest line sharing (84 % DTLB savings).
+    WorkloadSpec {
+        name: "ammp",
+        streams: 3,
+        stream_stride: 2048, // in conflict phases: a new line per access, one bank
+        line_reuse: 0.84,
+        random_frac: 0.02,
+        forward_frac: 0.05,
+        reuse_window: 8,
+        bank_skew: 0.90,
+        hot_banks: 1,
+        conflict_duty: 0.12,
+        working_set: 16 * MB,
+        f_load: 0.30,
+        f_store: 0.09,
+        dep_density: 0.5,
+        ..FP_BASE
+    },
+    // applu: dense SOR solver, long unit-stride sweeps over a large grid.
+    WorkloadSpec { name: "applu", streams: 6, working_set: 16 * MB, line_reuse: 0.62, ..FP_BASE },
+    // apsi: pollutant-transport code; strided accesses over 3-D arrays
+    // concentrate in few banks (Fig. 3 high; loses IPC in Fig. 5).
+    WorkloadSpec {
+        name: "apsi",
+        streams: 4,
+        stream_stride: 2048,
+        bank_skew: 0.70,
+        hot_banks: 2,
+        conflict_duty: 0.10,
+        working_set: 8 * MB,
+        line_reuse: 0.68,
+        ..FP_BASE
+    },
+    // art: neural-net image recognition; modest working set but scattered
+    // accesses keep many distinct lines in flight (Fig. 3 high).
+    WorkloadSpec {
+        name: "art",
+        streams: 12,
+        stream_stride: 32,
+        line_reuse: 0.62,
+        random_frac: 0.10,
+        bank_skew: 0.35,
+        hot_banks: 4,
+        conflict_duty: 0.30,
+        working_set: 4 * MB,
+        f_load: 0.33,
+        ..FP_BASE
+    },
+    // bzip2: compression — tight dependency chains, small LSQ occupancy.
+    WorkloadSpec { name: "bzip2", dep_distance: 6, working_set: MB, line_reuse: 0.58, ..INT_BASE },
+    // crafty: chess — branchy, tiny working set, low memory pressure.
+    WorkloadSpec {
+        name: "crafty",
+        f_branch: 0.20,
+        branch_entropy: 0.20,
+        working_set: 64 * KB,
+        f_load: 0.22,
+        f_store: 0.08,
+        ..INT_BASE
+    },
+    // eon: C++ ray tracer — moderate FP-ish behaviour in an INT suite.
+    WorkloadSpec { name: "eon", f_load: 0.26, f_store: 0.14, branch_entropy: 0.15, ..INT_BASE },
+    // equake: sparse matrix-vector earthquake sim; sequential with some
+    // indirection.
+    WorkloadSpec {
+        name: "equake",
+        streams: 6,
+        random_frac: 0.10,
+        line_reuse: 0.58,
+        working_set: 8 * MB,
+        f_load: 0.32,
+        ..FP_BASE
+    },
+    // facerec: FFT-ish image code. High LSQ pressure but reasonably
+    // distributed: needs SharedLSQ (Fig. 3) yet *gains* IPC under SAMIE
+    // (Fig. 5) because SAMIE holds more than 128 in-flight mem ops.
+    WorkloadSpec {
+        name: "facerec",
+        streams: 16,
+        stream_stride: 32,
+        line_reuse: 0.62,
+        bank_skew: 0.40,
+        hot_banks: 6,
+        conflict_duty: 0.15,
+        working_set: 8 * MB,
+        f_load: 0.38,
+        f_store: 0.13,
+        dep_density: 0.25,
+        dep_distance: 40,
+        ..FP_BASE
+    },
+    // fma3d: crash simulation; very high MLP, spreads well (gains IPC).
+    WorkloadSpec {
+        name: "fma3d",
+        streams: 16,
+        stream_stride: 8,
+        line_reuse: 0.58,
+        working_set: 16 * MB,
+        f_load: 0.38,
+        f_store: 0.15,
+        dep_density: 0.22,
+        dep_distance: 40,
+        ..FP_BASE
+    },
+    // galgel: Galerkin FEM — blocked dense algebra, good locality.
+    WorkloadSpec { name: "galgel", streams: 6, line_reuse: 0.68, working_set: 2 * MB, ..FP_BASE },
+    // gap: group theory interpreter — pointer-rich integer code.
+    WorkloadSpec { name: "gap", random_frac: 0.13, working_set: MB, f_load: 0.26, ..INT_BASE },
+    // gcc: compiler — large code footprint, modest data locality.
+    WorkloadSpec {
+        name: "gcc",
+        branch_entropy: 0.18,
+        random_frac: 0.12,
+        working_set: 2 * MB,
+        f_load: 0.25,
+        f_store: 0.13,
+        ..INT_BASE
+    },
+    // gzip: compression — streaming with a small dictionary.
+    WorkloadSpec { name: "gzip", streams: 3, working_set: 512 * KB, line_reuse: 0.60, ..INT_BASE },
+    // lucas: Lucas-Lehmer primality — FFT butterflies, large strides but
+    // bank-friendly.
+    WorkloadSpec { name: "lucas", streams: 8, stream_stride: 32, line_reuse: 0.68, working_set: 8 * MB, ..FP_BASE },
+    // mcf: single-depot vehicle scheduling — the pointer-chasing extreme.
+    // Lowest DTLB savings in the paper (55 %): the least line sharing.
+    WorkloadSpec {
+        name: "mcf",
+        is_fp: false,
+        f_load: 0.31,
+        f_store: 0.09,
+        f_branch: 0.19,
+        f_fp_alu: 0.0,
+        f_fp_mul: 0.0,
+        random_frac: 0.30,
+        line_reuse: 0.55,
+        forward_frac: 0.04,
+        streams: 2,
+        working_set: 64 * MB,
+        dep_density: 0.5,
+        dep_distance: 8, // short pointer chains
+        ..INT_BASE
+    },
+    // mesa: software OpenGL — FP-ish INT benchmark, streaming framebuffer.
+    WorkloadSpec { name: "mesa", f_load: 0.24, f_store: 0.15, streams: 6, working_set: 2 * MB, ..INT_BASE },
+    // mgrid: multigrid solver — large power-of-two strides land in few
+    // banks (Fig. 3 high, loses IPC, but lines are shared heavily).
+    WorkloadSpec {
+        name: "mgrid",
+        streams: 4,
+        stream_stride: 2048,
+        bank_skew: 0.70,
+        hot_banks: 1,
+        conflict_duty: 0.10,
+        line_reuse: 0.72,
+        working_set: 8 * MB,
+        f_load: 0.34,
+        f_store: 0.08,
+        ..FP_BASE
+    },
+    // parser: NL parsing — pointer-heavy, tiny occupancy.
+    WorkloadSpec { name: "parser", random_frac: 0.14, working_set: MB, dep_distance: 6, ..INT_BASE },
+    // perlbmk: perl interpreter — branchy dispatch loops.
+    WorkloadSpec { name: "perlbmk", branch_entropy: 0.18, working_set: 512 * KB, f_branch: 0.19, ..INT_BASE },
+    // sixtrack: particle tracking — long dependency chains over many small
+    // arrays; the *least* line sharing in the suite (21 % D-cache savings).
+    WorkloadSpec {
+        name: "sixtrack",
+        streams: 12,
+        stream_stride: 16,
+        line_reuse: 0.42,
+        forward_frac: 0.03,
+        working_set: 512 * KB,
+        f_load: 0.26,
+        f_store: 0.12,
+        dep_density: 0.55,
+        dep_distance: 8,
+        ..FP_BASE
+    },
+    // swim: shallow-water stencils — textbook unit-stride sweeps; the
+    // *most* line sharing (58 % D-cache savings).
+    WorkloadSpec {
+        name: "swim",
+        streams: 6,
+        stream_stride: 4,
+        access_size: 4, // 8 consecutive accesses per 32-byte line
+        line_reuse: 0.55,
+        working_set: 16 * MB,
+        f_load: 0.30,
+        f_store: 0.12,
+        dep_density: 0.25,
+        dep_distance: 32,
+        ..FP_BASE
+    },
+    // twolf: place & route — branchy with scattered small structures.
+    WorkloadSpec { name: "twolf", branch_entropy: 0.20, random_frac: 0.12, working_set: 512 * KB, ..INT_BASE },
+    // vortex: OO database — moderate footprint, store-rich.
+    WorkloadSpec { name: "vortex", f_store: 0.16, working_set: 2 * MB, ..INT_BASE },
+    // vpr: FPGA place & route — like twolf with a larger net list.
+    WorkloadSpec { name: "vpr", branch_entropy: 0.18, random_frac: 0.10, working_set: MB, ..INT_BASE },
+    // wupwise: lattice QCD — regular complex arithmetic, good locality.
+    WorkloadSpec { name: "wupwise", streams: 8, line_reuse: 0.62, working_set: 8 * MB, ..FP_BASE },
+];
+
+/// All 26 benchmarks.
+pub fn all_benchmarks() -> &'static [WorkloadSpec] {
+    &ALL_BENCHMARKS
+}
+
+/// Look a benchmark up by its SPEC name.
+pub fn by_name(name: &str) -> Option<&'static WorkloadSpec> {
+    ALL_BENCHMARKS.iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_complete_and_ordered() {
+        let names: Vec<_> = ALL_BENCHMARKS.iter().map(|s| s.name).collect();
+        let expected = [
+            "ammp", "applu", "apsi", "art", "bzip2", "crafty", "eon", "equake", "facerec",
+            "fma3d", "galgel", "gap", "gcc", "gzip", "lucas", "mcf", "mesa", "mgrid", "parser",
+            "perlbmk", "sixtrack", "swim", "twolf", "vortex", "vpr", "wupwis",
+        ];
+        // Paper's figures truncate wupwise to "wupwis"; we keep full names
+        // but the order must match.
+        assert_eq!(names.len(), 26);
+        for (n, e) in names.iter().zip(expected.iter()) {
+            assert!(n.starts_with(e.trim_end_matches('e')) || n == e, "{n} vs {e}");
+        }
+    }
+
+    #[test]
+    fn every_spec_validates() {
+        for s in all_benchmarks() {
+            s.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("ammp").unwrap().name, "ammp");
+        assert!(by_name("doom").is_none());
+    }
+
+    #[test]
+    fn pathological_benchmarks_are_skewed() {
+        assert!(by_name("ammp").unwrap().bank_skew >= 0.15);
+        assert!(by_name("mgrid").unwrap().bank_skew >= 0.15);
+        assert_eq!(by_name("gcc").unwrap().bank_skew, 0.0);
+    }
+
+    #[test]
+    fn sharing_extremes_match_paper_facts() {
+        // swim shares lines the most, sixtrack the least (Fig. 9).
+        let swim = by_name("swim").unwrap();
+        let sixtrack = by_name("sixtrack").unwrap();
+        assert!(swim.stream_stride < sixtrack.stream_stride);
+        assert!(swim.line_reuse > sixtrack.line_reuse);
+        // mcf is the random-access extreme (Fig. 10).
+        assert!(by_name("mcf").unwrap().random_frac >= 0.3);
+        for s in all_benchmarks() {
+            assert!(s.random_frac <= by_name("mcf").unwrap().random_frac, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn mem_fraction_is_sane() {
+        for s in all_benchmarks() {
+            let m = s.mem_fraction();
+            assert!((0.2..0.6).contains(&m), "{}: mem fraction {m}", s.name);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the synthetic trace generators.
+
+use proptest::prelude::*;
+
+use spec_traces::{all_benchmarks, SpecTrace, WorkloadSpec};
+use trace_isa::{OpClass, TraceSource};
+
+fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    let base = *spec_traces::by_name("gcc").unwrap();
+    (
+        0.05f64..0.4,   // f_load
+        0.02f64..0.2,   // f_store
+        0.02f64..0.2,   // f_branch
+        0.0f64..0.5,    // line_reuse
+        0.0f64..0.3,    // random_frac
+        1usize..16,     // streams
+        prop::sample::select(vec![4u64, 8, 16, 32, 2048]),
+        0.0f64..1.0,    // bank_skew
+        1usize..8,      // hot_banks
+        0.0f64..0.6,    // conflict_duty
+        2usize..16,     // reuse_window
+    )
+        .prop_map(
+            move |(fl, fs, fb, reuse, random, streams, stride, skew, hot, duty, window)| {
+                WorkloadSpec {
+                    f_load: fl,
+                    f_store: fs,
+                    f_branch: fb,
+                    line_reuse: reuse,
+                    random_frac: random,
+                    forward_frac: 0.05,
+                    streams,
+                    stream_stride: stride,
+                    bank_skew: skew,
+                    hot_banks: hot,
+                    conflict_duty: duty,
+                    reuse_window: window,
+                    working_set: 1 << 20,
+                    ..base
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_specs_generate_well_formed_endless_traces(spec in spec_strategy(), seed: u64) {
+        prop_assume!(spec.validate().is_ok());
+        let mut t = SpecTrace::new(&spec, seed);
+        let mut mem_seen = false;
+        for _ in 0..3000 {
+            let op = t.next_op();
+            prop_assert!(op.is_well_formed(), "{op:?}");
+            mem_seen |= op.class.is_mem();
+        }
+        prop_assert!(mem_seen, "a workload without memory ops is useless here");
+    }
+
+    #[test]
+    fn traces_are_reproducible(spec in spec_strategy(), seed: u64) {
+        prop_assume!(spec.validate().is_ok());
+        let mut a = SpecTrace::new(&spec, seed);
+        let mut b = SpecTrace::new(&spec, seed);
+        for _ in 0..1000 {
+            prop_assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn control_flow_always_progresses(spec in spec_strategy(), seed: u64) {
+        // The trap-freedom property: over a long horizon the trace must
+        // visit many distinct PCs (no tiny-loop livelock).
+        prop_assume!(spec.validate().is_ok());
+        prop_assume!(spec.f_branch >= 0.05);
+        let mut t = SpecTrace::new(&spec, seed);
+        let mut pcs = std::collections::HashSet::new();
+        for _ in 0..30_000 {
+            pcs.insert(t.next_op().pc);
+        }
+        prop_assert!(pcs.len() > 200, "only {} distinct PCs visited", pcs.len());
+    }
+}
+
+#[test]
+fn memory_fractions_hold_dynamically_for_the_suite() {
+    for spec in all_benchmarks() {
+        let mut t = SpecTrace::new(spec, 5);
+        let n = 40_000;
+        let mem = (0..n).filter(|_| t.next_op().class.is_mem()).count();
+        let frac = mem as f64 / n as f64;
+        let expect = spec.mem_fraction();
+        assert!(
+            (expect * 0.5..expect * 1.9).contains(&frac),
+            "{}: dynamic mem fraction {frac:.3} vs static {expect:.3}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn branch_outcomes_are_internally_consistent() {
+    for spec in all_benchmarks().iter().take(6) {
+        let mut t = SpecTrace::new(spec, 9);
+        for _ in 0..20_000 {
+            let op = t.next_op();
+            if op.class == OpClass::UncondBranch {
+                assert!(op.branch_info().unwrap().taken);
+            }
+        }
+    }
+}

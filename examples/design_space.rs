@@ -1,0 +1,89 @@
+//! SAMIE-LSQ design-space ablation (§3.5): sweep the DistribLSQ banking,
+//! the slots-per-entry, and the SharedLSQ size around the paper's chosen
+//! 64×2×8 + 8 configuration, and report IPC / deadlocks / energy for each
+//! point — the study a designer would run before committing to Table 3.
+//!
+//! ```sh
+//! cargo run --release --example design_space [bench] [instrs]
+//! ```
+
+use exp_harness::parallel_map;
+use ooo_sim::Simulator;
+use samie_lsq::{ConventionalLsq, FilteredLsq, SamieConfig, SamieLsq};
+use spec_traces::{by_name, SpecTrace};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let bench = args.next().unwrap_or_else(|| "facerec".to_string());
+    let instrs: u64 = args.next().map(|s| s.parse().expect("instr count")).unwrap_or(200_000);
+    let spec = by_name(&bench).expect("unknown benchmark");
+
+    let mut configs: Vec<(String, SamieConfig)> = Vec::new();
+    // Banking sweep at fixed total DistribLSQ capacity (128 entries x 8).
+    for (banks, epb) in [(16, 8), (32, 4), (64, 2), (128, 1)] {
+        configs.push((
+            format!("{banks}x{epb}x8 shared=8"),
+            SamieConfig { banks, entries_per_bank: epb, ..SamieConfig::paper() },
+        ));
+    }
+    // Slots-per-entry sweep (the §3.5 leakage/benefit trade-off).
+    for slots in [2, 4, 8, 16] {
+        configs.push((
+            format!("64x2x{slots} shared=8"),
+            SamieConfig { slots_per_entry: slots, ..SamieConfig::paper() },
+        ));
+    }
+    // SharedLSQ sweep (Figure 4's design decision).
+    for shared in [2, 4, 8, 16] {
+        configs.push((
+            format!("64x2x8 shared={shared}"),
+            SamieConfig { shared_entries: shared, ..SamieConfig::paper() },
+        ));
+    }
+
+    eprintln!("sweeping {} configurations on `{bench}`...", configs.len());
+    let results = parallel_map(&configs, |(label, cfg)| {
+        let mut sim = Simulator::paper(SamieLsq::new(*cfg), SpecTrace::new(spec, 42));
+        sim.warm_up(instrs / 5);
+        let st = sim.run(instrs);
+        (label.clone(), st)
+    });
+
+    println!(
+        "{:>20} {:>7} {:>10} {:>10} {:>10} {:>9}",
+        "configuration", "ipc", "deadlk/Mc", "wayknown%", "tlbskip%", "lsq_nJ"
+    );
+    for (label, st) in &results {
+        let wk = st.l1d.way_known_accesses as f64 / st.l1d.accesses() as f64;
+        let skip = 1.0 - st.dtlb_accesses as f64 / st.l1d.accesses() as f64;
+        println!(
+            "{:>20} {:>7.3} {:>10.1} {:>9.1}% {:>9.1}% {:>9.0}",
+            label,
+            st.ipc(),
+            st.deadlocks_per_mcycle(),
+            wk * 100.0,
+            skip * 100.0,
+            energy_model::price_lsq(&st.lsq).total(),
+        );
+    }
+    println!("\n(the paper's Table 3 point is 64x2x8 shared=8)");
+
+    // Related-work corner of the design space (§2): filtering accesses to
+    // a conventional LSQ saves searches but keeps the big CAM.
+    let mut conv = Simulator::paper(ConventionalLsq::paper(), SpecTrace::new(spec, 42));
+    conv.warm_up(instrs / 5);
+    let conv_stats = conv.run(instrs);
+    let mut filt = Simulator::paper(FilteredLsq::paper(), SpecTrace::new(spec, 42));
+    filt.warm_up(instrs / 5);
+    let filt_stats = filt.run(instrs);
+    println!("\nrelated work (§2) on `{bench}`:");
+    println!(
+        "  conventional 128-entry CAM : {:>9.0} nJ",
+        energy_model::price_lsq(&conv_stats.lsq).total()
+    );
+    println!(
+        "  + counting Bloom filters   : {:>9.0} nJ  ({:.0}% of searches filtered)",
+        energy_model::price_lsq(&filt_stats.lsq).total(),
+        filt.lsq().filter_rate() * 100.0
+    );
+}
