@@ -244,6 +244,33 @@ impl LoadStoreQueue for FilteredLsq {
     }
 }
 
+impl FilteredLsq {
+    /// Record the op's line in the appropriate filter and decide whether
+    /// its disambiguation search can be skipped. Returns `true` if the
+    /// search was filtered (provably no dependence). Called by
+    /// `address_ready`; public for the ablation experiments.
+    pub fn filter_check(&mut self, op: MemOp) -> bool {
+        let line = line_index(op.mref.addr);
+        let filtered = if op.is_store {
+            !self.load_filter.may_contain(line)
+        } else {
+            !self.store_filter.may_contain(line)
+        };
+        if filtered {
+            self.filtered_searches += 1;
+        } else {
+            self.performed_searches += 1;
+        }
+        if op.is_store {
+            self.store_filter.insert(line);
+        } else {
+            self.load_filter.insert(line);
+        }
+        self.tracked.push((op.age, op.is_store, line));
+        filtered
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,32 +314,5 @@ mod tests {
         assert!(f.may_contain(7), "one occurrence must remain");
         f.remove(7);
         assert!(!f.may_contain(7));
-    }
-}
-
-impl FilteredLsq {
-    /// Record the op's line in the appropriate filter and decide whether
-    /// its disambiguation search can be skipped. Returns `true` if the
-    /// search was filtered (provably no dependence). Called by
-    /// `address_ready`; public for the ablation experiments.
-    pub fn filter_check(&mut self, op: MemOp) -> bool {
-        let line = line_index(op.mref.addr);
-        let filtered = if op.is_store {
-            !self.load_filter.may_contain(line)
-        } else {
-            !self.store_filter.may_contain(line)
-        };
-        if filtered {
-            self.filtered_searches += 1;
-        } else {
-            self.performed_searches += 1;
-        }
-        if op.is_store {
-            self.store_filter.insert(line);
-        } else {
-            self.load_filter.insert(line);
-        }
-        self.tracked.push((op.age, op.is_store, line));
-        filtered
     }
 }

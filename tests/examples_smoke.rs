@@ -1,0 +1,57 @@
+//! Smoke tests: every example must run to completion.
+//!
+//! `cargo test` only proves the examples *compile*; these tests actually
+//! execute them (through `cargo run --release`, reusing the already-built
+//! release artifacts from the tier-1 `cargo build --release`) so a rotted
+//! example fails CI instead of failing the next human who tries the README
+//! commands. Instruction counts are scaled down — the point is liveness
+//! and well-formed output, not statistics.
+
+use std::process::Command;
+
+/// Run one example with `cargo run --release` and return its stdout.
+fn run_example(name: &str, args: &[&str]) -> String {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let mut cmd = Command::new(cargo);
+    cmd.current_dir(env!("CARGO_MANIFEST_DIR"))
+        .args(["run", "--quiet", "--release", "--example", name, "--"])
+        .args(args);
+    let out = cmd.output().unwrap_or_else(|e| panic!("failed to spawn cargo for {name}: {e}"));
+    assert!(
+        out.status.success(),
+        "example `{name}` exited with {:?}\n--- stderr ---\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn quickstart_runs() {
+    let out = run_example("quickstart", &["gzip", "30000"]);
+    assert!(out.contains("IPC"), "missing IPC line:\n{out}");
+    assert!(out.contains("LSQ energy"), "missing energy section:\n{out}");
+    assert!(out.contains("final LSQ occupancy"), "missing occupancy line:\n{out}");
+}
+
+#[test]
+fn design_space_runs() {
+    let out = run_example("design_space", &["gzip", "20000"]);
+    assert!(out.contains("64x2x8"), "missing the paper's Table 3 point:\n{out}");
+}
+
+#[test]
+fn energy_comparison_runs() {
+    let out = run_example("energy_comparison", &["20000", "gzip,swim"]);
+    assert!(out.contains("gzip"), "missing per-benchmark row:\n{out}");
+    assert!(out.contains("suite:"), "missing suite summary:\n{out}");
+    assert!(out.contains("paper:"), "missing paper reference line:\n{out}");
+}
+
+#[test]
+fn deadlock_pathology_runs() {
+    let out = run_example("deadlock_pathology", &[]);
+    assert!(out.contains("--- ammp ---"), "missing pathological benchmark:\n{out}");
+    assert!(out.contains("--- gzip ---"), "missing well-behaved benchmark:\n{out}");
+    assert!(out.contains("IPC"), "missing IPC lines:\n{out}");
+}

@@ -1,0 +1,223 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace's bench targets (`crates/bench/benches/*.rs`) are written
+//! against criterion's API. This stand-in keeps those sources compiling and
+//! runnable under `cargo bench` without crates.io access: each benchmark is
+//! timed with `std::time::Instant` over a short adaptive loop and reported
+//! as `ns/iter` on stdout. No statistics, plots, or baselines — the point
+//! is that bench targets build, run, and give a usable order-of-magnitude
+//! number.
+//!
+//! Supported surface: `Criterion::{bench_function, benchmark_group}`,
+//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input,
+//! finish}`, `BenchmarkId::new`, `Bencher::{iter, iter_batched}`, `black_box`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion's optimizer barrier.
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark. Kept short: these benches exist
+/// to detect order-of-magnitude regressions, not 1% shifts.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+const WARMUP_ITERS: u64 = 3;
+
+/// Times closures and reports the per-iteration cost.
+pub struct Bencher {
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher { last_ns_per_iter: f64::NAN }
+    }
+
+    /// Time `f`, adaptively choosing an iteration count to fit the budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        let mut iters: u64 = 1;
+        let start = Instant::now();
+        let mut total_iters: u64 = 0;
+        loop {
+            for _ in 0..iters {
+                black_box(f());
+            }
+            total_iters += iters;
+            let elapsed = start.elapsed();
+            if elapsed >= MEASURE_BUDGET || total_iters >= u64::MAX / 4 {
+                self.last_ns_per_iter = elapsed.as_nanos() as f64 / total_iters as f64;
+                return;
+            }
+            iters = iters.saturating_mul(2);
+        }
+    }
+
+    /// Criterion's batched iteration. **Unlike real criterion, the setup
+    /// closure runs inside the timed loop here**, so reported ns/iter
+    /// includes setup cost — acceptable for order-of-magnitude regression
+    /// spotting, wrong for comparing against upstream criterion numbers.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.iter(|| routine(setup()));
+    }
+}
+
+/// Batch sizing hint (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: Display>(function_name: impl Into<String>, parameter: P) -> Self {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+fn run_bench(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new();
+    f(&mut b);
+    if b.last_ns_per_iter.is_nan() {
+        println!("{label:<50} (no measurement)");
+    } else {
+        println!("{label:<50} {:>14.1} ns/iter", b.last_ns_per_iter);
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(name, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.to_string() }
+    }
+
+    /// Configuration knob accepted for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id.into_benchmark_id().name), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id.into_benchmark_id().name), &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Anything usable as a benchmark label.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; ignore them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &x| b.iter(|| x * 2));
+        g.finish();
+    }
+}

@@ -1,0 +1,80 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::queue::SegQueue` is consumed by this workspace (as a
+//! work-distribution queue for the experiment runner). This stand-in keeps
+//! the unbounded MPMC `push`/`pop` API but backs it with a mutexed
+//! `VecDeque`; contention here is a handful of worker threads popping
+//! indices, far below where lock-freedom would matter.
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Unbounded MPMC queue (API-compatible subset of crossbeam's SegQueue).
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        pub fn new() -> Self {
+            SegQueue { inner: Mutex::new(VecDeque::new()) }
+        }
+
+        pub fn push(&self, value: T) {
+            self.inner.lock().unwrap_or_else(|p| p.into_inner()).push_back(value);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().unwrap_or_else(|p| p.into_inner()).pop_front()
+        }
+
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap_or_else(|p| p.into_inner()).len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::SegQueue;
+
+    #[test]
+    fn fifo_order() {
+        let q = SegQueue::new();
+        for i in 0..10 {
+            q.push(i);
+        }
+        assert_eq!(q.len(), 10);
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_drain_sees_every_item() {
+        let q = SegQueue::new();
+        for i in 0..1000u32 {
+            q.push(i);
+        }
+        let seen = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    while let Some(i) = q.pop() {
+                        seen.lock().unwrap().push(i);
+                    }
+                });
+            }
+        });
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..1000).collect::<Vec<_>>());
+    }
+}

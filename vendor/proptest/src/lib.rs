@@ -1,0 +1,554 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this crate vendors the
+//! subset of proptest's API the workspace's property suites use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, implemented for integer and
+//!   float ranges, tuples (up to 12 elements), [`Just`], `prop::sample::select`
+//!   and `prop::collection::vec`;
+//! * [`any`] over an [`Arbitrary`] trait for the primitive types;
+//! * the [`proptest!`] macro supporting `#![proptest_config(..)]`,
+//!   `pattern in strategy` bindings and `name: Type` (implicit `any`)
+//!   bindings, plus `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`
+//!   and `prop_assume!`.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated values via
+//!   the assertion message; there is no minimization pass.
+//! * **Deterministic by construction.** Each test's RNG is seeded from a
+//!   stable hash of its `module_path!()::name`, so `cargo test` produces
+//!   the same cases on every run and machine — no persistence files or
+//!   `PROPTEST_RNG_SEED` pinning needed. Set `PROPTEST_SEED=<u64>` to
+//!   explore a different universe of cases.
+//! * **Case count** comes from `ProptestConfig::with_cases(..)` and can be
+//!   overridden with the `PROPTEST_CASES=<n>` environment variable, which
+//!   upstream also honours.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// The deterministic RNG driving every strategy (the vendored `rand`
+/// crate's seeded stream, so the sampling logic lives in one place).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: rand::rngs::SmallRng,
+}
+
+impl TestRng {
+    /// Seed deterministically from a test's fully-qualified name, so each
+    /// test explores its own — but stable — universe of cases.
+    pub fn for_test(test_path: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = s.trim().parse::<u64>() {
+                h ^= extra.rotate_left(32);
+            }
+        }
+        TestRng { rng: rand::SeedableRng::seed_from_u64(h) }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        rand::RngCore::next_u64(&mut self.rng)
+    }
+
+    fn below(&mut self, span: u64) -> u64 {
+        rand::Rng::gen_range(&mut self.rng, 0..span)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        rand::Rng::gen(&mut self.rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+/// Runner configuration (only the case count is meaningful here).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Cases to run, honouring the `PROPTEST_CASES` override upstream also
+    /// supports.
+    pub fn resolved_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f, whence }
+    }
+}
+
+/// `strategy.prop_map(f)`.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `strategy.prop_filter(reason, f)` — rejection-samples, bounded.
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 candidates in a row: {}", self.whence);
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Range strategies delegate to the vendored rand crate, which owns the
+// overflow-sensitive uniform-sampling logic (single source of truth).
+macro_rules! impl_strategy_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(&mut rng.rng, self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(&mut rng.rng, self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_tuple!(A);
+impl_strategy_tuple!(A, B);
+impl_strategy_tuple!(A, B, C);
+impl_strategy_tuple!(A, B, C, D);
+impl_strategy_tuple!(A, B, C, D, E);
+impl_strategy_tuple!(A, B, C, D, E, F);
+impl_strategy_tuple!(A, B, C, D, E, F, G);
+impl_strategy_tuple!(A, B, C, D, E, F, G, H);
+impl_strategy_tuple!(A, B, C, D, E, F, G, H, I);
+impl_strategy_tuple!(A, B, C, D, E, F, G, H, I, J);
+impl_strategy_tuple!(A, B, C, D, E, F, G, H, I, J, K);
+impl_strategy_tuple!(A, B, C, D, E, F, G, H, I, J, K, L);
+
+// ---------------------------------------------------------------------------
+// Arbitrary / any
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical `any::<T>()` strategy (also used for `name: T`
+/// bindings in `proptest!`). Integers and bools cover their whole domain.
+/// **Floats deliberately narrow to uniform `[0, 1)`** — unlike upstream
+/// proptest, which samples the full f64 domain (negatives, huge values,
+/// subnormals); use an explicit range strategy when other values matter.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        // 24 mantissa bits directly, so the result stays strictly < 1.0
+        // (casting a unit f64 could round up to exactly 1.0f32).
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy wrapper produced by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// Collections and sampling (the `prop::` namespace)
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty vec length range");
+        VecStrategy { element, len }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// `prop::sample::select(values)` — uniform choice from a fixed list.
+    pub fn select<T: Clone + std::fmt::Debug>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select from an empty list");
+        Select { values }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        values: Vec<T>,
+    }
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.values[rng.below(self.values.len() as u64) as usize].clone()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition;
+/// the runner generates a replacement case (bounded by a 10x attempt cap,
+/// past which the test fails rather than passing vacuously).
+///
+/// Expands to a `continue` targeting the case loop in [`proptest!`] — so
+/// unlike upstream, it must not be used *inside a loop* in the test body
+/// (it would skip that loop's iteration instead of the case).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// The test-defining macro. Supports the forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(256))]
+///
+///     #[test]
+///     fn prop(xs in prop::collection::vec(0u64..10, 1..60), mask: u64) { .. }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __cases = __cfg.resolved_cases();
+            let mut __rng =
+                $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            // `prop_assume!` rejections `continue` past the case-completion
+            // counter below, so a rejected case is regenerated rather than
+            // silently consumed; the 10x attempt cap mirrors upstream's
+            // rejection limit and fails loudly instead of passing vacuously.
+            let mut __done: u32 = 0;
+            let mut __attempts: u32 = 0;
+            let __max_attempts = __cases.saturating_mul(10).max(1);
+            while __done < __cases && __attempts < __max_attempts {
+                __attempts += 1;
+                $crate::__proptest_case!(__rng; $body; $($params)*);
+                __done += 1;
+            }
+            assert!(
+                __done >= __cases,
+                "prop_assume! rejected {} of {} generated cases; gave up with {}/{} cases run",
+                __attempts - __done,
+                __attempts,
+                __done,
+                __cases
+            );
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    ($rng:ident; $body:block;) => {
+        { $body }
+    };
+    ($rng:ident; $body:block; $name:ident : $ty:ty, $($rest:tt)+) => {
+        {
+            let $name: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+            $crate::__proptest_case!($rng; $body; $($rest)+)
+        }
+    };
+    ($rng:ident; $body:block; $name:ident : $ty:ty $(,)?) => {
+        {
+            let $name: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+            { $body }
+        }
+    };
+    ($rng:ident; $body:block; $pat:pat in $strat:expr, $($rest:tt)+) => {
+        {
+            let $pat = $crate::Strategy::generate(&($strat), &mut $rng);
+            $crate::__proptest_case!($rng; $body; $($rest)+)
+        }
+    };
+    ($rng:ident; $body:block; $pat:pat in $strat:expr $(,)?) => {
+        {
+            let $pat = $crate::Strategy::generate(&($strat), &mut $rng);
+            { $body }
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Prelude
+// ---------------------------------------------------------------------------
+
+pub mod prelude {
+    pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`, `prop::sample::select`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[allow(unused_imports)]
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn determinism_across_runners() {
+        let mut a = TestRng::for_test("x::y");
+        let mut b = TestRng::for_test("x::y");
+        let s = (0u64..100, any::<bool>()).prop_map(|(n, f)| if f { n } else { n + 100 });
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+        // A different test name gives a different stream.
+        let mut c = TestRng::for_test("x::z");
+        assert_ne!(
+            (0..50).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..50).map(|_| c.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_binds_both_forms(
+            xs in prop::collection::vec((0u64..8, any::<bool>()), 1..20),
+            pick in prop::sample::select(vec![1u8, 2, 4, 8]),
+            mask: u64,
+        ) {
+            prop_assume!(!xs.is_empty());
+            prop_assert!(xs.len() < 20);
+            prop_assert!(xs.iter().all(|&(n, _)| n < 8), "bad n in {xs:?}");
+            prop_assert_eq!(pick.count_ones(), 1);
+            let _ = mask;
+        }
+
+        #[test]
+        fn float_ranges_in_bounds(x in 0.25f64..0.75, y in 0.0f64..=1.0) {
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn full_domain_inclusive_range_does_not_overflow(x in 0u64..=u64::MAX) {
+            // span = 2^64 must not wrap to 0 (which would pin x at 0).
+            let _ = x;
+        }
+
+        #[test]
+        fn assume_regenerates_rejected_cases(x in 0u64..100) {
+            // ~50% rejection: every *run* case still satisfies the
+            // assumption, and the runner must not pass vacuously.
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        #[should_panic(expected = "prop_assume! rejected")]
+        fn assume_rejection_cap_fails_loudly(x in 0u64..100) {
+            prop_assume!(x > 100); // never satisfiable
+        }
+    }
+}
