@@ -21,8 +21,7 @@ fn bench_paired(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("conventional", bench), &spec, |b, spec| {
             b.iter(|| {
-                let mut sim =
-                    Simulator::paper(ConventionalLsq::paper(), SpecTrace::new(spec, 42));
+                let mut sim = Simulator::paper(ConventionalLsq::paper(), SpecTrace::new(spec, 42));
                 sim.run(INSTRS).ipc()
             })
         });

@@ -24,10 +24,19 @@ fn bench_pricing(c: &mut Criterion) {
     let se = price_lsq(&samie_stats.lsq);
     let ce = price_lsq(&conv_stats.lsq);
     let (d, s, a, u) = se.breakdown_fractions();
-    eprintln!("\nFigure 7 (swim, reduced): conventional {:.0} nJ vs SAMIE {:.0} nJ ({:.1}% saved)",
-        ce.total(), se.total(), (1.0 - se.total() / ce.total()) * 100.0);
-    eprintln!("Figure 8 (swim): dist {:.0}% shared {:.0}% abuf {:.0}% bus {:.0}%",
-        d * 100.0, s * 100.0, a * 100.0, u * 100.0);
+    eprintln!(
+        "\nFigure 7 (swim, reduced): conventional {:.0} nJ vs SAMIE {:.0} nJ ({:.1}% saved)",
+        ce.total(),
+        se.total(),
+        (1.0 - se.total() / ce.total()) * 100.0
+    );
+    eprintln!(
+        "Figure 8 (swim): dist {:.0}% shared {:.0}% abuf {:.0}% bus {:.0}%",
+        d * 100.0,
+        s * 100.0,
+        a * 100.0,
+        u * 100.0
+    );
 }
 
 criterion_group!(benches, bench_pricing);

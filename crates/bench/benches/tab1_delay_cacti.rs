@@ -19,7 +19,9 @@ fn bench_cacti(c: &mut Criterion) {
             acc
         })
     });
-    c.bench_function("section36_lsq_delays", |b| b.iter(|| lsq_delays(black_box(&p))));
+    c.bench_function("section36_lsq_delays", |b| {
+        b.iter(|| lsq_delays(black_box(&p)))
+    });
 
     eprintln!("\nTable 1 regeneration (model vs paper):");
     for (kb, assoc, ports, conv, known) in TABLE1 {

@@ -33,7 +33,11 @@ impl ArbConfig {
     /// A Figure 1 configuration: `banks × rows`, e.g. `fig1(64, 2)` is the
     /// "64x2" point; `max_inflight` 128 ("Normal") unless halved.
     pub fn fig1(banks: usize, rows_per_bank: usize) -> Self {
-        ArbConfig { banks, rows_per_bank, max_inflight: 128 }
+        ArbConfig {
+            banks,
+            rows_per_bank,
+            max_inflight: 128,
+        }
     }
 
     /// The "half number of addresses" variant of Figure 1.
@@ -43,7 +47,10 @@ impl ArbConfig {
     }
 
     fn validate(&self) {
-        assert!(self.banks.is_power_of_two(), "ARB banks must be a power of two");
+        assert!(
+            self.banks.is_power_of_two(),
+            "ARB banks must be a power of two"
+        );
         assert!(self.rows_per_bank > 0 && self.max_inflight > 0);
     }
 }
@@ -169,8 +176,14 @@ impl LoadStoreQueue for ArbLsq {
     fn dispatch(&mut self, op: MemOp) {
         debug_assert!(self.inflight < self.cfg.max_inflight);
         self.inflight += 1;
-        let prev =
-            self.ops.insert(op.age, ArbOp { op, stage: Stage::Dispatched, data_ready: false });
+        let prev = self.ops.insert(
+            op.age,
+            ArbOp {
+                op,
+                stage: Stage::Dispatched,
+                data_ready: false,
+            },
+        );
         debug_assert!(prev.is_none(), "duplicate age {}", op.age);
     }
 
@@ -278,7 +291,9 @@ impl LoadStoreQueue for ArbLsq {
     }
 
     fn is_buffered(&self, age: Age) -> bool {
-        self.ops.get(&age).is_some_and(|o| o.stage == Stage::Buffered)
+        self.ops
+            .get(&age)
+            .is_some_and(|o| o.stage == Stage::Buffered)
     }
 
     fn tick(&mut self, promoted: &mut Vec<Age>) {
@@ -328,7 +343,11 @@ mod tests {
 
     fn tiny() -> ArbLsq {
         // 2 banks x 1 row, cap 8
-        ArbLsq::new(ArbConfig { banks: 2, rows_per_bank: 1, max_inflight: 8 })
+        ArbLsq::new(ArbConfig {
+            banks: 2,
+            rows_per_bank: 1,
+            max_inflight: 8,
+        })
     }
 
     #[test]
@@ -340,7 +359,10 @@ mod tests {
         assert_eq!(a.address_ready(2), PlaceOutcome::Placed);
         assert_eq!(a.occupancy().conv_entries, 1, "one row for one word");
         a.store_executed(1);
-        assert_eq!(a.load_forward_status(2), ForwardStatus::Forward { store: 1 });
+        assert_eq!(
+            a.load_forward_status(2),
+            ForwardStatus::Forward { store: 1 }
+        );
     }
 
     #[test]
@@ -361,7 +383,11 @@ mod tests {
 
     #[test]
     fn inflight_cap_gates_dispatch() {
-        let mut a = ArbLsq::new(ArbConfig { banks: 2, rows_per_bank: 4, max_inflight: 2 });
+        let mut a = ArbLsq::new(ArbConfig {
+            banks: 2,
+            rows_per_bank: 4,
+            max_inflight: 2,
+        });
         a.dispatch(MemOp::load(1, MemRef::new(0, 4)));
         a.dispatch(MemOp::load(2, MemRef::new(8, 4)));
         assert!(!a.can_dispatch(false));

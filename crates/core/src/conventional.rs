@@ -16,7 +16,7 @@ use std::collections::VecDeque;
 
 use crate::activity::LsqActivity;
 use crate::traits::{CachePlan, LoadStoreQueue};
-use crate::types::{Age, ForwardStatus, LsqOccupancy, MemOp, PlaceOutcome};
+use crate::types::{Age, AgeMap, ForwardStatus, LsqOccupancy, MemOp, PlaceOutcome};
 use trace_isa::MemRef;
 
 #[derive(Debug, Clone, Copy)]
@@ -33,6 +33,19 @@ struct ConvEntry {
 pub struct ConventionalLsq {
     entries: VecDeque<ConvEntry>,
     capacity: usize,
+    /// Ages of in-flight stores whose address is known, ascending — the
+    /// §4.2 CAM-operand count for a load is then one binary search
+    /// instead of a scan over the whole queue.
+    known_stores: Vec<Age>,
+    /// Ages of in-flight loads whose address is known, ascending (the
+    /// store-side operand count).
+    known_loads: Vec<Age>,
+    /// Age -> dispatch sequence number; with `base_seq` (the sequence
+    /// number of the current front entry) this makes every in-queue
+    /// lookup O(1) instead of a binary search.
+    seq_of: AgeMap<u64>,
+    /// Sequence number of `entries.front()`.
+    base_seq: u64,
     activity: LsqActivity,
     /// When false, no activity is recorded (used by [`crate::UnboundedLsq`],
     /// which models an ideal structure whose energy is not under study).
@@ -56,6 +69,10 @@ impl ConventionalLsq {
         ConventionalLsq {
             entries: VecDeque::with_capacity(capacity.min(1024)),
             capacity,
+            known_stores: Vec::new(),
+            known_loads: Vec::new(),
+            seq_of: AgeMap::default(),
+            base_seq: 0,
             activity: LsqActivity::default(),
             count_activity: true,
             skip_next_search: false,
@@ -82,8 +99,9 @@ impl ConventionalLsq {
     }
 
     fn idx_of(&self, age: Age) -> usize {
-        // Entries are age-sorted (dispatch order); binary search.
-        let i = self.entries.partition_point(|e| e.age < age);
+        // Entries are age-sorted (dispatch order); the op's dispatch
+        // sequence number minus the front's gives its position directly.
+        let i = (self.seq_of[&age] - self.base_seq) as usize;
         debug_assert!(
             i < self.entries.len() && self.entries[i].age == age,
             "op {age} not in conventional LSQ"
@@ -102,8 +120,16 @@ impl LoadStoreQueue for ConventionalLsq {
     }
 
     fn dispatch(&mut self, op: MemOp) {
-        debug_assert!(self.entries.len() < self.capacity, "dispatch into a full LSQ");
-        debug_assert!(self.entries.back().is_none_or(|e| e.age < op.age), "ages must ascend");
+        debug_assert!(
+            self.entries.len() < self.capacity,
+            "dispatch into a full LSQ"
+        );
+        debug_assert!(
+            self.entries.back().is_none_or(|e| e.age < op.age),
+            "ages must ascend"
+        );
+        self.seq_of
+            .insert(op.age, self.base_seq + self.entries.len() as u64);
         self.entries.push_back(ConvEntry {
             age: op.age,
             is_store: op.is_store,
@@ -115,20 +141,31 @@ impl LoadStoreQueue for ConventionalLsq {
 
     fn address_ready(&mut self, age: Age) -> PlaceOutcome {
         let i = self.idx_of(age);
-        debug_assert!(!self.entries[i].addr_known, "address computed twice for {age}");
+        debug_assert!(
+            !self.entries[i].addr_known,
+            "address computed twice for {age}"
+        );
         self.entries[i].addr_known = true;
         let is_store = self.entries[i].is_store;
         let skip = std::mem::replace(&mut self.skip_next_search, false);
         if self.count_activity && !skip {
             // CAM search: loads against older stores with known addresses,
             // stores against younger loads with known addresses (§4.2).
+            // The op itself is not yet in either known-age list.
             let operands = if is_store {
-                self.entries.iter().skip(i + 1).filter(|e| !e.is_store && e.addr_known).count()
+                self.known_loads.len() - self.known_loads.partition_point(|&a| a < age)
             } else {
-                self.entries.iter().take(i).filter(|e| e.is_store && e.addr_known).count()
+                self.known_stores.partition_point(|&a| a < age)
             };
             self.activity.conv_addr.search(operands as u64);
         }
+        let known = if is_store {
+            &mut self.known_stores
+        } else {
+            &mut self.known_loads
+        };
+        let at = known.partition_point(|&a| a < age);
+        known.insert(at, age);
         if self.count_activity {
             // Writing the freshly computed address into the entry.
             self.activity.conv_addr.rw(1);
@@ -151,9 +188,12 @@ impl LoadStoreQueue for ConventionalLsq {
         let load = self.entries[i];
         debug_assert!(!load.is_store && load.addr_known);
         // Youngest older store with a known overlapping address.
-        let hit = self.entries.iter().take(i).rev().find(|e| {
-            e.is_store && e.addr_known && e.mref.overlaps(load.mref)
-        });
+        let hit = self
+            .entries
+            .iter()
+            .take(i)
+            .rev()
+            .find(|e| e.is_store && e.addr_known && e.mref.overlaps(load.mref));
         match hit {
             None => ForwardStatus::AccessCache,
             Some(st) if st.mref.covers(load.mref) && st.data_ready => {
@@ -197,17 +237,38 @@ impl LoadStoreQueue for ConventionalLsq {
             // Store datum read out on its way to the cache.
             self.activity.conv_data_rw += 1;
         }
+        if front.addr_known {
+            // The oldest in-flight op sits at the head of its known list.
+            let known = if front.is_store {
+                &mut self.known_stores
+            } else {
+                &mut self.known_loads
+            };
+            debug_assert_eq!(known.first(), Some(&age));
+            known.remove(0);
+        }
+        self.seq_of.remove(&age);
+        self.base_seq += 1;
         self.entries.pop_front();
     }
 
     fn squash_younger(&mut self, age: Age) {
         while self.entries.back().is_some_and(|e| e.age > age) {
-            self.entries.pop_back();
+            let e = self.entries.pop_back().expect("back exists");
+            self.seq_of.remove(&e.age);
         }
+        self.known_stores
+            .truncate(self.known_stores.partition_point(|&a| a <= age));
+        self.known_loads
+            .truncate(self.known_loads.partition_point(|&a| a <= age));
     }
 
     fn flush_all(&mut self) {
         self.entries.clear();
+        self.known_stores.clear();
+        self.known_loads.clear();
+        self.seq_of.clear();
+        self.base_seq = 0;
     }
 
     fn is_buffered(&self, _age: Age) -> bool {
@@ -229,7 +290,10 @@ impl LoadStoreQueue for ConventionalLsq {
     }
 
     fn occupancy(&self) -> LsqOccupancy {
-        LsqOccupancy { conv_entries: self.entries.len(), ..LsqOccupancy::default() }
+        LsqOccupancy {
+            conv_entries: self.entries.len(),
+            ..LsqOccupancy::default()
+        }
     }
 }
 
@@ -267,7 +331,10 @@ mod tests {
         l.address_ready(3);
         l.store_executed(1);
         l.store_executed(2);
-        assert_eq!(l.load_forward_status(3), ForwardStatus::Forward { store: 2 });
+        assert_eq!(
+            l.load_forward_status(3),
+            ForwardStatus::Forward { store: 2 }
+        );
     }
 
     #[test]
@@ -305,7 +372,10 @@ mod tests {
         l.address_ready(2);
         assert_eq!(l.load_forward_status(2), ForwardStatus::Wait);
         l.store_executed(1);
-        assert_eq!(l.load_forward_status(2), ForwardStatus::Forward { store: 1 });
+        assert_eq!(
+            l.load_forward_status(2),
+            ForwardStatus::Forward { store: 1 }
+        );
     }
 
     #[test]

@@ -35,7 +35,11 @@ impl CountingBloom {
     /// `buckets` must be a power of two; `hashes` ≥ 1.
     pub fn new(buckets: usize, hashes: u32) -> Self {
         assert!(buckets.is_power_of_two() && hashes >= 1);
-        CountingBloom { counters: vec![0; buckets], mask: buckets as u64 - 1, hashes }
+        CountingBloom {
+            counters: vec![0; buckets],
+            mask: buckets as u64 - 1,
+            hashes,
+        }
     }
 
     fn index(&self, key: u64, i: u32) -> usize {
@@ -81,9 +85,11 @@ pub struct FilteredLsq {
     store_filter: CountingBloom,
     /// Lines of in-flight loads with known addresses (checked by stores).
     load_filter: CountingBloom,
-    /// Dispatched ops whose address has not reached the LSQ yet.
+    /// Dispatched ops whose address has not reached the LSQ yet
+    /// (age-sorted: dispatch allocates ages monotonically).
     pending: Vec<(Age, MemOp)>,
-    /// Ops whose line was inserted (so commit/squash can remove them).
+    /// Ops whose line was inserted, age-sorted (so commit — always the
+    /// oldest — and squash are binary searches, not scans).
     tracked: Vec<(Age, bool, u64)>,
     /// Searches skipped thanks to a filter miss.
     filtered_searches: u64,
@@ -134,8 +140,9 @@ impl FilteredLsq {
     }
 
     fn untrack(&mut self, age: Age) {
-        if let Some(i) = self.tracked.iter().position(|&(a, _, _)| a == age) {
-            let (_, is_store, line) = self.tracked.swap_remove(i);
+        let i = self.tracked.partition_point(|&(a, _, _)| a < age);
+        if self.tracked.get(i).is_some_and(|&(a, _, _)| a == age) {
+            let (_, is_store, line) = self.tracked.remove(i);
             if is_store {
                 self.store_filter.remove(line);
             } else {
@@ -155,13 +162,21 @@ impl LoadStoreQueue for FilteredLsq {
     }
 
     fn dispatch(&mut self, op: MemOp) {
+        debug_assert!(
+            self.pending.last().is_none_or(|&(a, _)| a < op.age),
+            "ages must ascend"
+        );
         self.pending.push((op.age, op));
         self.inner.dispatch(op);
     }
 
     fn address_ready(&mut self, age: Age) -> PlaceOutcome {
-        let i = self.pending.iter().position(|&(a, _)| a == age).expect("dispatched op");
-        let (_, op) = self.pending.swap_remove(i);
+        let i = self.pending.partition_point(|&(a, _)| a < age);
+        assert!(
+            self.pending.get(i).is_some_and(|&(a, _)| a == age),
+            "address_ready for an undispatched op ({age})"
+        );
+        let (_, op) = self.pending.remove(i);
         if self.filter_check(op) {
             // Provably dependence-free: the CAM search is skipped; only
             // the address write is paid.
@@ -204,12 +219,18 @@ impl LoadStoreQueue for FilteredLsq {
     }
 
     fn squash_younger(&mut self, age: Age) {
-        let doomed: Vec<Age> =
-            self.tracked.iter().filter(|&&(a, _, _)| a > age).map(|&(a, _, _)| a).collect();
-        for a in doomed {
-            self.untrack(a);
+        for (_, is_store, line) in self
+            .tracked
+            .split_off(self.tracked.partition_point(|&(a, _, _)| a <= age))
+        {
+            if is_store {
+                self.store_filter.remove(line);
+            } else {
+                self.load_filter.remove(line);
+            }
         }
-        self.pending.retain(|&(a, _)| a <= age);
+        self.pending
+            .truncate(self.pending.partition_point(|&(a, _)| a <= age));
         self.inner.squash_younger(age);
     }
 
@@ -266,7 +287,15 @@ impl FilteredLsq {
         } else {
             self.load_filter.insert(line);
         }
-        self.tracked.push((op.age, op.is_store, line));
+        // Addresses compute nearly in age order, so the append fast path
+        // covers almost every insert.
+        match self.tracked.last() {
+            Some(&(last, _, _)) if last >= op.age => {
+                let at = self.tracked.partition_point(|&(a, _, _)| a < op.age);
+                self.tracked.insert(at, (op.age, op.is_store, line));
+            }
+            _ => self.tracked.push((op.age, op.is_store, line)),
+        }
         filtered
     }
 }

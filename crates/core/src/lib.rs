@@ -45,5 +45,5 @@ pub use conventional::ConventionalLsq;
 pub use filtered::{CountingBloom, FilteredLsq};
 pub use samie::{SamieConfig, SamieLsq};
 pub use traits::{CachePlan, LoadStoreQueue};
-pub use types::{Age, ForwardStatus, LsqOccupancy, MemOp, PlaceOutcome};
+pub use types::{Age, AgeHasher, AgeMap, ForwardStatus, LsqOccupancy, MemOp, PlaceOutcome};
 pub use unbounded::UnboundedLsq;

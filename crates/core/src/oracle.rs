@@ -25,7 +25,11 @@ pub struct OracleOp {
 impl OracleOp {
     /// An op whose address is known.
     pub fn known(op: MemOp, data_ready: bool) -> Self {
-        OracleOp { op, addr_known: true, data_ready }
+        OracleOp {
+            op,
+            addr_known: true,
+            data_ready,
+        }
     }
 }
 
@@ -38,14 +42,14 @@ pub fn forward_status(ops: &[OracleOp], load_age: Age) -> ForwardStatus {
         .iter()
         .find(|o| o.op.age == load_age)
         .expect("load not among ops");
-    assert!(!load.op.is_store && load.addr_known, "oracle query needs a known-address load");
+    assert!(
+        !load.op.is_store && load.addr_known,
+        "oracle query needs a known-address load"
+    );
     let candidate = ops
         .iter()
         .filter(|o| {
-            o.op.is_store
-                && o.addr_known
-                && o.op.age < load_age
-                && o.op.mref.overlaps(load.op.mref)
+            o.op.is_store && o.addr_known && o.op.age < load_age && o.op.mref.overlaps(load.op.mref)
         })
         .max_by_key(|o| o.op.age);
     match candidate {
@@ -78,7 +82,11 @@ mod tests {
 
     #[test]
     fn youngest_older_wins() {
-        let ops = [st(1, 0x100, 8, true), st(3, 0x100, 8, true), ld(5, 0x104, 4)];
+        let ops = [
+            st(1, 0x100, 8, true),
+            st(3, 0x100, 8, true),
+            ld(5, 0x104, 4),
+        ];
         assert_eq!(forward_status(&ops, 5), ForwardStatus::Forward { store: 3 });
     }
 
@@ -86,7 +94,11 @@ mod tests {
     fn partial_overlap_waits_even_with_older_cover() {
         // Store 3 partially overlaps and is youngest -> Wait, even though
         // store 1 covers.
-        let ops = [st(1, 0x100, 8, true), st(3, 0x106, 4, true), ld(5, 0x104, 4)];
+        let ops = [
+            st(1, 0x100, 8, true),
+            st(3, 0x106, 4, true),
+            ld(5, 0x104, 4),
+        ];
         assert_eq!(forward_status(&ops, 5), ForwardStatus::Wait);
     }
 

@@ -97,6 +97,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_pow2_banks_rejected() {
-        SamieConfig { banks: 3, ..SamieConfig::paper() }.validate();
+        SamieConfig {
+            banks: 3,
+            ..SamieConfig::paper()
+        }
+        .validate();
     }
 }

@@ -40,7 +40,12 @@ pub struct Entry {
 impl Entry {
     /// An empty entry with slot storage pre-allocated.
     pub fn with_slot_capacity(slots: usize) -> Self {
-        Entry { line: 0, slots: Vec::with_capacity(slots), cached_loc: None, translation_cached: false }
+        Entry {
+            line: 0,
+            slots: Vec::with_capacity(slots),
+            cached_loc: None,
+            translation_cached: false,
+        }
     }
 
     /// Is the entry unallocated?
@@ -71,7 +76,11 @@ impl Entry {
 
     /// Remove the slot of `age`; returns true if the entry became free.
     pub fn remove(&mut self, age: Age) -> bool {
-        let i = self.slots.iter().position(|s| s.age == age).expect("slot not in entry");
+        let i = self
+            .slots
+            .iter()
+            .position(|s| s.age == age)
+            .expect("slot not in entry");
         self.slots.swap_remove(i);
         self.is_free()
     }
@@ -89,13 +98,19 @@ impl Entry {
     /// The youngest store older than `age` whose bytes overlap
     /// `[offset, offset+size)` — the forwarding candidate within this
     /// entry.
-    pub fn youngest_older_overlapping_store(&self, age: Age, offset: u32, size: u8) -> Option<&Slot> {
+    pub fn youngest_older_overlapping_store(
+        &self,
+        age: Age,
+        offset: u32,
+        size: u8,
+    ) -> Option<&Slot> {
         self.slots
             .iter()
             .filter(|s| {
                 s.is_store
                     && s.age < age
-                    && (s.offset < offset + size as u32) && (offset < s.offset + s.size as u32)
+                    && (s.offset < offset + size as u32)
+                    && (offset < s.offset + s.size as u32)
             })
             .max_by_key(|s| s.age)
     }
@@ -106,7 +121,13 @@ mod tests {
     use super::*;
 
     fn slot(age: Age, is_store: bool, offset: u32, size: u8) -> Slot {
-        Slot { age, is_store, offset, size, data_ready: false }
+        Slot {
+            age,
+            is_store,
+            offset,
+            size,
+            data_ready: false,
+        }
     }
 
     #[test]

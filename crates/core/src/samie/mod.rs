@@ -51,11 +51,11 @@ mod tests;
 pub use config::SamieConfig;
 pub use entry::{Entry, Slot};
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::activity::LsqActivity;
 use crate::traits::{CachePlan, LoadStoreQueue};
-use crate::types::{Age, ForwardStatus, LsqOccupancy, MemOp, PlaceOutcome};
+use crate::types::{Age, AgeMap, ForwardStatus, LsqOccupancy, MemOp, PlaceOutcome};
 use trace_isa::addr::line_index;
 use trace_isa::MemRef;
 
@@ -99,7 +99,10 @@ pub struct SamieLsq {
     /// SharedLSQ entries (grows on demand in unbounded mode).
     shared: Vec<Entry>,
     abuf: VecDeque<BufOp>,
-    index: HashMap<Age, OpState>,
+    /// Stores currently in the AddrBuffer (fast-path gate for the
+    /// per-load ordering scan in [`Self::older_overlapping_store_buffered`]).
+    abuf_stores: usize,
+    index: AgeMap<OpState>,
     activity: LsqActivity,
     /// Per-cycle SharedLSQ occupancy histogram (Figures 3 and 4).
     shared_hist: Vec<u64>,
@@ -117,14 +120,21 @@ impl SamieLsq {
         let dist = (0..cfg.banks * cfg.entries_per_bank)
             .map(|_| Entry::with_slot_capacity(cfg.slots_per_entry))
             .collect();
-        let shared_cap = if cfg.shared_unbounded() { 64 } else { cfg.shared_entries };
-        let shared = (0..shared_cap).map(|_| Entry::with_slot_capacity(cfg.slots_per_entry)).collect();
+        let shared_cap = if cfg.shared_unbounded() {
+            64
+        } else {
+            cfg.shared_entries
+        };
+        let shared = (0..shared_cap)
+            .map(|_| Entry::with_slot_capacity(cfg.slots_per_entry))
+            .collect();
         SamieLsq {
             cfg,
             dist,
             shared,
             abuf: VecDeque::with_capacity(cfg.abuf_slots),
-            index: HashMap::new(),
+            abuf_stores: 0,
+            index: AgeMap::default(),
             activity: LsqActivity::default(),
             shared_hist: vec![0; SHARED_HIST_BUCKETS],
             dist_entries_used: 0,
@@ -213,40 +223,47 @@ impl SamieLsq {
     /// Find a home for `op` without mutating anything. Returns the
     /// prospective location, preferring (per §3.2): same-line entry with a
     /// free slot in the bank, then a free bank entry, then the same in the
-    /// SharedLSQ, then a free/grown SharedLSQ entry.
+    /// SharedLSQ, then a free/grown SharedLSQ entry. Each structure is
+    /// scanned once (this runs for every buffered op every tick during a
+    /// bank-conflict phase, so the scan is the promotion hot path).
     fn find_home(&self, line: u64) -> Option<Where> {
         let bank = self.bank_of(line);
         let r = self.bank_range(bank);
         let base = r.start;
-        // Same line with room, in the bank.
-        for (i, e) in self.dist[r.clone()].iter().enumerate() {
-            if !e.is_free() && e.line == line && e.used_slots() < self.cfg.slots_per_entry {
-                return Some(Where::Dist { entry: (base + i) as u32 });
-            }
-        }
-        // Free entry in the bank.
+        let mut free_slot = None;
         for (i, e) in self.dist[r].iter().enumerate() {
             if e.is_free() {
-                return Some(Where::Dist { entry: (base + i) as u32 });
+                if free_slot.is_none() {
+                    free_slot = Some(Where::Dist {
+                        entry: (base + i) as u32,
+                    });
+                }
+            } else if e.line == line && e.used_slots() < self.cfg.slots_per_entry {
+                // Same line with room, in the bank: best home.
+                return Some(Where::Dist {
+                    entry: (base + i) as u32,
+                });
             }
         }
-        // Same line with room, in the SharedLSQ.
-        for (i, e) in self.shared.iter().enumerate() {
-            if !e.is_free() && e.line == line && e.used_slots() < self.cfg.slots_per_entry {
-                return Some(Where::Shared { entry: i as u32 });
-            }
+        if let Some(home) = free_slot {
+            return Some(home);
         }
-        // Free SharedLSQ entry.
         for (i, e) in self.shared.iter().enumerate() {
             if e.is_free() {
+                if free_slot.is_none() {
+                    free_slot = Some(Where::Shared { entry: i as u32 });
+                }
+            } else if e.line == line && e.used_slots() < self.cfg.slots_per_entry {
                 return Some(Where::Shared { entry: i as u32 });
             }
         }
-        // Unbounded mode: grow.
-        if self.cfg.shared_unbounded() {
-            return Some(Where::Shared { entry: self.shared.len() as u32 });
+        if free_slot.is_none() && self.cfg.shared_unbounded() {
+            // Unbounded mode: grow.
+            free_slot = Some(Where::Shared {
+                entry: self.shared.len() as u32,
+            });
         }
-        None
+        free_slot
     }
 
     /// Materialise a placement chosen by [`Self::find_home`], accounting
@@ -280,7 +297,8 @@ impl SamieLsq {
                 let i = entry as usize;
                 if i == self.shared.len() {
                     debug_assert!(self.cfg.shared_unbounded());
-                    self.shared.push(Entry::with_slot_capacity(self.cfg.slots_per_entry));
+                    self.shared
+                        .push(Entry::with_slot_capacity(self.cfg.slots_per_entry));
                 }
                 let e = &mut self.shared[i];
                 if e.is_free() {
@@ -327,8 +345,13 @@ impl SamieLsq {
                 self.shared_slots_used -= 1;
             }
             Where::Buffered => {
-                let i = self.abuf.iter().position(|b| b.op.age == age).expect("not in AddrBuffer");
-                self.abuf.remove(i);
+                let i = self
+                    .abuf
+                    .iter()
+                    .position(|b| b.op.age == age)
+                    .expect("not in AddrBuffer");
+                let b = self.abuf.remove(i).expect("position is in range");
+                self.abuf_stores -= b.op.is_store as usize;
             }
             Where::Dispatched => {}
         }
@@ -339,9 +362,11 @@ impl SamieLsq {
     /// the load must wait for its promotion (see the module-level
     /// ordering interpretation).
     fn older_overlapping_store_buffered(&self, load: MemOp) -> bool {
-        self.abuf.iter().any(|b| {
-            b.op.is_store && b.op.age < load.age && b.op.mref.overlaps(load.mref)
-        })
+        self.abuf_stores > 0
+            && self
+                .abuf
+                .iter()
+                .any(|b| b.op.is_store && b.op.age < load.age && b.op.mref.overlaps(load.mref))
     }
 
     /// Forwarding scope of an op: entries holding its line in its bank and
@@ -358,14 +383,18 @@ impl SamieLsq {
         };
         for e in &self.dist[self.bank_range(bank)] {
             if !e.is_free() && e.line == line {
-                if let Some(s) = e.youngest_older_overlapping_store(load.age, offset, load.mref.size) {
+                if let Some(s) =
+                    e.youngest_older_overlapping_store(load.age, offset, load.mref.size)
+                {
                     consider(&mut best, s);
                 }
             }
         }
         for e in &self.shared {
             if !e.is_free() && e.line == line {
-                if let Some(s) = e.youngest_older_overlapping_store(load.age, offset, load.mref.size) {
+                if let Some(s) =
+                    e.youngest_older_overlapping_store(load.age, offset, load.mref.size)
+                {
                     consider(&mut best, s);
                 }
             }
@@ -381,7 +410,12 @@ impl SamieLsq {
         let ss: usize = self.shared.iter().map(|e| e.used_slots()).sum();
         debug_assert_eq!(
             (de, ds, se, ss),
-            (self.dist_entries_used, self.dist_slots_used, self.shared_entries_used, self.shared_slots_used),
+            (
+                self.dist_entries_used,
+                self.dist_slots_used,
+                self.shared_entries_used,
+                self.shared_slots_used
+            ),
             "occupancy counters out of sync"
         );
     }
@@ -399,7 +433,13 @@ impl LoadStoreQueue for SamieLsq {
     }
 
     fn dispatch(&mut self, op: MemOp) {
-        let prev = self.index.insert(op.age, OpState { op, loc: Where::Dispatched });
+        let prev = self.index.insert(
+            op.age,
+            OpState {
+                op,
+                loc: Where::Dispatched,
+            },
+        );
         debug_assert!(prev.is_none(), "duplicate age {}", op.age);
     }
 
@@ -416,8 +456,18 @@ impl LoadStoreQueue for SamieLsq {
             self.place_at(loc, st.op, false);
             PlaceOutcome::Placed
         } else if self.abuf.len() < self.cfg.abuf_slots {
-            self.abuf.push_back(BufOp { op: st.op, data_ready: false });
-            self.index.insert(age, OpState { op: st.op, loc: Where::Buffered });
+            self.abuf.push_back(BufOp {
+                op: st.op,
+                data_ready: false,
+            });
+            self.abuf_stores += st.op.is_store as usize;
+            self.index.insert(
+                age,
+                OpState {
+                    op: st.op,
+                    loc: Where::Buffered,
+                },
+            );
             self.activity.abuf_data_rw += 1; // write address + metadata
             self.activity.abuf_age_rw += 1; // write age id
             self.activity.abuf_inserts += 1;
@@ -433,11 +483,17 @@ impl LoadStoreQueue for SamieLsq {
         debug_assert!(st.op.is_store);
         match st.loc {
             Where::Dist { entry } => {
-                self.dist[entry as usize].slot_mut(age).expect("store slot").data_ready = true;
+                self.dist[entry as usize]
+                    .slot_mut(age)
+                    .expect("store slot")
+                    .data_ready = true;
                 self.activity.dist_data_rw += 1;
             }
             Where::Shared { entry } => {
-                self.shared[entry as usize].slot_mut(age).expect("store slot").data_ready = true;
+                self.shared[entry as usize]
+                    .slot_mut(age)
+                    .expect("store slot")
+                    .data_ready = true;
                 self.activity.shared_data_rw += 1;
             }
             Where::Buffered => {
@@ -518,7 +574,10 @@ impl LoadStoreQueue for SamieLsq {
                 self.activity.dist_tlb_rw += 1;
             }
         }
-        CachePlan { location: loc, translation }
+        CachePlan {
+            location: loc,
+            translation,
+        }
     }
 
     fn note_cache_access(&mut self, age: Age, set: u32, way: u32) -> bool {
@@ -608,6 +667,7 @@ impl LoadStoreQueue for SamieLsq {
     fn flush_all(&mut self) {
         self.index.clear();
         self.abuf.clear();
+        self.abuf_stores = 0;
         for e in self.dist.iter_mut().chain(self.shared.iter_mut()) {
             e.slots.clear();
             e.cached_loc = None;
@@ -620,7 +680,9 @@ impl LoadStoreQueue for SamieLsq {
     }
 
     fn is_buffered(&self, age: Age) -> bool {
-        self.index.get(&age).is_some_and(|s| s.loc == Where::Buffered)
+        self.index
+            .get(&age)
+            .is_some_and(|s| s.loc == Where::Buffered)
     }
 
     fn tick(&mut self, promoted: &mut Vec<Age>) {
@@ -643,6 +705,7 @@ impl LoadStoreQueue for SamieLsq {
                 continue;
             };
             self.abuf.remove(i);
+            self.abuf_stores -= cand.op.is_store as usize;
             // The promoted instruction performs the same associative
             // search a newly arrived address would (but no bus transfer:
             // the AddrBuffer sits next to the queues).
@@ -705,13 +768,19 @@ impl SamieLsq {
     /// Is the op currently in the SharedLSQ (test helper)?
     #[doc(hidden)]
     pub fn is_in_shared(&self, age: Age) -> bool {
-        matches!(self.index.get(&age).map(|s| s.loc), Some(Where::Shared { .. }))
+        matches!(
+            self.index.get(&age).map(|s| s.loc),
+            Some(Where::Shared { .. })
+        )
     }
 
     /// Is the op currently in the DistribLSQ (test helper)?
     #[doc(hidden)]
     pub fn is_in_dist(&self, age: Age) -> bool {
-        matches!(self.index.get(&age).map(|s| s.loc), Some(Where::Dist { .. }))
+        matches!(
+            self.index.get(&age).map(|s| s.loc),
+            Some(Where::Dist { .. })
+        )
     }
 
     /// `(set, way)` cached by the op's entry, if any (test helper).

@@ -35,9 +35,18 @@ fn dispatch_and_place(l: &mut SamieLsq, age: Age, is_store: bool, addr: u64) -> 
 #[test]
 fn same_line_ops_share_an_entry() {
     let mut l = SamieLsq::paper();
-    assert_eq!(dispatch_and_place(&mut l, 1, true, 0x1000), PlaceOutcome::Placed);
-    assert_eq!(dispatch_and_place(&mut l, 2, false, 0x1004), PlaceOutcome::Placed);
-    assert_eq!(dispatch_and_place(&mut l, 3, false, 0x1008), PlaceOutcome::Placed);
+    assert_eq!(
+        dispatch_and_place(&mut l, 1, true, 0x1000),
+        PlaceOutcome::Placed
+    );
+    assert_eq!(
+        dispatch_and_place(&mut l, 2, false, 0x1004),
+        PlaceOutcome::Placed
+    );
+    assert_eq!(
+        dispatch_and_place(&mut l, 3, false, 0x1008),
+        PlaceOutcome::Placed
+    );
     let occ = l.occupancy();
     assert_eq!(occ.dist_entries, 1, "one line, one entry");
     assert_eq!(occ.dist_slots, 3);
@@ -46,18 +55,33 @@ fn same_line_ops_share_an_entry() {
 #[test]
 fn different_lines_same_bank_use_second_entry_then_shared() {
     let mut l = tiny();
-    assert_eq!(dispatch_and_place(&mut l, 1, false, bank0_line(0)), PlaceOutcome::Placed);
+    assert_eq!(
+        dispatch_and_place(&mut l, 1, false, bank0_line(0)),
+        PlaceOutcome::Placed
+    );
     assert!(l.is_in_dist(1));
     // Second distinct line in bank 0: bank has 1 entry -> SharedLSQ.
-    assert_eq!(dispatch_and_place(&mut l, 2, false, bank0_line(1)), PlaceOutcome::Placed);
+    assert_eq!(
+        dispatch_and_place(&mut l, 2, false, bank0_line(1)),
+        PlaceOutcome::Placed
+    );
     assert!(l.is_in_shared(2));
     // Third distinct line in bank 0: shared full -> AddrBuffer.
-    assert_eq!(dispatch_and_place(&mut l, 3, false, bank0_line(2)), PlaceOutcome::Buffered);
+    assert_eq!(
+        dispatch_and_place(&mut l, 3, false, bank0_line(2)),
+        PlaceOutcome::Buffered
+    );
     assert!(l.is_buffered(3));
     // Fourth: AddrBuffer has one more slot.
-    assert_eq!(dispatch_and_place(&mut l, 4, false, bank0_line(3)), PlaceOutcome::Buffered);
+    assert_eq!(
+        dispatch_and_place(&mut l, 4, false, bank0_line(3)),
+        PlaceOutcome::Buffered
+    );
     // Fifth: nothing left.
-    assert_eq!(dispatch_and_place(&mut l, 5, false, bank0_line(4)), PlaceOutcome::NoSpace);
+    assert_eq!(
+        dispatch_and_place(&mut l, 5, false, bank0_line(4)),
+        PlaceOutcome::NoSpace
+    );
 }
 
 #[test]
@@ -67,7 +91,10 @@ fn full_entry_overflows_to_second_entry_same_line() {
     let mut l = tiny();
     dispatch_and_place(&mut l, 1, false, bank0_line(0));
     dispatch_and_place(&mut l, 2, false, bank0_line(0) + 4);
-    assert_eq!(dispatch_and_place(&mut l, 3, false, bank0_line(0) + 8), PlaceOutcome::Placed);
+    assert_eq!(
+        dispatch_and_place(&mut l, 3, false, bank0_line(0) + 8),
+        PlaceOutcome::Placed
+    );
     assert!(l.is_in_shared(3));
     assert_eq!(l.entry_line_of(3), l.entry_line_of(1));
 }
@@ -76,7 +103,10 @@ fn full_entry_overflows_to_second_entry_same_line() {
 fn banks_are_independent() {
     let mut l = tiny();
     dispatch_and_place(&mut l, 1, false, bank0_line(0));
-    assert_eq!(dispatch_and_place(&mut l, 2, false, bank1_line(0)), PlaceOutcome::Placed);
+    assert_eq!(
+        dispatch_and_place(&mut l, 2, false, bank1_line(0)),
+        PlaceOutcome::Placed
+    );
     assert!(l.is_in_dist(2));
     assert_eq!(l.occupancy().dist_entries, 2);
 }
@@ -89,7 +119,10 @@ fn forwarding_within_entry() {
     // Store data not ready yet.
     assert_eq!(l.load_forward_status(2), ForwardStatus::Wait);
     l.store_executed(1);
-    assert_eq!(l.load_forward_status(2), ForwardStatus::Forward { store: 1 });
+    assert_eq!(
+        l.load_forward_status(2),
+        ForwardStatus::Forward { store: 1 }
+    );
 }
 
 #[test]
@@ -102,7 +135,10 @@ fn forwarding_across_dist_and_shared_same_line() {
     dispatch_and_place(&mut l, 3, false, bank0_line(0)); // -> shared
     assert!(l.is_in_shared(3));
     l.store_executed(1);
-    assert_eq!(l.load_forward_status(3), ForwardStatus::Forward { store: 1 });
+    assert_eq!(
+        l.load_forward_status(3),
+        ForwardStatus::Forward { store: 1 }
+    );
 }
 
 #[test]
@@ -113,7 +149,10 @@ fn forwarding_picks_youngest_older_store() {
     dispatch_and_place(&mut l, 3, false, 0x3000);
     l.store_executed(1);
     l.store_executed(2);
-    assert_eq!(l.load_forward_status(3), ForwardStatus::Forward { store: 2 });
+    assert_eq!(
+        l.load_forward_status(3),
+        ForwardStatus::Forward { store: 2 }
+    );
 }
 
 #[test]
@@ -134,8 +173,11 @@ fn older_buffered_store_blocks_overlapping_load() {
     let mut l = tiny();
     dispatch_and_place(&mut l, 1, false, bank0_line(0)); // dist bank 0
     dispatch_and_place(&mut l, 2, false, bank0_line(1)); // shared
-    // Older store (age 4) to a third bank-0 line gets buffered.
-    assert_eq!(dispatch_and_place(&mut l, 4, true, bank0_line(2)), PlaceOutcome::Buffered);
+                                                         // Older store (age 4) to a third bank-0 line gets buffered.
+    assert_eq!(
+        dispatch_and_place(&mut l, 4, true, bank0_line(2)),
+        PlaceOutcome::Buffered
+    );
     // Free the bank entry so younger ops can place (no tick: the store
     // stays buffered).
     l.commit(1);
@@ -177,8 +219,8 @@ fn scan_promotion_skips_blocked_older_op() {
     dispatch_and_place(&mut l, 3, false, bank0_line(1)); // shared
     dispatch_and_place(&mut l, 4, false, bank0_line(2)); // buffered
     dispatch_and_place(&mut l, 5, false, bank1_line(1)); // buffered
-    // Free bank 1: op 4 (older) is still bound to the full bank 0, but
-    // the scan lets op 5 take the freed bank-1 entry.
+                                                         // Free bank 1: op 4 (older) is still bound to the full bank 0, but
+                                                         // the scan lets op 5 take the freed bank-1 entry.
     l.commit(2);
     let mut promoted = vec![];
     l.tick(&mut promoted);
@@ -199,7 +241,10 @@ fn buffered_store_datum_written_at_promotion() {
     assert_eq!(promoted, vec![3]);
     // The promoted store can forward immediately.
     dispatch_and_place(&mut l, 5, false, bank0_line(2));
-    assert_eq!(l.load_forward_status(5), ForwardStatus::Forward { store: 3 });
+    assert_eq!(
+        l.load_forward_status(5),
+        ForwardStatus::Forward { store: 3 }
+    );
 }
 
 #[test]
@@ -233,7 +278,10 @@ fn line_replacement_invalidates_location_not_translation() {
     l.on_line_replaced(3, 1);
     let plan = l.cache_access_plan(2);
     assert_eq!(plan.location, None);
-    assert!(plan.translation, "the D-TLB translation survives replacement");
+    assert!(
+        plan.translation,
+        "the D-TLB translation survives replacement"
+    );
     // A fresh conventional access re-caches the (new) location.
     assert!(l.note_cache_access(2, 3, 2));
     assert_eq!(l.entry_cached_loc(2), Some((3, 2)));
@@ -305,7 +353,10 @@ fn placement_search_activity_counts_bank_and_shared() {
     assert_eq!(a.dist_addr.cmp_operands, 1);
     assert_eq!(a.dist_age.cmp_ops, 1, "one in-use entry was age-searched");
     assert_eq!(a.dist_age.cmp_operands, 1);
-    assert_eq!(a.shared_addr.cmp_ops, 0, "empty SharedLSQ is never searched");
+    assert_eq!(
+        a.shared_addr.cmp_ops, 0,
+        "empty SharedLSQ is never searched"
+    );
     // One entry allocation = one line-address write; two age-id writes.
     assert_eq!(a.dist_addr.reads_writes, 1);
     assert_eq!(a.dist_age_rw, 2);

@@ -20,7 +20,9 @@ pub struct UnboundedLsq {
 impl UnboundedLsq {
     /// Build the ideal LSQ.
     pub fn new() -> Self {
-        UnboundedLsq { inner: ConventionalLsq::ideal(usize::MAX >> 1, "unbounded") }
+        UnboundedLsq {
+            inner: ConventionalLsq::ideal(usize::MAX >> 1, "unbounded"),
+        }
     }
 }
 
@@ -131,7 +133,10 @@ mod tests {
         l.address_ready(1);
         l.address_ready(2);
         l.store_executed(1);
-        assert_eq!(l.load_forward_status(2), ForwardStatus::Forward { store: 1 });
+        assert_eq!(
+            l.load_forward_status(2),
+            ForwardStatus::Forward { store: 1 }
+        );
         assert_eq!(l.activity().conv_addr.cmp_ops, 0);
         assert_eq!(l.activity().conv_data_rw, 0);
     }
@@ -144,7 +149,10 @@ mod tests {
         l.address_ready(1);
         l.address_ready(2);
         l.store_executed(1);
-        assert_eq!(l.load_forward_status(2), ForwardStatus::Forward { store: 1 });
+        assert_eq!(
+            l.load_forward_status(2),
+            ForwardStatus::Forward { store: 1 }
+        );
     }
 
     #[test]

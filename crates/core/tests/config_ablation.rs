@@ -22,7 +22,11 @@ fn capacity_chain_distrib_then_shared_then_buffer() {
     let outcomes = fill_bank0(&mut lsq, 2 + 8 + 3);
     // 2 bank entries, then 8 SharedLSQ entries, then the AddrBuffer.
     for (i, o) in outcomes.iter().enumerate() {
-        let expect = if i < 10 { PlaceOutcome::Placed } else { PlaceOutcome::Buffered };
+        let expect = if i < 10 {
+            PlaceOutcome::Placed
+        } else {
+            PlaceOutcome::Buffered
+        };
         assert_eq!(*o, expect, "op {i}");
     }
     let occ = lsq.occupancy();
@@ -34,9 +38,15 @@ fn capacity_chain_distrib_then_shared_then_buffer() {
 #[test]
 fn more_shared_entries_absorb_more_conflicts() {
     for shared in [2usize, 4, 8, 16] {
-        let mut lsq = SamieLsq::new(SamieConfig { shared_entries: shared, ..SamieConfig::paper() });
+        let mut lsq = SamieLsq::new(SamieConfig {
+            shared_entries: shared,
+            ..SamieConfig::paper()
+        });
         let outcomes = fill_bank0(&mut lsq, 30);
-        let placed = outcomes.iter().filter(|o| **o == PlaceOutcome::Placed).count();
+        let placed = outcomes
+            .iter()
+            .filter(|o| **o == PlaceOutcome::Placed)
+            .count();
         assert_eq!(placed, 2 + shared, "shared={shared}");
     }
 }
@@ -44,7 +54,10 @@ fn more_shared_entries_absorb_more_conflicts() {
 #[test]
 fn more_slots_per_entry_absorb_more_same_line_ops() {
     for slots in [1usize, 2, 4, 8] {
-        let mut lsq = SamieLsq::new(SamieConfig { slots_per_entry: slots, ..SamieConfig::paper() });
+        let mut lsq = SamieLsq::new(SamieConfig {
+            slots_per_entry: slots,
+            ..SamieConfig::paper()
+        });
         // 40 ops to the SAME line: they consume entries at line granularity.
         for i in 0..40u64 {
             let age = i + 1;
@@ -62,10 +75,19 @@ fn more_slots_per_entry_absorb_more_same_line_ops() {
 #[test]
 fn abuf_size_bounds_buffering() {
     for abuf in [1usize, 4, 16, 64] {
-        let mut lsq = SamieLsq::new(SamieConfig { abuf_slots: abuf, ..SamieConfig::paper() });
+        let mut lsq = SamieLsq::new(SamieConfig {
+            abuf_slots: abuf,
+            ..SamieConfig::paper()
+        });
         let outcomes = fill_bank0(&mut lsq, 60);
-        let buffered = outcomes.iter().filter(|o| **o == PlaceOutcome::Buffered).count();
-        let nospace = outcomes.iter().filter(|o| **o == PlaceOutcome::NoSpace).count();
+        let buffered = outcomes
+            .iter()
+            .filter(|o| **o == PlaceOutcome::Buffered)
+            .count();
+        let nospace = outcomes
+            .iter()
+            .filter(|o| **o == PlaceOutcome::NoSpace)
+            .count();
         assert_eq!(buffered, abuf.min(50), "abuf={abuf}");
         assert_eq!(nospace, 50usize.saturating_sub(abuf), "abuf={abuf}");
     }

@@ -96,7 +96,11 @@ pub fn active_area(a: &LsqActivity, samie_cfg: &SamieConfig) -> ActiveArea {
 
     // Conventional: in-use + 4 spare entries.
     let conv_entries = occ.conv_entries as f64 + 4.0 * cycles;
-    let conventional = if occ.conv_entries > 0 { conv_entries * conv_entry_area() } else { 0.0 };
+    let conventional = if occ.conv_entries > 0 {
+        conv_entries * conv_entry_area()
+    } else {
+        0.0
+    };
 
     let samie_ran = occ.dist_entries > 0 || occ.dist_slots > 0 || a.bus_sends > 0;
     let (dist, shared, abuf) = if samie_ran {
@@ -116,7 +120,12 @@ pub fn active_area(a: &LsqActivity, samie_cfg: &SamieConfig) -> ActiveArea {
         (0.0, 0.0, 0.0)
     };
 
-    ActiveArea { conventional, dist, shared, abuf }
+    ActiveArea {
+        conventional,
+        dist,
+        shared,
+        abuf,
+    }
 }
 
 #[cfg(test)]
@@ -185,7 +194,10 @@ mod tests {
         // entry per bank active — why they are its worst case (Fig. 11).
         let a = LsqActivity {
             bus_sends: 1,
-            occupancy: OccupancyIntegrals { cycles: 1000, ..OccupancyIntegrals::default() },
+            occupancy: OccupancyIntegrals {
+                cycles: 1000,
+                ..OccupancyIntegrals::default()
+            },
             ..LsqActivity::default()
         };
         let area = active_area(&a, &SamieConfig::paper());

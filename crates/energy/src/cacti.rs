@@ -60,7 +60,11 @@ impl Default for CactiParams {
 /// CAM search delay for `rows` entries of `bits` searched bits.
 /// `wide_cells` selects the conventional (28 µm²) vs SAMIE (10 µm²) cell.
 pub fn cam_delay_ns(p: &CactiParams, rows: u32, bits: u32, wide_cells: bool) -> f64 {
-    let base = if wide_cells { p.cam_base_conv } else { p.cam_base_samie };
+    let base = if wide_cells {
+        p.cam_base_conv
+    } else {
+        p.cam_base_samie
+    };
     base + p.array_growth * ((rows * bits) as f64).sqrt()
 }
 
@@ -147,7 +151,10 @@ pub fn cache_access_times(p: &CactiParams, size_kb: u32, assoc: u32, ports: u32)
     let conv: f64 = dot(&p.cache_conv);
     // The conventional path includes the single-way read; it can never be
     // faster (the fitted planes may cross slightly for large caches).
-    CacheDelay { conventional_ns: conv.max(wk), way_known_ns: wk.min(conv.max(wk)) }
+    CacheDelay {
+        conventional_ns: conv.max(wk),
+        way_known_ns: wk.min(conv.max(wk)),
+    }
 }
 
 #[cfg(test)]
@@ -188,8 +195,14 @@ mod tests {
         let p = CactiParams::default();
         for (kb, assoc, ports, conv, wk) in TABLE1 {
             let d = cache_access_times(&p, kb, assoc, ports);
-            assert!(close(d.conventional_ns, conv, 0.10), "{kb}KB {assoc}w {ports}p: {d:?}");
-            assert!(close(d.way_known_ns, wk, 0.10), "{kb}KB {assoc}w {ports}p: {d:?}");
+            assert!(
+                close(d.conventional_ns, conv, 0.10),
+                "{kb}KB {assoc}w {ports}p: {d:?}"
+            );
+            assert!(
+                close(d.way_known_ns, wk, 0.10),
+                "{kb}KB {assoc}w {ports}p: {d:?}"
+            );
         }
     }
 

@@ -24,7 +24,10 @@ impl AffinePj {
 // ---- Table 4: conventional 128-entry LSQ ------------------------------
 
 /// Address comparison: 452 pJ + 3.53 pJ per address compared.
-pub const CONV_ADDR_CMP: AffinePj = AffinePj { base: 452.0, per_operand: 3.53 };
+pub const CONV_ADDR_CMP: AffinePj = AffinePj {
+    base: 452.0,
+    per_operand: 3.53,
+};
 /// Read/write an address: 57.1 pJ.
 pub const CONV_ADDR_RW_PJ: f64 = 57.1;
 /// Read/write a datum: 93.2 pJ.
@@ -33,11 +36,17 @@ pub const CONV_DATA_RW_PJ: f64 = 93.2;
 // ---- Table 5: SAMIE-LSQ -------------------------------------------------
 
 /// DistribLSQ address comparison: 4.33 pJ + 2.17 pJ per address.
-pub const DIST_ADDR_CMP: AffinePj = AffinePj { base: 4.33, per_operand: 2.17 };
+pub const DIST_ADDR_CMP: AffinePj = AffinePj {
+    base: 4.33,
+    per_operand: 2.17,
+};
 /// DistribLSQ address read/write.
 pub const DIST_ADDR_RW_PJ: f64 = 4.07;
 /// DistribLSQ age-id comparison in one entry: 19.4 pJ + 1.21 pJ per id.
-pub const DIST_AGE_CMP: AffinePj = AffinePj { base: 19.4, per_operand: 1.21 };
+pub const DIST_AGE_CMP: AffinePj = AffinePj {
+    base: 19.4,
+    per_operand: 1.21,
+};
 /// DistribLSQ age-id read/write.
 pub const DIST_AGE_RW_PJ: f64 = 1.64;
 /// DistribLSQ datum read/write.
@@ -49,11 +58,17 @@ pub const DIST_LINEID_RW_PJ: f64 = 0.236;
 /// Bus to the DistribLSQ: send one address.
 pub const BUS_SEND_PJ: f64 = 54.4;
 /// SharedLSQ address comparison: 22.7 pJ + 2.83 pJ per address.
-pub const SHARED_ADDR_CMP: AffinePj = AffinePj { base: 22.7, per_operand: 2.83 };
+pub const SHARED_ADDR_CMP: AffinePj = AffinePj {
+    base: 22.7,
+    per_operand: 2.83,
+};
 /// SharedLSQ address read/write.
 pub const SHARED_ADDR_RW_PJ: f64 = 6.16;
 /// SharedLSQ age-id comparison in one entry: 19.4 pJ + 2.43 pJ per id.
-pub const SHARED_AGE_CMP: AffinePj = AffinePj { base: 19.4, per_operand: 2.43 };
+pub const SHARED_AGE_CMP: AffinePj = AffinePj {
+    base: 19.4,
+    per_operand: 2.43,
+};
 /// SharedLSQ age-id read/write.
 pub const SHARED_AGE_RW_PJ: f64 = 1.64;
 /// SharedLSQ datum read/write.
@@ -156,7 +171,14 @@ mod tests {
     fn affine_pricing() {
         let e = CONV_ADDR_CMP.total_pj(2, 10);
         assert!((e - (904.0 + 35.3)).abs() < 1e-9);
-        assert_eq!(AffinePj { base: 1.0, per_operand: 2.0 }.total_pj(0, 0), 0.0);
+        assert_eq!(
+            AffinePj {
+                base: 1.0,
+                per_operand: 2.0
+            }
+            .total_pj(0, 0),
+            0.0
+        );
     }
 
     #[test]

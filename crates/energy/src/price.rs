@@ -89,7 +89,11 @@ mod tests {
     #[test]
     fn conventional_pricing_matches_hand_computation() {
         let a = LsqActivity {
-            conv_addr: CamActivity { cmp_ops: 100, cmp_operands: 1000, reads_writes: 100 },
+            conv_addr: CamActivity {
+                cmp_ops: 100,
+                cmp_operands: 1000,
+                reads_writes: 100,
+            },
             conv_data_rw: 50,
             ..LsqActivity::default()
         };
@@ -103,14 +107,26 @@ mod tests {
     #[test]
     fn samie_pricing_sums_structures() {
         let a = LsqActivity {
-            dist_addr: CamActivity { cmp_ops: 10, cmp_operands: 20, reads_writes: 5 },
-            dist_age: CamActivity { cmp_ops: 10, cmp_operands: 40, reads_writes: 0 },
+            dist_addr: CamActivity {
+                cmp_ops: 10,
+                cmp_operands: 20,
+                reads_writes: 5,
+            },
+            dist_age: CamActivity {
+                cmp_ops: 10,
+                cmp_operands: 40,
+                reads_writes: 0,
+            },
             dist_age_rw: 10,
             dist_data_rw: 10,
             dist_tlb_rw: 4,
             dist_lineid_rw: 4,
             bus_sends: 10,
-            shared_addr: CamActivity { cmp_ops: 10, cmp_operands: 15, reads_writes: 2 },
+            shared_addr: CamActivity {
+                cmp_ops: 10,
+                cmp_operands: 15,
+                reads_writes: 2,
+            },
             abuf_data_rw: 6,
             abuf_age_rw: 6,
             ..LsqActivity::default()
@@ -126,7 +142,11 @@ mod tests {
 
     #[test]
     fn way_known_accesses_are_cheap() {
-        let full = CacheStats { read_accesses: 1000, read_hits: 1000, ..CacheStats::default() };
+        let full = CacheStats {
+            read_accesses: 1000,
+            read_hits: 1000,
+            ..CacheStats::default()
+        };
         let full_e = dcache_energy_nj(&full);
         let mut known = full;
         known.way_known_accesses = 800;
@@ -145,6 +165,9 @@ mod tests {
 
     #[test]
     fn empty_breakdown_is_zero() {
-        assert_eq!(LsqEnergy::default().breakdown_fractions(), (0.0, 0.0, 0.0, 0.0));
+        assert_eq!(
+            LsqEnergy::default().breakdown_fractions(),
+            (0.0, 0.0, 0.0, 0.0)
+        );
     }
 }

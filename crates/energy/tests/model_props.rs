@@ -14,21 +14,35 @@ fn activity_strategy() -> impl Strategy<Value = LsqActivity> {
         0u64..10_000,
         (0u64..10_000, 0u64..10_000, 0u64..10_000),
     )
-        .prop_map(|((c1, c2, c3), (d1, d2, d3), bus, (s1, s2, s3))| LsqActivity {
-            conv_addr: CamActivity { cmp_ops: c1, cmp_operands: c2, reads_writes: c3 },
-            conv_data_rw: c3,
-            dist_addr: CamActivity { cmp_ops: d1, cmp_operands: d2, reads_writes: d3 },
-            dist_age_rw: d1,
-            dist_data_rw: d2 % 1000,
-            dist_tlb_rw: d3 % 500,
-            dist_lineid_rw: d3 % 500,
-            bus_sends: bus,
-            shared_addr: CamActivity { cmp_ops: s1, cmp_operands: s2, reads_writes: s3 },
-            shared_data_rw: s1,
-            abuf_data_rw: s2 % 100,
-            abuf_age_rw: s2 % 100,
-            ..LsqActivity::default()
-        })
+        .prop_map(
+            |((c1, c2, c3), (d1, d2, d3), bus, (s1, s2, s3))| LsqActivity {
+                conv_addr: CamActivity {
+                    cmp_ops: c1,
+                    cmp_operands: c2,
+                    reads_writes: c3,
+                },
+                conv_data_rw: c3,
+                dist_addr: CamActivity {
+                    cmp_ops: d1,
+                    cmp_operands: d2,
+                    reads_writes: d3,
+                },
+                dist_age_rw: d1,
+                dist_data_rw: d2 % 1000,
+                dist_tlb_rw: d3 % 500,
+                dist_lineid_rw: d3 % 500,
+                bus_sends: bus,
+                shared_addr: CamActivity {
+                    cmp_ops: s1,
+                    cmp_operands: s2,
+                    reads_writes: s3,
+                },
+                shared_data_rw: s1,
+                abuf_data_rw: s2 % 100,
+                abuf_age_rw: s2 % 100,
+                ..LsqActivity::default()
+            },
+        )
 }
 
 proptest! {

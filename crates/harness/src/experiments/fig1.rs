@@ -13,8 +13,16 @@ use crate::runner::{parallel_map, run_one, RunConfig};
 use crate::table::{fmt, Table};
 
 /// The banking sweep of Figure 1 (banks, addresses per bank).
-pub const CONFIGS: [(usize, usize); 8] =
-    [(1, 128), (2, 64), (4, 32), (8, 16), (16, 8), (32, 4), (64, 2), (128, 1)];
+pub const CONFIGS: [(usize, usize); 8] = [
+    (1, 128),
+    (2, 64),
+    (4, 32),
+    (8, 16),
+    (16, 8),
+    (32, 4),
+    (64, 2),
+    (128, 1),
+];
 
 /// One point of Figure 1.
 #[derive(Debug, Clone)]
@@ -32,8 +40,7 @@ pub struct Fig1Point {
 pub fn run(rc: &RunConfig) -> Vec<Fig1Point> {
     let specs = all_benchmarks();
     // Reference: unbounded LSQ per benchmark.
-    let reference: Vec<f64> =
-        parallel_map(specs, |s| run_one(s, UnboundedLsq::new(), rc).ipc());
+    let reference: Vec<f64> = parallel_map(specs, |s| run_one(s, UnboundedLsq::new(), rc).ipc());
 
     CONFIGS
         .iter()

@@ -57,7 +57,9 @@ pub fn run(rc: &RunConfig) -> Vec<SizingRun> {
             jobs.push((spec, banks, epb));
         }
     }
-    parallel_map(&jobs, |&(spec, banks, epb)| run_sizing(spec, banks, epb, rc))
+    parallel_map(&jobs, |&(spec, banks, epb)| {
+        run_sizing(spec, banks, epb, rc)
+    })
 }
 
 /// Figure 3 table: one row per benchmark, one column per geometry, plus

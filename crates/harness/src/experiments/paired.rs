@@ -112,7 +112,12 @@ pub fn fig9_table(runs: &[PairedRun]) -> Table {
         let s = dcache_energy_nj(&r.samie.l1d);
         csum += c;
         ssum += s;
-        t.push_row(vec![r.name.into(), fmt(c, 0), fmt(s, 0), fmt((1.0 - s / c) * 100.0, 1)]);
+        t.push_row(vec![
+            r.name.into(),
+            fmt(c, 0),
+            fmt(s, 0),
+            fmt((1.0 - s / c) * 100.0, 1),
+        ]);
     }
     t.push_row(vec![
         "SPEC".into(),
@@ -135,7 +140,12 @@ pub fn fig10_table(runs: &[PairedRun]) -> Table {
         let s = dtlb_energy_nj(r.samie.dtlb_accesses);
         csum += c;
         ssum += s;
-        t.push_row(vec![r.name.into(), fmt(c, 0), fmt(s, 0), fmt((1.0 - s / c) * 100.0, 1)]);
+        t.push_row(vec![
+            r.name.into(),
+            fmt(c, 0),
+            fmt(s, 0),
+            fmt((1.0 - s / c) * 100.0, 1),
+        ]);
     }
     t.push_row(vec![
         "SPEC".into(),
@@ -166,7 +176,12 @@ pub fn fig11_table(runs: &[PairedRun]) -> Table {
             fmt(s / c * 100.0, 1),
         ]);
     }
-    t.push_row(vec!["SPEC".into(), fmt(csum, 0), fmt(ssum, 0), fmt(ssum / csum * 100.0, 1)]);
+    t.push_row(vec![
+        "SPEC".into(),
+        fmt(csum, 0),
+        fmt(ssum, 0),
+        fmt(ssum / csum * 100.0, 1),
+    ]);
     t
 }
 
@@ -204,18 +219,33 @@ pub fn summary_table(runs: &[PairedRun]) -> Table {
     let dtlb_saving = mean(&|r| {
         1.0 - dtlb_energy_nj(r.samie.dtlb_accesses) / dtlb_energy_nj(r.conv.dtlb_accesses)
     });
-    let area_ratio = mean(&|r| {
-        active_area(&r.samie.lsq, &cfg).total() / active_area(&r.conv.lsq, &cfg).total()
-    });
+    let area_ratio =
+        mean(&|r| active_area(&r.samie.lsq, &cfg).total() / active_area(&r.conv.lsq, &cfg).total());
 
     let mut t = Table::new(
         "Summary - headline results (measured vs paper)",
         &["metric", "measured", "paper"],
     );
-    t.push_row(vec!["LSQ dynamic energy saving".into(), fmt(lsq_saving * 100.0, 1) + "%", "82%".into()]);
-    t.push_row(vec!["L1 D-cache energy saving".into(), fmt(dcache_saving * 100.0, 1) + "%", "42%".into()]);
-    t.push_row(vec!["D-TLB energy saving".into(), fmt(dtlb_saving * 100.0, 1) + "%", "73%".into()]);
-    t.push_row(vec!["IPC loss".into(), fmt(ipc_loss * 100.0, 2) + "%", "0.6%".into()]);
+    t.push_row(vec![
+        "LSQ dynamic energy saving".into(),
+        fmt(lsq_saving * 100.0, 1) + "%",
+        "82%".into(),
+    ]);
+    t.push_row(vec![
+        "L1 D-cache energy saving".into(),
+        fmt(dcache_saving * 100.0, 1) + "%",
+        "42%".into(),
+    ]);
+    t.push_row(vec![
+        "D-TLB energy saving".into(),
+        fmt(dtlb_saving * 100.0, 1) + "%",
+        "73%".into(),
+    ]);
+    t.push_row(vec![
+        "IPC loss".into(),
+        fmt(ipc_loss * 100.0, 2) + "%",
+        "0.6%".into(),
+    ]);
     t.push_row(vec![
         "SAMIE active area vs conventional".into(),
         fmt(area_ratio * 100.0, 1) + "%",

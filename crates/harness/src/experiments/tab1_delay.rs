@@ -52,7 +52,11 @@ pub fn delay_table() -> Table {
         &["component", "model_ns", "paper_ns"],
     );
     let rows: [(&str, f64, f64); 7] = [
-        ("conventional LSQ (128)", d.conventional_128, DELAY_CONV128_NS),
+        (
+            "conventional LSQ (128)",
+            d.conventional_128,
+            DELAY_CONV128_NS,
+        ),
         ("conventional LSQ (16)", d.conventional_16, DELAY_CONV16_NS),
         ("bus to DistribLSQ", d.bus, DELAY_BUS_NS),
         ("DistribLSQ bank compare", d.dist_bank, DELAY_DIST_BANK_NS),

@@ -16,8 +16,8 @@ use crate::table::{fmt, Table};
 /// published comparison bases divided by their array sizes.
 pub fn cam_match_pj_per_cell() -> f64 {
     let conv = k::CONV_ADDR_CMP.base / (128.0 * k::ADDR_BITS as f64);
-    let dist = k::DIST_ADDR_CMP.base
-        / (2.0 * (k::ADDR_BITS - k::LINE_OFFSET_BITS - k::BANK_BITS) as f64);
+    let dist =
+        k::DIST_ADDR_CMP.base / (2.0 * (k::ADDR_BITS - k::LINE_OFFSET_BITS - k::BANK_BITS) as f64);
     let shared = k::SHARED_ADDR_CMP.base / (8.0 * (k::ADDR_BITS - k::LINE_OFFSET_BITS) as f64);
     (conv + dist + shared) / 3.0
 }
@@ -26,7 +26,12 @@ pub fn cam_match_pj_per_cell() -> f64 {
 pub fn regen_table45() -> Table {
     let c = cam_match_pj_per_cell();
     let rows: [(&str, f64, f64, f64); 3] = [
-        ("conventional addr cmp", 128.0 * k::ADDR_BITS as f64, k::CONV_ADDR_CMP.base, 0.0),
+        (
+            "conventional addr cmp",
+            128.0 * k::ADDR_BITS as f64,
+            k::CONV_ADDR_CMP.base,
+            0.0,
+        ),
         (
             "DistribLSQ addr cmp",
             2.0 * (k::ADDR_BITS - k::LINE_OFFSET_BITS - k::BANK_BITS) as f64,
@@ -65,15 +70,43 @@ pub fn table6() -> Table {
         &["component", "value", "unit"],
     );
     let rows: [(&str, f64, &str); 9] = [
-        ("conventional addr CAM cell", k::AREA_CONV_ADDR_CAM, "um2/bit"),
-        ("conventional datum RAM cell", k::AREA_CONV_DATA_RAM, "um2/bit"),
+        (
+            "conventional addr CAM cell",
+            k::AREA_CONV_ADDR_CAM,
+            "um2/bit",
+        ),
+        (
+            "conventional datum RAM cell",
+            k::AREA_CONV_DATA_RAM,
+            "um2/bit",
+        ),
         ("SAMIE addr/age CAM cell", k::AREA_SAMIE_ADDR_CAM, "um2/bit"),
-        ("SAMIE datum/TLB/lineid RAM cell", k::AREA_SAMIE_DATA_RAM, "um2/bit"),
+        (
+            "SAMIE datum/TLB/lineid RAM cell",
+            k::AREA_SAMIE_DATA_RAM,
+            "um2/bit",
+        ),
         ("AddrBuffer RAM cell", k::AREA_ABUF_DATA_RAM, "um2/bit"),
-        ("conventional entry (derived)", energy_model::area::conv_entry_area(), "um2"),
-        ("DistribLSQ entry (derived)", energy_model::area::dist_entry_area(), "um2"),
-        ("SAMIE slot (derived)", energy_model::area::slot_area(), "um2"),
-        ("AddrBuffer slot (derived)", energy_model::area::abuf_slot_area(), "um2"),
+        (
+            "conventional entry (derived)",
+            energy_model::area::conv_entry_area(),
+            "um2",
+        ),
+        (
+            "DistribLSQ entry (derived)",
+            energy_model::area::dist_entry_area(),
+            "um2",
+        ),
+        (
+            "SAMIE slot (derived)",
+            energy_model::area::slot_area(),
+            "um2",
+        ),
+        (
+            "AddrBuffer slot (derived)",
+            energy_model::area::abuf_slot_area(),
+            "um2",
+        ),
     ];
     for (name, v, unit) in rows {
         t.push_row(vec![name.into(), fmt(v, 1), unit.into()]);

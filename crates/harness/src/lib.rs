@@ -16,10 +16,18 @@
 //! paper uses 100 M instructions per benchmark after 100 M warm-up, the
 //! harness defaults to 1 M after 200 k (scaled for wall-clock; the
 //! occupancy and energy statistics are flat well before that).
+//!
+//! Beyond the paper's fixed tables, [`sweep`] runs declarative design-space
+//! grids (`samie-exp sweep`) and the throughput benchmark tracked by CI
+//! (`samie-exp bench`), both emitting machine-readable `BENCH_sweep.json`.
 
 pub mod experiments;
 pub mod runner;
+pub mod sweep;
 pub mod table;
 
-pub use runner::{parallel_map, run_paired, run_paired_suite, PairedRun, RunConfig};
+pub use runner::{
+    parallel_map, parallel_map_with, run_paired, run_paired_suite, PairedRun, RunConfig,
+};
+pub use sweep::{run_sweep, LsqDesign, SweepGrid, SweepPoint, SweepReport};
 pub use table::Table;

@@ -1,4 +1,5 @@
-//! `samie-exp` — regenerate the paper's tables and figures.
+//! `samie-exp` — regenerate the paper's tables and figures, and run
+//! design-space sweeps / throughput benchmarks beyond them.
 //!
 //! ```text
 //! samie-exp <experiment> [--instrs N] [--warmup N] [--seed N] [--out DIR] [--quick] [--chart]
@@ -13,12 +14,24 @@
 //!   tab456    energy & area constants, regenerated
 //!   summary   headline numbers vs the paper
 //!   all       everything above
+//!
+//! samie-exp sweep [--designs LIST] [--bench LIST|all] [--seeds LIST]
+//!                 [--jobs N] [common flags]
+//!   design-space grid: LSQ designs x workloads x seeds -> CSV +
+//!   BENCH_sweep.json. Design syntax: conv[:E], filtered[:E[:B[:H]]],
+//!   samie[:BxExS[:shN|shinf][:abN]], comma-separated.
+//!
+//! samie-exp bench [--baseline FILE] [--max-regression X] [common flags]
+//!   fixed throughput-tracking grid; with --baseline, exits 3 if
+//!   aggregate simulated-instructions/sec regressed more than X times
+//!   (default 2.0) vs the checked-in BENCH_baseline.json.
 //! ```
 
 use std::path::PathBuf;
 
 use exp_harness::experiments::{fig1, fig3_4, paired, tab1_delay, tab456};
 use exp_harness::runner::{run_paired_suite, RunConfig};
+use exp_harness::sweep::{check_regression, run_sweep, LsqDesign, SweepGrid};
 use exp_harness::table::Table;
 use spec_traces::all_benchmarks;
 
@@ -27,6 +40,12 @@ struct Args {
     rc: RunConfig,
     out: PathBuf,
     chart: bool,
+    designs: Option<String>,
+    benchmarks: Option<String>,
+    seeds: Option<String>,
+    jobs: usize,
+    baseline: Option<PathBuf>,
+    max_regression: f64,
 }
 
 fn parse_args() -> Args {
@@ -34,6 +53,12 @@ fn parse_args() -> Args {
     let mut rc = RunConfig::default();
     let mut out = PathBuf::from("results");
     let mut chart = false;
+    let mut designs = None;
+    let mut benchmarks = None;
+    let mut seeds = None;
+    let mut jobs = 0;
+    let mut baseline = None;
+    let mut max_regression = 2.0;
     let mut it = std::env::args().skip(1);
     let mut positional_seen = false;
     while let Some(a) = it.next() {
@@ -48,8 +73,20 @@ fn parse_args() -> Args {
                 rc.instrs = q.instrs;
                 rc.warmup = q.warmup;
             }
+            "--designs" => designs = Some(it.next().expect("--designs LIST")),
+            "--bench" => benchmarks = Some(it.next().expect("--bench LIST")),
+            "--seeds" => seeds = Some(it.next().expect("--seeds LIST")),
+            "--jobs" => jobs = it.next().expect("--jobs N").parse().expect("number"),
+            "--baseline" => baseline = Some(PathBuf::from(it.next().expect("--baseline FILE"))),
+            "--max-regression" => {
+                max_regression = it
+                    .next()
+                    .expect("--max-regression X")
+                    .parse()
+                    .expect("number")
+            }
             "--help" | "-h" => {
-                eprintln!("usage: samie-exp <fig1|fig3|fig4|tab1|delay|fig5..fig12|tab456|summary|all> [--instrs N] [--warmup N] [--seed N] [--out DIR] [--quick] [--chart]");
+                eprintln!("usage: samie-exp <fig1|fig3|fig4|tab1|delay|fig5..fig12|tab456|summary|all|sweep|bench> [--instrs N] [--warmup N] [--seed N] [--out DIR] [--quick] [--chart] [--designs LIST] [--bench LIST] [--seeds LIST] [--jobs N] [--baseline FILE] [--max-regression X]");
                 std::process::exit(0);
             }
             other if !positional_seen => {
@@ -59,7 +96,87 @@ fn parse_args() -> Args {
             other => panic!("unexpected argument {other}"),
         }
     }
-    Args { experiment, rc, out, chart }
+    Args {
+        experiment,
+        rc,
+        out,
+        chart,
+        designs,
+        benchmarks,
+        seeds,
+        jobs,
+        baseline,
+        max_regression,
+    }
+}
+
+/// `sweep` / `bench` entry point; returns the process exit code.
+fn run_sweep_command(args: &Args) -> i32 {
+    let is_bench = args.experiment == "bench";
+    let mut grid = if is_bench {
+        SweepGrid::bench_default(args.rc)
+    } else {
+        SweepGrid::sweep_default(args.rc)
+    };
+    if let Some(d) = &args.designs {
+        grid.designs = LsqDesign::parse_list(d).unwrap_or_else(|e| panic!("{e}"));
+    }
+    if let Some(b) = &args.benchmarks {
+        grid.benchmarks = SweepGrid::parse_benchmarks(b).unwrap_or_else(|e| panic!("{e}"));
+    }
+    if let Some(s) = &args.seeds {
+        grid.seeds = s
+            .split(',')
+            .filter(|x| !x.is_empty())
+            .map(|x| x.parse().unwrap_or_else(|_| panic!("bad seed `{x}`")))
+            .collect();
+    }
+    // `bench` is a throughput tracker: its number must be comparable
+    // across hosts with different core counts, so it runs serially
+    // unless a worker count is requested explicitly.
+    let jobs = if is_bench && args.jobs == 0 {
+        1
+    } else {
+        args.jobs
+    };
+    let n = grid.designs.len() * grid.benchmarks.len() * grid.seeds.len();
+    eprintln!(
+        "{}: {} designs x {} benchmarks x {} seeds = {n} points ({} + {} instrs each)",
+        args.experiment,
+        grid.designs.len(),
+        grid.benchmarks.len(),
+        grid.seeds.len(),
+        args.rc.warmup,
+        args.rc.instrs,
+    );
+    let mut report = run_sweep(&grid, jobs);
+    report.mode = if is_bench { "bench" } else { "sweep" };
+    println!("{}", report.table().render());
+    println!(
+        "total: {} simulated instructions in {:.2} s = {:.2} Msim-instr/s",
+        report.total_instructions(),
+        report.wall.as_secs_f64(),
+        report.total_sim_ips() / 1e6,
+    );
+    match report.write(&args.out) {
+        Ok(p) => eprintln!("  -> {}", p.display()),
+        Err(e) => eprintln!("  (json not written: {e})"),
+    }
+    if let Some(path) = &args.baseline {
+        let baseline = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", path.display()));
+        match check_regression(&report, &baseline, args.max_regression) {
+            Ok(msg) => println!("baseline check OK: {msg}"),
+            Err(msg) => {
+                eprintln!(
+                    "THROUGHPUT REGRESSION (> {:.1}x): {msg}",
+                    args.max_regression
+                );
+                return 3;
+            }
+        }
+    }
+    0
 }
 
 fn emit(t: &Table, out: &std::path::Path, chart: bool) {
@@ -67,7 +184,10 @@ fn emit(t: &Table, out: &std::path::Path, chart: bool) {
     if chart && t.headers.len() >= 2 {
         // Chart the last column against the first (the key series of
         // every figure table).
-        println!("{}", exp_harness::table::bar_chart(t, 0, t.headers.len() - 1, 50));
+        println!(
+            "{}",
+            exp_harness::table::bar_chart(t, 0, t.headers.len() - 1, 50)
+        );
     }
     match t.write_csv(out) {
         Ok(p) => eprintln!("  -> {}", p.display()),
@@ -77,6 +197,9 @@ fn emit(t: &Table, out: &std::path::Path, chart: bool) {
 
 fn main() {
     let args = parse_args();
+    if matches!(args.experiment.as_str(), "sweep" | "bench") {
+        std::process::exit(run_sweep_command(&args));
+    }
     let rc = args.rc;
     let exp = args.experiment.as_str();
     eprintln!(
@@ -86,11 +209,23 @@ fn main() {
 
     let needs_paired = matches!(
         exp,
-        "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" | "fig12" | "summary" | "all"
+        "fig5"
+            | "fig6"
+            | "fig7"
+            | "fig8"
+            | "fig9"
+            | "fig10"
+            | "fig11"
+            | "fig12"
+            | "summary"
+            | "all"
     );
     let paired_runs = if needs_paired {
         eprintln!("simulating the 26-benchmark suite under both LSQs...");
-        Some(run_paired_suite(&all_benchmarks().iter().collect::<Vec<_>>(), &rc))
+        Some(run_paired_suite(
+            &all_benchmarks().iter().collect::<Vec<_>>(),
+            &rc,
+        ))
     } else {
         None
     };

@@ -21,14 +21,22 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { instrs: 1_000_000, warmup: 200_000, seed: 42 }
+        RunConfig {
+            instrs: 1_000_000,
+            warmup: 200_000,
+            seed: 42,
+        }
     }
 }
 
 impl RunConfig {
     /// A fast configuration for smoke tests and Criterion benches.
     pub fn quick() -> Self {
-        RunConfig { instrs: 120_000, warmup: 30_000, seed: 42 }
+        RunConfig {
+            instrs: 120_000,
+            warmup: 30_000,
+            seed: 42,
+        }
     }
 }
 
@@ -82,11 +90,30 @@ pub fn run_paired_suite(specs: &[&'static WorkloadSpec], rc: &RunConfig) -> Vec<
 /// Work is distributed through a lock-free queue so long-running items
 /// (e.g. `ammp` with its deadlock replays) do not serialise the suite.
 pub fn parallel_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(items: &[T], f: F) -> Vec<R> {
+    parallel_map_with(0, items, f)
+}
+
+/// [`parallel_map`] with an explicit worker count (`0` = all available
+/// cores). The pool never exceeds the item count; oversubscribed calls
+/// (`threads > items`) degrade gracefully — the sweep engine exposes this
+/// as `--jobs`.
+pub fn parallel_map_with<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
+    threads: usize,
+    items: &[T],
+    f: F,
+) -> Vec<R> {
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n);
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    } else {
+        threads
+    }
+    .min(n);
     if threads <= 1 {
         return items.iter().map(&f).collect();
     }
@@ -105,7 +132,11 @@ pub fn parallel_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(items: &[T], f: F) 
             });
         }
     });
-    results.into_inner().into_iter().map(|r| r.expect("worker completed")).collect()
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("worker completed"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -118,12 +149,44 @@ mod tests {
         let items: Vec<u64> = (0..100).collect();
         let out = parallel_map(&items, |&x| x * 2);
         assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty_slice() {
         assert!(parallel_map::<u64, u64, _>(&[], |&x| x).is_empty());
+        assert!(parallel_map_with::<u64, u64, _>(8, &[], |&x| x).is_empty());
+    }
+
+    #[test]
+    fn parallel_map_single_item() {
+        assert_eq!(parallel_map(&[7u64], |&x| x + 1), vec![8]);
+        assert_eq!(parallel_map_with(16, &[7u64], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_map_more_threads_than_items() {
+        // The pool clamps to the item count; excess workers are never
+        // spawned and every item is still mapped exactly once, in order.
+        let items: Vec<u64> = (0..3).collect();
+        assert_eq!(parallel_map_with(64, &items, |&x| x * x), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn parallel_map_explicit_thread_counts_agree() {
+        let items: Vec<u64> = (0..23).collect();
+        let serial = parallel_map_with(1, &items, |&x| x ^ 0xff);
+        for threads in [2, 3, 8] {
+            assert_eq!(parallel_map_with(threads, &items, |&x| x ^ 0xff), serial);
+        }
     }
 
     #[test]
     fn paired_run_smoke() {
-        let rc = RunConfig { instrs: 20_000, warmup: 5_000, seed: 1 };
+        let rc = RunConfig {
+            instrs: 20_000,
+            warmup: 5_000,
+            seed: 1,
+        };
         let pr = run_paired(by_name("gzip").unwrap(), &rc);
         assert!(pr.conv.ipc() > 0.1);
         assert!(pr.samie.ipc() > 0.1);

@@ -1,0 +1,709 @@
+//! Design-space sweep engine.
+//!
+//! The paper's result is fundamentally a *design-space* claim — SAMIE's
+//! entries × ways × banks geometry trades IPC, energy and area against a
+//! conventional CAM — but the figure harness only ever runs the single
+//! Table 3 point. This module runs declarative grids over LSQ designs,
+//! workloads and trace seeds:
+//!
+//! * [`LsqDesign`] — one point of the design axis (`conv:128`,
+//!   `filtered:128:1024:2`, `samie:64x2x8:sh8:ab64`), parseable from the
+//!   CLI grid syntax;
+//! * [`SweepGrid`] — the cross product of designs × benchmarks × seeds
+//!   plus a [`RunConfig`], expanded in deterministic order;
+//! * [`run_sweep`] — executes the grid on the work-stealing
+//!   [`parallel_map_with`](crate::runner::parallel_map_with) scheduler
+//!   with order-preserving collection;
+//! * [`SweepReport`] — per-point IPC / deadlocks / energy / wall-time /
+//!   simulated-instructions-per-second, emitted as CSV (via
+//!   [`Table`]) and as machine-readable `BENCH_sweep.json`.
+//!
+//! Timing fields (`wall_ms`, `sim_ips`) are the only non-deterministic
+//! outputs; [`SweepReport::to_json_deterministic`] zeroes them so equal
+//! grids + seeds produce byte-identical JSON (the regression-tracking
+//! invariant CI relies on).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use energy_model::price_lsq;
+use samie_lsq::{ConventionalLsq, FilteredLsq, SamieConfig, SamieLsq};
+use spec_traces::{all_benchmarks, by_name, WorkloadSpec};
+
+use crate::runner::{parallel_map_with, run_one, RunConfig};
+use crate::table::{fmt, Table};
+
+/// One point on the design axis of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LsqDesign {
+    /// Fully-associative baseline with `entries` entries.
+    Conventional { entries: usize },
+    /// Bloom-filtered baseline (`entries` entries, `buckets`-bucket
+    /// `hashes`-hash counting filters).
+    Filtered {
+        entries: usize,
+        buckets: usize,
+        hashes: u32,
+    },
+    /// SAMIE-LSQ with an arbitrary geometry.
+    Samie(SamieConfig),
+}
+
+impl LsqDesign {
+    /// The three designs at their paper configurations.
+    pub fn paper_trio() -> Vec<LsqDesign> {
+        vec![
+            LsqDesign::Conventional { entries: 128 },
+            LsqDesign::Filtered {
+                entries: 128,
+                buckets: 1024,
+                hashes: 2,
+            },
+            LsqDesign::Samie(SamieConfig::paper()),
+        ]
+    }
+
+    /// Stable identifier used in CSV/JSON rows (also round-trips through
+    /// [`LsqDesign::parse`]).
+    pub fn id(&self) -> String {
+        match self {
+            LsqDesign::Conventional { entries } => format!("conv:{entries}"),
+            LsqDesign::Filtered {
+                entries,
+                buckets,
+                hashes,
+            } => {
+                format!("filtered:{entries}:{buckets}:{hashes}")
+            }
+            LsqDesign::Samie(c) => format!(
+                "samie:{}x{}x{}:sh{}:ab{}",
+                c.banks,
+                c.entries_per_bank,
+                c.slots_per_entry,
+                if c.shared_unbounded() {
+                    "inf".to_string()
+                } else {
+                    c.shared_entries.to_string()
+                },
+                c.abuf_slots
+            ),
+        }
+    }
+
+    /// Parse one design spec of the grid syntax:
+    ///
+    /// ```text
+    /// conv[:ENTRIES]                       default 128
+    /// filtered[:ENTRIES[:BUCKETS[:HASHES]]] defaults 128:1024:2
+    /// samie[:BANKSxENTRIESxSLOTS[:shN|shinf][:abN]]  default 64x2x8:sh8:ab64
+    /// ```
+    pub fn parse(spec: &str) -> Result<LsqDesign, String> {
+        let mut parts = spec.split(':');
+        let kind = parts.next().unwrap_or_default();
+        let err = |m: &str| Err(format!("bad design spec `{spec}`: {m}"));
+        match kind {
+            "conv" | "conventional" => {
+                let entries = match parts.next() {
+                    None => 128,
+                    Some(e) => e
+                        .parse()
+                        .map_err(|_| format!("bad design spec `{spec}`: entries"))?,
+                };
+                if parts.next().is_some() {
+                    return err("trailing fields");
+                }
+                if entries == 0 {
+                    return err("entries must be positive");
+                }
+                Ok(LsqDesign::Conventional { entries })
+            }
+            "filtered" | "filt" => {
+                let entries = parts
+                    .next()
+                    .map_or(Ok(128), str::parse)
+                    .map_err(|_| format!("bad design spec `{spec}`: entries"))?;
+                let buckets = parts
+                    .next()
+                    .map_or(Ok(1024), str::parse)
+                    .map_err(|_| format!("bad design spec `{spec}`: buckets"))?;
+                let hashes = parts
+                    .next()
+                    .map_or(Ok(2), str::parse)
+                    .map_err(|_| format!("bad design spec `{spec}`: hashes"))?;
+                if parts.next().is_some() {
+                    return err("trailing fields");
+                }
+                if entries == 0 || !usize::is_power_of_two(buckets) || hashes == 0 {
+                    return err("entries > 0, buckets a power of two, hashes > 0");
+                }
+                Ok(LsqDesign::Filtered {
+                    entries,
+                    buckets,
+                    hashes,
+                })
+            }
+            "samie" => {
+                let mut cfg = SamieConfig::paper();
+                if let Some(geom) = parts.next() {
+                    let dims: Vec<&str> = geom.split('x').collect();
+                    if dims.len() != 3 {
+                        return err("geometry must be BANKSxENTRIESxSLOTS");
+                    }
+                    cfg.banks = dims[0]
+                        .parse()
+                        .map_err(|_| format!("bad design spec `{spec}`: banks"))?;
+                    cfg.entries_per_bank = dims[1]
+                        .parse()
+                        .map_err(|_| format!("bad design spec `{spec}`: entries"))?;
+                    cfg.slots_per_entry = dims[2]
+                        .parse()
+                        .map_err(|_| format!("bad design spec `{spec}`: slots"))?;
+                }
+                for extra in parts {
+                    if let Some(sh) = extra.strip_prefix("sh") {
+                        cfg.shared_entries = if sh == "inf" {
+                            SamieConfig::UNBOUNDED_SHARED
+                        } else {
+                            sh.parse()
+                                .map_err(|_| format!("bad design spec `{spec}`: shared"))?
+                        };
+                    } else if let Some(ab) = extra.strip_prefix("ab") {
+                        cfg.abuf_slots = ab
+                            .parse()
+                            .map_err(|_| format!("bad design spec `{spec}`: abuf"))?;
+                    } else {
+                        return err("expected sh<N>/shinf or ab<N>");
+                    }
+                }
+                if !cfg.banks.is_power_of_two()
+                    || cfg.entries_per_bank == 0
+                    || cfg.slots_per_entry == 0
+                    || cfg.shared_entries == 0
+                    || cfg.abuf_slots == 0
+                {
+                    return err("banks must be a power of two, other dims positive");
+                }
+                Ok(LsqDesign::Samie(cfg))
+            }
+            _ => err("unknown design kind (conv/filtered/samie)"),
+        }
+    }
+
+    /// Parse a comma-separated design list.
+    pub fn parse_list(specs: &str) -> Result<Vec<LsqDesign>, String> {
+        specs
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(LsqDesign::parse)
+            .collect()
+    }
+}
+
+/// A declarative sweep grid: the cross product of designs × benchmarks ×
+/// seeds, simulated under one [`RunConfig`] length.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// LSQ designs to sweep.
+    pub designs: Vec<LsqDesign>,
+    /// Benchmarks to run each design on.
+    pub benchmarks: Vec<&'static WorkloadSpec>,
+    /// Trace seeds (each multiplies the grid).
+    pub seeds: Vec<u64>,
+    /// Simulation length (its `seed` field is ignored; `seeds` governs).
+    pub rc: RunConfig,
+}
+
+impl SweepGrid {
+    /// The default `bench` grid: the paper trio on one integer, one
+    /// floating-point and the pathological benchmark — small enough for a
+    /// CI smoke run, diverse enough to exercise every hot path.
+    pub fn bench_default(rc: RunConfig) -> Self {
+        SweepGrid {
+            designs: LsqDesign::paper_trio(),
+            benchmarks: ["gzip", "swim", "ammp"]
+                .iter()
+                .map(|n| by_name(n).unwrap())
+                .collect(),
+            seeds: vec![rc.seed],
+            rc,
+        }
+    }
+
+    /// The default `sweep` grid: a geometry ladder over the full suite.
+    pub fn sweep_default(rc: RunConfig) -> Self {
+        SweepGrid {
+            designs: vec![
+                LsqDesign::Conventional { entries: 64 },
+                LsqDesign::Conventional { entries: 128 },
+                LsqDesign::Filtered {
+                    entries: 128,
+                    buckets: 1024,
+                    hashes: 2,
+                },
+                LsqDesign::Samie(SamieConfig {
+                    banks: 32,
+                    ..SamieConfig::paper()
+                }),
+                LsqDesign::Samie(SamieConfig::paper()),
+                LsqDesign::Samie(SamieConfig {
+                    entries_per_bank: 4,
+                    ..SamieConfig::paper()
+                }),
+            ],
+            benchmarks: all_benchmarks().iter().collect(),
+            seeds: vec![rc.seed],
+            rc,
+        }
+    }
+
+    /// Parse a comma-separated benchmark list (`all` = full suite).
+    pub fn parse_benchmarks(list: &str) -> Result<Vec<&'static WorkloadSpec>, String> {
+        if list == "all" {
+            return Ok(all_benchmarks().iter().collect());
+        }
+        list.split(',')
+            .filter(|s| !s.is_empty())
+            .map(|n| by_name(n).ok_or_else(|| format!("unknown benchmark `{n}`")))
+            .collect()
+    }
+
+    /// Expand the grid into points, seed-major then design-major then
+    /// benchmark-major — the deterministic order of every report row.
+    pub fn expand(&self) -> Vec<(LsqDesign, &'static WorkloadSpec, u64)> {
+        let mut points =
+            Vec::with_capacity(self.seeds.len() * self.designs.len() * self.benchmarks.len());
+        for &seed in &self.seeds {
+            for &design in &self.designs {
+                for &bench in &self.benchmarks {
+                    points.push((design, bench, seed));
+                }
+            }
+        }
+        points
+    }
+}
+
+/// The measured result of one grid point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Design identifier ([`LsqDesign::id`]).
+    pub design: String,
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Trace seed.
+    pub seed: u64,
+    /// Committed IPC over the measured interval.
+    pub ipc: f64,
+    /// Measured cycles.
+    pub cycles: u64,
+    /// Instructions simulated including warm-up (the throughput
+    /// denominator).
+    pub instructions: u64,
+    /// §3.3 deadlock-avoidance flushes.
+    pub deadlock_flushes: u64,
+    /// Flushes because an address fit nowhere.
+    pub nospace_flushes: u64,
+    /// LSQ dynamic energy over the measured interval (nJ).
+    pub lsq_energy_nj: f64,
+    /// Host wall-clock time of the run.
+    pub wall: Duration,
+}
+
+impl SweepPoint {
+    /// Simulated instructions per host second.
+    pub fn sim_ips(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / s
+        }
+    }
+}
+
+/// Simulate one grid point (warm-up + measured interval) and time it.
+pub fn run_point(
+    design: LsqDesign,
+    bench: &'static WorkloadSpec,
+    seed: u64,
+    rc: &RunConfig,
+) -> SweepPoint {
+    let rc = RunConfig { seed, ..*rc };
+    let t0 = Instant::now();
+    let stats = match design {
+        LsqDesign::Conventional { entries } => {
+            run_one(bench, ConventionalLsq::with_capacity(entries), &rc)
+        }
+        LsqDesign::Filtered {
+            entries,
+            buckets,
+            hashes,
+        } => run_one(bench, FilteredLsq::new(entries, buckets, hashes), &rc),
+        LsqDesign::Samie(cfg) => run_one(bench, SamieLsq::new(cfg), &rc),
+    };
+    let wall = t0.elapsed();
+    SweepPoint {
+        design: design.id(),
+        bench: bench.name,
+        seed,
+        ipc: stats.ipc(),
+        cycles: stats.cycles,
+        instructions: rc.warmup + stats.committed,
+        deadlock_flushes: stats.deadlock_flushes,
+        nospace_flushes: stats.nospace_flushes,
+        lsq_energy_nj: price_lsq(&stats.lsq).total(),
+        wall,
+    }
+}
+
+/// Execute a grid on `jobs` worker threads (0 = all available cores).
+/// Points are distributed through the work-stealing queue and collected
+/// in deterministic [`SweepGrid::expand`] order.
+pub fn run_sweep(grid: &SweepGrid, jobs: usize) -> SweepReport {
+    let points = grid.expand();
+    let t0 = Instant::now();
+    let results = parallel_map_with(jobs, &points, |&(design, bench, seed)| {
+        run_point(design, bench, seed, &grid.rc)
+    });
+    SweepReport {
+        mode: "sweep",
+        rc: grid.rc,
+        wall: t0.elapsed(),
+        points: results,
+    }
+}
+
+/// A completed sweep: every point plus aggregate timing.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// `"sweep"` or `"bench"` (stamped into the JSON).
+    pub mode: &'static str,
+    /// Simulation length the grid ran under.
+    pub rc: RunConfig,
+    /// End-to-end wall time of the whole grid (≤ sum of point walls when
+    /// workers run in parallel).
+    pub wall: Duration,
+    /// Per-point results, in grid order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepReport {
+    /// Total simulated instructions across all points.
+    pub fn total_instructions(&self) -> u64 {
+        self.points.iter().map(|p| p.instructions).sum()
+    }
+
+    /// Aggregate simulated instructions per host second (the headline
+    /// throughput number tracked by CI).
+    pub fn total_sim_ips(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.total_instructions() as f64 / s
+        }
+    }
+
+    /// The report as a [`Table`] (console rendering + CSV).
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!("Sweep - {} designs x workloads x seeds", self.mode),
+            &[
+                "design",
+                "bench",
+                "seed",
+                "ipc",
+                "cycles",
+                "instructions",
+                "deadlocks",
+                "nospace",
+                "lsq_energy_nj",
+                "wall_ms",
+                "sim_mips",
+            ],
+        );
+        for p in &self.points {
+            t.push_row(vec![
+                p.design.clone(),
+                p.bench.into(),
+                p.seed.to_string(),
+                fmt(p.ipc, 4),
+                p.cycles.to_string(),
+                p.instructions.to_string(),
+                p.deadlock_flushes.to_string(),
+                p.nospace_flushes.to_string(),
+                fmt(p.lsq_energy_nj, 1),
+                fmt(p.wall.as_secs_f64() * 1e3, 1),
+                fmt(p.sim_ips() / 1e6, 3),
+            ]);
+        }
+        t
+    }
+
+    /// Machine-readable JSON (schema `samie-bench-v1`), including the
+    /// non-deterministic timing fields.
+    pub fn to_json(&self) -> String {
+        self.render_json(true)
+    }
+
+    /// JSON with every timing field zeroed: same grid + same seeds →
+    /// byte-identical output (the determinism contract CI and the tests
+    /// rely on).
+    pub fn to_json_deterministic(&self) -> String {
+        self.render_json(false)
+    }
+
+    fn render_json(&self, timing: bool) -> String {
+        let ms = |d: Duration| if timing { d.as_secs_f64() * 1e3 } else { 0.0 };
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"samie-bench-v1\",");
+        let _ = writeln!(out, "  \"mode\": \"{}\",", self.mode);
+        let _ = writeln!(
+            out,
+            "  \"run_config\": {{\"instrs\": {}, \"warmup\": {}}},",
+            self.rc.instrs, self.rc.warmup
+        );
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"design\": \"{}\", \"bench\": \"{}\", \"seed\": {}, \
+                 \"ipc\": {:.6}, \"cycles\": {}, \"instructions\": {}, \
+                 \"deadlock_flushes\": {}, \"nospace_flushes\": {}, \
+                 \"lsq_energy_nj\": {:.3}, \"wall_ms\": {:.3}, \"sim_ips\": {:.0}}}",
+                p.design,
+                p.bench,
+                p.seed,
+                p.ipc,
+                p.cycles,
+                p.instructions,
+                p.deadlock_flushes,
+                p.nospace_flushes,
+                p.lsq_energy_nj,
+                ms(p.wall),
+                if timing { p.sim_ips() } else { 0.0 },
+            );
+            out.push_str(if i + 1 < self.points.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+        let _ = writeln!(
+            out,
+            "  \"total\": {{\"instructions\": {}, \"wall_ms\": {:.3}, \"total_sim_ips\": {:.0}}}",
+            self.total_instructions(),
+            ms(self.wall),
+            if timing { self.total_sim_ips() } else { 0.0 },
+        );
+        out.push_str("}\n");
+        out
+    }
+
+    /// Write `<dir>/BENCH_sweep.json` (and the CSV next to it); returns
+    /// the JSON path.
+    pub fn write(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("BENCH_sweep.json");
+        std::fs::write(&path, self.to_json())?;
+        self.table().write_csv(dir)?;
+        Ok(path)
+    }
+}
+
+/// Extract `"total_sim_ips": N` from a `BENCH_sweep.json` (hand-rolled —
+/// the workspace has no JSON dependency, and the schema is ours).
+pub fn baseline_total_sim_ips(json: &str) -> Option<f64> {
+    let key = "\"total_sim_ips\":";
+    let at = json.find(key)? + key.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compare a fresh report against a checked-in baseline: `Ok` unless the
+/// aggregate throughput regressed by more than `factor` (CI uses 2.0 —
+/// only a *gross* regression fails the smoke job, since runner hardware
+/// varies).
+pub fn check_regression(
+    report: &SweepReport,
+    baseline_json: &str,
+    factor: f64,
+) -> Result<String, String> {
+    let Some(base) = baseline_total_sim_ips(baseline_json) else {
+        return Err("baseline JSON has no total_sim_ips field".into());
+    };
+    let now = report.total_sim_ips();
+    let ratio = if base > 0.0 {
+        now / base
+    } else {
+        f64::INFINITY
+    };
+    let msg = format!(
+        "throughput {:.2} Msim-instr/s vs baseline {:.2} Msim-instr/s ({ratio:.2}x)",
+        now / 1e6,
+        base / 1e6
+    );
+    if base > 0.0 && now * factor < base {
+        Err(msg)
+    } else {
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_parse_roundtrip() {
+        for spec in [
+            "conv:64",
+            "filtered:128:1024:2",
+            "samie:64x2x8:sh8:ab64",
+            "samie:32x4x8:shinf:ab16",
+        ] {
+            let d = LsqDesign::parse(spec).unwrap();
+            assert_eq!(d.id(), spec, "id must round-trip");
+            assert_eq!(LsqDesign::parse(&d.id()).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn design_parse_defaults() {
+        assert_eq!(
+            LsqDesign::parse("conv").unwrap(),
+            LsqDesign::Conventional { entries: 128 }
+        );
+        assert_eq!(
+            LsqDesign::parse("samie").unwrap(),
+            LsqDesign::Samie(SamieConfig::paper())
+        );
+        assert_eq!(
+            LsqDesign::parse("filtered").unwrap(),
+            LsqDesign::Filtered {
+                entries: 128,
+                buckets: 1024,
+                hashes: 2
+            }
+        );
+    }
+
+    #[test]
+    fn design_parse_rejects_nonsense() {
+        for bad in [
+            "",
+            "arb",
+            "conv:0",
+            "conv:x",
+            "samie:3x2x8",
+            "samie:64x2",
+            "samie:64x2x8:zz4",
+            "filtered:128:100:2",
+            "conv:128:9",
+        ] {
+            assert!(LsqDesign::parse(bad).is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn parse_list_and_benchmarks() {
+        let ds = LsqDesign::parse_list("conv:64,samie").unwrap();
+        assert_eq!(ds.len(), 2);
+        assert!(LsqDesign::parse_list("conv:64,bogus").is_err());
+        assert_eq!(SweepGrid::parse_benchmarks("all").unwrap().len(), 26);
+        let bs = SweepGrid::parse_benchmarks("gzip,swim").unwrap();
+        assert_eq!(bs[1].name, "swim");
+        assert!(SweepGrid::parse_benchmarks("doom").is_err());
+    }
+
+    #[test]
+    fn grid_expands_in_deterministic_order() {
+        let rc = RunConfig {
+            instrs: 1000,
+            warmup: 100,
+            seed: 1,
+        };
+        let grid = SweepGrid {
+            designs: LsqDesign::parse_list("conv:32,samie").unwrap(),
+            benchmarks: SweepGrid::parse_benchmarks("gzip,gcc").unwrap(),
+            seeds: vec![1, 2],
+            rc,
+        };
+        let pts = grid.expand();
+        assert_eq!(pts.len(), 8);
+        assert_eq!((pts[0].1.name, pts[0].2), ("gzip", 1));
+        assert_eq!((pts[1].1.name, pts[1].2), ("gcc", 1));
+        assert_eq!(pts[4].2, 2, "seed-major ordering");
+    }
+
+    #[test]
+    fn small_sweep_produces_valid_report() {
+        let rc = RunConfig {
+            instrs: 8_000,
+            warmup: 2_000,
+            seed: 7,
+        };
+        let grid = SweepGrid {
+            designs: LsqDesign::paper_trio(),
+            benchmarks: SweepGrid::parse_benchmarks("gzip").unwrap(),
+            seeds: vec![7],
+            rc,
+        };
+        let report = run_sweep(&grid, 1);
+        assert_eq!(report.points.len(), 3);
+        for p in &report.points {
+            assert!(p.ipc > 0.1, "{}: ipc {}", p.design, p.ipc);
+            assert_eq!(p.instructions, 10_000);
+            assert!(p.lsq_energy_nj > 0.0);
+        }
+        assert!(report.total_sim_ips() > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"samie-bench-v1\""));
+        assert!(json.contains("\"total_sim_ips\""));
+        let base = baseline_total_sim_ips(&json).unwrap();
+        assert!((base - report.total_sim_ips()).abs() <= 1.0);
+    }
+
+    #[test]
+    fn regression_check_thresholds() {
+        let rc = RunConfig {
+            instrs: 4_000,
+            warmup: 1_000,
+            seed: 7,
+        };
+        let grid = SweepGrid {
+            designs: vec![LsqDesign::Conventional { entries: 32 }],
+            benchmarks: SweepGrid::parse_benchmarks("gzip").unwrap(),
+            seeds: vec![7],
+            rc,
+        };
+        let report = run_sweep(&grid, 1);
+        let fast = format!(
+            "{{\"total\": {{\"total_sim_ips\": {:.0}}}}}",
+            report.total_sim_ips() * 10.0
+        );
+        let slow = format!(
+            "{{\"total\": {{\"total_sim_ips\": {:.0}}}}}",
+            report.total_sim_ips() / 10.0
+        );
+        assert!(
+            check_regression(&report, &fast, 2.0).is_err(),
+            "10x slower than baseline"
+        );
+        assert!(
+            check_regression(&report, &slow, 2.0).is_ok(),
+            "10x faster than baseline"
+        );
+        assert!(
+            check_regression(&report, "{}", 2.0).is_err(),
+            "missing field"
+        );
+    }
+}

@@ -27,7 +27,12 @@ impl Table {
 
     /// Append a row; panics if the width disagrees with the headers.
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.headers.len(), "row width mismatch in {}", self.title);
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width mismatch in {}",
+            self.title
+        );
         self.rows.push(row);
     }
 
@@ -50,7 +55,11 @@ impl Table {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", line(&self.headers, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", line(row, &widths));
         }
@@ -67,9 +76,21 @@ impl Table {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
         }
         out
     }
@@ -80,7 +101,13 @@ impl Table {
         let slug: String = self
             .title
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect();
         let path = dir.join(format!("{}.csv", slug.trim_matches('_')));
         std::fs::write(&path, self.to_csv())?;
@@ -168,7 +195,11 @@ pub fn bar_chart(t: &Table, label_col: usize, value_col: usize, width: usize) ->
     if rows.is_empty() {
         return out;
     }
-    let max_abs = rows.iter().map(|(_, v)| v.abs()).fold(0.0f64, f64::max).max(1e-12);
+    let max_abs = rows
+        .iter()
+        .map(|(_, v)| v.abs())
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
     let has_neg = rows.iter().any(|(_, v)| *v < 0.0);
     let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     let neg_w = if has_neg { width / 4 } else { 0 };
@@ -215,7 +246,10 @@ mod chart_tests {
         assert!(c.contains("ammp"));
         // fma3d has the largest |value| -> longest bar among the rows.
         let bar_len = |name: &str| {
-            c.lines().find(|l| l.contains(name)).map(|l| l.matches('#').count()).unwrap()
+            c.lines()
+                .find(|l| l.contains(name))
+                .map(|l| l.matches('#').count())
+                .unwrap()
         };
         // fma3d has the largest |value|: it fills its (narrower) negative
         // axis completely (width/4 = 10 columns).
@@ -228,9 +262,15 @@ mod chart_tests {
     fn negative_values_sit_left_of_the_axis() {
         let c = bar_chart(&chart_table(), 0, 1, 40);
         let fma = c.lines().find(|l| l.contains("fma3d")).unwrap();
-        assert!(fma.contains("#|"), "negative bar must end at the axis: {fma}");
+        assert!(
+            fma.contains("#|"),
+            "negative bar must end at the axis: {fma}"
+        );
         let ammp = c.lines().find(|l| l.contains("ammp")).unwrap();
-        assert!(ammp.contains("|#"), "positive bar must start at the axis: {ammp}");
+        assert!(
+            ammp.contains("|#"),
+            "positive bar must start at the axis: {ammp}"
+        );
     }
 
     #[test]

@@ -121,5 +121,8 @@ banks_x_addresses,normal_%ipc,half_inflight_%ipc
 128x1,72.0,55.0
 "
     );
-    assert!(t.rows.iter().any(|r| r[0] == "64x2"), "the paper's chosen geometry is swept");
+    assert!(
+        t.rows.iter().any(|r| r[0] == "64x2"),
+        "the paper's chosen geometry is swept"
+    );
 }

@@ -1,0 +1,68 @@
+//! A fast hasher for simulator-internal `u64` keys.
+//!
+//! Instruction ages, virtual page numbers and line addresses are benign
+//! sequential-ish integers; SipHash's adversarial collision resistance
+//! buys nothing on the simulator's innermost loops. [`FastU64Hasher`]
+//! replaces it with one Fibonacci multiply plus a xor-shift, and — being
+//! seed-free — makes hash-map iteration order identical across
+//! processes, removing a source of run-to-run variation.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Hash map keyed by `u64` using [`FastU64Hasher`].
+pub type U64Map<V> = std::collections::HashMap<u64, V, BuildHasherDefault<FastU64Hasher>>;
+
+/// Fibonacci multiply, then fold the high bits (which carry the entropy
+/// after the multiply) into the low bits the hash-map bucket index is
+/// taken from.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastU64Hasher(u64);
+
+impl Hasher for FastU64Hasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (FNV-style); u64 keys hash through `write_u64`.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        let x = n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 = x ^ (x >> 32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    #[test]
+    fn sequential_keys_hash_distinctly() {
+        let hashes: std::collections::HashSet<u64> = (0..4096u64)
+            .map(|k| {
+                let mut h = FastU64Hasher::default();
+                k.hash(&mut h);
+                h.finish()
+            })
+            .collect();
+        assert_eq!(hashes.len(), 4096);
+    }
+
+    #[test]
+    fn u64_map_round_trips() {
+        let mut m: U64Map<u32> = U64Map::default();
+        for k in 0..512u64 {
+            m.insert(k << 13, k as u32);
+        }
+        assert_eq!(m.len(), 512);
+        assert_eq!(m.get(&(511 << 13)), Some(&511));
+        assert_eq!(m.remove(&0), Some(0));
+    }
+}

@@ -24,8 +24,13 @@ pub enum FuKind {
 
 impl FuKind {
     /// All kinds, in the order used by the simulator's FU scoreboard.
-    pub const ALL: [FuKind; 5] =
-        [FuKind::IntAlu, FuKind::IntMulDiv, FuKind::FpAlu, FuKind::FpMulDiv, FuKind::MemPort];
+    pub const ALL: [FuKind; 5] = [
+        FuKind::IntAlu,
+        FuKind::IntMulDiv,
+        FuKind::FpAlu,
+        FuKind::FpMulDiv,
+        FuKind::MemPort,
+    ];
 
     /// Default pool size for this kind (Table 2).
     pub fn default_count(self) -> usize {

@@ -21,11 +21,13 @@
 //! same microarchitectural mechanisms be exercised without an ISA frontend.
 
 pub mod addr;
+pub mod hash;
 pub mod latency;
 pub mod op;
 pub mod source;
 
 pub use addr::{line_addr, line_offset, page_number, LINE_BYTES, PAGE_BYTES};
+pub use hash::{FastU64Hasher, U64Map};
 pub use latency::{ExecLatency, FuKind};
 pub use op::{BranchInfo, MemRef, MicroOp, OpClass, Payload};
 pub use source::{FnTrace, TraceSource, VecTrace};

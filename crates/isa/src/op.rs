@@ -186,26 +186,46 @@ impl MicroOp {
     /// A plain integer ALU op with the given dependencies.
     #[inline]
     pub fn alu(pc: u64, deps: [u32; 2]) -> Self {
-        MicroOp { pc, class: OpClass::IntAlu, deps, payload: Payload::None }
+        MicroOp {
+            pc,
+            class: OpClass::IntAlu,
+            deps,
+            payload: Payload::None,
+        }
     }
 
     /// A non-memory op of an arbitrary class.
     #[inline]
     pub fn compute(pc: u64, class: OpClass, deps: [u32; 2]) -> Self {
         debug_assert!(!class.is_mem() && !class.is_branch());
-        MicroOp { pc, class, deps, payload: Payload::None }
+        MicroOp {
+            pc,
+            class,
+            deps,
+            payload: Payload::None,
+        }
     }
 
     /// A load of `size` bytes from `addr`.
     #[inline]
     pub fn load(pc: u64, addr: u64, size: u8, deps: [u32; 2]) -> Self {
-        MicroOp { pc, class: OpClass::Load, deps, payload: Payload::Mem(MemRef::new(addr, size)) }
+        MicroOp {
+            pc,
+            class: OpClass::Load,
+            deps,
+            payload: Payload::Mem(MemRef::new(addr, size)),
+        }
     }
 
     /// A store of `size` bytes to `addr`.
     #[inline]
     pub fn store(pc: u64, addr: u64, size: u8, deps: [u32; 2]) -> Self {
-        MicroOp { pc, class: OpClass::Store, deps, payload: Payload::Mem(MemRef::new(addr, size)) }
+        MicroOp {
+            pc,
+            class: OpClass::Store,
+            deps,
+            payload: Payload::Mem(MemRef::new(addr, size)),
+        }
     }
 
     /// A conditional branch with a resolved outcome.
@@ -226,7 +246,10 @@ impl MicroOp {
             pc,
             class: OpClass::UncondBranch,
             deps: [0, 0],
-            payload: Payload::Branch(BranchInfo { taken: true, target }),
+            payload: Payload::Branch(BranchInfo {
+                taken: true,
+                target,
+            }),
         }
     }
 
@@ -270,8 +293,7 @@ mod tests {
     #[test]
     fn class_predicates_are_disjoint_and_complete() {
         for c in OpClass::ALL {
-            let kinds =
-                [c.is_mem(), c.is_branch(), !(c.is_mem() || c.is_branch())];
+            let kinds = [c.is_mem(), c.is_branch(), !(c.is_mem() || c.is_branch())];
             assert_eq!(kinds.iter().filter(|&&k| k).count(), 1, "{c:?}");
         }
         assert!(OpClass::Load.is_mem() && OpClass::Load.is_load());
@@ -342,7 +364,13 @@ mod tests {
         assert_eq!(ld.branch_info(), None);
         let br = MicroOp::branch(0, false, 4, [0, 0]);
         assert_eq!(br.mem(), None);
-        assert_eq!(br.branch_info(), Some(BranchInfo { taken: false, target: 4 }));
+        assert_eq!(
+            br.branch_info(),
+            Some(BranchInfo {
+                taken: false,
+                target: 4
+            })
+        );
     }
 
     #[test]

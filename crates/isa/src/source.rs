@@ -1,16 +1,27 @@
 //! Trace sources: infinite deterministic micro-op streams.
 
+use std::collections::VecDeque;
+
 use crate::op::MicroOp;
 
 /// An infinite, deterministic stream of micro-ops.
 ///
-/// The timing simulator pulls one op at a time; a source must keep
+/// The timing simulator pulls ops in batches; a source must keep
 /// producing forever (generators wrap around their synthetic program).
 /// Determinism — the same source constructed the same way yields the same
 /// stream — is what makes every experiment in the harness reproducible.
 pub trait TraceSource {
     /// Produce the next dynamic micro-op.
     fn next_op(&mut self) -> MicroOp;
+
+    /// Append the next `n` ops of the stream to `out`. Semantically
+    /// identical to `n` calls of [`TraceSource::next_op`]; generators
+    /// override it to amortise per-call work across the batch.
+    fn next_batch(&mut self, out: &mut VecDeque<MicroOp>, n: usize) {
+        for _ in 0..n {
+            out.push_back(self.next_op());
+        }
+    }
 
     /// Human-readable name for reports ("gcc", "swim", ...).
     fn name(&self) -> &str {
@@ -33,7 +44,11 @@ impl VecTrace {
     /// Build a cycling trace from `ops`. Panics if `ops` is empty.
     pub fn new(ops: Vec<MicroOp>) -> Self {
         assert!(!ops.is_empty(), "VecTrace requires at least one op");
-        VecTrace { ops, pos: 0, name: "vec".to_string() }
+        VecTrace {
+            ops,
+            pos: 0,
+            name: "vec".to_string(),
+        }
     }
 
     /// Same, with a display name.
@@ -74,7 +89,11 @@ pub struct FnTrace<F: FnMut(u64) -> MicroOp> {
 impl<F: FnMut(u64) -> MicroOp> FnTrace<F> {
     /// Build a closure-backed trace.
     pub fn new(name: impl Into<String>, f: F) -> Self {
-        FnTrace { f, n: 0, name: name.into() }
+        FnTrace {
+            f,
+            n: 0,
+            name: name.into(),
+        }
     }
 }
 
@@ -93,6 +112,10 @@ impl<F: FnMut(u64) -> MicroOp> TraceSource for FnTrace<F> {
 impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
     fn next_op(&mut self) -> MicroOp {
         (**self).next_op()
+    }
+
+    fn next_batch(&mut self, out: &mut VecDeque<MicroOp>, n: usize) {
+        (**self).next_batch(out, n)
     }
 
     fn name(&self) -> &str {
@@ -136,6 +159,19 @@ mod tests {
         assert_eq!(op.class, OpClass::Load);
         assert_eq!(op.mem().unwrap().addr, 8);
         assert_eq!(t.next_op().pc, 8);
+    }
+
+    #[test]
+    fn next_batch_equals_repeated_next_op() {
+        let ops = vec![MicroOp::alu(0, [0, 0]), MicroOp::load(4, 64, 4, [1, 0])];
+        let mut a = VecTrace::new(ops.clone());
+        let mut b = VecTrace::new(ops);
+        let mut batch = VecDeque::new();
+        a.next_batch(&mut batch, 7);
+        assert_eq!(batch.len(), 7);
+        for got in batch {
+            assert_eq!(got, b.next_op());
+        }
     }
 
     #[test]

@@ -24,17 +24,32 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// The paper's L1 D-cache: 8 KB, 4-way, 32 B lines, 2-cycle hit.
     pub fn l1d() -> Self {
-        CacheConfig { size_bytes: 8 * 1024, assoc: 4, line_bytes: 32, hit_latency: 2 }
+        CacheConfig {
+            size_bytes: 8 * 1024,
+            assoc: 4,
+            line_bytes: 32,
+            hit_latency: 2,
+        }
     }
 
     /// The paper's L1 I-cache: 64 KB, 2-way, 32 B lines, 1-cycle hit.
     pub fn l1i() -> Self {
-        CacheConfig { size_bytes: 64 * 1024, assoc: 2, line_bytes: 32, hit_latency: 1 }
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            assoc: 2,
+            line_bytes: 32,
+            hit_latency: 1,
+        }
     }
 
     /// The paper's unified L2: 512 KB, 4-way, 64 B lines, 10-cycle hit.
     pub fn l2() -> Self {
-        CacheConfig { size_bytes: 512 * 1024, assoc: 4, line_bytes: 64, hit_latency: 10 }
+        CacheConfig {
+            size_bytes: 512 * 1024,
+            assoc: 4,
+            line_bytes: 64,
+            hit_latency: 10,
+        }
     }
 
     /// Total number of lines.
@@ -56,7 +71,11 @@ impl CacheConfig {
             return Err("size not a multiple of line size".into());
         }
         if self.assoc == 0 || !self.num_lines().is_multiple_of(self.assoc) {
-            return Err(format!("associativity {} does not divide {} lines", self.assoc, self.num_lines()));
+            return Err(format!(
+                "associativity {} does not divide {} lines",
+                self.assoc,
+                self.num_lines()
+            ));
         }
         if !self.num_sets().is_power_of_two() {
             return Err(format!("{} sets is not a power of two", self.num_sets()));
@@ -115,7 +134,13 @@ struct LineState {
     lru: u64,
 }
 
-const INVALID: LineState = LineState { tag: 0, valid: false, dirty: false, present: false, lru: 0 };
+const INVALID: LineState = LineState {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    present: false,
+    lru: 0,
+};
 
 /// A set-associative, write-back, write-allocate, LRU cache.
 #[derive(Debug, Clone)]
@@ -184,11 +209,10 @@ impl Cache {
     pub fn probe(&self, addr: u64) -> Option<u32> {
         let set = self.set_of(addr);
         let tag = self.tag_of(addr);
-        (0..self.cfg.assoc)
-            .find(|&w| {
-                let l = &self.lines[self.slot(set, w)];
-                l.valid && l.tag == tag
-            })
+        (0..self.cfg.assoc).find(|&w| {
+            let l = &self.lines[self.slot(set, w)];
+            l.valid && l.tag == tag
+        })
     }
 
     /// Full (conventional) access: tag compare across all ways, allocate on
@@ -209,7 +233,12 @@ impl Cache {
                     self.lines[slot].dirty = true;
                 }
                 self.stats.record_hit(kind);
-                return AccessOutcome { hit: true, set, way, evicted: None };
+                return AccessOutcome {
+                    hit: true,
+                    set,
+                    way,
+                    evicted: None,
+                };
             }
         }
 
@@ -245,7 +274,12 @@ impl Cache {
             present: false,
             lru: self.stamp,
         };
-        AccessOutcome { hit: false, set, way: victim, evicted }
+        AccessOutcome {
+            hit: false,
+            set,
+            way: victim,
+            evicted,
+        }
     }
 
     /// Way-known access (SAMIE §3.4): the LSQ entry has cached `(set, way)`
@@ -296,7 +330,8 @@ impl Cache {
 
     /// Is the line holding `addr` resident with its presentBit set?
     pub fn is_present_line(&self, addr: u64) -> bool {
-        self.probe(addr).is_some_and(|way| self.present_bit(self.set_of(addr), way))
+        self.probe(addr)
+            .is_some_and(|way| self.present_bit(self.set_of(addr), way))
     }
 
     /// Number of valid lines (occupancy), mostly for tests.
@@ -316,7 +351,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 32B lines = 256 B
-        Cache::new(CacheConfig { size_bytes: 256, assoc: 2, line_bytes: 32, hit_latency: 1 })
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            assoc: 2,
+            line_bytes: 32,
+            hit_latency: 1,
+        })
     }
 
     #[test]
@@ -331,19 +371,39 @@ mod tests {
 
     #[test]
     fn invalid_geometries_rejected() {
-        assert!(CacheConfig { size_bytes: 100, assoc: 2, line_bytes: 32, hit_latency: 1 }
-            .validate()
-            .is_err());
-        assert!(CacheConfig { size_bytes: 256, assoc: 0, line_bytes: 32, hit_latency: 1 }
-            .validate()
-            .is_err());
-        assert!(CacheConfig { size_bytes: 256, assoc: 2, line_bytes: 33, hit_latency: 1 }
-            .validate()
-            .is_err());
+        assert!(CacheConfig {
+            size_bytes: 100,
+            assoc: 2,
+            line_bytes: 32,
+            hit_latency: 1
+        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            size_bytes: 256,
+            assoc: 0,
+            line_bytes: 32,
+            hit_latency: 1
+        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            size_bytes: 256,
+            assoc: 2,
+            line_bytes: 33,
+            hit_latency: 1
+        }
+        .validate()
+        .is_err());
         // 3 sets: not a power of two
-        assert!(CacheConfig { size_bytes: 192, assoc: 2, line_bytes: 32, hit_latency: 1 }
-            .validate()
-            .is_err());
+        assert!(CacheConfig {
+            size_bytes: 192,
+            assoc: 2,
+            line_bytes: 32,
+            hit_latency: 1
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -463,7 +523,12 @@ mod tests {
 
     #[test]
     fn fully_associative_configuration() {
-        let cfg = CacheConfig { size_bytes: 128, assoc: 4, line_bytes: 32, hit_latency: 1 };
+        let cfg = CacheConfig {
+            size_bytes: 128,
+            assoc: 4,
+            line_bytes: 32,
+            hit_latency: 1,
+        };
         let mut c = Cache::new(cfg);
         assert_eq!(cfg.num_sets(), 1);
         for i in 0..4 {

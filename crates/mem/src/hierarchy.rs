@@ -34,15 +34,24 @@ pub struct DcacheAccessMode {
 
 impl DcacheAccessMode {
     /// Conventional access: D-TLB + all ways + tag compare.
-    pub const CONVENTIONAL: Self = DcacheAccessMode { way_known: None, translate: true };
+    pub const CONVENTIONAL: Self = DcacheAccessMode {
+        way_known: None,
+        translate: true,
+    };
 
     /// Way-known access at `(set, way)`; D-TLB bypassed.
     pub fn way_known(set: u32, way: u32) -> Self {
-        DcacheAccessMode { way_known: Some((set, way)), translate: false }
+        DcacheAccessMode {
+            way_known: Some((set, way)),
+            translate: false,
+        }
     }
 
     /// Full cache access with the translation cached (D-TLB bypassed).
-    pub const TRANSLATION_CACHED: Self = DcacheAccessMode { way_known: None, translate: false };
+    pub const TRANSLATION_CACHED: Self = DcacheAccessMode {
+        way_known: None,
+        translate: false,
+    };
 }
 
 /// Result of a data access through the hierarchy.
@@ -123,9 +132,17 @@ impl DataMemory {
     /// first-touch page table is identity-like for indexing purposes, and
     /// the paper's energy/occupancy results do not depend on physical
     /// indexing).
-    pub fn access(&mut self, addr: u64, kind: AccessKind, mode: DcacheAccessMode) -> MemAccessResult {
+    pub fn access(
+        &mut self,
+        addr: u64,
+        kind: AccessKind,
+        mode: DcacheAccessMode,
+    ) -> MemAccessResult {
         if let Some((set, way)) = mode.way_known {
-            debug_assert!(!mode.translate, "a way-known access implies a cached translation");
+            debug_assert!(
+                !mode.translate,
+                "a way-known access implies a cached translation"
+            );
             self.l1d.access_way_known(addr, set, way, kind);
             return MemAccessResult {
                 latency: self.l1d.config().hit_latency,
@@ -138,7 +155,10 @@ impl DataMemory {
         }
         let (tlb_hit, tlb_penalty) = if mode.translate {
             let t = self.dtlb.translate(page_number(addr), &mut self.page_table);
-            (Some(t.hit), if t.hit { 0 } else { self.dtlb.miss_penalty() })
+            (
+                Some(t.hit),
+                if t.hit { 0 } else { self.dtlb.miss_penalty() },
+            )
         } else {
             (None, 0)
         };
@@ -226,7 +246,11 @@ mod tests {
         // Evict from 8KB 4-way L1 by touching 4 more lines in the same set
         // (set stride = 64 sets * 32 B = 2 KB); all still fit in 512 KB L2.
         for i in 1..=4 {
-            m.access(base + i * 2048, AccessKind::Read, DcacheAccessMode::CONVENTIONAL);
+            m.access(
+                base + i * 2048,
+                AccessKind::Read,
+                DcacheAccessMode::CONVENTIONAL,
+            );
         }
         let r = m.access(base, AccessKind::Read, DcacheAccessMode::CONVENTIONAL);
         assert!(!r.l1_hit);
@@ -260,7 +284,11 @@ mod tests {
         m.set_present_bit(r0.set, r0.way);
         let mut seen_present_eviction = false;
         for i in 1..=4 {
-            let r = m.access(base + i * 2048, AccessKind::Read, DcacheAccessMode::CONVENTIONAL);
+            let r = m.access(
+                base + i * 2048,
+                AccessKind::Read,
+                DcacheAccessMode::CONVENTIONAL,
+            );
             if let Some(ev) = r.evicted {
                 if ev.present_bit {
                     assert_eq!(ev.line_addr, base);
@@ -268,7 +296,10 @@ mod tests {
                 }
             }
         }
-        assert!(seen_present_eviction, "evicting a present line must report it");
+        assert!(
+            seen_present_eviction,
+            "evicting a present line must report it"
+        );
     }
 
     #[test]

@@ -6,13 +6,13 @@
 //! measures. We allocate frames in first-touch order, which mimics an OS
 //! handing out frames as pages fault in.
 
-use std::collections::HashMap;
+use trace_isa::U64Map;
 
 /// First-touch page table: the n-th distinct virtual page number observed
 /// is mapped to physical frame n.
 #[derive(Debug, Default, Clone)]
 pub struct PageTable {
-    map: HashMap<u64, u64>,
+    map: U64Map<u64>,
 }
 
 impl PageTable {

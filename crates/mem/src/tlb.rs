@@ -4,6 +4,7 @@
 //! A TLB miss walks the [`crate::page::PageTable`] with a fixed penalty.
 
 use crate::page::PageTable;
+use trace_isa::U64Map;
 
 /// Result of a TLB translation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +27,11 @@ struct TlbEntry {
 #[derive(Debug, Clone)]
 pub struct Tlb {
     entries: Vec<TlbEntry>,
+    /// vpn → slot of the valid entry holding it. The hardware CAM match
+    /// is a parallel compare; modelling it with a linear scan put a
+    /// 128-iteration loop on every memory access, so the simulator keeps
+    /// this index purely for host speed (timing is unaffected).
+    index: U64Map<u32>,
     stamp: u64,
     accesses: u64,
     misses: u64,
@@ -46,7 +52,16 @@ impl Tlb {
     pub fn new(entries: usize, miss_penalty: u32) -> Self {
         assert!(entries > 0);
         Tlb {
-            entries: vec![TlbEntry { vpn: 0, pfn: 0, valid: false, lru: 0 }; entries],
+            entries: vec![
+                TlbEntry {
+                    vpn: 0,
+                    pfn: 0,
+                    valid: false,
+                    lru: 0
+                };
+                entries
+            ],
+            index: U64Map::default(),
             stamp: 0,
             accesses: 0,
             misses: 0,
@@ -58,18 +73,36 @@ impl Tlb {
     pub fn translate(&mut self, vpn: u64, pt: &mut PageTable) -> TlbOutcome {
         self.stamp += 1;
         self.accesses += 1;
-        if let Some(e) = self.entries.iter_mut().find(|e| e.valid && e.vpn == vpn) {
+        if let Some(&slot) = self.index.get(&vpn) {
+            let e = &mut self.entries[slot as usize];
+            debug_assert!(e.valid && e.vpn == vpn, "stale TLB index");
             e.lru = self.stamp;
-            return TlbOutcome { pfn: e.pfn, hit: true };
+            return TlbOutcome {
+                pfn: e.pfn,
+                hit: true,
+            };
         }
         self.misses += 1;
         let pfn = pt.translate(vpn);
+        // First invalid slot, else the LRU one (misses are off the host
+        // hot path — they already cost a 30-cycle simulated walk).
         let victim = self
             .entries
-            .iter_mut()
-            .min_by_key(|e| if e.valid { e.lru } else { 0 })
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
+            .map(|(i, _)| i)
             .expect("tlb has entries");
-        *victim = TlbEntry { vpn, pfn, valid: true, lru: self.stamp };
+        if self.entries[victim].valid {
+            self.index.remove(&self.entries[victim].vpn);
+        }
+        self.entries[victim] = TlbEntry {
+            vpn,
+            pfn,
+            valid: true,
+            lru: self.stamp,
+        };
+        self.index.insert(vpn, victim as u32);
         TlbOutcome { pfn, hit: false }
     }
 
@@ -77,7 +110,9 @@ impl Tlb {
     /// entry has cached the translation (SAMIE §3.4) and the real TLB is
     /// bypassed entirely.
     pub fn peek(&self, vpn: u64) -> Option<u64> {
-        self.entries.iter().find(|e| e.valid && e.vpn == vpn).map(|e| e.pfn)
+        let e = &self.entries[*self.index.get(&vpn)? as usize];
+        debug_assert!(e.valid && e.vpn == vpn, "stale TLB index");
+        Some(e.pfn)
     }
 
     /// Cycles added by a miss.

@@ -7,7 +7,12 @@ use mem_hier::{AccessKind, Cache, CacheConfig};
 
 fn tiny_cfg() -> CacheConfig {
     // 4 sets x 2 ways x 32-byte lines.
-    CacheConfig { size_bytes: 256, assoc: 2, line_bytes: 32, hit_latency: 1 }
+    CacheConfig {
+        size_bytes: 256,
+        assoc: 2,
+        line_bytes: 32,
+        hit_latency: 1,
+    }
 }
 
 fn addr_strategy() -> impl Strategy<Value = u64> {

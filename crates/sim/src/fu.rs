@@ -31,7 +31,9 @@ impl FuScoreboard {
 
     /// Custom pool sizes, in [`FuKind::ALL`] order.
     pub fn new(counts: [usize; 5]) -> Self {
-        FuScoreboard { busy_until: counts.map(|n| vec![0u64; n]) }
+        FuScoreboard {
+            busy_until: counts.map(|n| vec![0u64; n]),
+        }
     }
 
     #[inline]
@@ -49,10 +51,16 @@ impl FuScoreboard {
     pub fn try_issue(&mut self, class: OpClass, now: u64) -> Option<u64> {
         let kind = fu_kind(class);
         let lat = exec_latency(class);
-        let unit = self.busy_until[kind as usize].iter_mut().find(|b| **b <= now)?;
+        let unit = self.busy_until[kind as usize]
+            .iter_mut()
+            .find(|b| **b <= now)?;
         // A pipelined unit can accept a new op next cycle; a
         // non-pipelined one is blocked for the whole operation.
-        *unit = if lat.pipelined { now + 1 } else { now + lat.cycles as u64 };
+        *unit = if lat.pipelined {
+            now + 1
+        } else {
+            now + lat.cycles as u64
+        };
         Some(now + lat.cycles as u64)
     }
 
@@ -81,7 +89,10 @@ mod tests {
         assert_eq!(fu.try_issue(OpClass::IntDiv, 0), Some(20));
         for c in 1..20 {
             assert!(fu.try_issue(OpClass::IntDiv, c).is_none(), "cycle {c}");
-            assert!(fu.try_issue(OpClass::IntMul, c).is_none(), "mul shares the unit");
+            assert!(
+                fu.try_issue(OpClass::IntMul, c).is_none(),
+                "mul shares the unit"
+            );
         }
         assert!(fu.try_issue(OpClass::IntDiv, 20).is_some());
     }

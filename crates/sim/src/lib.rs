@@ -26,6 +26,7 @@
 //!   are counted for Figure 6. Flushed instructions are replayed from an
 //!   internal buffer with fresh ages.
 
+pub mod ageset;
 pub mod config;
 pub mod fu;
 pub mod pipeline;
@@ -34,6 +35,7 @@ mod pipeline_tests;
 pub mod predictor;
 pub mod stats;
 
+pub use ageset::AgeSet;
 pub use config::SimConfig;
 pub use pipeline::Simulator;
 pub use predictor::{BranchPredictor, Btb};

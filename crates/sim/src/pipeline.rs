@@ -32,12 +32,13 @@
 //! dynamic program order).
 
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 use mem_hier::{AccessKind, Cache, DataMemory, DcacheAccessMode};
 use samie_lsq::{Age, CachePlan, ForwardStatus, LoadStoreQueue, MemOp, PlaceOutcome};
 use trace_isa::{FuKind, MicroOp, OpClass, TraceSource};
 
+use crate::ageset::AgeSet;
 use crate::config::SimConfig;
 use crate::fu::FuScoreboard;
 use crate::predictor::{BranchPredictor, Btb};
@@ -96,6 +97,9 @@ pub struct Simulator<L: LoadStoreQueue, T: TraceSource> {
     next_age: Age,
 
     fetch_queue: VecDeque<(Age, MicroOp)>,
+    /// Ops pulled from the trace ahead of fetch ([`TRACE_BATCH`] at a
+    /// time, amortising the generator's per-call work).
+    trace_buf: VecDeque<MicroOp>,
     replay: VecDeque<MicroOp>,
     /// Mispredicted branch blocking fetch until it resolves.
     fetch_blocked_on: Option<Age>,
@@ -107,12 +111,12 @@ pub struct Simulator<L: LoadStoreQueue, T: TraceSource> {
     iq_int: usize,
     iq_fp: usize,
 
-    ready_int: BTreeSet<Age>,
-    ready_fp: BTreeSet<Age>,
+    ready_int: AgeSet,
+    ready_fp: AgeSet,
     /// Loads past agen awaiting forward/cache access.
-    pending_loads: BTreeSet<Age>,
+    pending_loads: AgeSet,
     /// In-flight stores whose address is still unknown (readyBit source).
-    unknown_store_addrs: BTreeSet<Age>,
+    unknown_store_addrs: AgeSet,
     /// Ops whose computed address the LSQ refused outright (no space even
     /// in the AddrBuffer). They retry each cycle — the paper's §3.3
     /// alternative of holding the address computation until space is
@@ -125,7 +129,16 @@ pub struct Simulator<L: LoadStoreQueue, T: TraceSource> {
     stats: SimStats,
     last_commit_cycle: u64,
     scratch_promoted: Vec<Age>,
+    /// Per-cycle working copy of a ready set / the pending loads (reused
+    /// so the stages allocate nothing in steady state).
+    scratch_ages: Vec<Age>,
+    /// Recycled consumer lists (capacity survives an op's retirement, so
+    /// wake-up registration stops allocating once the pool is warm).
+    consumer_pool: Vec<Vec<Age>>,
 }
+
+/// Ops pulled from the trace source per refill of the fetch-side buffer.
+const TRACE_BATCH: usize = 64;
 
 impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
     /// Build a simulator.
@@ -140,6 +153,7 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
             now: 0,
             next_age: 1,
             fetch_queue: VecDeque::with_capacity(cfg.fetch_queue),
+            trace_buf: VecDeque::with_capacity(TRACE_BATCH),
             replay: VecDeque::new(),
             fetch_blocked_on: None,
             fetch_resume_at: 0,
@@ -147,15 +161,17 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
             rob: VecDeque::with_capacity(cfg.rob_size),
             iq_int: 0,
             iq_fp: 0,
-            ready_int: BTreeSet::new(),
-            ready_fp: BTreeSet::new(),
-            pending_loads: BTreeSet::new(),
-            unknown_store_addrs: BTreeSet::new(),
+            ready_int: AgeSet::new(),
+            ready_fp: AgeSet::new(),
+            pending_loads: AgeSet::new(),
+            unknown_store_addrs: AgeSet::new(),
             lsq_retry: VecDeque::new(),
             completions: BinaryHeap::new(),
             stats: SimStats::default(),
             last_commit_cycle: 0,
             scratch_promoted: Vec::new(),
+            scratch_ages: Vec::new(),
+            consumer_pool: Vec::new(),
             cfg,
             lsq,
             trace,
@@ -244,7 +260,9 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
             "no commit for {} cycles at cycle {} (rob head: {:?})",
             self.cfg.watchdog_cycles,
             self.now,
-            self.rob.front().map(|e| (e.age, e.op.class, e.state, e.mem_phase)),
+            self.rob
+                .front()
+                .map(|e| (e.age, e.op.class, e.state, e.mem_phase)),
         );
     }
 
@@ -326,7 +344,7 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
         }
         if is_store {
             // readyBit (§3.1): the store's address is now known.
-            self.unknown_store_addrs.remove(&age);
+            self.unknown_store_addrs.remove(age);
             // The store's datum is produced with its address; it forwards
             // from the LSQ (once placed) and writes the cache at commit.
             self.lsq.store_executed(age);
@@ -375,8 +393,8 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
     fn mark_done(&mut self, age: Age) {
         let i = self.rob_index(age).expect("waking a flushed op");
         self.rob[i].state = ExecState::Done;
-        let consumers = std::mem::take(&mut self.rob[i].consumers);
-        for c in consumers {
+        let mut consumers = std::mem::take(&mut self.rob[i].consumers);
+        for &c in &consumers {
             if let Some(j) = self.rob_index(c) {
                 let e = &mut self.rob[j];
                 debug_assert!(e.waiting_on > 0);
@@ -388,6 +406,8 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
                 }
             }
         }
+        consumers.clear();
+        self.consumer_pool.push(consumers);
     }
 
     fn push_ready(&mut self, age: Age, class: OpClass) {
@@ -413,8 +433,7 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
                     self.flush_pipeline();
                     return;
                 }
-                if self.lsq_retry.front() == Some(&head.age) || self.lsq_retry.contains(&head.age)
-                {
+                if self.lsq_retry.front() == Some(&head.age) || self.lsq_retry.contains(&head.age) {
                     self.stats.nospace_flushes += 1;
                     self.flush_pipeline();
                     return;
@@ -460,9 +479,18 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
         let mref = op.mem().expect("cache access needs a mem op");
         let plan = self.lsq.cache_access_plan(age);
         let mode = match plan {
-            CachePlan { location: Some((set, way)), .. } => DcacheAccessMode::way_known(set, way),
-            CachePlan { location: None, translation: true } => DcacheAccessMode::TRANSLATION_CACHED,
-            CachePlan { location: None, translation: false } => DcacheAccessMode::CONVENTIONAL,
+            CachePlan {
+                location: Some((set, way)),
+                ..
+            } => DcacheAccessMode::way_known(set, way),
+            CachePlan {
+                location: None,
+                translation: true,
+            } => DcacheAccessMode::TRANSLATION_CACHED,
+            CachePlan {
+                location: None,
+                translation: false,
+            } => DcacheAccessMode::CONVENTIONAL,
         };
         let result = self.mem.access(mref.addr, kind, mode);
         if plan.location.is_none() {
@@ -483,11 +511,14 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
     // ---- stage 4: memory issue ------------------------------------------
 
     fn memory_issue_stage(&mut self) {
-        // Oldest-first among disambiguation-ready loads.
-        let candidates: Vec<Age> = self.pending_loads.iter().copied().collect();
-        for age in candidates {
+        // Oldest-first among disambiguation-ready loads (working copy: the
+        // set is edited mid-walk).
+        let mut candidates = std::mem::take(&mut self.scratch_ages);
+        candidates.clear();
+        candidates.extend_from_slice(self.pending_loads.as_slice());
+        for &age in &candidates {
             if self.entry(age).is_none() {
-                self.pending_loads.remove(&age);
+                self.pending_loads.remove(age);
                 continue;
             }
             // A buffered load cannot be disambiguated yet (§3.1).
@@ -495,7 +526,7 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
                 continue;
             }
             // readyBit: every older store address must be known.
-            if self.unknown_store_addrs.range(..age).next().is_some() {
+            if self.unknown_store_addrs.any_below(age) {
                 continue;
             }
             match self.lsq.load_forward_status(age) {
@@ -504,7 +535,7 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
                     self.lsq.take_forward(age, store);
                     self.lsq.load_data_arrived(age);
                     self.stats.forwarded_loads += 1;
-                    self.pending_loads.remove(&age);
+                    self.pending_loads.remove(age);
                     self.entry_mut(age).unwrap().mem_phase = MemPhase::Finished;
                     self.completions.push(Reverse((self.now + 1, age)));
                     self.entry_mut(age).unwrap().state = ExecState::Executing;
@@ -517,14 +548,16 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
                     let op = self.entry(age).unwrap().op;
                     let latency = self.dcache_access(age, op, AccessKind::Read);
                     self.lsq.load_data_arrived(age);
-                    self.pending_loads.remove(&age);
+                    self.pending_loads.remove(age);
                     let e = self.entry_mut(age).unwrap();
                     e.mem_phase = MemPhase::Finished;
                     e.state = ExecState::Executing;
-                    self.completions.push(Reverse((self.now + latency.max(1) as u64, age)));
+                    self.completions
+                        .push(Reverse((self.now + latency.max(1) as u64, age)));
                 }
             }
         }
+        self.scratch_ages = candidates;
     }
 
     // ---- stage 5: issue --------------------------------------------------
@@ -535,31 +568,59 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
     }
 
     fn issue_side(&mut self, fp: bool) {
-        let width = if fp { self.cfg.issue_width_fp } else { self.cfg.issue_width_int };
-        let ready: Vec<Age> = if fp {
-            self.ready_fp.iter().copied().collect()
+        let width = if fp {
+            self.cfg.issue_width_fp
         } else {
-            self.ready_int.iter().copied().collect()
+            self.cfg.issue_width_int
         };
+        // Working copy: the ready set is edited as ops issue.
+        let mut ready = std::mem::take(&mut self.scratch_ages);
+        ready.clear();
+        ready.extend_from_slice(if fp {
+            self.ready_fp.as_slice()
+        } else {
+            self.ready_int.as_slice()
+        });
         let mut issued = 0;
-        for age in ready {
+        // Unit pools only get busier within a cycle, so once a kind
+        // rejects an op it rejects every younger one too — skip them
+        // instead of re-scanning the scoreboard, and stop outright once
+        // every kind this side issues to is exhausted.
+        let mut exhausted_kinds = 0u8;
+        let side_kinds = if fp {
+            1u8 << FuKind::FpAlu as u8 | 1u8 << FuKind::FpMulDiv as u8
+        } else {
+            1u8 << FuKind::IntAlu as u8 | 1u8 << FuKind::IntMulDiv as u8
+        };
+        for &age in &ready {
             if issued == width {
                 break;
             }
             let Some(i) = self.rob_index(age) else {
                 // Flushed while ready.
                 if fp {
-                    self.ready_fp.remove(&age);
+                    self.ready_fp.remove(age);
                 } else {
-                    self.ready_int.remove(&age);
+                    self.ready_int.remove(age);
                 }
                 continue;
             };
             let class = self.rob[i].op.class;
             // Memory ops run their address generation on an integer ALU.
-            let agen_class =
-                if class.is_mem() { OpClass::IntAlu } else { class };
+            let agen_class = if class.is_mem() {
+                OpClass::IntAlu
+            } else {
+                class
+            };
+            let kind_bit = 1u8 << trace_isa::latency::fu_kind(agen_class) as u8;
+            if exhausted_kinds & kind_bit != 0 {
+                continue; // structural hazard; try a younger ready op
+            }
             let Some(done) = self.fu.try_issue(agen_class, self.now) else {
+                exhausted_kinds |= kind_bit;
+                if exhausted_kinds & side_kinds == side_kinds {
+                    break;
+                }
                 continue; // structural hazard; try a younger ready op
             };
             let e = &mut self.rob[i];
@@ -567,21 +628,24 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
             e.in_iq = false;
             if class.is_fp() {
                 self.iq_fp -= 1;
-                self.ready_fp.remove(&age);
+                self.ready_fp.remove(age);
             } else {
                 self.iq_int -= 1;
-                self.ready_int.remove(&age);
+                self.ready_int.remove(age);
             }
             self.completions.push(Reverse((done, age)));
             issued += 1;
         }
+        self.scratch_ages = ready;
     }
 
     // ---- stage 6: dispatch ----------------------------------------------
 
     fn dispatch_stage(&mut self) {
         for _ in 0..self.cfg.dispatch_width {
-            let Some(&(age, op)) = self.fetch_queue.front() else { break };
+            let Some(&(age, op)) = self.fetch_queue.front() else {
+                break;
+            };
             if self.rob.len() == self.cfg.rob_size {
                 break;
             }
@@ -635,7 +699,7 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
                 state: ExecState::Waiting,
                 mem_phase: MemPhase::PreAgen,
                 waiting_on: waiting,
-                consumers: Vec::new(),
+                consumers: self.consumer_pool.pop().unwrap_or_default(),
                 in_iq: true,
             });
             if waiting == 0 {
@@ -657,7 +721,15 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
             }
             let op = match self.replay.pop_front() {
                 Some(op) => op,
-                None => self.trace.next_op(),
+                None => match self.trace_buf.pop_front() {
+                    Some(op) => op,
+                    None => {
+                        self.trace.next_batch(&mut self.trace_buf, TRACE_BATCH);
+                        self.trace_buf
+                            .pop_front()
+                            .expect("trace sources are infinite")
+                    }
+                },
             };
             // I-cache: charged once per new line.
             let line = op.pc & !(self.cfg.l1i.line_bytes as u64 - 1);
@@ -685,8 +757,8 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
                 if info.taken {
                     self.btb.update(op.pc, info.target);
                 }
-                let target_ok = !info.taken
-                    || (predicted_taken && predicted_target == Some(info.target));
+                let target_ok =
+                    !info.taken || (predicted_taken && predicted_target == Some(info.target));
                 let correct = predicted_taken == info.taken && target_ok;
                 if !correct {
                     self.stats.mispredicts += 1;
@@ -708,13 +780,16 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
 
     /// Whole-pipeline flush (§3.3): every uncommitted op is replayed.
     fn flush_pipeline(&mut self) {
-        let mut replay: VecDeque<MicroOp> =
-            self.rob.iter().map(|e| e.op).collect();
+        let mut replay: VecDeque<MicroOp> = self.rob.iter().map(|e| e.op).collect();
         replay.extend(self.fetch_queue.iter().map(|&(_, op)| op));
         replay.append(&mut self.replay);
         self.replay = replay;
 
-        self.rob.clear();
+        for e in self.rob.drain(..) {
+            let mut consumers = e.consumers;
+            consumers.clear();
+            self.consumer_pool.push(consumers);
+        }
         self.fetch_queue.clear();
         self.ready_int.clear();
         self.ready_fp.clear();

@@ -42,13 +42,18 @@ fn nonpipelined_divides_throttle_throughput() {
 #[test]
 fn loads_hit_the_cache_and_commit() {
     // Loads sweeping a 1 KB array: warm after the first pass.
-    let ops: Vec<MicroOp> =
-        (0..128).map(|i| MicroOp::load(0x1000 + i * 4, 0x8000 + i * 8, 8, [0, 0])).collect();
+    let ops: Vec<MicroOp> = (0..128)
+        .map(|i| MicroOp::load(0x1000 + i * 4, 0x8000 + i * 8, 8, [0, 0]))
+        .collect();
     let mut sim = Simulator::paper(UnboundedLsq::new(), VecTrace::named(ops, "loads"));
     let stats = sim.run(20_000);
     assert_eq!(stats.loads + stats.stores + stats.branches, stats.loads);
     assert!(stats.l1d.accesses() > 0);
-    assert!(stats.l1d.miss_ratio() < 0.1, "miss ratio {}", stats.l1d.miss_ratio());
+    assert!(
+        stats.l1d.miss_ratio() < 0.1,
+        "miss ratio {}",
+        stats.l1d.miss_ratio()
+    );
     // 4 ports bound load throughput.
     assert!(stats.ipc() <= 4.05, "ipc = {}", stats.ipc());
 }
@@ -76,12 +81,17 @@ fn store_load_forwarding_skips_the_cache() {
 fn well_predicted_loop_fetches_smoothly() {
     // A 9-op loop with a backward branch taken 100 % of the time: the
     // predictor + BTB learn it perfectly.
-    let mut ops: Vec<MicroOp> =
-        (0..8).map(|i| MicroOp::alu(0x1000 + i * 4, [0, 0])).collect();
+    let mut ops: Vec<MicroOp> = (0..8)
+        .map(|i| MicroOp::alu(0x1000 + i * 4, [0, 0]))
+        .collect();
     ops.push(MicroOp::branch(0x1000 + 8 * 4, true, 0x1000, [0, 0]));
     let mut sim = Simulator::paper(UnboundedLsq::new(), VecTrace::named(ops, "loop"));
     let stats = sim.run(20_000);
-    assert!(stats.mispredict_ratio() < 0.01, "mispredicts {}", stats.mispredict_ratio());
+    assert!(
+        stats.mispredict_ratio() < 0.01,
+        "mispredicts {}",
+        stats.mispredict_ratio()
+    );
     // Taken branch each 9 ops bounds fetch: ~9 per 2 cycles... at least 3 IPC.
     assert!(stats.ipc() > 3.0, "ipc = {}", stats.ipc());
 }
@@ -96,17 +106,31 @@ fn random_branches_cost_ipc() {
         if i % 4 == 3 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
             let taken = (x >> 33) & 1 == 1;
-            ops.push(MicroOp::branch(0x1000 + i * 4, taken, 0x1000 + (i + 2) * 4, [0, 0]));
+            ops.push(MicroOp::branch(
+                0x1000 + i * 4,
+                taken,
+                0x1000 + (i + 2) * 4,
+                [0, 0],
+            ));
         } else {
             ops.push(MicroOp::alu(0x1000 + i * 4, [0, 0]));
         }
     }
     let mut sim = Simulator::paper(UnboundedLsq::new(), VecTrace::named(ops, "rand-br"));
     let stats = sim.run(40_000);
-    assert!(stats.mispredict_ratio() > 0.25, "ratio {}", stats.mispredict_ratio());
+    assert!(
+        stats.mispredict_ratio() > 0.25,
+        "ratio {}",
+        stats.mispredict_ratio()
+    );
     let mut smooth = Simulator::paper(UnboundedLsq::new(), alu_trace());
     let smooth_stats = smooth.run(40_000);
-    assert!(stats.ipc() < smooth_stats.ipc() * 0.7, "{} vs {}", stats.ipc(), smooth_stats.ipc());
+    assert!(
+        stats.ipc() < smooth_stats.ipc() * 0.7,
+        "{} vs {}",
+        stats.ipc(),
+        smooth_stats.ipc()
+    );
 }
 
 #[test]
@@ -198,7 +222,11 @@ fn samie_deadlocks_are_detected_and_flushed() {
     // younger neighbours hold.
     let mut ops = Vec::new();
     for i in 0..8u64 {
-        ops.push(MicroOp::compute(0x1000 + i * 16, trace_isa::OpClass::IntDiv, [0, 0]));
+        ops.push(MicroOp::compute(
+            0x1000 + i * 16,
+            trace_isa::OpClass::IntDiv,
+            [0, 0],
+        ));
         ops.push(MicroOp::load(0x1004 + i * 16, 0xc000 + i * 192, 8, [1, 0]));
         ops.push(MicroOp::load(0x1008 + i * 16, 0xc040 + i * 192, 8, [0, 0]));
         ops.push(MicroOp::load(0x100c + i * 16, 0xc080 + i * 192, 8, [0, 0]));
@@ -225,13 +253,18 @@ fn samie_matches_conventional_ipc_on_friendly_code() {
             }
         })
         .collect();
-    let mut conv =
-        Simulator::paper(ConventionalLsq::paper(), VecTrace::named(ops.clone(), "friendly"));
+    let mut conv = Simulator::paper(
+        ConventionalLsq::paper(),
+        VecTrace::named(ops.clone(), "friendly"),
+    );
     let conv_ipc = conv.run(30_000).ipc();
     let mut samie = Simulator::paper(SamieLsq::paper(), VecTrace::named(ops, "friendly"));
     let samie_ipc = samie.run(30_000).ipc();
     let loss = (conv_ipc - samie_ipc) / conv_ipc;
-    assert!(loss.abs() < 0.02, "IPC loss {loss} (conv {conv_ipc}, samie {samie_ipc})");
+    assert!(
+        loss.abs() < 0.02,
+        "IPC loss {loss} (conv {conv_ipc}, samie {samie_ipc})"
+    );
 }
 
 #[test]
@@ -243,7 +276,11 @@ fn warm_up_resets_statistics() {
     assert_eq!(s.cycles, 0);
     let s = sim.run(1_000);
     // The final cycle may commit a full group past the target.
-    assert!((1_000..1_008).contains(&s.committed), "committed {}", s.committed);
+    assert!(
+        (1_000..1_008).contains(&s.committed),
+        "committed {}",
+        s.committed
+    );
 }
 
 #[test]

@@ -18,7 +18,10 @@ impl CounterTable {
     fn new(entries: usize) -> Self {
         assert!(entries.is_power_of_two());
         // Initialise weakly taken, the usual reset state.
-        CounterTable { counters: vec![2; entries], mask: entries as u64 - 1 }
+        CounterTable {
+            counters: vec![2; entries],
+            mask: entries as u64 - 1,
+        }
     }
 
     #[inline]
@@ -135,7 +138,12 @@ impl Btb {
     /// Custom geometry.
     pub fn new(entries: usize, ways: usize) -> Self {
         assert!(entries.is_multiple_of(ways) && (entries / ways).is_power_of_two());
-        Btb { entries: vec![BtbEntry::default(); entries], sets: entries / ways, ways, stamp: 0 }
+        Btb {
+            entries: vec![BtbEntry::default(); entries],
+            sets: entries / ways,
+            ways,
+            stamp: 0,
+        }
     }
 
     #[inline]
@@ -184,8 +192,12 @@ impl Btb {
                 }
             })
             .unwrap();
-        self.entries[base + victim] =
-            BtbEntry { tag, target, valid: true, lru: self.stamp };
+        self.entries[base + victim] = BtbEntry {
+            tag,
+            target,
+            valid: true,
+            lru: self.stamp,
+        };
     }
 }
 
@@ -234,7 +246,9 @@ mod tests {
         let mut correct = 0;
         let n = 4000;
         for _ in 0..n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x >> 40) & 1 == 1;
             if p.predict(pc) == taken {
                 correct += 1;

@@ -61,9 +61,20 @@ enum BranchKind {
 
 #[derive(Debug, Clone, Copy)]
 enum SlotRole {
-    Compute { class: OpClass, deps: [u32; 2] },
-    Mem { is_store: bool, role: MemRole, deps: [u32; 2] },
-    Branch { kind: BranchKind, target_slot: u32, deps: [u32; 2] },
+    Compute {
+        class: OpClass,
+        deps: [u32; 2],
+    },
+    Mem {
+        is_store: bool,
+        role: MemRole,
+        deps: [u32; 2],
+    },
+    Branch {
+        kind: BranchKind,
+        target_slot: u32,
+        deps: [u32; 2],
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -112,11 +123,17 @@ impl SpecTrace {
                 // same-bank collision pattern real arrays don't exhibit.
                 let lines = region / LINE_BYTES as u64;
                 let jitter = rng.gen_range(0..lines) * LINE_BYTES as u64;
-                StreamState { base: DATA_BASE + i as u64 * region + jitter, region, pos: 0 }
+                StreamState {
+                    base: DATA_BASE + i as u64 * region + jitter,
+                    region,
+                    pos: 0,
+                }
             })
             .collect();
         // The banks that skewed lines collapse into (stable per trace).
-        let hot_banks = (0..spec.hot_banks).map(|_| rng.gen_range(0..64u64)).collect();
+        let hot_banks = (0..spec.hot_banks)
+            .map(|_| rng.gen_range(0..64u64))
+            .collect();
         SpecTrace {
             spec: *spec,
             rng,
@@ -160,12 +177,20 @@ impl SpecTrace {
             let x: f64 = rng.gen();
             let mut acc = spec.f_load;
             let role = if x < acc {
-                SlotRole::Mem { is_store: false, role: Self::mem_role(spec, rng, false, &mut next_stream), deps }
+                SlotRole::Mem {
+                    is_store: false,
+                    role: Self::mem_role(spec, rng, false, &mut next_stream),
+                    deps,
+                }
             } else if x < {
                 acc += spec.f_store;
                 acc
             } {
-                SlotRole::Mem { is_store: true, role: Self::mem_role(spec, rng, true, &mut next_stream), deps }
+                SlotRole::Mem {
+                    is_store: true,
+                    role: Self::mem_role(spec, rng, true, &mut next_stream),
+                    deps,
+                }
             } else if x < {
                 acc += spec.f_branch;
                 acc
@@ -175,36 +200,59 @@ impl SpecTrace {
                 acc += spec.f_fp_alu;
                 acc
             } {
-                SlotRole::Compute { class: OpClass::FpAlu, deps }
+                SlotRole::Compute {
+                    class: OpClass::FpAlu,
+                    deps,
+                }
             } else if x < {
                 acc += spec.f_fp_mul;
                 acc
             } {
-                SlotRole::Compute { class: OpClass::FpMul, deps }
+                SlotRole::Compute {
+                    class: OpClass::FpMul,
+                    deps,
+                }
             } else if x < {
                 acc += spec.f_fp_div;
                 acc
             } {
-                SlotRole::Compute { class: OpClass::FpDiv, deps }
+                SlotRole::Compute {
+                    class: OpClass::FpDiv,
+                    deps,
+                }
             } else if x < {
                 acc += spec.f_int_mul;
                 acc
             } {
-                SlotRole::Compute { class: OpClass::IntMul, deps }
+                SlotRole::Compute {
+                    class: OpClass::IntMul,
+                    deps,
+                }
             } else if x < {
                 acc += spec.f_int_div;
                 acc
             } {
-                SlotRole::Compute { class: OpClass::IntDiv, deps }
+                SlotRole::Compute {
+                    class: OpClass::IntDiv,
+                    deps,
+                }
             } else {
-                SlotRole::Compute { class: OpClass::IntAlu, deps }
+                SlotRole::Compute {
+                    class: OpClass::IntAlu,
+                    deps,
+                }
             };
             program.push(role);
         }
         program
     }
 
-    fn mem_role(spec: &WorkloadSpec, rng: &mut SmallRng, is_store: bool, next_stream: &mut u16) -> MemRole {
+    fn mem_role(
+        spec: &WorkloadSpec,
+        rng: &mut SmallRng,
+        is_store: bool,
+        next_stream: &mut u16,
+    ) -> MemRole {
         let x: f64 = rng.gen();
         if !is_store && x < spec.forward_frac {
             return MemRole::ForwardPair;
@@ -233,7 +281,10 @@ impl SpecTrace {
         if want_loop && target < slot as u32 {
             *min_loop_target = slot as u32 + 1;
             return SlotRole::Branch {
-                kind: BranchKind::Loop { min_trip: 4, max_trip: 24 },
+                kind: BranchKind::Loop {
+                    min_trip: 4,
+                    max_trip: 24,
+                },
                 target_slot: target,
                 deps,
             };
@@ -242,7 +293,9 @@ impl SpecTrace {
         // if/else), so mispredictions hurt without creating cycles.
         let skip = rng.gen_range(2..=16u32);
         SlotRole::Branch {
-            kind: BranchKind::Cond { taken_prob: rng.gen_range(0.3..0.7) },
+            kind: BranchKind::Cond {
+                taken_prob: rng.gen_range(0.3..0.7),
+            },
             target_slot: (slot as u32 + skip) % CODE_SLOTS as u32,
             deps,
         }
@@ -303,7 +356,11 @@ impl SpecTrace {
                 MemRef::new(Self::align(self.skew(addr), size), size)
             }
             MemRole::Reuse => {
-                if let Some(&line) = self.recent_lines.get(self.rng.gen_range(0..self.recent_lines.len().max(1)).min(self.recent_lines.len().saturating_sub(1))) {
+                if let Some(&line) = self.recent_lines.get(
+                    self.rng
+                        .gen_range(0..self.recent_lines.len().max(1))
+                        .min(self.recent_lines.len().saturating_sub(1)),
+                ) {
                     let slots = (LINE_BYTES / size as u32) as u64;
                     let off = self.rng.gen_range(0..slots) * size as u64;
                     MemRef::new(line + off, size)
@@ -327,6 +384,68 @@ impl SpecTrace {
         }
     }
 
+    /// Produce one dynamic op (the [`TraceSource`] work, shared by the
+    /// single-op and batched entry points).
+    fn gen_op(&mut self) -> MicroOp {
+        let slot = self.pos;
+        let pc = CODE_BASE + slot as u64 * 4;
+        let role = self.program[slot];
+        let (op, next) = match role {
+            SlotRole::Compute { class, deps } => (
+                MicroOp {
+                    pc,
+                    class,
+                    deps,
+                    payload: trace_isa::Payload::None,
+                },
+                slot + 1,
+            ),
+            SlotRole::Mem {
+                is_store,
+                role,
+                deps,
+            } => {
+                let mref = self.gen_address(role);
+                self.note_access(mref, is_store);
+                let op = if is_store {
+                    MicroOp::store(pc, mref.addr, mref.size, deps)
+                } else {
+                    MicroOp::load(pc, mref.addr, mref.size, deps)
+                };
+                (op, slot + 1)
+            }
+            SlotRole::Branch {
+                kind,
+                target_slot,
+                deps,
+            } => {
+                let taken = match kind {
+                    BranchKind::Cond { taken_prob } => self.rng.gen_bool(taken_prob),
+                    BranchKind::Loop { min_trip, max_trip } => {
+                        if self.loop_state[slot] == 0 {
+                            self.loop_state[slot] = self.rng.gen_range(min_trip..=max_trip);
+                        }
+                        self.loop_state[slot] -= 1;
+                        self.loop_state[slot] > 0
+                    }
+                };
+                let target_pc = CODE_BASE + target_slot as u64 * 4;
+                let op = MicroOp::branch(pc, taken, target_pc, deps);
+                (
+                    op,
+                    if taken {
+                        target_slot as usize
+                    } else {
+                        slot + 1
+                    },
+                )
+            }
+        };
+        self.pos = next % CODE_SLOTS;
+        debug_assert!(op.is_well_formed());
+        op
+    }
+
     fn note_access(&mut self, mref: MemRef, is_store: bool) {
         self.mem_count += 1;
         let line = mref.line();
@@ -347,42 +466,17 @@ impl SpecTrace {
 
 impl TraceSource for SpecTrace {
     fn next_op(&mut self) -> MicroOp {
-        let slot = self.pos;
-        let pc = CODE_BASE + slot as u64 * 4;
-        let role = self.program[slot];
-        let (op, next) = match role {
-            SlotRole::Compute { class, deps } => {
-                (MicroOp { pc, class, deps, payload: trace_isa::Payload::None }, slot + 1)
-            }
-            SlotRole::Mem { is_store, role, deps } => {
-                let mref = self.gen_address(role);
-                self.note_access(mref, is_store);
-                let op = if is_store {
-                    MicroOp::store(pc, mref.addr, mref.size, deps)
-                } else {
-                    MicroOp::load(pc, mref.addr, mref.size, deps)
-                };
-                (op, slot + 1)
-            }
-            SlotRole::Branch { kind, target_slot, deps } => {
-                let taken = match kind {
-                    BranchKind::Cond { taken_prob } => self.rng.gen_bool(taken_prob),
-                    BranchKind::Loop { min_trip, max_trip } => {
-                        if self.loop_state[slot] == 0 {
-                            self.loop_state[slot] = self.rng.gen_range(min_trip..=max_trip);
-                        }
-                        self.loop_state[slot] -= 1;
-                        self.loop_state[slot] > 0
-                    }
-                };
-                let target_pc = CODE_BASE + target_slot as u64 * 4;
-                let op = MicroOp::branch(pc, taken, target_pc, deps);
-                (op, if taken { target_slot as usize } else { slot + 1 })
-            }
-        };
-        self.pos = next % CODE_SLOTS;
-        debug_assert!(op.is_well_formed());
-        op
+        self.gen_op()
+    }
+
+    fn next_batch(&mut self, out: &mut std::collections::VecDeque<MicroOp>, n: usize) {
+        // One reservation and one monomorphised loop per batch instead of
+        // a generator call per fetched op.
+        out.reserve(n);
+        for _ in 0..n {
+            let op = self.gen_op();
+            out.push_back(op);
+        }
     }
 
     fn name(&self) -> &str {
@@ -411,6 +505,19 @@ mod tests {
     }
 
     #[test]
+    fn batched_generation_matches_single_op_stream() {
+        let mut single = SpecTrace::new(by_name("ammp").unwrap(), 13);
+        let mut batched = SpecTrace::new(by_name("ammp").unwrap(), 13);
+        let mut out = std::collections::VecDeque::new();
+        batched.next_batch(&mut out, 640);
+        // Mixed batch sizes must not perturb the stream either.
+        batched.next_batch(&mut out, 37);
+        for (i, got) in out.into_iter().enumerate() {
+            assert_eq!(got, single.next_op(), "op {i} diverged");
+        }
+    }
+
+    #[test]
     fn different_benchmarks_differ_under_same_seed() {
         assert_ne!(collect("gcc", 7, 1000), collect("gzip", 7, 1000));
     }
@@ -436,8 +543,14 @@ mod tests {
             let branches = ops.iter().filter(|o| o.class.is_branch()).count() as f64 / n;
             let spec = by_name(name).unwrap();
             // Control flow reweights the static mix; allow a 2x band.
-            assert!((spec.f_load * 0.5..spec.f_load * 2.0).contains(&loads), "{name} loads {loads}");
-            assert!((spec.f_store * 0.4..spec.f_store * 2.5).contains(&stores), "{name} stores {stores}");
+            assert!(
+                (spec.f_load * 0.5..spec.f_load * 2.0).contains(&loads),
+                "{name} loads {loads}"
+            );
+            assert!(
+                (spec.f_store * 0.4..spec.f_store * 2.5).contains(&stores),
+                "{name} stores {stores}"
+            );
             assert!(branches > 0.01, "{name} branches {branches}");
         }
     }
@@ -487,7 +600,10 @@ mod tests {
         };
         let swim = sharing("swim");
         let sixtrack = sharing("sixtrack");
-        assert!(swim > 1.5 * sixtrack, "swim {swim:.1} vs sixtrack {sixtrack:.1}");
+        assert!(
+            swim > 1.5 * sixtrack,
+            "swim {swim:.1} vs sixtrack {sixtrack:.1}"
+        );
     }
 
     #[test]
@@ -521,11 +637,22 @@ mod tests {
     #[test]
     fn mcf_touches_many_pages() {
         let ops = collect("mcf", 11, 50_000);
-        let pages: std::collections::HashSet<_> =
-            ops.iter().filter_map(|o| o.mem()).map(|m| m.addr >> 13).collect();
-        let gzip_pages: std::collections::HashSet<_> =
-            collect("gzip", 11, 50_000).iter().filter_map(|o| o.mem()).map(|m| m.addr >> 13).collect();
-        assert!(pages.len() > 4 * gzip_pages.len(), "mcf {} vs gzip {}", pages.len(), gzip_pages.len());
+        let pages: std::collections::HashSet<_> = ops
+            .iter()
+            .filter_map(|o| o.mem())
+            .map(|m| m.addr >> 13)
+            .collect();
+        let gzip_pages: std::collections::HashSet<_> = collect("gzip", 11, 50_000)
+            .iter()
+            .filter_map(|o| o.mem())
+            .map(|m| m.addr >> 13)
+            .collect();
+        assert!(
+            pages.len() > 4 * gzip_pages.len(),
+            "mcf {} vs gzip {}",
+            pages.len(),
+            gzip_pages.len()
+        );
     }
 
     #[test]

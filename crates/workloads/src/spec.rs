@@ -138,7 +138,10 @@ impl WorkloadSpec {
             return Err(format!("{}: reuse_window out of range", self.name));
         }
         if self.streams == 0 || self.working_set == 0 {
-            return Err(format!("{}: streams/working_set must be positive", self.name));
+            return Err(format!(
+                "{}: streams/working_set must be positive",
+                self.name
+            ));
         }
         if !matches!(self.access_size, 1 | 2 | 4 | 8) {
             return Err(format!("{}: bad access size", self.name));
@@ -233,7 +236,13 @@ pub const ALL_BENCHMARKS: [WorkloadSpec; 26] = [
         ..FP_BASE
     },
     // applu: dense SOR solver, long unit-stride sweeps over a large grid.
-    WorkloadSpec { name: "applu", streams: 6, working_set: 16 * MB, line_reuse: 0.62, ..FP_BASE },
+    WorkloadSpec {
+        name: "applu",
+        streams: 6,
+        working_set: 16 * MB,
+        line_reuse: 0.62,
+        ..FP_BASE
+    },
     // apsi: pollutant-transport code; strided accesses over 3-D arrays
     // concentrate in few banks (Fig. 3 high; loses IPC in Fig. 5).
     WorkloadSpec {
@@ -263,7 +272,13 @@ pub const ALL_BENCHMARKS: [WorkloadSpec; 26] = [
         ..FP_BASE
     },
     // bzip2: compression — tight dependency chains, small LSQ occupancy.
-    WorkloadSpec { name: "bzip2", dep_distance: 6, working_set: MB, line_reuse: 0.58, ..INT_BASE },
+    WorkloadSpec {
+        name: "bzip2",
+        dep_distance: 6,
+        working_set: MB,
+        line_reuse: 0.58,
+        ..INT_BASE
+    },
     // crafty: chess — branchy, tiny working set, low memory pressure.
     WorkloadSpec {
         name: "crafty",
@@ -275,7 +290,13 @@ pub const ALL_BENCHMARKS: [WorkloadSpec; 26] = [
         ..INT_BASE
     },
     // eon: C++ ray tracer — moderate FP-ish behaviour in an INT suite.
-    WorkloadSpec { name: "eon", f_load: 0.26, f_store: 0.14, branch_entropy: 0.15, ..INT_BASE },
+    WorkloadSpec {
+        name: "eon",
+        f_load: 0.26,
+        f_store: 0.14,
+        branch_entropy: 0.15,
+        ..INT_BASE
+    },
     // equake: sparse matrix-vector earthquake sim; sequential with some
     // indirection.
     WorkloadSpec {
@@ -319,9 +340,21 @@ pub const ALL_BENCHMARKS: [WorkloadSpec; 26] = [
         ..FP_BASE
     },
     // galgel: Galerkin FEM — blocked dense algebra, good locality.
-    WorkloadSpec { name: "galgel", streams: 6, line_reuse: 0.68, working_set: 2 * MB, ..FP_BASE },
+    WorkloadSpec {
+        name: "galgel",
+        streams: 6,
+        line_reuse: 0.68,
+        working_set: 2 * MB,
+        ..FP_BASE
+    },
     // gap: group theory interpreter — pointer-rich integer code.
-    WorkloadSpec { name: "gap", random_frac: 0.13, working_set: MB, f_load: 0.26, ..INT_BASE },
+    WorkloadSpec {
+        name: "gap",
+        random_frac: 0.13,
+        working_set: MB,
+        f_load: 0.26,
+        ..INT_BASE
+    },
     // gcc: compiler — large code footprint, modest data locality.
     WorkloadSpec {
         name: "gcc",
@@ -333,10 +366,23 @@ pub const ALL_BENCHMARKS: [WorkloadSpec; 26] = [
         ..INT_BASE
     },
     // gzip: compression — streaming with a small dictionary.
-    WorkloadSpec { name: "gzip", streams: 3, working_set: 512 * KB, line_reuse: 0.60, ..INT_BASE },
+    WorkloadSpec {
+        name: "gzip",
+        streams: 3,
+        working_set: 512 * KB,
+        line_reuse: 0.60,
+        ..INT_BASE
+    },
     // lucas: Lucas-Lehmer primality — FFT butterflies, large strides but
     // bank-friendly.
-    WorkloadSpec { name: "lucas", streams: 8, stream_stride: 32, line_reuse: 0.68, working_set: 8 * MB, ..FP_BASE },
+    WorkloadSpec {
+        name: "lucas",
+        streams: 8,
+        stream_stride: 32,
+        line_reuse: 0.68,
+        working_set: 8 * MB,
+        ..FP_BASE
+    },
     // mcf: single-depot vehicle scheduling — the pointer-chasing extreme.
     // Lowest DTLB savings in the paper (55 %): the least line sharing.
     WorkloadSpec {
@@ -357,7 +403,14 @@ pub const ALL_BENCHMARKS: [WorkloadSpec; 26] = [
         ..INT_BASE
     },
     // mesa: software OpenGL — FP-ish INT benchmark, streaming framebuffer.
-    WorkloadSpec { name: "mesa", f_load: 0.24, f_store: 0.15, streams: 6, working_set: 2 * MB, ..INT_BASE },
+    WorkloadSpec {
+        name: "mesa",
+        f_load: 0.24,
+        f_store: 0.15,
+        streams: 6,
+        working_set: 2 * MB,
+        ..INT_BASE
+    },
     // mgrid: multigrid solver — large power-of-two strides land in few
     // banks (Fig. 3 high, loses IPC, but lines are shared heavily).
     WorkloadSpec {
@@ -374,9 +427,21 @@ pub const ALL_BENCHMARKS: [WorkloadSpec; 26] = [
         ..FP_BASE
     },
     // parser: NL parsing — pointer-heavy, tiny occupancy.
-    WorkloadSpec { name: "parser", random_frac: 0.14, working_set: MB, dep_distance: 6, ..INT_BASE },
+    WorkloadSpec {
+        name: "parser",
+        random_frac: 0.14,
+        working_set: MB,
+        dep_distance: 6,
+        ..INT_BASE
+    },
     // perlbmk: perl interpreter — branchy dispatch loops.
-    WorkloadSpec { name: "perlbmk", branch_entropy: 0.18, working_set: 512 * KB, f_branch: 0.19, ..INT_BASE },
+    WorkloadSpec {
+        name: "perlbmk",
+        branch_entropy: 0.18,
+        working_set: 512 * KB,
+        f_branch: 0.19,
+        ..INT_BASE
+    },
     // sixtrack: particle tracking — long dependency chains over many small
     // arrays; the *least* line sharing in the suite (21 % D-cache savings).
     WorkloadSpec {
@@ -408,13 +473,36 @@ pub const ALL_BENCHMARKS: [WorkloadSpec; 26] = [
         ..FP_BASE
     },
     // twolf: place & route — branchy with scattered small structures.
-    WorkloadSpec { name: "twolf", branch_entropy: 0.20, random_frac: 0.12, working_set: 512 * KB, ..INT_BASE },
+    WorkloadSpec {
+        name: "twolf",
+        branch_entropy: 0.20,
+        random_frac: 0.12,
+        working_set: 512 * KB,
+        ..INT_BASE
+    },
     // vortex: OO database — moderate footprint, store-rich.
-    WorkloadSpec { name: "vortex", f_store: 0.16, working_set: 2 * MB, ..INT_BASE },
+    WorkloadSpec {
+        name: "vortex",
+        f_store: 0.16,
+        working_set: 2 * MB,
+        ..INT_BASE
+    },
     // vpr: FPGA place & route — like twolf with a larger net list.
-    WorkloadSpec { name: "vpr", branch_entropy: 0.18, random_frac: 0.10, working_set: MB, ..INT_BASE },
+    WorkloadSpec {
+        name: "vpr",
+        branch_entropy: 0.18,
+        random_frac: 0.10,
+        working_set: MB,
+        ..INT_BASE
+    },
     // wupwise: lattice QCD — regular complex arithmetic, good locality.
-    WorkloadSpec { name: "wupwise", streams: 8, line_reuse: 0.62, working_set: 8 * MB, ..FP_BASE },
+    WorkloadSpec {
+        name: "wupwise",
+        streams: 8,
+        line_reuse: 0.62,
+        working_set: 8 * MB,
+        ..FP_BASE
+    },
 ];
 
 /// All 26 benchmarks.
@@ -435,15 +523,18 @@ mod tests {
     fn suite_is_complete_and_ordered() {
         let names: Vec<_> = ALL_BENCHMARKS.iter().map(|s| s.name).collect();
         let expected = [
-            "ammp", "applu", "apsi", "art", "bzip2", "crafty", "eon", "equake", "facerec",
-            "fma3d", "galgel", "gap", "gcc", "gzip", "lucas", "mcf", "mesa", "mgrid", "parser",
-            "perlbmk", "sixtrack", "swim", "twolf", "vortex", "vpr", "wupwis",
+            "ammp", "applu", "apsi", "art", "bzip2", "crafty", "eon", "equake", "facerec", "fma3d",
+            "galgel", "gap", "gcc", "gzip", "lucas", "mcf", "mesa", "mgrid", "parser", "perlbmk",
+            "sixtrack", "swim", "twolf", "vortex", "vpr", "wupwis",
         ];
         // Paper's figures truncate wupwise to "wupwis"; we keep full names
         // but the order must match.
         assert_eq!(names.len(), 26);
         for (n, e) in names.iter().zip(expected.iter()) {
-            assert!(n.starts_with(e.trim_end_matches('e')) || n == e, "{n} vs {e}");
+            assert!(
+                n.starts_with(e.trim_end_matches('e')) || n == e,
+                "{n} vs {e}"
+            );
         }
     }
 
@@ -477,7 +568,11 @@ mod tests {
         // mcf is the random-access extreme (Fig. 10).
         assert!(by_name("mcf").unwrap().random_frac >= 0.3);
         for s in all_benchmarks() {
-            assert!(s.random_frac <= by_name("mcf").unwrap().random_frac, "{}", s.name);
+            assert!(
+                s.random_frac <= by_name("mcf").unwrap().random_frac,
+                "{}",
+                s.name
+            );
         }
     }
 

@@ -8,17 +8,17 @@ use trace_isa::{OpClass, TraceSource};
 fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
     let base = *spec_traces::by_name("gcc").unwrap();
     (
-        0.05f64..0.4,   // f_load
-        0.02f64..0.2,   // f_store
-        0.02f64..0.2,   // f_branch
-        0.0f64..0.5,    // line_reuse
-        0.0f64..0.3,    // random_frac
-        1usize..16,     // streams
+        0.05f64..0.4, // f_load
+        0.02f64..0.2, // f_store
+        0.02f64..0.2, // f_branch
+        0.0f64..0.5,  // line_reuse
+        0.0f64..0.3,  // random_frac
+        1usize..16,   // streams
         prop::sample::select(vec![4u64, 8, 16, 32, 2048]),
-        0.0f64..1.0,    // bank_skew
-        1usize..8,      // hot_banks
-        0.0f64..0.6,    // conflict_duty
-        2usize..16,     // reuse_window
+        0.0f64..1.0, // bank_skew
+        1usize..8,   // hot_banks
+        0.0f64..0.6, // conflict_duty
+        2usize..16,  // reuse_window
     )
         .prop_map(
             move |(fl, fs, fb, reuse, random, streams, stride, skew, hot, duty, window)| {

@@ -66,5 +66,7 @@ fn main() {
     println!("only a pipeline flush can free the entries its younger neighbours hold.\n");
     narrate("ammp", 400_000);
     narrate("gzip", 400_000);
-    println!("ammp's skewed conflict phases overflow its banks; gzip never needs the escape hatch.");
+    println!(
+        "ammp's skewed conflict phases overflow its banks; gzip never needs the escape hatch."
+    );
 }

@@ -15,7 +15,10 @@ use spec_traces::{by_name, SpecTrace};
 fn main() {
     let mut args = std::env::args().skip(1);
     let bench = args.next().unwrap_or_else(|| "facerec".to_string());
-    let instrs: u64 = args.next().map(|s| s.parse().expect("instr count")).unwrap_or(200_000);
+    let instrs: u64 = args
+        .next()
+        .map(|s| s.parse().expect("instr count"))
+        .unwrap_or(200_000);
     let spec = by_name(&bench).expect("unknown benchmark");
 
     let mut configs: Vec<(String, SamieConfig)> = Vec::new();
@@ -23,21 +26,31 @@ fn main() {
     for (banks, epb) in [(16, 8), (32, 4), (64, 2), (128, 1)] {
         configs.push((
             format!("{banks}x{epb}x8 shared=8"),
-            SamieConfig { banks, entries_per_bank: epb, ..SamieConfig::paper() },
+            SamieConfig {
+                banks,
+                entries_per_bank: epb,
+                ..SamieConfig::paper()
+            },
         ));
     }
     // Slots-per-entry sweep (the §3.5 leakage/benefit trade-off).
     for slots in [2, 4, 8, 16] {
         configs.push((
             format!("64x2x{slots} shared=8"),
-            SamieConfig { slots_per_entry: slots, ..SamieConfig::paper() },
+            SamieConfig {
+                slots_per_entry: slots,
+                ..SamieConfig::paper()
+            },
         ));
     }
     // SharedLSQ sweep (Figure 4's design decision).
     for shared in [2, 4, 8, 16] {
         configs.push((
             format!("64x2x8 shared={shared}"),
-            SamieConfig { shared_entries: shared, ..SamieConfig::paper() },
+            SamieConfig {
+                shared_entries: shared,
+                ..SamieConfig::paper()
+            },
         ));
     }
 

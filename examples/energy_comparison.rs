@@ -12,9 +12,13 @@ use spec_traces::{all_benchmarks, WorkloadSpec};
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let instrs: u64 = args.next().map(|s| s.parse().expect("instr count")).unwrap_or(200_000);
-    let picks: Option<Vec<String>> =
-        args.next().map(|s| s.split(',').map(str::to_string).collect());
+    let instrs: u64 = args
+        .next()
+        .map(|s| s.parse().expect("instr count"))
+        .unwrap_or(200_000);
+    let picks: Option<Vec<String>> = args
+        .next()
+        .map(|s| s.split(',').map(str::to_string).collect());
 
     let specs: Vec<&'static WorkloadSpec> = all_benchmarks()
         .iter()
@@ -22,13 +26,29 @@ fn main() {
         .collect();
     assert!(!specs.is_empty(), "no benchmarks selected");
 
-    let rc = RunConfig { instrs, warmup: instrs / 5, seed: 42 };
-    eprintln!("running {} benchmark(s) x 2 LSQ designs x {instrs} instructions...", specs.len());
+    let rc = RunConfig {
+        instrs,
+        warmup: instrs / 5,
+        seed: 42,
+    };
+    eprintln!(
+        "running {} benchmark(s) x 2 LSQ designs x {instrs} instructions...",
+        specs.len()
+    );
     let runs = run_paired_suite(&specs, &rc);
 
     println!(
         "{:>9}  {:>9} {:>9} {:>7}   {:>9} {:>9} {:>7}   {:>8} {:>8} {:>7}",
-        "bench", "lsq_conv", "lsq_samie", "save", "d$_conv", "d$_samie", "save", "ipc_conv", "ipc_sam", "loss"
+        "bench",
+        "lsq_conv",
+        "lsq_samie",
+        "save",
+        "d$_conv",
+        "d$_samie",
+        "save",
+        "ipc_conv",
+        "ipc_sam",
+        "loss"
     );
     let (mut lc, mut ls, mut dc, mut ds, mut tl) = (0.0, 0.0, 0.0, 0.0, 0.0);
     for r in &runs {

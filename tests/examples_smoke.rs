@@ -16,7 +16,9 @@ fn run_example(name: &str, args: &[&str]) -> String {
     cmd.current_dir(env!("CARGO_MANIFEST_DIR"))
         .args(["run", "--quiet", "--release", "--example", name, "--"])
         .args(args);
-    let out = cmd.output().unwrap_or_else(|e| panic!("failed to spawn cargo for {name}: {e}"));
+    let out = cmd
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for {name}: {e}"));
     assert!(
         out.status.success(),
         "example `{name}` exited with {:?}\n--- stderr ---\n{}",
@@ -31,13 +33,19 @@ fn quickstart_runs() {
     let out = run_example("quickstart", &["gzip", "30000"]);
     assert!(out.contains("IPC"), "missing IPC line:\n{out}");
     assert!(out.contains("LSQ energy"), "missing energy section:\n{out}");
-    assert!(out.contains("final LSQ occupancy"), "missing occupancy line:\n{out}");
+    assert!(
+        out.contains("final LSQ occupancy"),
+        "missing occupancy line:\n{out}"
+    );
 }
 
 #[test]
 fn design_space_runs() {
     let out = run_example("design_space", &["gzip", "20000"]);
-    assert!(out.contains("64x2x8"), "missing the paper's Table 3 point:\n{out}");
+    assert!(
+        out.contains("64x2x8"),
+        "missing the paper's Table 3 point:\n{out}"
+    );
 }
 
 #[test]
@@ -45,13 +53,22 @@ fn energy_comparison_runs() {
     let out = run_example("energy_comparison", &["20000", "gzip,swim"]);
     assert!(out.contains("gzip"), "missing per-benchmark row:\n{out}");
     assert!(out.contains("suite:"), "missing suite summary:\n{out}");
-    assert!(out.contains("paper:"), "missing paper reference line:\n{out}");
+    assert!(
+        out.contains("paper:"),
+        "missing paper reference line:\n{out}"
+    );
 }
 
 #[test]
 fn deadlock_pathology_runs() {
     let out = run_example("deadlock_pathology", &[]);
-    assert!(out.contains("--- ammp ---"), "missing pathological benchmark:\n{out}");
-    assert!(out.contains("--- gzip ---"), "missing well-behaved benchmark:\n{out}");
+    assert!(
+        out.contains("--- ammp ---"),
+        "missing pathological benchmark:\n{out}"
+    );
+    assert!(
+        out.contains("--- gzip ---"),
+        "missing well-behaved benchmark:\n{out}"
+    );
     assert!(out.contains("IPC"), "missing IPC lines:\n{out}");
 }

@@ -25,9 +25,23 @@ fn every_benchmark_runs_under_every_lsq() {
                 3 => run(spec.name, FilteredLsq::paper()),
                 _ => run(spec.name, ArbLsq::new(ArbConfig::fig1(64, 2))),
             };
-            assert!(stats.committed >= INSTRS, "{}/{which}: too few commits", spec.name);
-            assert!(stats.ipc() > 0.02, "{}/{which}: ipc {}", spec.name, stats.ipc());
-            assert!(stats.ipc() < 8.0, "{}/{which}: ipc {}", spec.name, stats.ipc());
+            assert!(
+                stats.committed >= INSTRS,
+                "{}/{which}: too few commits",
+                spec.name
+            );
+            assert!(
+                stats.ipc() > 0.02,
+                "{}/{which}: ipc {}",
+                spec.name,
+                stats.ipc()
+            );
+            assert!(
+                stats.ipc() < 8.0,
+                "{}/{which}: ipc {}",
+                spec.name,
+                stats.ipc()
+            );
             assert!(
                 stats.loads + stats.stores > 0,
                 "{}/{which}: no memory ops committed",
@@ -44,7 +58,12 @@ fn identical_traces_commit_identical_mixes() {
         let b = run(bench, SamieLsq::paper());
         // Both commit the same dynamic instruction stream (up to the final
         // commit-group overshoot and deadlock replays).
-        assert!(a.loads.abs_diff(b.loads) < 64, "{bench}: {} vs {}", a.loads, b.loads);
+        assert!(
+            a.loads.abs_diff(b.loads) < 64,
+            "{bench}: {} vs {}",
+            a.loads,
+            b.loads
+        );
         assert!(a.stores.abs_diff(b.stores) < 64, "{bench}");
         assert!(a.branches.abs_diff(b.branches) < 64, "{bench}");
     }
@@ -70,8 +89,14 @@ fn unbounded_lsq_is_an_upper_bound() {
         let ideal = run(bench, UnboundedLsq::new()).ipc();
         let conv = run(bench, ConventionalLsq::paper()).ipc();
         let samie = run(bench, SamieLsq::paper()).ipc();
-        assert!(ideal >= conv * 0.995, "{bench}: ideal {ideal} < conventional {conv}");
-        assert!(ideal >= samie * 0.995, "{bench}: ideal {ideal} < samie {samie}");
+        assert!(
+            ideal >= conv * 0.995,
+            "{bench}: ideal {ideal} < conventional {conv}"
+        );
+        assert!(
+            ideal >= samie * 0.995,
+            "{bench}: ideal {ideal} < samie {samie}"
+        );
     }
 }
 

@@ -8,7 +8,11 @@ use exp_harness::Table;
 use spec_traces::by_name;
 
 fn quick_rc() -> RunConfig {
-    RunConfig { instrs: 15_000, warmup: 4_000, seed: 42 }
+    RunConfig {
+        instrs: 15_000,
+        warmup: 4_000,
+        seed: 42,
+    }
 }
 
 fn check_table(t: &Table, expected_rows: usize) {
@@ -71,7 +75,7 @@ fn sizing_study_tables() {
     check_table(&t3, 3); // 2 benchmarks + SPEC
     let t4 = fig3_4::fig4_table(&runs);
     check_table(&t4, 16); // N = 0,4,...,60
-    // The cumulative curve is monotone non-decreasing.
+                          // The cumulative curve is monotone non-decreasing.
     let counts: Vec<usize> = t4.rows.iter().map(|r| r[1].parse().unwrap()).collect();
     assert!(counts.windows(2).all(|w| w[0] <= w[1]));
 }
@@ -98,5 +102,10 @@ fn csv_files_land_on_disk() {
     let path = t.write_csv(&dir).unwrap();
     let content = std::fs::read_to_string(&path).unwrap();
     assert!(content.contains("DistribLSQ total"));
-    assert!(path.file_name().unwrap().to_str().unwrap().ends_with(".csv"));
+    assert!(path
+        .file_name()
+        .unwrap()
+        .to_str()
+        .unwrap()
+        .ends_with(".csv"));
 }

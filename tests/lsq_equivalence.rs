@@ -29,8 +29,13 @@ fn op_strategy() -> impl Strategy<Value = GenOp> {
     // A handful of lines and aligned offsets so overlaps and shared
     // entries are common; sizes 1/2/4/8, naturally aligned (so accesses
     // never straddle lines or, for ARB, 8-byte words).
-    (any::<bool>(), 0u64..12, 0u32..3, prop::sample::select(vec![1u8, 2, 4, 8])).prop_map(
-        |(is_store, line, word, size)| {
+    (
+        any::<bool>(),
+        0u64..12,
+        0u32..3,
+        prop::sample::select(vec![1u8, 2, 4, 8]),
+    )
+        .prop_map(|(is_store, line, word, size)| {
             let offset = word as u64 * 8; // word-aligned base
             let sub = match size {
                 1 => 3,
@@ -38,9 +43,12 @@ fn op_strategy() -> impl Strategy<Value = GenOp> {
                 4 => 4,
                 _ => 0,
             };
-            GenOp { is_store, addr: 0x1_0000 + line * 32 + offset + sub as u64, size }
-        },
-    )
+            GenOp {
+                is_store,
+                addr: 0x1_0000 + line * 32 + offset + sub as u64,
+                size,
+            }
+        })
 }
 
 /// Drive a LSQ through dispatch + address_ready (+ store_executed for a
@@ -55,7 +63,11 @@ fn drive<L: LoadStoreQueue>(
     for (i, g) in ops.iter().enumerate() {
         let age = (i + 1) as Age;
         let mref = MemRef::new(g.addr, g.size);
-        let mop = if g.is_store { MemOp::store(age, mref) } else { MemOp::load(age, mref) };
+        let mop = if g.is_store {
+            MemOp::store(age, mref)
+        } else {
+            MemOp::load(age, mref)
+        };
         if !lsq.can_dispatch(g.is_store) {
             break;
         }

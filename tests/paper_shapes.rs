@@ -10,7 +10,11 @@ use samie_lsq::{ArbConfig, ArbLsq, LoadStoreQueue, SamieConfig, SamieLsq, Unboun
 use spec_traces::{by_name, SpecTrace};
 
 fn rc() -> RunConfig {
-    RunConfig { instrs: 60_000, warmup: 15_000, seed: 42 }
+    RunConfig {
+        instrs: 60_000,
+        warmup: 15_000,
+        seed: 42,
+    }
 }
 
 #[test]
@@ -30,8 +34,14 @@ fn fig1_shape_banking_degrades_arb() {
     let full_assoc = rel(1, 128, false);
     let banked = rel(64, 2, false);
     let extreme = rel(128, 1, false);
-    assert!(full_assoc > 0.9, "1x128 should be near-ideal, got {full_assoc}");
-    assert!(extreme < banked + 1e-9, "128x1 must be the worst ({extreme} vs {banked})");
+    assert!(
+        full_assoc > 0.9,
+        "1x128 should be near-ideal, got {full_assoc}"
+    );
+    assert!(
+        extreme < banked + 1e-9,
+        "128x1 must be the worst ({extreme} vs {banked})"
+    );
     assert!(extreme < 0.95 * full_assoc, "extreme banking must hurt");
     let half = rel(1, 128, true);
     assert!(half < full_assoc, "halving in-flight ops must cost IPC");
@@ -73,7 +83,11 @@ fn fig5_shape_ipc_loss_is_small_except_pathological() {
         assert!(loss(bench).abs() < 0.02, "{bench} loss {}", loss(bench));
     }
     // ...and the capacity-bound programs gain (SAMIE holds > 128 ops).
-    assert!(loss("fma3d") < 0.005, "fma3d should not lose, got {}", loss("fma3d"));
+    assert!(
+        loss("fma3d") < 0.005,
+        "fma3d should not lose, got {}",
+        loss("fma3d")
+    );
 }
 
 #[test]
@@ -85,7 +99,11 @@ fn fig6_shape_ammp_dominates_deadlocks() {
     let ammp = dl("ammp");
     assert!(ammp > 50.0, "ammp must deadlock visibly, got {ammp}");
     for bench in ["gzip", "gcc", "swim", "crafty"] {
-        assert!(dl(bench) < ammp / 5.0, "{bench} deadlocks {} vs ammp {ammp}", dl(bench));
+        assert!(
+            dl(bench) < ammp / 5.0,
+            "{bench} deadlocks {} vs ammp {ammp}",
+            dl(bench)
+        );
     }
 }
 
@@ -114,11 +132,26 @@ fn fig7_to_10_shape_energy_savings() {
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     // Paper: 82 / 42 / 73 %. Accept generous bands around the ordering.
-    assert!(mean(&lsq_savings) > 0.6, "mean LSQ saving {}", mean(&lsq_savings));
-    assert!(mean(&dcache_savings) > 0.25, "mean D$ saving {}", mean(&dcache_savings));
-    assert!(mean(&dtlb_savings) > 0.5, "mean D-TLB saving {}", mean(&dtlb_savings));
+    assert!(
+        mean(&lsq_savings) > 0.6,
+        "mean LSQ saving {}",
+        mean(&lsq_savings)
+    );
+    assert!(
+        mean(&dcache_savings) > 0.25,
+        "mean D$ saving {}",
+        mean(&dcache_savings)
+    );
+    assert!(
+        mean(&dtlb_savings) > 0.5,
+        "mean D-TLB saving {}",
+        mean(&dtlb_savings)
+    );
     // swim shares lines more than sixtrack (Fig. 9's extremes).
-    assert!(dcache_savings[1] > dcache_savings[5], "swim must beat sixtrack");
+    assert!(
+        dcache_savings[1] > dcache_savings[5],
+        "swim must beat sixtrack"
+    );
 }
 
 #[test]
@@ -135,7 +168,10 @@ fn fig11_shape_integer_codes_are_samies_worst_area_case() {
     // High-occupancy FP codes amortise it.
     let fma3d = ratio("fma3d");
     assert!(crafty > fma3d, "crafty {crafty} vs fma3d {fma3d}");
-    assert!(crafty > 1.0, "SAMIE should be the larger active area on crafty");
+    assert!(
+        crafty > 1.0,
+        "SAMIE should be the larger active area on crafty"
+    );
 }
 
 #[test]

@@ -31,7 +31,9 @@ pub struct Bencher {
 
 impl Bencher {
     fn new() -> Self {
-        Bencher { last_ns_per_iter: f64::NAN }
+        Bencher {
+            last_ns_per_iter: f64::NAN,
+        }
     }
 
     /// Time `f`, adaptively choosing an iteration count to fit the budget.
@@ -85,11 +87,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new<P: Display>(function_name: impl Into<String>, parameter: P) -> Self {
-        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     pub fn from_parameter<P: Display>(parameter: P) -> Self {
-        BenchmarkId { name: parameter.to_string() }
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
     }
 }
 
@@ -114,7 +120,10 @@ impl Criterion {
     }
 
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _c: self, name: name.to_string() }
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+        }
     }
 
     /// Configuration knob accepted for API compatibility.
@@ -138,8 +147,15 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self {
-        run_bench(&format!("{}/{}", self.name, id.into_benchmark_id().name), &mut f);
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(
+            &format!("{}/{}", self.name, id.into_benchmark_id().name),
+            &mut f,
+        );
         self
     }
 
@@ -149,9 +165,10 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        run_bench(&format!("{}/{}", self.name, id.into_benchmark_id().name), &mut |b| {
-            f(b, input)
-        });
+        run_bench(
+            &format!("{}/{}", self.name, id.into_benchmark_id().name),
+            &mut |b| f(b, input),
+        );
         self
     }
 
@@ -171,7 +188,9 @@ impl IntoBenchmarkId for BenchmarkId {
 
 impl IntoBenchmarkId for &str {
     fn into_benchmark_id(self) -> BenchmarkId {
-        BenchmarkId { name: self.to_string() }
+        BenchmarkId {
+            name: self.to_string(),
+        }
     }
 }
 
@@ -217,7 +236,9 @@ mod tests {
         c.bench_function("noop", |b| b.iter(|| 1 + 1));
         let mut g = c.benchmark_group("grp");
         g.sample_size(10);
-        g.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &x| b.iter(|| x * 2));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
         g.finish();
     }
 }

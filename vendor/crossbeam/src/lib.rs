@@ -18,15 +18,23 @@ pub mod queue {
 
     impl<T> SegQueue<T> {
         pub fn new() -> Self {
-            SegQueue { inner: Mutex::new(VecDeque::new()) }
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
         }
 
         pub fn push(&self, value: T) {
-            self.inner.lock().unwrap_or_else(|p| p.into_inner()).push_back(value);
+            self.inner
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push_back(value);
         }
 
         pub fn pop(&self) -> Option<T> {
-            self.inner.lock().unwrap_or_else(|p| p.into_inner()).pop_front()
+            self.inner
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .pop_front()
         }
 
         pub fn len(&self) -> usize {

@@ -54,7 +54,9 @@ impl TestRng {
                 h ^= extra.rotate_left(32);
             }
         }
-        TestRng { rng: rand::SeedableRng::seed_from_u64(h) }
+        TestRng {
+            rng: rand::SeedableRng::seed_from_u64(h),
+        }
     }
 
     pub fn next_u64(&mut self) -> u64 {
@@ -122,7 +124,11 @@ pub trait Strategy {
     where
         Self: Sized,
     {
-        Filter { inner: self, f, whence }
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
     }
 }
 
@@ -157,7 +163,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter rejected 1000 candidates in a row: {}", self.whence);
+        panic!(
+            "prop_filter rejected 1000 candidates in a row: {}",
+            self.whence
+        );
     }
 }
 
