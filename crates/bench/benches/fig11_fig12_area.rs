@@ -3,18 +3,21 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use energy_model::active_area;
-use ooo_sim::Simulator;
-use samie_lsq::{ConventionalLsq, SamieConfig, SamieLsq};
-use spec_traces::{by_name, SpecTrace};
+use exp_harness::runner::{run_one, RunConfig};
+use samie_lsq::{DesignSpec, SamieConfig};
+use spec_traces::by_name;
 use std::hint::black_box;
 
-const INSTRS: u64 = 30_000;
+const RC: RunConfig = RunConfig {
+    instrs: 30_000,
+    warmup: 0,
+    seed: 42,
+};
 
 fn bench_area(c: &mut Criterion) {
     let cfg = SamieConfig::paper();
     let spec = by_name("galgel").unwrap();
-    let mut sim = Simulator::paper(SamieLsq::paper(), SpecTrace::new(spec, 42));
-    let samie_stats = sim.run(INSTRS);
+    let samie_stats = run_one(spec, DesignSpec::samie_paper(), &RC);
 
     c.bench_function("active_area_accounting", |b| {
         b.iter(|| active_area(black_box(&samie_stats.lsq), black_box(&cfg)).total())
@@ -23,10 +26,8 @@ fn bench_area(c: &mut Criterion) {
     eprintln!("\nFigures 11/12 (reduced): accumulated active area (um2*cycles)");
     for bench in ["gcc", "galgel", "facerec"] {
         let spec = by_name(bench).unwrap();
-        let mut sim = Simulator::paper(SamieLsq::paper(), SpecTrace::new(spec, 42));
-        let s = sim.run(INSTRS);
-        let mut sim = Simulator::paper(ConventionalLsq::paper(), SpecTrace::new(spec, 42));
-        let cst = sim.run(INSTRS);
+        let s = run_one(spec, DesignSpec::samie_paper(), &RC);
+        let cst = run_one(spec, DesignSpec::conventional_paper(), &RC);
         let sa = active_area(&s.lsq, &cfg);
         let ca = active_area(&cst.lsq, &cfg);
         let (d, sh, ab) = sa.breakdown_fractions();

@@ -6,11 +6,15 @@
 //! regeneration.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ooo_sim::Simulator;
-use samie_lsq::{ArbConfig, ArbLsq, UnboundedLsq};
-use spec_traces::{by_name, SpecTrace};
+use exp_harness::runner::{run_one, RunConfig};
+use samie_lsq::{ArbConfig, DesignSpec};
+use spec_traces::by_name;
 
-const INSTRS: u64 = 30_000;
+const RC: RunConfig = RunConfig {
+    instrs: 30_000,
+    warmup: 0,
+    seed: 42,
+};
 
 fn bench_fig1(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1_arb");
@@ -21,32 +25,20 @@ fn bench_fig1(c: &mut Criterion) {
             BenchmarkId::new("arb", format!("{banks}x{rows}")),
             &(banks, rows),
             |b, &(banks, rows)| {
-                b.iter(|| {
-                    let lsq = ArbLsq::new(ArbConfig::fig1(banks, rows));
-                    let mut sim = Simulator::paper(lsq, SpecTrace::new(spec, 42));
-                    sim.run(INSTRS).ipc()
-                })
+                b.iter(|| run_one(spec, DesignSpec::Arb(ArbConfig::fig1(banks, rows)), &RC).ipc())
             },
         );
     }
     group.bench_function("unbounded_reference", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::paper(UnboundedLsq::new(), SpecTrace::new(spec, 42));
-            sim.run(INSTRS).ipc()
-        })
+        b.iter(|| run_one(spec, DesignSpec::Unbounded, &RC).ipc())
     });
     group.finish();
 
     // Side-effect regeneration at bench scale.
-    let reference = {
-        let mut sim = Simulator::paper(UnboundedLsq::new(), SpecTrace::new(spec, 42));
-        sim.run(INSTRS).ipc()
-    };
+    let reference = run_one(spec, DesignSpec::Unbounded, &RC).ipc();
     eprintln!("\nFigure 1 (gcc, reduced): IPC relative to unbounded");
     for (banks, rows) in [(1usize, 128usize), (8, 16), (64, 2), (128, 1)] {
-        let lsq = ArbLsq::new(ArbConfig::fig1(banks, rows));
-        let mut sim = Simulator::paper(lsq, SpecTrace::new(spec, 42));
-        let ipc = sim.run(INSTRS).ipc();
+        let ipc = run_one(spec, DesignSpec::Arb(ArbConfig::fig1(banks, rows)), &RC).ipc();
         eprintln!("  {banks:>3}x{rows:<3} {:>6.1}%", ipc / reference * 100.0);
     }
 }

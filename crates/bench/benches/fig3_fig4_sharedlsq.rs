@@ -2,11 +2,16 @@
 //! SharedLSQ occupancy tracking) across the DistribLSQ geometries.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ooo_sim::Simulator;
-use samie_lsq::{LoadStoreQueue, SamieConfig, SamieLsq};
-use spec_traces::{by_name, SpecTrace};
+use exp_harness::runner::{run_one, RunConfig};
+use exp_harness::session::SimSession;
+use samie_lsq::{DesignSpec, SamieConfig, SamieLsq};
+use spec_traces::by_name;
 
-const INSTRS: u64 = 30_000;
+const RC: RunConfig = RunConfig {
+    instrs: 30_000,
+    warmup: 0,
+    seed: 42,
+};
 
 fn bench_sizing(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_fig4_sizing");
@@ -17,11 +22,12 @@ fn bench_sizing(c: &mut Criterion) {
             BenchmarkId::new("sizing", format!("{banks}x{epb}")),
             &(banks, epb),
             |b, &(banks, epb)| {
+                let design = DesignSpec::Samie(SamieConfig::sizing_study(banks, epb));
                 b.iter(|| {
-                    let lsq = SamieLsq::new(SamieConfig::sizing_study(banks, epb));
-                    let mut sim = Simulator::paper(lsq, SpecTrace::new(spec, 42));
-                    sim.run(INSTRS);
-                    sim.lsq().activity().occupancy.mean_shared_entries()
+                    run_one(spec, design, &RC)
+                        .lsq
+                        .occupancy
+                        .mean_shared_entries()
                 })
             },
         );
@@ -30,13 +36,23 @@ fn bench_sizing(c: &mut Criterion) {
 
     eprintln!("\nFigure 3 (facerec, reduced): mean unbounded-SharedLSQ occupancy");
     for (banks, epb) in [(128usize, 1usize), (64, 2), (32, 4)] {
-        let lsq = SamieLsq::new(SamieConfig::sizing_study(banks, epb));
-        let mut sim = Simulator::paper(lsq, SpecTrace::new(spec, 42));
-        sim.run(INSTRS);
+        let mut p99 = 0;
+        let report = SimSession::new(
+            DesignSpec::Samie(SamieConfig::sizing_study(banks, epb)),
+            spec,
+        )
+        .run_config(RC)
+        .on_finish(|_, lsq| {
+            p99 = lsq
+                .as_any()
+                .downcast_ref::<SamieLsq>()
+                .expect("sizing study runs SAMIE")
+                .shared_entries_for_quantile(0.99);
+        })
+        .run();
         eprintln!(
-            "  {banks:>3}x{epb}: mean {:.2}, p99 {}",
-            sim.lsq().activity().occupancy.mean_shared_entries(),
-            sim.lsq().shared_entries_for_quantile(0.99)
+            "  {banks:>3}x{epb}: mean {:.2}, p99 {p99}",
+            report.stats().lsq.occupancy.mean_shared_entries(),
         );
     }
 }

@@ -2,11 +2,15 @@
 //! workhorse behind the IPC-loss and deadlock-rate figures.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ooo_sim::Simulator;
-use samie_lsq::{ConventionalLsq, SamieLsq};
-use spec_traces::{by_name, SpecTrace};
+use exp_harness::runner::{run_one, RunConfig};
+use samie_lsq::DesignSpec;
+use spec_traces::by_name;
 
-const INSTRS: u64 = 30_000;
+const RC: RunConfig = RunConfig {
+    instrs: 30_000,
+    warmup: 0,
+    seed: 42,
+};
 
 fn bench_paired(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_fig6_paired");
@@ -14,16 +18,10 @@ fn bench_paired(c: &mut Criterion) {
     for bench in ["gcc", "swim", "ammp"] {
         let spec = by_name(bench).unwrap();
         group.bench_with_input(BenchmarkId::new("samie", bench), &spec, |b, spec| {
-            b.iter(|| {
-                let mut sim = Simulator::paper(SamieLsq::paper(), SpecTrace::new(spec, 42));
-                sim.run(INSTRS).ipc()
-            })
+            b.iter(|| run_one(spec, DesignSpec::samie_paper(), &RC).ipc())
         });
         group.bench_with_input(BenchmarkId::new("conventional", bench), &spec, |b, spec| {
-            b.iter(|| {
-                let mut sim = Simulator::paper(ConventionalLsq::paper(), SpecTrace::new(spec, 42));
-                sim.run(INSTRS).ipc()
-            })
+            b.iter(|| run_one(spec, DesignSpec::conventional_paper(), &RC).ipc())
         });
     }
     group.finish();
@@ -31,10 +29,8 @@ fn bench_paired(c: &mut Criterion) {
     eprintln!("\nFigures 5/6 (reduced): IPC loss and deadlock rate");
     for bench in ["gcc", "swim", "ammp"] {
         let spec = by_name(bench).unwrap();
-        let mut s = Simulator::paper(SamieLsq::paper(), SpecTrace::new(spec, 42));
-        let samie = s.run(INSTRS);
-        let mut c2 = Simulator::paper(ConventionalLsq::paper(), SpecTrace::new(spec, 42));
-        let conv = c2.run(INSTRS);
+        let samie = run_one(spec, DesignSpec::samie_paper(), &RC);
+        let conv = run_one(spec, DesignSpec::conventional_paper(), &RC);
         eprintln!(
             "  {bench:>8}: loss {:+.2}%  deadlocks {:.0}/Mcycle",
             (conv.ipc() - samie.ipc()) / conv.ipc() * 100.0,

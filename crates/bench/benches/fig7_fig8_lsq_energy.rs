@@ -3,19 +3,21 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use energy_model::price_lsq;
-use ooo_sim::Simulator;
-use samie_lsq::{ConventionalLsq, SamieLsq};
-use spec_traces::{by_name, SpecTrace};
+use exp_harness::runner::{run_one, RunConfig};
+use samie_lsq::DesignSpec;
+use spec_traces::by_name;
 use std::hint::black_box;
 
-const INSTRS: u64 = 30_000;
+const RC: RunConfig = RunConfig {
+    instrs: 30_000,
+    warmup: 0,
+    seed: 42,
+};
 
 fn bench_pricing(c: &mut Criterion) {
     let spec = by_name("swim").unwrap();
-    let mut sim = Simulator::paper(SamieLsq::paper(), SpecTrace::new(spec, 42));
-    let samie_stats = sim.run(INSTRS);
-    let mut sim = Simulator::paper(ConventionalLsq::paper(), SpecTrace::new(spec, 42));
-    let conv_stats = sim.run(INSTRS);
+    let samie_stats = run_one(spec, DesignSpec::samie_paper(), &RC);
+    let conv_stats = run_one(spec, DesignSpec::conventional_paper(), &RC);
 
     c.bench_function("price_lsq_ledger", |b| {
         b.iter(|| price_lsq(black_box(&samie_stats.lsq)).total())

@@ -4,11 +4,15 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use energy_model::{dcache_energy_nj, dtlb_energy_nj};
-use ooo_sim::Simulator;
-use samie_lsq::{ConventionalLsq, SamieLsq};
-use spec_traces::{by_name, SpecTrace};
+use exp_harness::runner::{run_one, RunConfig};
+use samie_lsq::DesignSpec;
+use spec_traces::by_name;
 
-const INSTRS: u64 = 30_000;
+const RC: RunConfig = RunConfig {
+    instrs: 30_000,
+    warmup: 0,
+    seed: 42,
+};
 
 fn bench_cache_energy(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_fig10");
@@ -17,8 +21,7 @@ fn bench_cache_energy(c: &mut Criterion) {
         let spec = by_name(bench).unwrap();
         group.bench_with_input(BenchmarkId::new("samie_run", bench), &spec, |b, spec| {
             b.iter(|| {
-                let mut sim = Simulator::paper(SamieLsq::paper(), SpecTrace::new(spec, 42));
-                let st = sim.run(INSTRS);
+                let st = run_one(spec, DesignSpec::samie_paper(), &RC);
                 dcache_energy_nj(&st.l1d) + dtlb_energy_nj(st.dtlb_accesses)
             })
         });
@@ -28,10 +31,8 @@ fn bench_cache_energy(c: &mut Criterion) {
     eprintln!("\nFigures 9/10 (reduced): D-cache / D-TLB energy savings");
     for bench in ["swim", "mcf", "sixtrack"] {
         let spec = by_name(bench).unwrap();
-        let mut sim = Simulator::paper(SamieLsq::paper(), SpecTrace::new(spec, 42));
-        let s = sim.run(INSTRS);
-        let mut sim = Simulator::paper(ConventionalLsq::paper(), SpecTrace::new(spec, 42));
-        let cst = sim.run(INSTRS);
+        let s = run_one(spec, DesignSpec::samie_paper(), &RC);
+        let cst = run_one(spec, DesignSpec::conventional_paper(), &RC);
         eprintln!(
             "  {bench:>8}: D$ saved {:.1}%  D-TLB saved {:.1}%",
             (1.0 - dcache_energy_nj(&s.l1d) / dcache_energy_nj(&cst.l1d)) * 100.0,

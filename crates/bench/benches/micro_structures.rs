@@ -3,16 +3,17 @@
 //! per-operation costs that bound overall simulation throughput.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use exp_harness::runner::{run_one, RunConfig};
 use mem_hier::{AccessKind, Cache, CacheConfig, DcacheAccessMode};
-use ooo_sim::{BranchPredictor, Simulator};
-use samie_lsq::{ConventionalLsq, LoadStoreQueue, MemOp, SamieLsq, UnboundedLsq};
+use ooo_sim::BranchPredictor;
+use samie_lsq::{DesignSpec, LoadStoreQueue, MemOp};
 use spec_traces::{by_name, SpecTrace};
 use std::hint::black_box;
 use trace_isa::{MemRef, TraceSource};
 
 fn bench_samie_placement(c: &mut Criterion) {
     c.bench_function("samie_place_and_commit", |b| {
-        let mut lsq = SamieLsq::paper();
+        let mut lsq = DesignSpec::samie_paper().build();
         let mut age = 0u64;
         b.iter(|| {
             age += 1;
@@ -26,7 +27,7 @@ fn bench_samie_placement(c: &mut Criterion) {
 
 fn bench_conventional_placement(c: &mut Criterion) {
     c.bench_function("conventional_place_and_commit", |b| {
-        let mut lsq = ConventionalLsq::paper();
+        let mut lsq = DesignSpec::conventional_paper().build();
         let mut age = 0u64;
         b.iter(|| {
             age += 1;
@@ -83,10 +84,14 @@ fn bench_sim_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator_throughput");
     group.sample_size(10);
     group.bench_function("10k_instrs_unbounded_gcc", |b| {
+        let rc = RunConfig {
+            instrs: 10_000,
+            warmup: 0,
+            seed: 42,
+        };
         b.iter(|| {
             let spec = by_name("gcc").unwrap();
-            let mut sim = Simulator::paper(UnboundedLsq::new(), SpecTrace::new(spec, 42));
-            sim.run(10_000).cycles
+            run_one(spec, DesignSpec::Unbounded, &rc).cycles
         })
     });
     group.finish();

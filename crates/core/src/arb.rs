@@ -165,6 +165,10 @@ impl ArbLsq {
 }
 
 impl LoadStoreQueue for ArbLsq {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn name(&self) -> &'static str {
         "arb"
     }

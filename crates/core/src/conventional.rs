@@ -111,6 +111,10 @@ impl ConventionalLsq {
 }
 
 impl LoadStoreQueue for ConventionalLsq {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn name(&self) -> &'static str {
         self.name
     }

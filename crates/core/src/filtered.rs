@@ -153,6 +153,10 @@ impl FilteredLsq {
 }
 
 impl LoadStoreQueue for FilteredLsq {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn name(&self) -> &'static str {
         "bloom-filtered"
     }

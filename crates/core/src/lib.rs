@@ -27,13 +27,25 @@
 //! The crate also ships an executable specification of memory
 //! disambiguation ([`oracle`]) used by the property-test suites to check
 //! that every implementation forwards from exactly the youngest older
-//! overlapping store.
+//! overlapping store, and runnable as a design of its own ([`OracleLsq`]).
+//!
+//! ## One front door
+//!
+//! Every design is constructed through [`DesignSpec`] — a serializable,
+//! fully-geometry-pinned descriptor with a canonical string form
+//! (`"samie:64x2x8:sh8:ab64"`) — or through the extensible
+//! [`DesignRegistry`], which lets downstream crates plug in new designs
+//! behind the same descriptor syntax. `DesignSpec::build` returns a
+//! `Box<dyn LoadStoreQueue>` (the trait is object-safe), so runners,
+//! sweeps and CLIs need no type parameter per design.
 
 pub mod activity;
 pub mod arb;
 pub mod conventional;
+pub mod design;
 pub mod filtered;
 pub mod oracle;
+pub mod registry;
 pub mod samie;
 pub mod traits;
 pub mod types;
@@ -42,7 +54,10 @@ pub mod unbounded;
 pub use activity::{CamActivity, LsqActivity, OccupancyIntegrals};
 pub use arb::{ArbConfig, ArbLsq};
 pub use conventional::ConventionalLsq;
+pub use design::{DesignParseError, DesignSpec};
 pub use filtered::{CountingBloom, FilteredLsq};
+pub use oracle::OracleLsq;
+pub use registry::{DesignHandle, DesignRegistry, LsqFactory};
 pub use samie::{SamieConfig, SamieLsq};
 pub use traits::{CachePlan, LoadStoreQueue};
 pub use types::{Age, AgeHasher, AgeMap, ForwardStatus, LsqOccupancy, MemOp, PlaceOutcome};

@@ -422,6 +422,10 @@ impl SamieLsq {
 }
 
 impl LoadStoreQueue for SamieLsq {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn name(&self) -> &'static str {
         "samie"
     }

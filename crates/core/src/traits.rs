@@ -55,9 +55,19 @@ pub struct CachePlan {
 }
 
 /// A load/store queue design, driven by the `ooo-sim` timing simulator.
+///
+/// The trait is object-safe: [`crate::DesignSpec::build`] hands out
+/// `Box<dyn LoadStoreQueue>` and the simulator drives it through the
+/// blanket `Box` impl below, so runners need no type parameter per
+/// design. Implementations that expose design-specific statistics
+/// (e.g. `SamieLsq::shared_entries_for_quantile`) are reached by
+/// downcasting [`as_any`](LoadStoreQueue::as_any).
 pub trait LoadStoreQueue {
     /// Short identifier for reports ("conventional", "samie", ...).
     fn name(&self) -> &'static str;
+
+    /// The concrete design, for downcasting to design-specific APIs.
+    fn as_any(&self) -> &dyn std::any::Any;
 
     /// May a memory op be dispatched this cycle (rename-stage gate)?
     fn can_dispatch(&self, is_store: bool) -> bool;
@@ -130,4 +140,93 @@ pub trait LoadStoreQueue {
 
     /// Current occupancy snapshot.
     fn occupancy(&self) -> LsqOccupancy;
+}
+
+/// Compile-time proof that the trait stays object-safe — the session
+/// layer and [`crate::DesignSpec::build`] depend on `dyn LoadStoreQueue`.
+const _: Option<&dyn LoadStoreQueue> = None;
+
+/// Boxed (and `&mut`-borrowed) LSQs are LSQs, so the simulator runs
+/// `Box<dyn LoadStoreQueue>` from [`crate::DesignSpec::build`] exactly
+/// like a concrete design.
+impl<L: LoadStoreQueue + ?Sized> LoadStoreQueue for Box<L> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        (**self).as_any()
+    }
+
+    fn can_dispatch(&self, is_store: bool) -> bool {
+        (**self).can_dispatch(is_store)
+    }
+
+    fn dispatch(&mut self, op: MemOp) {
+        (**self).dispatch(op)
+    }
+
+    fn address_ready(&mut self, age: Age) -> PlaceOutcome {
+        (**self).address_ready(age)
+    }
+
+    fn store_executed(&mut self, age: Age) {
+        (**self).store_executed(age)
+    }
+
+    fn load_forward_status(&mut self, age: Age) -> ForwardStatus {
+        (**self).load_forward_status(age)
+    }
+
+    fn take_forward(&mut self, load: Age, store: Age) {
+        (**self).take_forward(load, store)
+    }
+
+    fn cache_access_plan(&mut self, age: Age) -> CachePlan {
+        (**self).cache_access_plan(age)
+    }
+
+    fn note_cache_access(&mut self, age: Age, set: u32, way: u32) -> bool {
+        (**self).note_cache_access(age, set, way)
+    }
+
+    fn load_data_arrived(&mut self, age: Age) {
+        (**self).load_data_arrived(age)
+    }
+
+    fn on_line_replaced(&mut self, set: u32, way: u32) {
+        (**self).on_line_replaced(set, way)
+    }
+
+    fn commit(&mut self, age: Age) {
+        (**self).commit(age)
+    }
+
+    fn squash_younger(&mut self, age: Age) {
+        (**self).squash_younger(age)
+    }
+
+    fn flush_all(&mut self) {
+        (**self).flush_all()
+    }
+
+    fn is_buffered(&self, age: Age) -> bool {
+        (**self).is_buffered(age)
+    }
+
+    fn tick(&mut self, promoted: &mut Vec<Age>) {
+        (**self).tick(promoted)
+    }
+
+    fn activity(&self) -> &LsqActivity {
+        (**self).activity()
+    }
+
+    fn reset_activity(&mut self) {
+        (**self).reset_activity()
+    }
+
+    fn occupancy(&self) -> LsqOccupancy {
+        (**self).occupancy()
+    }
 }

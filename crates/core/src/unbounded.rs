@@ -33,6 +33,10 @@ impl Default for UnboundedLsq {
 }
 
 impl LoadStoreQueue for UnboundedLsq {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
     fn name(&self) -> &'static str {
         self.inner.name()
     }

@@ -1,0 +1,113 @@
+//! Property tests for the [`DesignSpec`] wire format: the canonical
+//! string form must round-trip through parse for every design family,
+//! and malformed specs must fail with messages that name the problem.
+
+use proptest::prelude::*;
+
+use samie_lsq::{ArbConfig, DesignSpec, SamieConfig};
+
+/// Every design family with randomised (valid) geometry.
+fn design_strategy() -> impl Strategy<Value = DesignSpec> {
+    (0u32..6, 1usize..512, 0u32..8, 1usize..16, 1u32..5, 0u32..2).prop_map(
+        |(kind, entries, pow, small, hashes, flag)| match kind {
+            0 => DesignSpec::Conventional { entries },
+            1 => DesignSpec::Filtered {
+                entries,
+                buckets: 1 << (4 + pow),
+                hashes,
+            },
+            2 => DesignSpec::Samie(SamieConfig {
+                banks: 1 << pow,
+                entries_per_bank: small,
+                slots_per_entry: small * 2,
+                shared_entries: if flag == 1 {
+                    SamieConfig::UNBOUNDED_SHARED
+                } else {
+                    small + 1
+                },
+                abuf_slots: entries,
+            }),
+            3 => DesignSpec::Arb(ArbConfig {
+                banks: 1 << pow,
+                rows_per_bank: small,
+                max_inflight: entries,
+            }),
+            4 => DesignSpec::Unbounded,
+            _ => DesignSpec::Oracle,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn display_parse_roundtrip_every_family(spec in design_strategy()) {
+        prop_assert!(spec.validate().is_ok(), "strategy generates valid specs");
+        let text = spec.to_string();
+        let parsed: DesignSpec = text.parse().unwrap_or_else(|e| {
+            panic!("canonical form `{text}` must parse: {e}")
+        });
+        prop_assert_eq!(parsed, spec, "parse(display(spec)) == spec");
+        // And the string form itself is a fixed point.
+        prop_assert_eq!(parsed.to_string(), text);
+    }
+
+    #[test]
+    fn parsing_is_prefix_closed_on_kind(spec in design_strategy()) {
+        // The leading keyword always resolves to the same family.
+        let text = spec.to_string();
+        let kind = text.split(':').next().unwrap();
+        prop_assert_eq!(kind, spec.kind());
+    }
+}
+
+#[test]
+fn malformed_specs_name_the_field() {
+    for (bad, needle) in [
+        ("conv:zero", "entries"),
+        ("conv:0", "entries must be positive"),
+        ("conv:128:9", "trailing fields"),
+        ("filtered:128:100:2", "buckets a power of two"),
+        ("filtered:128:1024:x", "hashes"),
+        ("samie:64x2", "BANKS"),
+        ("samie:64x2x8:zz4", "expected sh<N>/shinf or ab<N>"),
+        ("samie:3x2x8", "power of two"),
+        ("arb:64x2:zz", "expected if<N>"),
+        ("arb:0x2", "power of two"),
+        ("unbounded:1", "trailing fields"),
+        ("oracle:x", "trailing fields"),
+        ("warp", "unknown design kind"),
+        ("", "unknown design kind"),
+    ] {
+        let err = bad.parse::<DesignSpec>().expect_err(bad).to_string();
+        assert!(
+            err.contains(needle),
+            "`{bad}` should fail mentioning `{needle}`, got `{err}`"
+        );
+        assert!(
+            err.contains(&format!("`{bad}`")),
+            "`{bad}` error must quote the offending spec, got `{err}`"
+        );
+    }
+}
+
+#[test]
+fn canonical_ids_are_stable() {
+    // The wire format is a compatibility surface (JSON reports, CLI
+    // flags, CI baselines): pin the canonical renderings.
+    for (spec, id) in [
+        (DesignSpec::conventional_paper(), "conv:128"),
+        (DesignSpec::filtered_paper(), "filtered:128:1024:2"),
+        (DesignSpec::samie_paper(), "samie:64x2x8:sh8:ab64"),
+        (
+            DesignSpec::Samie(SamieConfig::sizing_study(64, 2)),
+            "samie:64x2x8:shinf:ab64",
+        ),
+        (DesignSpec::Arb(ArbConfig::fig1(64, 2)), "arb:64x2:if128"),
+        (DesignSpec::Unbounded, "unbounded"),
+        (DesignSpec::Oracle, "oracle"),
+    ] {
+        assert_eq!(spec.to_string(), id);
+    }
+}

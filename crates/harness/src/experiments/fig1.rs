@@ -6,7 +6,7 @@
 //! variant. Each point is the suite-average IPC normalised to the same
 //! trace under an unbounded LSQ. The paper's headline: 64×2 loses ~28 %.
 
-use samie_lsq::{ArbConfig, ArbLsq, UnboundedLsq};
+use samie_lsq::{ArbConfig, DesignSpec};
 use spec_traces::all_benchmarks;
 
 use crate::runner::{parallel_map, run_one, RunConfig};
@@ -40,7 +40,7 @@ pub struct Fig1Point {
 pub fn run(rc: &RunConfig) -> Vec<Fig1Point> {
     let specs = all_benchmarks();
     // Reference: unbounded LSQ per benchmark.
-    let reference: Vec<f64> = parallel_map(specs, |s| run_one(s, UnboundedLsq::new(), rc).ipc());
+    let reference: Vec<f64> = parallel_map(specs, |s| run_one(s, DesignSpec::Unbounded, rc).ipc());
 
     CONFIGS
         .iter()
@@ -48,9 +48,9 @@ pub fn run(rc: &RunConfig) -> Vec<Fig1Point> {
             let norm_cfg = ArbConfig::fig1(banks, rows);
             let half_cfg = norm_cfg.half_inflight();
             let normal: Vec<f64> =
-                parallel_map(specs, |s| run_one(s, ArbLsq::new(norm_cfg), rc).ipc());
+                parallel_map(specs, |s| run_one(s, DesignSpec::Arb(norm_cfg), rc).ipc());
             let half: Vec<f64> =
-                parallel_map(specs, |s| run_one(s, ArbLsq::new(half_cfg), rc).ipc());
+                parallel_map(specs, |s| run_one(s, DesignSpec::Arb(half_cfg), rc).ipc());
             let avg = |v: &[f64]| -> f64 {
                 v.iter().zip(&reference).map(|(i, r)| i / r).sum::<f64>() / v.len() as f64
             };

@@ -9,11 +9,11 @@
 //! SharedLSQ demand stays within N entries during 99 % of cycles, for
 //! N = 0, 4, 8, … 60 — the curve that justifies the 8-entry SharedLSQ.
 
-use ooo_sim::Simulator;
-use samie_lsq::{LoadStoreQueue, SamieConfig, SamieLsq};
-use spec_traces::{all_benchmarks, SpecTrace, WorkloadSpec};
+use samie_lsq::{DesignSpec, SamieConfig, SamieLsq};
+use spec_traces::{all_benchmarks, WorkloadSpec};
 
 use crate::runner::{parallel_map, RunConfig};
+use crate::session::SimSession;
 use crate::table::{fmt, Table};
 
 /// The DistribLSQ geometries of Figure 3.
@@ -35,17 +35,26 @@ pub struct SizingRun {
 }
 
 fn run_sizing(spec: &'static WorkloadSpec, banks: usize, epb: usize, rc: &RunConfig) -> SizingRun {
-    let lsq = SamieLsq::new(SamieConfig::sizing_study(banks, epb));
-    let mut sim = Simulator::paper(lsq, SpecTrace::new(spec, rc.seed));
-    sim.warm_up(rc.warmup);
-    sim.run(rc.instrs);
-    let lsq = sim.lsq();
+    let design = DesignSpec::Samie(SamieConfig::sizing_study(banks, epb));
+    // The p99 statistic lives in SAMIE's occupancy histogram, not in
+    // SimStats: read it off the finished design via the observer.
+    let mut p99_shared = 0;
+    let report = SimSession::new(design, spec)
+        .run_config(*rc)
+        .on_finish(|_, lsq| {
+            let samie = lsq
+                .as_any()
+                .downcast_ref::<SamieLsq>()
+                .expect("sizing study runs SAMIE designs");
+            p99_shared = samie.shared_entries_for_quantile(0.99);
+        })
+        .run();
     SizingRun {
         name: spec.name,
         banks,
         entries_per_bank: epb,
-        mean_shared: lsq.activity().occupancy.mean_shared_entries(),
-        p99_shared: lsq.shared_entries_for_quantile(0.99),
+        mean_shared: report.stats().lsq.occupancy.mean_shared_entries(),
+        p99_shared,
     }
 }
 

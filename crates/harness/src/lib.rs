@@ -20,14 +20,28 @@
 //! Beyond the paper's fixed tables, [`sweep`] runs declarative design-space
 //! grids (`samie-exp sweep`) and the throughput benchmark tracked by CI
 //! (`samie-exp bench`), both emitting machine-readable `BENCH_sweep.json`.
+//!
+//! ## The front door
+//!
+//! Everything above is built on [`session::SimSession`]: designs are named
+//! by [`DesignSpec`] descriptors (or any kind registered in a
+//! [`DesignRegistry`]), built once through the object-safe
+//! `Box<dyn LoadStoreQueue>` factory, and simulated on identical traces —
+//! one design or any-N comparisons, with streaming progress observers.
+//! [`runner::run_one`], [`runner::run_paired`], the sweep engine, the CLI,
+//! the examples and the benches all construct their LSQs through this one
+//! path.
 
 pub mod experiments;
 pub mod runner;
+pub mod session;
 pub mod sweep;
 pub mod table;
 
 pub use runner::{
-    parallel_map, parallel_map_with, run_paired, run_paired_suite, PairedRun, RunConfig,
+    parallel_map, parallel_map_with, run_one, run_paired, run_paired_suite, PairedRun, RunConfig,
 };
-pub use sweep::{run_sweep, LsqDesign, SweepGrid, SweepPoint, SweepReport};
+pub use samie_lsq::{DesignHandle, DesignParseError, DesignRegistry, DesignSpec, LsqFactory};
+pub use session::{DesignRun, SessionEvent, SessionReport, SimSession};
+pub use sweep::{designs_from_specs, run_sweep, SweepGrid, SweepPoint, SweepReport};
 pub use table::Table;

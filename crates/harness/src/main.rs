@@ -18,21 +18,26 @@
 //! samie-exp sweep [--designs LIST] [--bench LIST|all] [--seeds LIST]
 //!                 [--jobs N] [common flags]
 //!   design-space grid: LSQ designs x workloads x seeds -> CSV +
-//!   BENCH_sweep.json. Design syntax: conv[:E], filtered[:E[:B[:H]]],
-//!   samie[:BxExS[:shN|shinf][:abN]], comma-separated.
+//!   BENCH_sweep.json. Designs are DesignSpec strings (run
+//!   `samie-exp designs` for the registered kinds and their syntax),
+//!   comma-separated.
 //!
 //! samie-exp bench [--baseline FILE] [--max-regression X] [common flags]
 //!   fixed throughput-tracking grid; with --baseline, exits 3 if
 //!   aggregate simulated-instructions/sec regressed more than X times
 //!   (default 2.0) vs the checked-in BENCH_baseline.json.
+//!
+//! samie-exp designs
+//!   list every design kind in the registry with its spec syntax.
 //! ```
 
 use std::path::PathBuf;
 
 use exp_harness::experiments::{fig1, fig3_4, paired, tab1_delay, tab456};
 use exp_harness::runner::{run_paired_suite, RunConfig};
-use exp_harness::sweep::{check_regression, run_sweep, LsqDesign, SweepGrid};
+use exp_harness::sweep::{check_regression, run_sweep, SweepGrid};
 use exp_harness::table::Table;
+use exp_harness::DesignRegistry;
 use spec_traces::all_benchmarks;
 
 struct Args {
@@ -86,7 +91,7 @@ fn parse_args() -> Args {
                     .expect("number")
             }
             "--help" | "-h" => {
-                eprintln!("usage: samie-exp <fig1|fig3|fig4|tab1|delay|fig5..fig12|tab456|summary|all|sweep|bench> [--instrs N] [--warmup N] [--seed N] [--out DIR] [--quick] [--chart] [--designs LIST] [--bench LIST] [--seeds LIST] [--jobs N] [--baseline FILE] [--max-regression X]");
+                eprintln!("usage: samie-exp <fig1|fig3|fig4|tab1|delay|fig5..fig12|tab456|summary|all|sweep|bench|designs> [--instrs N] [--warmup N] [--seed N] [--out DIR] [--quick] [--chart] [--designs LIST] [--bench LIST] [--seeds LIST] [--jobs N] [--baseline FILE] [--max-regression X]");
                 std::process::exit(0);
             }
             other if !positional_seen => {
@@ -112,6 +117,7 @@ fn parse_args() -> Args {
 
 /// `sweep` / `bench` entry point; returns the process exit code.
 fn run_sweep_command(args: &Args) -> i32 {
+    let registry = DesignRegistry::builtin();
     let is_bench = args.experiment == "bench";
     let mut grid = if is_bench {
         SweepGrid::bench_default(args.rc)
@@ -119,7 +125,7 @@ fn run_sweep_command(args: &Args) -> i32 {
         SweepGrid::sweep_default(args.rc)
     };
     if let Some(d) = &args.designs {
-        grid.designs = LsqDesign::parse_list(d).unwrap_or_else(|e| panic!("{e}"));
+        grid.designs = registry.parse_list(d).unwrap_or_else(|e| panic!("{e}"));
     }
     if let Some(b) = &args.benchmarks {
         grid.benchmarks = SweepGrid::parse_benchmarks(b).unwrap_or_else(|e| panic!("{e}"));
@@ -197,6 +203,13 @@ fn emit(t: &Table, out: &std::path::Path, chart: bool) {
 
 fn main() {
     let args = parse_args();
+    if args.experiment == "designs" {
+        println!("registered design kinds (comma-separate specs for --designs):");
+        for (kind, help) in DesignRegistry::builtin().help_lines() {
+            println!("  {kind:<14} {help}");
+        }
+        return;
+    }
     if matches!(args.experiment.as_str(), "sweep" | "bench") {
         std::process::exit(run_sweep_command(&args));
     }

@@ -1,12 +1,18 @@
 //! Simulation runners: per-benchmark runs, paired (baseline vs SAMIE)
 //! runs, and a scoped parallel map used by every experiment.
+//!
+//! All runners are thin conveniences over [`SimSession`](crate::session)
+//! — the single construction path for every LSQ design.
+
+use std::cell::UnsafeCell;
 
 use crossbeam::queue::SegQueue;
-use parking_lot::Mutex;
 
-use ooo_sim::{SimStats, Simulator};
-use samie_lsq::{ConventionalLsq, LoadStoreQueue, SamieLsq};
-use spec_traces::{SpecTrace, WorkloadSpec};
+use ooo_sim::SimStats;
+use samie_lsq::DesignSpec;
+use spec_traces::WorkloadSpec;
+
+use crate::session::{IntoDesign, SimSession};
 
 /// Simulation length parameters.
 #[derive(Debug, Clone, Copy)]
@@ -40,11 +46,16 @@ impl RunConfig {
     }
 }
 
-/// Run one benchmark under one LSQ design.
-pub fn run_one<L: LoadStoreQueue>(spec: &WorkloadSpec, lsq: L, rc: &RunConfig) -> SimStats {
-    let mut sim = Simulator::paper(lsq, SpecTrace::new(spec, rc.seed));
-    sim.warm_up(rc.warmup);
-    sim.run(rc.instrs)
+/// Run one benchmark under one LSQ design (a [`DesignSpec`] or any
+/// registry-produced handle).
+pub fn run_one(spec: &WorkloadSpec, design: impl IntoDesign, rc: &RunConfig) -> SimStats {
+    let report = SimSession::new(design, spec).run_config(*rc).run();
+    report
+        .runs
+        .into_iter()
+        .next()
+        .expect("one design ran")
+        .stats
 }
 
 /// Baseline vs SAMIE results for one benchmark.
@@ -71,12 +82,18 @@ impl PairedRun {
     }
 }
 
-/// Run one benchmark under both designs (identical traces).
+/// Run one benchmark under both paper designs (identical traces) — a
+/// two-design [`SimSession`] comparison.
 pub fn run_paired(spec: &'static WorkloadSpec, rc: &RunConfig) -> PairedRun {
+    let report = SimSession::new(DesignSpec::conventional_paper(), spec)
+        .design(DesignSpec::samie_paper())
+        .run_config(*rc)
+        .run();
+    let mut runs = report.runs.into_iter();
     PairedRun {
         name: spec.name,
-        conv: run_one(spec, ConventionalLsq::paper(), rc),
-        samie: run_one(spec, SamieLsq::paper(), rc),
+        conv: runs.next().expect("conventional ran").stats,
+        samie: runs.next().expect("samie ran").stats,
     }
 }
 
@@ -93,10 +110,24 @@ pub fn parallel_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(items: &[T], f: F) 
     parallel_map_with(0, items, f)
 }
 
+/// Result slots written lock-free: each worker owns the indices it pops
+/// from the queue, so every slot is written at most once, by one thread.
+struct ResultSlots<R> {
+    slots: Vec<UnsafeCell<Option<R>>>,
+}
+
+// SAFETY: workers only write disjoint slots (each index is popped from
+// the queue exactly once) and reads happen only after the thread scope
+// joins every worker.
+unsafe impl<R: Send> Sync for ResultSlots<R> {}
+
 /// [`parallel_map`] with an explicit worker count (`0` = all available
 /// cores). The pool never exceeds the item count; oversubscribed calls
 /// (`threads > items`) degrade gracefully — the sweep engine exposes this
 /// as `--jobs`.
+///
+/// Collection is lock-free: results land in per-index slots, so a long
+/// sweep never serialises its workers on a results lock.
 pub fn parallel_map_with<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
     threads: usize,
     items: &[T],
@@ -121,21 +152,30 @@ pub fn parallel_map_with<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(
     for i in 0..n {
         queue.push(i);
     }
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let results = ResultSlots {
+        slots: (0..n).map(|_| UnsafeCell::new(None)).collect(),
+    };
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| {
+            // Capture the Sync wrapper itself, not its `slots` field —
+            // disjoint closure capture would otherwise try to share the
+            // bare Vec<UnsafeCell<..>>.
+            let (results, queue, f) = (&results, &queue, &f);
+            scope.spawn(move || {
                 while let Some(i) = queue.pop() {
                     let r = f(&items[i]);
-                    results.lock()[i] = Some(r);
+                    // SAFETY: index `i` was popped exactly once, so this
+                    // thread is the only writer of slot `i`, and no reader
+                    // runs until the scope joins.
+                    unsafe { *results.slots[i].get() = Some(r) };
                 }
             });
         }
     });
     results
-        .into_inner()
+        .slots
         .into_iter()
-        .map(|r| r.expect("worker completed"))
+        .map(|slot| slot.into_inner().expect("worker completed"))
         .collect()
 }
 
@@ -181,6 +221,15 @@ mod tests {
     }
 
     #[test]
+    fn parallel_map_non_copy_results() {
+        // The lock-free slots must move non-trivial result types intact.
+        let items: Vec<u64> = (0..50).collect();
+        let out = parallel_map_with(4, &items, |&x| vec![x.to_string(); 3]);
+        assert_eq!(out.len(), 50);
+        assert_eq!(out[49], vec!["49".to_string(); 3]);
+    }
+
+    #[test]
     fn paired_run_smoke() {
         let rc = RunConfig {
             instrs: 20_000,
@@ -195,6 +244,21 @@ mod tests {
         // commit-group overshoot).
         assert!(pr.conv.loads.abs_diff(pr.samie.loads) < 64);
         assert!(pr.conv.stores.abs_diff(pr.samie.stores) < 64);
+    }
+
+    #[test]
+    fn run_one_accepts_any_design() {
+        let rc = RunConfig {
+            instrs: 10_000,
+            warmup: 2_000,
+            seed: 1,
+        };
+        let spec = by_name("gzip").unwrap();
+        for design in ["conv:64", "samie", "unbounded", "oracle"] {
+            let d: DesignSpec = design.parse().unwrap();
+            let stats = run_one(spec, d, &rc);
+            assert!(stats.ipc() > 0.1, "{design}");
+        }
     }
 
     #[test]

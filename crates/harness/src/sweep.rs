@@ -6,13 +6,15 @@
 //! Table 3 point. This module runs declarative grids over LSQ designs,
 //! workloads and trace seeds:
 //!
-//! * [`LsqDesign`] — one point of the design axis (`conv:128`,
-//!   `filtered:128:1024:2`, `samie:64x2x8:sh8:ab64`), parseable from the
-//!   CLI grid syntax;
+//! * designs are named by [`DesignSpec`] strings (`conv:128`,
+//!   `filtered:128:1024:2`, `samie:64x2x8:sh8:ab64`, `arb:64x2:if128`,
+//!   `unbounded`, `oracle`) or by any kind registered in a
+//!   [`samie_lsq::DesignRegistry`] — the grid carries opaque [`DesignHandle`]s, so
+//!   custom designs sweep exactly like built-ins;
 //! * [`SweepGrid`] — the cross product of designs × benchmarks × seeds
 //!   plus a [`RunConfig`], expanded in deterministic order;
 //! * [`run_sweep`] — executes the grid on the work-stealing
-//!   [`parallel_map_with`](crate::runner::parallel_map_with) scheduler
+//!   [`parallel_map_with`](crate::runner::parallel_map_with()) scheduler
 //!   with order-preserving collection;
 //! * [`SweepReport`] — per-point IPC / deadlocks / energy / wall-time /
 //!   simulated-instructions-per-second, emitted as CSV (via
@@ -24,187 +26,23 @@
 //! invariant CI relies on).
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use energy_model::price_lsq;
-use samie_lsq::{ConventionalLsq, FilteredLsq, SamieConfig, SamieLsq};
+use samie_lsq::{DesignHandle, DesignSpec, SamieConfig};
 use spec_traces::{all_benchmarks, by_name, WorkloadSpec};
 
 use crate::runner::{parallel_map_with, run_one, RunConfig};
 use crate::table::{fmt, Table};
 
-/// One point on the design axis of a sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LsqDesign {
-    /// Fully-associative baseline with `entries` entries.
-    Conventional { entries: usize },
-    /// Bloom-filtered baseline (`entries` entries, `buckets`-bucket
-    /// `hashes`-hash counting filters).
-    Filtered {
-        entries: usize,
-        buckets: usize,
-        hashes: u32,
-    },
-    /// SAMIE-LSQ with an arbitrary geometry.
-    Samie(SamieConfig),
-}
-
-impl LsqDesign {
-    /// The three designs at their paper configurations.
-    pub fn paper_trio() -> Vec<LsqDesign> {
-        vec![
-            LsqDesign::Conventional { entries: 128 },
-            LsqDesign::Filtered {
-                entries: 128,
-                buckets: 1024,
-                hashes: 2,
-            },
-            LsqDesign::Samie(SamieConfig::paper()),
-        ]
-    }
-
-    /// Stable identifier used in CSV/JSON rows (also round-trips through
-    /// [`LsqDesign::parse`]).
-    pub fn id(&self) -> String {
-        match self {
-            LsqDesign::Conventional { entries } => format!("conv:{entries}"),
-            LsqDesign::Filtered {
-                entries,
-                buckets,
-                hashes,
-            } => {
-                format!("filtered:{entries}:{buckets}:{hashes}")
-            }
-            LsqDesign::Samie(c) => format!(
-                "samie:{}x{}x{}:sh{}:ab{}",
-                c.banks,
-                c.entries_per_bank,
-                c.slots_per_entry,
-                if c.shared_unbounded() {
-                    "inf".to_string()
-                } else {
-                    c.shared_entries.to_string()
-                },
-                c.abuf_slots
-            ),
-        }
-    }
-
-    /// Parse one design spec of the grid syntax:
-    ///
-    /// ```text
-    /// conv[:ENTRIES]                       default 128
-    /// filtered[:ENTRIES[:BUCKETS[:HASHES]]] defaults 128:1024:2
-    /// samie[:BANKSxENTRIESxSLOTS[:shN|shinf][:abN]]  default 64x2x8:sh8:ab64
-    /// ```
-    pub fn parse(spec: &str) -> Result<LsqDesign, String> {
-        let mut parts = spec.split(':');
-        let kind = parts.next().unwrap_or_default();
-        let err = |m: &str| Err(format!("bad design spec `{spec}`: {m}"));
-        match kind {
-            "conv" | "conventional" => {
-                let entries = match parts.next() {
-                    None => 128,
-                    Some(e) => e
-                        .parse()
-                        .map_err(|_| format!("bad design spec `{spec}`: entries"))?,
-                };
-                if parts.next().is_some() {
-                    return err("trailing fields");
-                }
-                if entries == 0 {
-                    return err("entries must be positive");
-                }
-                Ok(LsqDesign::Conventional { entries })
-            }
-            "filtered" | "filt" => {
-                let entries = parts
-                    .next()
-                    .map_or(Ok(128), str::parse)
-                    .map_err(|_| format!("bad design spec `{spec}`: entries"))?;
-                let buckets = parts
-                    .next()
-                    .map_or(Ok(1024), str::parse)
-                    .map_err(|_| format!("bad design spec `{spec}`: buckets"))?;
-                let hashes = parts
-                    .next()
-                    .map_or(Ok(2), str::parse)
-                    .map_err(|_| format!("bad design spec `{spec}`: hashes"))?;
-                if parts.next().is_some() {
-                    return err("trailing fields");
-                }
-                if entries == 0 || !usize::is_power_of_two(buckets) || hashes == 0 {
-                    return err("entries > 0, buckets a power of two, hashes > 0");
-                }
-                Ok(LsqDesign::Filtered {
-                    entries,
-                    buckets,
-                    hashes,
-                })
-            }
-            "samie" => {
-                let mut cfg = SamieConfig::paper();
-                if let Some(geom) = parts.next() {
-                    let dims: Vec<&str> = geom.split('x').collect();
-                    if dims.len() != 3 {
-                        return err("geometry must be BANKSxENTRIESxSLOTS");
-                    }
-                    cfg.banks = dims[0]
-                        .parse()
-                        .map_err(|_| format!("bad design spec `{spec}`: banks"))?;
-                    cfg.entries_per_bank = dims[1]
-                        .parse()
-                        .map_err(|_| format!("bad design spec `{spec}`: entries"))?;
-                    cfg.slots_per_entry = dims[2]
-                        .parse()
-                        .map_err(|_| format!("bad design spec `{spec}`: slots"))?;
-                }
-                for extra in parts {
-                    if let Some(sh) = extra.strip_prefix("sh") {
-                        cfg.shared_entries = if sh == "inf" {
-                            SamieConfig::UNBOUNDED_SHARED
-                        } else {
-                            sh.parse()
-                                .map_err(|_| format!("bad design spec `{spec}`: shared"))?
-                        };
-                    } else if let Some(ab) = extra.strip_prefix("ab") {
-                        cfg.abuf_slots = ab
-                            .parse()
-                            .map_err(|_| format!("bad design spec `{spec}`: abuf"))?;
-                    } else {
-                        return err("expected sh<N>/shinf or ab<N>");
-                    }
-                }
-                if !cfg.banks.is_power_of_two()
-                    || cfg.entries_per_bank == 0
-                    || cfg.slots_per_entry == 0
-                    || cfg.shared_entries == 0
-                    || cfg.abuf_slots == 0
-                {
-                    return err("banks must be a power of two, other dims positive");
-                }
-                Ok(LsqDesign::Samie(cfg))
-            }
-            _ => err("unknown design kind (conv/filtered/samie)"),
-        }
-    }
-
-    /// Parse a comma-separated design list.
-    pub fn parse_list(specs: &str) -> Result<Vec<LsqDesign>, String> {
-        specs
-            .split(',')
-            .filter(|s| !s.is_empty())
-            .map(LsqDesign::parse)
-            .collect()
-    }
-}
-
 /// A declarative sweep grid: the cross product of designs × benchmarks ×
 /// seeds, simulated under one [`RunConfig`] length.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SweepGrid {
-    /// LSQ designs to sweep.
-    pub designs: Vec<LsqDesign>,
+    /// LSQ designs to sweep (shared factory handles; see
+    /// [`samie_lsq::DesignRegistry::parse_list`] and [`designs_from_specs`]).
+    pub designs: Vec<DesignHandle>,
     /// Benchmarks to run each design on.
     pub benchmarks: Vec<&'static WorkloadSpec>,
     /// Trace seeds (each multiplies the grid).
@@ -213,13 +51,21 @@ pub struct SweepGrid {
     pub rc: RunConfig,
 }
 
+/// Lift typed [`DesignSpec`]s into the handles a grid carries.
+pub fn designs_from_specs(specs: impl IntoIterator<Item = DesignSpec>) -> Vec<DesignHandle> {
+    specs
+        .into_iter()
+        .map(|s| Arc::new(s) as DesignHandle)
+        .collect()
+}
+
 impl SweepGrid {
     /// The default `bench` grid: the paper trio on one integer, one
     /// floating-point and the pathological benchmark — small enough for a
     /// CI smoke run, diverse enough to exercise every hot path.
     pub fn bench_default(rc: RunConfig) -> Self {
         SweepGrid {
-            designs: LsqDesign::paper_trio(),
+            designs: designs_from_specs(DesignSpec::paper_trio()),
             benchmarks: ["gzip", "swim", "ammp"]
                 .iter()
                 .map(|n| by_name(n).unwrap())
@@ -232,24 +78,20 @@ impl SweepGrid {
     /// The default `sweep` grid: a geometry ladder over the full suite.
     pub fn sweep_default(rc: RunConfig) -> Self {
         SweepGrid {
-            designs: vec![
-                LsqDesign::Conventional { entries: 64 },
-                LsqDesign::Conventional { entries: 128 },
-                LsqDesign::Filtered {
-                    entries: 128,
-                    buckets: 1024,
-                    hashes: 2,
-                },
-                LsqDesign::Samie(SamieConfig {
+            designs: designs_from_specs([
+                DesignSpec::Conventional { entries: 64 },
+                DesignSpec::Conventional { entries: 128 },
+                DesignSpec::filtered_paper(),
+                DesignSpec::Samie(SamieConfig {
                     banks: 32,
                     ..SamieConfig::paper()
                 }),
-                LsqDesign::Samie(SamieConfig::paper()),
-                LsqDesign::Samie(SamieConfig {
+                DesignSpec::samie_paper(),
+                DesignSpec::Samie(SamieConfig {
                     entries_per_bank: 4,
                     ..SamieConfig::paper()
                 }),
-            ],
+            ]),
             benchmarks: all_benchmarks().iter().collect(),
             seeds: vec![rc.seed],
             rc,
@@ -269,13 +111,13 @@ impl SweepGrid {
 
     /// Expand the grid into points, seed-major then design-major then
     /// benchmark-major — the deterministic order of every report row.
-    pub fn expand(&self) -> Vec<(LsqDesign, &'static WorkloadSpec, u64)> {
+    pub fn expand(&self) -> Vec<(DesignHandle, &'static WorkloadSpec, u64)> {
         let mut points =
             Vec::with_capacity(self.seeds.len() * self.designs.len() * self.benchmarks.len());
         for &seed in &self.seeds {
-            for &design in &self.designs {
+            for design in &self.designs {
                 for &bench in &self.benchmarks {
-                    points.push((design, bench, seed));
+                    points.push((Arc::clone(design), bench, seed));
                 }
             }
         }
@@ -286,7 +128,7 @@ impl SweepGrid {
 /// The measured result of one grid point.
 #[derive(Debug, Clone)]
 pub struct SweepPoint {
-    /// Design identifier ([`LsqDesign::id`]).
+    /// Canonical design id ([`samie_lsq::LsqFactory::id`]).
     pub design: String,
     /// Benchmark name.
     pub bench: &'static str,
@@ -323,24 +165,14 @@ impl SweepPoint {
 
 /// Simulate one grid point (warm-up + measured interval) and time it.
 pub fn run_point(
-    design: LsqDesign,
+    design: &DesignHandle,
     bench: &'static WorkloadSpec,
     seed: u64,
     rc: &RunConfig,
 ) -> SweepPoint {
     let rc = RunConfig { seed, ..*rc };
     let t0 = Instant::now();
-    let stats = match design {
-        LsqDesign::Conventional { entries } => {
-            run_one(bench, ConventionalLsq::with_capacity(entries), &rc)
-        }
-        LsqDesign::Filtered {
-            entries,
-            buckets,
-            hashes,
-        } => run_one(bench, FilteredLsq::new(entries, buckets, hashes), &rc),
-        LsqDesign::Samie(cfg) => run_one(bench, SamieLsq::new(cfg), &rc),
-    };
+    let stats = run_one(bench, design, &rc);
     let wall = t0.elapsed();
     SweepPoint {
         design: design.id(),
@@ -362,8 +194,8 @@ pub fn run_point(
 pub fn run_sweep(grid: &SweepGrid, jobs: usize) -> SweepReport {
     let points = grid.expand();
     let t0 = Instant::now();
-    let results = parallel_map_with(jobs, &points, |&(design, bench, seed)| {
-        run_point(design, bench, seed, &grid.rc)
+    let results = parallel_map_with(jobs, &points, |(design, bench, seed)| {
+        run_point(design, bench, *seed, &grid.rc)
     });
     SweepReport {
         mode: "sweep",
@@ -560,63 +392,20 @@ pub fn check_regression(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use samie_lsq::DesignRegistry;
 
-    #[test]
-    fn design_parse_roundtrip() {
-        for spec in [
-            "conv:64",
-            "filtered:128:1024:2",
-            "samie:64x2x8:sh8:ab64",
-            "samie:32x4x8:shinf:ab16",
-        ] {
-            let d = LsqDesign::parse(spec).unwrap();
-            assert_eq!(d.id(), spec, "id must round-trip");
-            assert_eq!(LsqDesign::parse(&d.id()).unwrap(), d);
-        }
-    }
-
-    #[test]
-    fn design_parse_defaults() {
-        assert_eq!(
-            LsqDesign::parse("conv").unwrap(),
-            LsqDesign::Conventional { entries: 128 }
-        );
-        assert_eq!(
-            LsqDesign::parse("samie").unwrap(),
-            LsqDesign::Samie(SamieConfig::paper())
-        );
-        assert_eq!(
-            LsqDesign::parse("filtered").unwrap(),
-            LsqDesign::Filtered {
-                entries: 128,
-                buckets: 1024,
-                hashes: 2
-            }
-        );
-    }
-
-    #[test]
-    fn design_parse_rejects_nonsense() {
-        for bad in [
-            "",
-            "arb",
-            "conv:0",
-            "conv:x",
-            "samie:3x2x8",
-            "samie:64x2",
-            "samie:64x2x8:zz4",
-            "filtered:128:100:2",
-            "conv:128:9",
-        ] {
-            assert!(LsqDesign::parse(bad).is_err(), "{bad} should not parse");
-        }
+    fn parse_designs(list: &str) -> Vec<DesignHandle> {
+        DesignRegistry::builtin().parse_list(list).unwrap()
     }
 
     #[test]
     fn parse_list_and_benchmarks() {
-        let ds = LsqDesign::parse_list("conv:64,samie").unwrap();
+        let ds = parse_designs("conv:64,samie");
         assert_eq!(ds.len(), 2);
-        assert!(LsqDesign::parse_list("conv:64,bogus").is_err());
+        assert_eq!(ds[0].id(), "conv:64");
+        assert!(DesignRegistry::builtin()
+            .parse_list("conv:64,bogus")
+            .is_err());
         assert_eq!(SweepGrid::parse_benchmarks("all").unwrap().len(), 26);
         let bs = SweepGrid::parse_benchmarks("gzip,swim").unwrap();
         assert_eq!(bs[1].name, "swim");
@@ -631,7 +420,7 @@ mod tests {
             seed: 1,
         };
         let grid = SweepGrid {
-            designs: LsqDesign::parse_list("conv:32,samie").unwrap(),
+            designs: parse_designs("conv:32,samie"),
             benchmarks: SweepGrid::parse_benchmarks("gzip,gcc").unwrap(),
             seeds: vec![1, 2],
             rc,
@@ -641,6 +430,11 @@ mod tests {
         assert_eq!((pts[0].1.name, pts[0].2), ("gzip", 1));
         assert_eq!((pts[1].1.name, pts[1].2), ("gcc", 1));
         assert_eq!(pts[4].2, 2, "seed-major ordering");
+        assert_eq!(
+            pts[0].0.id(),
+            "conv:32",
+            "design handles travel with points"
+        );
     }
 
     #[test]
@@ -651,7 +445,7 @@ mod tests {
             seed: 7,
         };
         let grid = SweepGrid {
-            designs: LsqDesign::paper_trio(),
+            designs: designs_from_specs(DesignSpec::paper_trio()),
             benchmarks: SweepGrid::parse_benchmarks("gzip").unwrap(),
             seeds: vec![7],
             rc,
@@ -672,6 +466,41 @@ mod tests {
     }
 
     #[test]
+    fn custom_registered_design_sweeps_like_builtins() {
+        use samie_lsq::{LoadStoreQueue, LsqFactory};
+        let mut reg = DesignRegistry::builtin();
+        reg.register("tiny", "tiny - 8-entry conventional", |_| {
+            struct Tiny;
+            impl LsqFactory for Tiny {
+                fn id(&self) -> String {
+                    "tiny".into()
+                }
+                fn build(&self) -> Box<dyn LoadStoreQueue> {
+                    DesignSpec::Conventional { entries: 8 }.build()
+                }
+            }
+            Ok(Arc::new(Tiny))
+        });
+        let rc = RunConfig {
+            instrs: 6_000,
+            warmup: 1_000,
+            seed: 7,
+        };
+        let grid = SweepGrid {
+            designs: reg.parse_list("tiny,conv:128").unwrap(),
+            benchmarks: SweepGrid::parse_benchmarks("gzip").unwrap(),
+            seeds: vec![7],
+            rc,
+        };
+        let report = run_sweep(&grid, 2);
+        assert_eq!(report.points[0].design, "tiny");
+        assert!(
+            report.points[0].ipc <= report.points[1].ipc + 1e-9,
+            "an 8-entry LSQ cannot beat the 128-entry baseline"
+        );
+    }
+
+    #[test]
     fn regression_check_thresholds() {
         let rc = RunConfig {
             instrs: 4_000,
@@ -679,7 +508,7 @@ mod tests {
             seed: 7,
         };
         let grid = SweepGrid {
-            designs: vec![LsqDesign::Conventional { entries: 32 }],
+            designs: designs_from_specs([DesignSpec::Conventional { entries: 32 }]),
             benchmarks: SweepGrid::parse_benchmarks("gzip").unwrap(),
             seeds: vec![7],
             rc,

@@ -5,11 +5,14 @@
 
 use exp_harness::run_sweep;
 use exp_harness::runner::RunConfig;
-use exp_harness::sweep::{baseline_total_sim_ips, LsqDesign, SweepGrid};
+use exp_harness::sweep::{baseline_total_sim_ips, SweepGrid};
+use exp_harness::DesignRegistry;
 
 fn grid(seed: u64) -> SweepGrid {
     SweepGrid {
-        designs: LsqDesign::parse_list("conv:64,samie,filtered:128:1024:2").unwrap(),
+        designs: DesignRegistry::builtin()
+            .parse_list("conv:64,samie,filtered:128:1024:2")
+            .unwrap(),
         benchmarks: SweepGrid::parse_benchmarks("gzip,swim").unwrap(),
         seeds: vec![seed],
         rc: RunConfig {

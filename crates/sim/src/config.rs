@@ -72,8 +72,17 @@ impl SimConfig {
         if self.fetch_width == 0 || self.dispatch_width == 0 || self.commit_width == 0 {
             return Err("pipeline widths must be positive".into());
         }
+        if self.issue_width_int == 0 || self.issue_width_fp == 0 {
+            return Err("issue widths must be positive".into());
+        }
+        if self.iq_int == 0 || self.iq_fp == 0 {
+            return Err("issue queues must be positive".into());
+        }
         if self.mem_ports == 0 {
             return Err("need at least one memory port".into());
+        }
+        if self.watchdog_cycles == 0 {
+            return Err("watchdog must allow at least one commit-free cycle".into());
         }
         self.l1i.validate()?;
         self.mem.l1d.validate()?;
@@ -97,5 +106,48 @@ mod tests {
         assert_eq!(c.l1i.size_bytes, 64 * 1024);
         assert_eq!(c.mem.l1d.size_bytes, 8 * 1024);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_zero_issue_widths() {
+        for (int_w, fp_w) in [(0, 8), (8, 0), (0, 0)] {
+            let c = SimConfig {
+                issue_width_int: int_w,
+                issue_width_fp: fp_w,
+                ..SimConfig::paper()
+            };
+            let e = c.validate().unwrap_err();
+            assert!(e.contains("issue widths"), "{e}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_zero_issue_queues() {
+        for (iq_int, iq_fp) in [(0, 128), (128, 0)] {
+            let c = SimConfig {
+                iq_int,
+                iq_fp,
+                ..SimConfig::paper()
+            };
+            let e = c.validate().unwrap_err();
+            assert!(e.contains("issue queues"), "{e}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_zero_watchdog() {
+        let c = SimConfig {
+            watchdog_cycles: 0,
+            ..SimConfig::paper()
+        };
+        let e = c.validate().unwrap_err();
+        assert!(e.contains("watchdog"), "{e}");
+        // One cycle of patience is degenerate but well-formed.
+        SimConfig {
+            watchdog_cycles: 1,
+            ..SimConfig::paper()
+        }
+        .validate()
+        .unwrap();
     }
 }

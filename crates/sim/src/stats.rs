@@ -4,7 +4,11 @@ use mem_hier::CacheStats;
 use samie_lsq::LsqActivity;
 
 /// Counters accumulated over a measured simulation interval.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq`/`Eq` compare every counter — the equality the
+/// `api_regression` suite uses to prove new entry points produce
+/// bit-identical results to the ones they replaced.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Cycles simulated.
     pub cycles: u64,

@@ -3,14 +3,18 @@
 //! 64×2×8 + 8 configuration, and report IPC / deadlocks / energy for each
 //! point — the study a designer would run before committing to Table 3.
 //!
+//! Every point is a [`DesignSpec`]; the sweep is a `parallel_map` of
+//! [`run_one`] calls, exactly like the `samie-exp sweep` engine.
+//!
 //! ```sh
 //! cargo run --release --example design_space [bench] [instrs]
 //! ```
 
 use exp_harness::parallel_map;
-use ooo_sim::Simulator;
-use samie_lsq::{ConventionalLsq, FilteredLsq, SamieConfig, SamieLsq};
-use spec_traces::{by_name, SpecTrace};
+use exp_harness::runner::{run_one, RunConfig};
+use exp_harness::session::SimSession;
+use samie_lsq::{DesignSpec, FilteredLsq, SamieConfig};
+use spec_traces::by_name;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -20,46 +24,48 @@ fn main() {
         .map(|s| s.parse().expect("instr count"))
         .unwrap_or(200_000);
     let spec = by_name(&bench).expect("unknown benchmark");
+    let rc = RunConfig {
+        instrs,
+        warmup: instrs / 5,
+        seed: 42,
+    };
 
-    let mut configs: Vec<(String, SamieConfig)> = Vec::new();
+    let mut configs: Vec<(String, DesignSpec)> = Vec::new();
     // Banking sweep at fixed total DistribLSQ capacity (128 entries x 8).
     for (banks, epb) in [(16, 8), (32, 4), (64, 2), (128, 1)] {
         configs.push((
             format!("{banks}x{epb}x8 shared=8"),
-            SamieConfig {
+            DesignSpec::Samie(SamieConfig {
                 banks,
                 entries_per_bank: epb,
                 ..SamieConfig::paper()
-            },
+            }),
         ));
     }
     // Slots-per-entry sweep (the §3.5 leakage/benefit trade-off).
     for slots in [2, 4, 8, 16] {
         configs.push((
             format!("64x2x{slots} shared=8"),
-            SamieConfig {
+            DesignSpec::Samie(SamieConfig {
                 slots_per_entry: slots,
                 ..SamieConfig::paper()
-            },
+            }),
         ));
     }
     // SharedLSQ sweep (Figure 4's design decision).
     for shared in [2, 4, 8, 16] {
         configs.push((
             format!("64x2x8 shared={shared}"),
-            SamieConfig {
+            DesignSpec::Samie(SamieConfig {
                 shared_entries: shared,
                 ..SamieConfig::paper()
-            },
+            }),
         ));
     }
 
     eprintln!("sweeping {} configurations on `{bench}`...", configs.len());
-    let results = parallel_map(&configs, |(label, cfg)| {
-        let mut sim = Simulator::paper(SamieLsq::new(*cfg), SpecTrace::new(spec, 42));
-        sim.warm_up(instrs / 5);
-        let st = sim.run(instrs);
-        (label.clone(), st)
+    let results = parallel_map(&configs, |(label, design)| {
+        (label.clone(), run_one(spec, design, &rc))
     });
 
     println!(
@@ -82,21 +88,27 @@ fn main() {
     println!("\n(the paper's Table 3 point is 64x2x8 shared=8)");
 
     // Related-work corner of the design space (§2): filtering accesses to
-    // a conventional LSQ saves searches but keeps the big CAM.
-    let mut conv = Simulator::paper(ConventionalLsq::paper(), SpecTrace::new(spec, 42));
-    conv.warm_up(instrs / 5);
-    let conv_stats = conv.run(instrs);
-    let mut filt = Simulator::paper(FilteredLsq::paper(), SpecTrace::new(spec, 42));
-    filt.warm_up(instrs / 5);
-    let filt_stats = filt.run(instrs);
+    // a conventional LSQ saves searches but keeps the big CAM. One
+    // two-design session, identical traces; the filter rate is a
+    // FilteredLsq-specific statistic read off the finished design.
+    let mut filter_rate = 0.0;
+    let report = SimSession::new(DesignSpec::conventional_paper(), spec)
+        .design(DesignSpec::filtered_paper())
+        .run_config(rc)
+        .on_finish(|_, lsq| {
+            if let Some(filt) = lsq.as_any().downcast_ref::<FilteredLsq>() {
+                filter_rate = filt.filter_rate();
+            }
+        })
+        .run();
     println!("\nrelated work (§2) on `{bench}`:");
     println!(
         "  conventional 128-entry CAM : {:>9.0} nJ",
-        energy_model::price_lsq(&conv_stats.lsq).total()
+        energy_model::price_lsq(&report.runs[0].stats.lsq).total()
     );
     println!(
         "  + counting Bloom filters   : {:>9.0} nJ  ({:.0}% of searches filtered)",
-        energy_model::price_lsq(&filt_stats.lsq).total(),
-        filt.lsq().filter_rate() * 100.0
+        energy_model::price_lsq(&report.runs[1].stats.lsq).total(),
+        filter_rate * 100.0
     );
 }

@@ -1,13 +1,13 @@
 //! Quickstart: simulate one benchmark under the SAMIE-LSQ and print the
-//! headline statistics.
+//! headline statistics — through the [`SimSession`] front door.
 //!
 //! ```sh
 //! cargo run --release --example quickstart [benchmark] [instructions]
 //! ```
 
-use ooo_sim::Simulator;
-use samie_lsq::{LoadStoreQueue, SamieLsq};
-use spec_traces::{by_name, SpecTrace};
+use exp_harness::session::{SessionEvent, SimSession};
+use samie_lsq::{DesignSpec, LsqOccupancy};
+use spec_traces::by_name;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -27,9 +27,26 @@ fn main() {
     });
 
     println!("simulating {instrs} instructions of `{bench}` on the paper's 8-wide core...");
-    let mut sim = Simulator::paper(SamieLsq::paper(), SpecTrace::new(spec, 42));
-    sim.warm_up(instrs / 5);
-    let stats = sim.run(instrs);
+    let mut occ = LsqOccupancy::default();
+    let report = SimSession::new(DesignSpec::samie_paper(), spec)
+        .instrs(instrs)
+        .warmup(instrs / 5)
+        .seed(42)
+        .progress_every((instrs / 20).max(1))
+        .observer(|e| {
+            if let SessionEvent::Progress {
+                committed, target, ..
+            } = e
+            {
+                eprint!("\r  {committed}/{target} instructions");
+            }
+        })
+        .on_finish(|_, lsq| {
+            eprintln!();
+            occ = lsq.occupancy();
+        })
+        .run();
+    let stats = report.stats();
 
     println!("\n== pipeline ==");
     println!("IPC                    {:.3}", stats.ipc());
@@ -78,7 +95,6 @@ fn main() {
         energy_model::dtlb_energy_nj(stats.dtlb_accesses)
     );
 
-    let occ = sim.lsq().occupancy();
     println!(
         "\nfinal LSQ occupancy: {} DistribLSQ slots in {} entries, {} SharedLSQ slots, {} buffered",
         occ.dist_slots, occ.dist_entries, occ.shared_slots, occ.addr_buffer

@@ -11,10 +11,7 @@
 use proptest::prelude::*;
 
 use samie_lsq::oracle::{forward_status, OracleOp};
-use samie_lsq::{
-    Age, ArbConfig, ArbLsq, ConventionalLsq, FilteredLsq, ForwardStatus, LoadStoreQueue, MemOp,
-    SamieConfig, SamieLsq, UnboundedLsq,
-};
+use samie_lsq::{Age, DesignSpec, ForwardStatus, LoadStoreQueue, MemOp, SamieConfig};
 use trace_isa::MemRef;
 
 /// A generated op: direction, address, size.
@@ -113,17 +110,17 @@ proptest! {
 
     #[test]
     fn conventional_matches_oracle(ops in prop::collection::vec(op_strategy(), 1..60), mask: u64) {
-        check_against_oracle(ConventionalLsq::paper(), &ops, mask);
+        check_against_oracle(DesignSpec::conventional_paper().build(), &ops, mask);
     }
 
     #[test]
     fn unbounded_matches_oracle(ops in prop::collection::vec(op_strategy(), 1..60), mask: u64) {
-        check_against_oracle(UnboundedLsq::new(), &ops, mask);
+        check_against_oracle(DesignSpec::Unbounded.build(), &ops, mask);
     }
 
     #[test]
     fn samie_matches_oracle(ops in prop::collection::vec(op_strategy(), 1..60), mask: u64) {
-        check_against_oracle(SamieLsq::paper(), &ops, mask);
+        check_against_oracle(DesignSpec::samie_paper().build(), &ops, mask);
     }
 
     #[test]
@@ -137,19 +134,26 @@ proptest! {
             shared_entries: 2,
             abuf_slots: 64,
         };
-        check_against_oracle(SamieLsq::new(cfg), &ops, mask);
+        check_against_oracle(DesignSpec::Samie(cfg).build(), &ops, mask);
     }
 
     #[test]
     fn arb_matches_oracle(ops in prop::collection::vec(op_strategy(), 1..60), mask: u64) {
-        check_against_oracle(ArbLsq::new(ArbConfig::fig1(8, 4)), &ops, mask);
+        check_against_oracle("arb:8x4".parse::<DesignSpec>().unwrap().build(), &ops, mask);
+    }
+
+    #[test]
+    fn oracle_design_matches_oracle(ops in prop::collection::vec(op_strategy(), 1..60), mask: u64) {
+        // DesignSpec::Oracle cross-checks every answer internally (it
+        // panics on divergence), so driving it is itself the assertion.
+        check_against_oracle(DesignSpec::Oracle.build(), &ops, mask);
     }
 
     #[test]
     fn bloom_filtered_matches_oracle(ops in prop::collection::vec(op_strategy(), 1..60), mask: u64) {
         // The Bloom filter only skips *provably* dependence-free searches;
         // forwarding answers must be bit-identical to the conventional LSQ.
-        check_against_oracle(FilteredLsq::paper(), &ops, mask);
+        check_against_oracle(DesignSpec::filtered_paper().build(), &ops, mask);
     }
 
     #[test]
@@ -161,8 +165,8 @@ proptest! {
         // search operations as the unfiltered one, and skipping never
         // changes a forwarding decision (checked above); here we check the
         // ledger relationship.
-        let mut filtered = FilteredLsq::paper();
-        let mut plain = ConventionalLsq::paper();
+        let mut filtered = DesignSpec::filtered_paper().build();
+        let mut plain = DesignSpec::conventional_paper().build();
         let (_, _) = drive(&mut filtered, &ops, mask);
         let (_, _) = drive(&mut plain, &ops, mask);
         prop_assert!(filtered.activity().conv_addr.cmp_ops <= plain.activity().conv_addr.cmp_ops);
@@ -178,7 +182,7 @@ proptest! {
         ops in prop::collection::vec(op_strategy(), 1..80),
         commits in 0usize..80,
     ) {
-        let mut lsq = SamieLsq::paper();
+        let mut lsq = DesignSpec::samie_paper().build();
         let mut alive = Vec::new();
         for (i, g) in ops.iter().enumerate() {
             let age = (i + 1) as Age;
@@ -213,7 +217,7 @@ proptest! {
         ops in prop::collection::vec(op_strategy(), 1..60),
         cut in 0u64..60,
     ) {
-        let mut lsq = SamieLsq::paper();
+        let mut lsq = DesignSpec::samie_paper().build();
         for (i, g) in ops.iter().enumerate() {
             let age = (i + 1) as Age;
             let mref = MemRef::new(g.addr, g.size);

@@ -5,9 +5,8 @@
 //! invert a conclusion.
 
 use exp_harness::runner::{run_one, run_paired, RunConfig};
-use ooo_sim::Simulator;
-use samie_lsq::{ArbConfig, ArbLsq, LoadStoreQueue, SamieConfig, SamieLsq, UnboundedLsq};
-use spec_traces::{by_name, SpecTrace};
+use samie_lsq::{ArbConfig, DesignSpec, SamieConfig};
+use spec_traces::by_name;
 
 fn rc() -> RunConfig {
     RunConfig {
@@ -23,13 +22,13 @@ fn fig1_shape_banking_degrades_arb() {
     // collapses at 128x1; halving in-flight ops always hurts.
     let rc = rc();
     let spec = by_name("swim").unwrap();
-    let reference = run_one(spec, UnboundedLsq::new(), &rc).ipc();
+    let reference = run_one(spec, DesignSpec::Unbounded, &rc).ipc();
     let rel = |banks: usize, rows: usize, half: bool| {
         let mut cfg = ArbConfig::fig1(banks, rows);
         if half {
             cfg = cfg.half_inflight();
         }
-        run_one(spec, ArbLsq::new(cfg), &rc).ipc() / reference
+        run_one(spec, DesignSpec::Arb(cfg), &rc).ipc() / reference
     };
     let full_assoc = rel(1, 128, false);
     let banked = rel(64, 2, false);
@@ -54,11 +53,11 @@ fn fig3_shape_shared_pressure_ordering() {
     let rc = rc();
     let mean_shared = |bench: &str, banks: usize, epb: usize| {
         let spec = by_name(bench).unwrap();
-        let lsq = SamieLsq::new(SamieConfig::sizing_study(banks, epb));
-        let mut sim = Simulator::paper(lsq, SpecTrace::new(spec, rc.seed));
-        sim.warm_up(rc.warmup);
-        sim.run(rc.instrs);
-        sim.lsq().activity().occupancy.mean_shared_entries()
+        let design = DesignSpec::Samie(SamieConfig::sizing_study(banks, epb));
+        run_one(spec, design, &rc)
+            .lsq
+            .occupancy
+            .mean_shared_entries()
     };
     for pathological in ["facerec", "apsi"] {
         for tame in ["gzip", "crafty"] {
@@ -94,7 +93,7 @@ fn fig5_shape_ipc_loss_is_small_except_pathological() {
 fn fig6_shape_ammp_dominates_deadlocks() {
     let rc = rc();
     let dl = |bench: &str| {
-        run_one(by_name(bench).unwrap(), SamieLsq::paper(), &rc).deadlocks_per_mcycle()
+        run_one(by_name(bench).unwrap(), DesignSpec::samie_paper(), &rc).deadlocks_per_mcycle()
     };
     let ammp = dl("ammp");
     assert!(ammp > 50.0, "ammp must deadlock visibly, got {ammp}");
