@@ -18,10 +18,10 @@ fn bench_paired(c: &mut Criterion) {
     for bench in ["gcc", "swim", "ammp"] {
         let spec = by_name(bench).unwrap();
         group.bench_with_input(BenchmarkId::new("samie", bench), &spec, |b, spec| {
-            b.iter(|| run_one(spec, DesignSpec::samie_paper(), &RC).ipc())
+            b.iter(|| run_one(*spec, DesignSpec::samie_paper(), &RC).ipc())
         });
         group.bench_with_input(BenchmarkId::new("conventional", bench), &spec, |b, spec| {
-            b.iter(|| run_one(spec, DesignSpec::conventional_paper(), &RC).ipc())
+            b.iter(|| run_one(*spec, DesignSpec::conventional_paper(), &RC).ipc())
         });
     }
     group.finish();

@@ -41,6 +41,7 @@
 
 pub mod activity;
 pub mod arb;
+pub mod checked;
 pub mod conventional;
 pub mod design;
 pub mod filtered;
@@ -53,6 +54,7 @@ pub mod unbounded;
 
 pub use activity::{CamActivity, LsqActivity, OccupancyIntegrals};
 pub use arb::{ArbConfig, ArbLsq};
+pub use checked::{checked, CheckedLsq};
 pub use conventional::ConventionalLsq;
 pub use design::{DesignParseError, DesignSpec};
 pub use filtered::{CountingBloom, FilteredLsq};

@@ -33,11 +33,13 @@
 //! path.
 
 pub mod experiments;
+pub mod fuzz;
 pub mod runner;
 pub mod session;
 pub mod sweep;
 pub mod table;
 
+pub use fuzz::{differential_check, run_fuzz, FuzzConfig, FuzzMismatch, FuzzReport};
 pub use runner::{
     parallel_map, parallel_map_with, run_one, run_paired, run_paired_suite, PairedRun, RunConfig,
 };

@@ -29,20 +29,37 @@
 //!
 //! samie-exp designs
 //!   list every design kind in the registry with its spec syntax.
+//!
+//! samie-exp fuzz [--iters N] [--seed S] [--jobs N] [common flags]
+//!   oracle-differential fuzzing: every registered design family vs the
+//!   executable disambiguation oracle on random workload mutations and
+//!   the adversarial pack. Mismatches are shrunk to minimal .strc repro
+//!   traces under --out and the exit code is 4.
+//!
+//! samie-exp record [--bench NAME] [--designs LIST] [common flags]
+//!   capture the trace a session consumes to <out>/<bench>-s<seed>.strc;
+//!   replay it anywhere with --bench @file.strc (sweep) or
+//!   Workload::replay_file (API).
 //! ```
 
 use std::path::PathBuf;
 
 use exp_harness::experiments::{fig1, fig3_4, paired, tab1_delay, tab456};
+use exp_harness::fuzz::{run_fuzz, FuzzConfig};
 use exp_harness::runner::{run_paired_suite, RunConfig};
+use exp_harness::session::SimSession;
 use exp_harness::sweep::{check_regression, run_sweep, SweepGrid};
 use exp_harness::table::Table;
 use exp_harness::DesignRegistry;
-use spec_traces::all_benchmarks;
+use spec_traces::{all_benchmarks, find_workload};
 
 struct Args {
     experiment: String,
     rc: RunConfig,
+    /// Which of instrs/warmup were given explicitly (fuzz/record pick
+    /// their own defaults otherwise).
+    instrs_set: bool,
+    warmup_set: bool,
     out: PathBuf,
     chart: bool,
     designs: Option<String>,
@@ -51,11 +68,14 @@ struct Args {
     jobs: usize,
     baseline: Option<PathBuf>,
     max_regression: f64,
+    iters: u64,
 }
 
 fn parse_args() -> Args {
     let mut experiment = String::from("all");
     let mut rc = RunConfig::default();
+    let mut instrs_set = false;
+    let mut warmup_set = false;
     let mut out = PathBuf::from("results");
     let mut chart = false;
     let mut designs = None;
@@ -64,19 +84,29 @@ fn parse_args() -> Args {
     let mut jobs = 0;
     let mut baseline = None;
     let mut max_regression = 2.0;
+    let mut iters = 200;
     let mut it = std::env::args().skip(1);
     let mut positional_seen = false;
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--instrs" => rc.instrs = it.next().expect("--instrs N").parse().expect("number"),
-            "--warmup" => rc.warmup = it.next().expect("--warmup N").parse().expect("number"),
+            "--instrs" => {
+                rc.instrs = it.next().expect("--instrs N").parse().expect("number");
+                instrs_set = true;
+            }
+            "--warmup" => {
+                rc.warmup = it.next().expect("--warmup N").parse().expect("number");
+                warmup_set = true;
+            }
             "--seed" => rc.seed = it.next().expect("--seed N").parse().expect("number"),
+            "--iters" => iters = it.next().expect("--iters N").parse().expect("number"),
             "--out" => out = PathBuf::from(it.next().expect("--out DIR")),
             "--chart" => chart = true,
             "--quick" => {
                 let q = RunConfig::quick();
                 rc.instrs = q.instrs;
                 rc.warmup = q.warmup;
+                instrs_set = true;
+                warmup_set = true;
             }
             "--designs" => designs = Some(it.next().expect("--designs LIST")),
             "--bench" => benchmarks = Some(it.next().expect("--bench LIST")),
@@ -91,7 +121,7 @@ fn parse_args() -> Args {
                     .expect("number")
             }
             "--help" | "-h" => {
-                eprintln!("usage: samie-exp <fig1|fig3|fig4|tab1|delay|fig5..fig12|tab456|summary|all|sweep|bench|designs> [--instrs N] [--warmup N] [--seed N] [--out DIR] [--quick] [--chart] [--designs LIST] [--bench LIST] [--seeds LIST] [--jobs N] [--baseline FILE] [--max-regression X]");
+                eprintln!("usage: samie-exp <fig1|fig3|fig4|tab1|delay|fig5..fig12|tab456|summary|all|sweep|bench|designs|fuzz|record> [--instrs N] [--warmup N] [--seed N] [--out DIR] [--quick] [--chart] [--designs LIST] [--bench LIST] [--seeds LIST] [--jobs N] [--baseline FILE] [--max-regression X] [--iters N]");
                 std::process::exit(0);
             }
             other if !positional_seen => {
@@ -104,6 +134,8 @@ fn parse_args() -> Args {
     Args {
         experiment,
         rc,
+        instrs_set,
+        warmup_set,
         out,
         chart,
         designs,
@@ -112,7 +144,111 @@ fn parse_args() -> Args {
         jobs,
         baseline,
         max_regression,
+        iters,
     }
+}
+
+/// `fuzz` entry point; returns the process exit code (4 on mismatch).
+fn run_fuzz_command(args: &Args) -> i32 {
+    let defaults = FuzzConfig::default();
+    let cfg = FuzzConfig {
+        iters: args.iters,
+        seed: args.rc.seed,
+        rc: RunConfig {
+            instrs: if args.instrs_set {
+                args.rc.instrs
+            } else {
+                defaults.rc.instrs
+            },
+            warmup: if args.warmup_set {
+                args.rc.warmup
+            } else {
+                defaults.rc.warmup
+            },
+            seed: 0,
+        },
+        jobs: args.jobs,
+        out: Some(args.out.clone()),
+    };
+    eprintln!(
+        "fuzz: {} iterations (seed {}, {} + {} instrs each) x every design family vs oracle + unbounded",
+        cfg.iters, cfg.seed, cfg.rc.warmup, cfg.rc.instrs
+    );
+    let report = run_fuzz(&cfg);
+    if report.clean() {
+        println!(
+            "fuzz: {} iterations, zero design-vs-oracle mismatches",
+            report.iters
+        );
+        return 0;
+    }
+    println!(
+        "fuzz: {} MISMATCHES in {} iterations",
+        report.mismatches.len(),
+        report.iters
+    );
+    for m in &report.mismatches {
+        println!(
+            "  iter {} (workload `{}`, shrunk to {} ops{}):",
+            m.iter,
+            m.workload,
+            m.repro_ops,
+            m.repro
+                .as_ref()
+                .map(|p| format!(", repro {}", p.display()))
+                .unwrap_or_default(),
+        );
+        for f in &m.failures {
+            println!("    - {f}");
+        }
+        if let Some(p) = &m.repro {
+            println!("    replay: samie-exp sweep --bench @{}", p.display());
+        }
+    }
+    4
+}
+
+/// `record` entry point: capture the trace a session consumes.
+fn run_record_command(args: &Args) -> i32 {
+    let bench = args.benchmarks.as_deref().unwrap_or("gzip");
+    let workload = find_workload(bench).unwrap_or_else(|e| panic!("{e}"));
+    let registry = DesignRegistry::builtin();
+    let designs = registry
+        .parse_list(
+            args.designs
+                .as_deref()
+                .unwrap_or("conv:128,filtered,samie,arb,unbounded,oracle"),
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+    let rc = if args.instrs_set || args.warmup_set {
+        args.rc
+    } else {
+        RunConfig {
+            seed: args.rc.seed,
+            ..RunConfig::quick()
+        }
+    };
+    let path = args
+        .out
+        .join(format!("{}-s{}.strc", workload.name(), rc.seed));
+    let mut session = SimSession::new(&designs[0], &workload)
+        .run_config(rc)
+        .record(&path);
+    for d in &designs[1..] {
+        session = session.design(d);
+    }
+    let report = session.run();
+    for run in &report.runs {
+        println!("  {:<28} ipc {:.4}", run.id, run.stats.ipc());
+    }
+    println!(
+        "recorded {} ops of `{}` -> {}",
+        report.ops_consumed,
+        report.workload,
+        path.display()
+    );
+    println!("replay:  samie-exp sweep --bench @{}", path.display());
+    0
 }
 
 /// `sweep` / `bench` entry point; returns the process exit code.
@@ -212,6 +348,12 @@ fn main() {
     }
     if matches!(args.experiment.as_str(), "sweep" | "bench") {
         std::process::exit(run_sweep_command(&args));
+    }
+    if args.experiment == "fuzz" {
+        std::process::exit(run_fuzz_command(&args));
+    }
+    if args.experiment == "record" {
+        std::process::exit(run_record_command(&args));
     }
     let rc = args.rc;
     let exp = args.experiment.as_str();

@@ -12,7 +12,7 @@ use ooo_sim::SimStats;
 use samie_lsq::DesignSpec;
 use spec_traces::WorkloadSpec;
 
-use crate::session::{IntoDesign, SimSession};
+use crate::session::{IntoDesign, IntoWorkload, SimSession};
 
 /// Simulation length parameters.
 #[derive(Debug, Clone, Copy)]
@@ -46,10 +46,11 @@ impl RunConfig {
     }
 }
 
-/// Run one benchmark under one LSQ design (a [`DesignSpec`] or any
-/// registry-produced handle).
-pub fn run_one(spec: &WorkloadSpec, design: impl IntoDesign, rc: &RunConfig) -> SimStats {
-    let report = SimSession::new(design, spec).run_config(*rc).run();
+/// Run one workload under one LSQ design (a [`DesignSpec`] or any
+/// registry-produced handle; the workload may be a calibrated spec, an
+/// adversarial generator or a recorded replay trace).
+pub fn run_one(workload: impl IntoWorkload, design: impl IntoDesign, rc: &RunConfig) -> SimStats {
+    let report = SimSession::new(design, workload).run_config(*rc).run();
     report
         .runs
         .into_iter()

@@ -7,19 +7,31 @@
 //! traces, and returns one [`SessionReport`] with per-design
 //! [`SimStats`]. Designs are built through the object-safe
 //! `Box<dyn LoadStoreQueue>` path, so adding a design to the comparison
-//! never adds a type parameter anywhere.
+//! never adds a type parameter anywhere. The workload side is equally
+//! open: anything convertible to a [`Workload`] runs — a calibrated
+//! benchmark, an adversarial generator, or a recorded `.strc` replay.
 //!
 //! Results are bit-identical to driving [`ooo_sim::Simulator`] by hand:
 //! the session performs exactly the same `warm_up(n)` + `run(m)` calls
 //! (chunked only to emit progress events, which does not perturb the
 //! cycle-accurate state — `run` is incremental).
 //!
+//! ## Record & replay
+//!
+//! [`SimSession::record`] tees the trace the session consumed to a
+//! `.strc` file: after the designs run, the session regenerates exactly
+//! the op prefix the hungriest design pulled and writes it with
+//! [`trace_isa::TraceWriter`]. Replaying that file (as a
+//! [`Workload::Replay`], e.g. via [`Workload::replay_file`]) under the
+//! same run configuration reproduces bit-identical [`SimStats`] for every
+//! design that was part of the recording session.
+//!
 //! ## Examples
 //!
 //! ```
 //! use exp_harness::session::SimSession;
 //! use samie_lsq::DesignSpec;
-//! use spec_traces::by_name;
+//! use spec_traces::{by_name, find_workload};
 //!
 //! // Single design, quick run.
 //! let report = SimSession::new(DesignSpec::samie_paper(), by_name("gzip").unwrap())
@@ -29,8 +41,9 @@
 //!     .run();
 //! assert!(report.stats().ipc() > 0.1);
 //!
-//! // Any-N comparison on identical traces, with streaming progress.
-//! let report = SimSession::new(DesignSpec::conventional_paper(), by_name("gzip").unwrap())
+//! // Any-N comparison on identical traces — here on an adversarial
+//! // workload — with streaming progress.
+//! let report = SimSession::new(DesignSpec::conventional_paper(), find_workload("alias-storm").unwrap())
 //!     .design(DesignSpec::samie_paper())
 //!     .design(DesignSpec::Unbounded)
 //!     .instrs(20_000)
@@ -42,14 +55,16 @@
 //!     })
 //!     .run();
 //! assert_eq!(report.runs.len(), 3);
-//! assert!(report.ipc_loss_vs_first(1).abs() < 0.5);
+//! assert!(report.ipc_loss_vs_first(1).abs() < 1.0);
 //! ```
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use ooo_sim::{SimConfig, SimStats, Simulator};
 use samie_lsq::{DesignHandle, DesignSpec, LoadStoreQueue};
-use spec_traces::{SpecTrace, WorkloadSpec};
+use spec_traces::{AdversarialSpec, Workload, WorkloadSpec};
+use trace_isa::strc::TraceWriter;
 
 use crate::runner::RunConfig;
 
@@ -81,6 +96,52 @@ impl IntoDesign for DesignHandle {
 impl IntoDesign for &DesignHandle {
     fn into_design(self) -> DesignHandle {
         Arc::clone(self)
+    }
+}
+
+/// Anything a session accepts as a workload: a [`Workload`] handle, a
+/// calibrated [`WorkloadSpec`] (by reference or owned), or an adversarial
+/// generator spec.
+pub trait IntoWorkload {
+    /// Convert into the workload handle the session stores.
+    fn into_workload(self) -> Workload;
+}
+
+impl IntoWorkload for Workload {
+    fn into_workload(self) -> Workload {
+        self
+    }
+}
+
+impl IntoWorkload for &Workload {
+    fn into_workload(self) -> Workload {
+        self.clone()
+    }
+}
+
+impl IntoWorkload for &WorkloadSpec {
+    fn into_workload(self) -> Workload {
+        // WorkloadSpec is Copy; owning the copy frees callers from
+        // 'static borrows (suite slices, locally-built specs).
+        Workload::from(*self)
+    }
+}
+
+impl IntoWorkload for &&WorkloadSpec {
+    fn into_workload(self) -> Workload {
+        Workload::from(**self)
+    }
+}
+
+impl IntoWorkload for WorkloadSpec {
+    fn into_workload(self) -> Workload {
+        self.into()
+    }
+}
+
+impl IntoWorkload for &'static AdversarialSpec {
+    fn into_workload(self) -> Workload {
+        Workload::Adversarial(self)
     }
 }
 
@@ -146,11 +207,17 @@ pub struct DesignRun {
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionReport {
     /// Workload the session ran.
-    pub workload: &'static str,
+    pub workload: String,
     /// Trace seed.
     pub seed: u64,
     /// Per-design runs, in the order the designs were added.
     pub runs: Vec<DesignRun>,
+    /// Largest trace prefix any design pulled (the length a recording of
+    /// this session captures).
+    pub ops_consumed: u64,
+    /// Where the consumed trace was recorded, if [`SimSession::record`]
+    /// was requested.
+    pub recorded: Option<PathBuf>,
 }
 
 impl SessionReport {
@@ -181,10 +248,10 @@ type Observer<'s> = Box<dyn FnMut(&SessionEvent<'_>) + 's>;
 type FinishHook<'s> = Box<dyn FnMut(&str, &dyn LoadStoreQueue) + 's>;
 
 /// Builder for simulation sessions — see the [module docs](self).
-/// The lifetime covers the workload borrow and the observer closure.
+/// The lifetime covers the observer/finish closures.
 pub struct SimSession<'s> {
     designs: Vec<DesignHandle>,
-    workload: &'s WorkloadSpec,
+    workload: Workload,
     cfg: SimConfig,
     instrs: u64,
     warmup: u64,
@@ -192,16 +259,17 @@ pub struct SimSession<'s> {
     progress_every: u64,
     observer: Option<Observer<'s>>,
     on_finish: Option<FinishHook<'s>>,
+    record: Option<PathBuf>,
 }
 
 impl<'s> SimSession<'s> {
     /// A session simulating `design` on `workload` under the paper's
     /// core configuration and the default [`RunConfig`] length.
-    pub fn new(design: impl IntoDesign, workload: &'s WorkloadSpec) -> Self {
+    pub fn new(design: impl IntoDesign, workload: impl IntoWorkload) -> Self {
         let rc = RunConfig::default();
         SimSession {
             designs: vec![design.into_design()],
-            workload,
+            workload: workload.into_workload(),
             cfg: SimConfig::paper(),
             instrs: rc.instrs,
             warmup: rc.warmup,
@@ -209,6 +277,7 @@ impl<'s> SimSession<'s> {
             progress_every: 0,
             observer: None,
             on_finish: None,
+            record: None,
         }
     }
 
@@ -292,6 +361,20 @@ impl<'s> SimSession<'s> {
         self
     }
 
+    /// Record the trace this session consumes to `path` as `.strc`.
+    ///
+    /// After the designs run, the session regenerates the exact op prefix
+    /// the hungriest design pulled and tees it to disk — replaying the
+    /// file under the same run configuration reproduces bit-identical
+    /// [`SimStats`] for every design in this session. The write happens
+    /// at the end of [`run`](SimSession::run); failures panic (a
+    /// requested recording that silently vanished would defeat its
+    /// purpose as a repro artifact).
+    pub fn record(mut self, path: impl Into<PathBuf>) -> Self {
+        self.record = Some(path.into());
+        self
+    }
+
     /// Run every design on the identical trace and collect the report.
     pub fn run(mut self) -> SessionReport {
         fn emit(observer: &mut Option<Observer<'_>>, e: SessionEvent<'_>) {
@@ -301,6 +384,7 @@ impl<'s> SimSession<'s> {
         }
         let total = self.designs.len();
         let mut runs = Vec::with_capacity(total);
+        let mut ops_consumed = 0u64;
         for (index, design) in self.designs.iter().enumerate() {
             let id = design.id();
             emit(
@@ -314,7 +398,7 @@ impl<'s> SimSession<'s> {
             let mut sim = Simulator::new(
                 self.cfg,
                 design.build(),
-                SpecTrace::new(self.workload, self.seed),
+                self.workload.build_trace(self.seed),
             );
             sim.warm_up(self.warmup);
             emit(
@@ -358,12 +442,29 @@ impl<'s> SimSession<'s> {
             if let Some(hook) = &mut self.on_finish {
                 hook(&id, sim.lsq().as_ref());
             }
+            ops_consumed = ops_consumed.max(sim.trace_ops_pulled());
             runs.push(DesignRun { id, stats });
         }
+        if let Some(path) = &self.record {
+            // Tee the consumed prefix to disk: trace sources are
+            // deterministic per (workload, seed), so regenerating the
+            // stream reproduces exactly what the designs saw.
+            let mut src = self.workload.build_trace(self.seed);
+            let mut w = TraceWriter::create(path, self.workload.name())
+                .unwrap_or_else(|e| panic!("cannot record to {}: {e}", path.display()));
+            for _ in 0..ops_consumed {
+                w.write_op(&src.next_op())
+                    .unwrap_or_else(|e| panic!("cannot record to {}: {e}", path.display()));
+            }
+            w.finish()
+                .unwrap_or_else(|e| panic!("cannot record to {}: {e}", path.display()));
+        }
         SessionReport {
-            workload: self.workload.name,
+            workload: self.workload.name().to_string(),
             seed: self.seed,
             runs,
+            ops_consumed,
+            recorded: self.record,
         }
     }
 }
@@ -372,7 +473,7 @@ impl<'s> SimSession<'s> {
 mod tests {
     use super::*;
     use samie_lsq::SamieLsq;
-    use spec_traces::by_name;
+    use spec_traces::{by_name, SpecTrace};
 
     fn quick(design: impl IntoDesign) -> SimSession<'static> {
         SimSession::new(design, by_name("gzip").unwrap())

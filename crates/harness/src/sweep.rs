@@ -31,20 +31,21 @@ use std::time::{Duration, Instant};
 
 use energy_model::price_lsq;
 use samie_lsq::{DesignHandle, DesignSpec, SamieConfig};
-use spec_traces::{all_benchmarks, by_name, WorkloadSpec};
+use spec_traces::{all_benchmarks, all_workloads, by_name, find_workload, Workload};
 
 use crate::runner::{parallel_map_with, run_one, RunConfig};
 use crate::table::{fmt, Table};
 
-/// A declarative sweep grid: the cross product of designs × benchmarks ×
+/// A declarative sweep grid: the cross product of designs × workloads ×
 /// seeds, simulated under one [`RunConfig`] length.
 #[derive(Clone)]
 pub struct SweepGrid {
     /// LSQ designs to sweep (shared factory handles; see
     /// [`samie_lsq::DesignRegistry::parse_list`] and [`designs_from_specs`]).
     pub designs: Vec<DesignHandle>,
-    /// Benchmarks to run each design on.
-    pub benchmarks: Vec<&'static WorkloadSpec>,
+    /// Workloads to run each design on — calibrated benchmarks,
+    /// adversarial generators and `.strc` replays sweep alike.
+    pub benchmarks: Vec<Workload>,
     /// Trace seeds (each multiplies the grid).
     pub seeds: Vec<u64>,
     /// Simulation length (its `seed` field is ignored; `seeds` governs).
@@ -68,7 +69,7 @@ impl SweepGrid {
             designs: designs_from_specs(DesignSpec::paper_trio()),
             benchmarks: ["gzip", "swim", "ammp"]
                 .iter()
-                .map(|n| by_name(n).unwrap())
+                .map(|n| Workload::Spec(by_name(n).unwrap()))
                 .collect(),
             seeds: vec![rc.seed],
             rc,
@@ -92,32 +93,42 @@ impl SweepGrid {
                     ..SamieConfig::paper()
                 }),
             ]),
-            benchmarks: all_benchmarks().iter().collect(),
+            benchmarks: all_benchmarks().iter().map(Workload::Spec).collect(),
             seeds: vec![rc.seed],
             rc,
         }
     }
 
-    /// Parse a comma-separated benchmark list (`all` = full suite).
-    pub fn parse_benchmarks(list: &str) -> Result<Vec<&'static WorkloadSpec>, String> {
+    /// Parse a comma-separated workload list. `all` expands to the full
+    /// catalog (calibrated suite + adversarial pack); names resolve
+    /// case-insensitively with "did you mean" errors; `@path/to/file.strc`
+    /// loads a recorded trace for replay.
+    pub fn parse_benchmarks(list: &str) -> Result<Vec<Workload>, String> {
         if list == "all" {
-            return Ok(all_benchmarks().iter().collect());
+            return Ok(all_workloads());
         }
         list.split(',')
             .filter(|s| !s.is_empty())
-            .map(|n| by_name(n).ok_or_else(|| format!("unknown benchmark `{n}`")))
+            .map(|n| {
+                if let Some(path) = n.strip_prefix('@') {
+                    Workload::replay_file(std::path::Path::new(path))
+                        .map_err(|e| format!("cannot replay `{path}`: {e}"))
+                } else {
+                    find_workload(n).map_err(|e| e.to_string())
+                }
+            })
             .collect()
     }
 
     /// Expand the grid into points, seed-major then design-major then
     /// benchmark-major — the deterministic order of every report row.
-    pub fn expand(&self) -> Vec<(DesignHandle, &'static WorkloadSpec, u64)> {
+    pub fn expand(&self) -> Vec<(DesignHandle, Workload, u64)> {
         let mut points =
             Vec::with_capacity(self.seeds.len() * self.designs.len() * self.benchmarks.len());
         for &seed in &self.seeds {
             for design in &self.designs {
-                for &bench in &self.benchmarks {
-                    points.push((Arc::clone(design), bench, seed));
+                for bench in &self.benchmarks {
+                    points.push((Arc::clone(design), bench.clone(), seed));
                 }
             }
         }
@@ -130,8 +141,8 @@ impl SweepGrid {
 pub struct SweepPoint {
     /// Canonical design id ([`samie_lsq::LsqFactory::id`]).
     pub design: String,
-    /// Benchmark name.
-    pub bench: &'static str,
+    /// Workload name.
+    pub bench: String,
     /// Trace seed.
     pub seed: u64,
     /// Committed IPC over the measured interval.
@@ -164,19 +175,14 @@ impl SweepPoint {
 }
 
 /// Simulate one grid point (warm-up + measured interval) and time it.
-pub fn run_point(
-    design: &DesignHandle,
-    bench: &'static WorkloadSpec,
-    seed: u64,
-    rc: &RunConfig,
-) -> SweepPoint {
+pub fn run_point(design: &DesignHandle, bench: &Workload, seed: u64, rc: &RunConfig) -> SweepPoint {
     let rc = RunConfig { seed, ..*rc };
     let t0 = Instant::now();
     let stats = run_one(bench, design, &rc);
     let wall = t0.elapsed();
     SweepPoint {
         design: design.id(),
-        bench: bench.name,
+        bench: bench.name().to_string(),
         seed,
         ipc: stats.ipc(),
         cycles: stats.cycles,
@@ -257,7 +263,7 @@ impl SweepReport {
         for p in &self.points {
             t.push_row(vec![
                 p.design.clone(),
-                p.bench.into(),
+                p.bench.clone(),
                 p.seed.to_string(),
                 fmt(p.ipc, 4),
                 p.cycles.to_string(),
@@ -406,10 +412,16 @@ mod tests {
         assert!(DesignRegistry::builtin()
             .parse_list("conv:64,bogus")
             .is_err());
-        assert_eq!(SweepGrid::parse_benchmarks("all").unwrap().len(), 26);
-        let bs = SweepGrid::parse_benchmarks("gzip,swim").unwrap();
-        assert_eq!(bs[1].name, "swim");
-        assert!(SweepGrid::parse_benchmarks("doom").is_err());
+        // `all` covers the calibrated suite plus the adversarial pack.
+        let all = SweepGrid::parse_benchmarks("all").unwrap();
+        assert_eq!(all.len(), spec_traces::workload_names().len());
+        assert!(all.len() > 26);
+        let bs = SweepGrid::parse_benchmarks("gzip,swim,ALIAS-STORM").unwrap();
+        assert_eq!(bs[1].name(), "swim");
+        assert_eq!(bs[2].name(), "alias-storm", "case-insensitive");
+        let err = SweepGrid::parse_benchmarks("gziip").unwrap_err();
+        assert!(err.contains("did you mean `gzip`"), "{err}");
+        assert!(SweepGrid::parse_benchmarks("@no/such/file.strc").is_err());
     }
 
     #[test]
@@ -427,8 +439,8 @@ mod tests {
         };
         let pts = grid.expand();
         assert_eq!(pts.len(), 8);
-        assert_eq!((pts[0].1.name, pts[0].2), ("gzip", 1));
-        assert_eq!((pts[1].1.name, pts[1].2), ("gcc", 1));
+        assert_eq!((pts[0].1.name(), pts[0].2), ("gzip", 1));
+        assert_eq!((pts[1].1.name(), pts[1].2), ("gcc", 1));
         assert_eq!(pts[4].2, 2, "seed-major ordering");
         assert_eq!(
             pts[0].0.id(),

@@ -25,9 +25,11 @@ pub mod hash;
 pub mod latency;
 pub mod op;
 pub mod source;
+pub mod strc;
 
 pub use addr::{line_addr, line_offset, page_number, LINE_BYTES, PAGE_BYTES};
 pub use hash::{FastU64Hasher, U64Map};
 pub use latency::{ExecLatency, FuKind};
 pub use op::{BranchInfo, MemRef, MicroOp, OpClass, Payload};
 pub use source::{FnTrace, TraceSource, VecTrace};
+pub use strc::{FileTrace, RecordedTrace, StrcError, TraceWriter};

@@ -95,6 +95,9 @@ pub struct Simulator<L: LoadStoreQueue, T: TraceSource> {
 
     now: u64,
     next_age: Age,
+    /// Ops pulled from the trace source so far (batch granularity) — the
+    /// prefix length a recording must capture to replay this run.
+    trace_ops: u64,
 
     fetch_queue: VecDeque<(Age, MicroOp)>,
     /// Ops pulled from the trace ahead of fetch ([`TRACE_BATCH`] at a
@@ -152,6 +155,7 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
             fu: FuScoreboard::paper(),
             now: 0,
             next_age: 1,
+            trace_ops: 0,
             fetch_queue: VecDeque::with_capacity(cfg.fetch_queue),
             trace_buf: VecDeque::with_capacity(TRACE_BATCH),
             replay: VecDeque::new(),
@@ -196,6 +200,14 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
     /// The data-memory hierarchy.
     pub fn mem(&self) -> &DataMemory {
         &self.mem
+    }
+
+    /// Ops pulled from the trace source so far (in 64-op batch refills,
+    /// so this slightly over-counts what fetch actually used).
+    /// A recording of this many ops replays the run bit-identically —
+    /// the `SimSession` record mode is built on it.
+    pub fn trace_ops_pulled(&self) -> u64 {
+        self.trace_ops
     }
 
     /// Statistics of the measured interval so far (finalised copy).
@@ -725,6 +737,7 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
                     Some(op) => op,
                     None => {
                         self.trace.next_batch(&mut self.trace_buf, TRACE_BATCH);
+                        self.trace_ops += self.trace_buf.len() as u64;
                         self.trace_buf
                             .pop_front()
                             .expect("trace sources are infinite")

@@ -1,0 +1,636 @@
+//! The adversarial workload pack: hand-built trace generators that attack
+//! specific LSQ mechanisms harder than any calibrated SPEC workload does.
+//!
+//! The calibrated [`crate::WorkloadSpec`] generators model *programs*; the
+//! generators here model *attacks*:
+//!
+//! * [`PointerChaseTrace`] — a serial chain of dependent loads walking a
+//!   full-period permutation of the working set: no two in-flight loads
+//!   share a line, defeating SAMIE's multi-instruction entries and any
+//!   locality caching.
+//! * [`StridedTrace`] — maximum memory-level parallelism: many
+//!   independent streams with a configurable stride and zero address
+//!   dependencies, filling every LSQ structure as fast as dispatch allows.
+//! * [`AliasStormTrace`] — many *distinct* lines that all map to a handful
+//!   of DistribLSQ banks (line index mod 64), stressing SAMIE's
+//!   set-associativity, SharedLSQ overflow and AddrBuffer ordering.
+//! * [`BurstyTrace`] — alternating load-only / store-only / compute-only
+//!   phases, so LSQ occupancy whipsaws between empty and full and the
+//!   forwarding window is dominated by one direction at a time.
+//! * [`MixTrace`] — a self-validating composition that interleaves any
+//!   set of generators in fixed-size slices, checking every emitted op.
+//!
+//! Every generator is a tiny static program (stable PCs, loop-closing
+//! branch) with seeded per-visit randomness, so traces are deterministic
+//! and endless like the calibrated ones. The pack is registered in
+//! [`crate::ADVERSARIAL_PACK`] and resolves by name through
+//! [`crate::find_workload`], so sessions, sweeps and the fuzzer pick these
+//! up exactly like built-in benchmarks.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use trace_isa::{MicroOp, TraceSource, LINE_BYTES};
+
+/// Base PC of adversarial code regions (distinct region per generator so
+/// mixes do not collide in the branch predictor more than intended).
+const CODE_BASE: u64 = 0x0080_0000;
+/// Base of the adversarial data region.
+const DATA_BASE: u64 = 0x4000_0000;
+
+/// Parameters of one adversarial generator, as registered in
+/// [`crate::ADVERSARIAL_PACK`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdversarialSpec {
+    /// Workload name (`pointer-chase`, `alias-storm`, ...).
+    pub name: &'static str,
+    /// One-line description for listings.
+    pub about: &'static str,
+    /// Which generator, with its knobs.
+    pub kind: AdvKind,
+}
+
+impl AdversarialSpec {
+    /// Build the generator with a reproducibility seed.
+    pub fn build(&'static self, seed: u64) -> Box<dyn TraceSource> {
+        // Mix the name into the seed like SpecTrace does, so distinct
+        // workloads never share a random stream under one global seed.
+        let mut h = seed ^ 0x9e37_79b9_7f4a_7c15;
+        for b in self.name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        match self.kind {
+            AdvKind::PointerChase { lines } => {
+                Box::new(PointerChaseTrace::new(self.name, lines, h))
+            }
+            AdvKind::Strided {
+                streams,
+                stride,
+                store_every,
+            } => Box::new(StridedTrace::new(
+                self.name,
+                streams,
+                stride,
+                store_every,
+                h,
+            )),
+            AdvKind::AliasStorm { hot_banks, lines } => {
+                Box::new(AliasStormTrace::new(self.name, hot_banks, lines, h))
+            }
+            AdvKind::Bursty { burst } => Box::new(BurstyTrace::new(self.name, burst, h)),
+            AdvKind::Mix { parts, slice } => Box::new(MixTrace::new(self.name, parts, slice, h)),
+        }
+    }
+}
+
+/// The generator family + knobs of an [`AdversarialSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdvKind {
+    /// Serial dependent loads over a `lines`-line permutation.
+    PointerChase {
+        /// Distinct cache lines in the chase (power of two).
+        lines: u64,
+    },
+    /// Independent streaming with maximum MLP.
+    Strided {
+        /// Concurrent streams.
+        streams: u16,
+        /// Per-step stride in bytes.
+        stride: u64,
+        /// Every n-th memory op is a store (0 = loads only).
+        store_every: u32,
+    },
+    /// Distinct lines collapsing into few DistribLSQ banks.
+    AliasStorm {
+        /// Banks the lines collapse into (of the 64 DistribLSQ banks).
+        hot_banks: u16,
+        /// Distinct lines per hot bank.
+        lines: u64,
+    },
+    /// Load-burst / store-burst / compute phases of `burst` ops each.
+    Bursty {
+        /// Ops per phase.
+        burst: u32,
+    },
+    /// Interleave `parts` in `slice`-op slices (self-validating).
+    Mix {
+        /// The composed generators.
+        parts: &'static [AdversarialSpec],
+        /// Ops taken from one part before rotating to the next.
+        slice: u32,
+    },
+}
+
+// ---- pointer chase -------------------------------------------------------
+
+/// Serial pointer chase: each load's address "comes from" the previous
+/// load (producer distance 1 through the interposed ALU op), and the line
+/// sequence is a full-period LCG permutation — no spatial locality at all.
+pub struct PointerChaseTrace {
+    name: &'static str,
+    rng: SmallRng,
+    lines: u64,
+    cur_line: u64,
+    slot: u64,
+}
+
+impl PointerChaseTrace {
+    fn new(name: &'static str, lines: u64, seed: u64) -> Self {
+        assert!(lines.is_power_of_two() && lines >= 2);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cur_line = rng.gen_range(0..lines);
+        PointerChaseTrace {
+            name,
+            rng,
+            lines,
+            cur_line,
+            slot: 0,
+        }
+    }
+}
+
+/// Slots per chase iteration: load, consume-ALU, spare ALU, loop branch.
+const CHASE_SLOTS: u64 = 4;
+
+impl TraceSource for PointerChaseTrace {
+    fn next_op(&mut self) -> MicroOp {
+        let pc = CODE_BASE + self.slot * 4;
+        let op = match self.slot {
+            0 => {
+                // Full-period LCG over line indices (odd multiplier, odd
+                // increment, power-of-two modulus): a permutation walk.
+                self.cur_line = (self
+                    .cur_line
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407))
+                    & (self.lines - 1);
+                let addr = DATA_BASE + self.cur_line * LINE_BYTES as u64;
+                // Depends on the ALU op that consumed the previous load:
+                // the chain is strictly serial, like real pointer chasing.
+                MicroOp::load(pc, addr, 8, [2, 0])
+            }
+            1 => MicroOp::alu(pc, [1, 0]), // consumes the load
+            2 => MicroOp::alu(pc, [self.rng.gen_range(1..=2), 0]),
+            _ => MicroOp::jump(pc, CODE_BASE),
+        };
+        self.slot = (self.slot + 1) % CHASE_SLOTS;
+        op
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+// ---- strided streaming ---------------------------------------------------
+
+/// Independent strided streams: no dependencies between memory ops, so the
+/// front-end fills the LSQ as fast as dispatch allows.
+pub struct StridedTrace {
+    name: &'static str,
+    streams: u16,
+    stride: u64,
+    store_every: u32,
+    region: u64,
+    pos: Vec<u64>,
+    slot: u64,
+    mem_count: u32,
+}
+
+/// Static program length (streams cycle inside it, one branch closes it).
+const STRIDE_SLOTS: u64 = 32;
+
+impl StridedTrace {
+    fn new(name: &'static str, streams: u16, stride: u64, store_every: u32, seed: u64) -> Self {
+        assert!(streams > 0 && stride > 0);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let region = 1u64 << 22; // 4 MiB per stream
+        let pos = (0..streams)
+            .map(|_| rng.gen_range(0..region / LINE_BYTES as u64) * LINE_BYTES as u64)
+            .collect();
+        StridedTrace {
+            name,
+            streams,
+            stride,
+            store_every,
+            region,
+            pos,
+            slot: 0,
+            mem_count: 0,
+        }
+    }
+}
+
+impl TraceSource for StridedTrace {
+    fn next_op(&mut self) -> MicroOp {
+        let pc = CODE_BASE + 0x1000 + self.slot * 4;
+        let op = if self.slot == STRIDE_SLOTS - 1 {
+            MicroOp::jump(pc, CODE_BASE + 0x1000)
+        } else if self.slot % 4 == 3 {
+            MicroOp::alu(pc, [1, 0])
+        } else {
+            let s = (self.mem_count as usize) % self.streams as usize;
+            let base = DATA_BASE + (1 << 23) + s as u64 * self.region;
+            let addr = base + (self.pos[s] % self.region);
+            self.pos[s] = self.pos[s].wrapping_add(self.stride);
+            self.mem_count += 1;
+            let is_store = self.store_every > 0 && self.mem_count.is_multiple_of(self.store_every);
+            let aligned = addr & !7;
+            if is_store {
+                MicroOp::store(pc, aligned, 8, [0, 0])
+            } else {
+                MicroOp::load(pc, aligned, 8, [0, 0])
+            }
+        };
+        self.slot = (self.slot + 1) % STRIDE_SLOTS;
+        op
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+// ---- alias storm ---------------------------------------------------------
+
+/// Many distinct lines, all mapping to `hot_banks` of the 64 DistribLSQ
+/// banks (bank = line index mod 64): a set-associativity attack. Loads
+/// occasionally revisit the previous store's address so forwarding paths
+/// stay exercised under pressure.
+pub struct AliasStormTrace {
+    name: &'static str,
+    rng: SmallRng,
+    banks: Vec<u64>,
+    lines: u64,
+    slot: u64,
+    last_store: Option<u64>,
+}
+
+/// Alias-storm program length.
+const ALIAS_SLOTS: u64 = 24;
+
+impl AliasStormTrace {
+    fn new(name: &'static str, hot_banks: u16, lines: u64, seed: u64) -> Self {
+        assert!((1..=64).contains(&hot_banks) && lines >= 1);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut banks = Vec::with_capacity(hot_banks as usize);
+        while banks.len() < hot_banks as usize {
+            let b = rng.gen_range(0..64u64);
+            if !banks.contains(&b) {
+                banks.push(b);
+            }
+        }
+        AliasStormTrace {
+            name,
+            rng,
+            banks,
+            lines,
+            slot: 0,
+            last_store: None,
+        }
+    }
+
+    fn conflicting_addr(&mut self) -> u64 {
+        let bank = self.banks[self.rng.gen_range(0..self.banks.len())];
+        // Distinct line, same bank: line = k * 64 + bank.
+        let k = self.rng.gen_range(0..self.lines);
+        let line = k * 64 + bank;
+        DATA_BASE + (1 << 26) + line * LINE_BYTES as u64
+    }
+}
+
+impl TraceSource for AliasStormTrace {
+    fn next_op(&mut self) -> MicroOp {
+        let pc = CODE_BASE + 0x2000 + self.slot * 4;
+        let op = if self.slot == ALIAS_SLOTS - 1 {
+            MicroOp::jump(pc, CODE_BASE + 0x2000)
+        } else if self.slot % 6 == 5 {
+            MicroOp::alu(pc, [self.rng.gen_range(1..=4), 0])
+        } else if self.slot % 4 == 2 {
+            let addr = self.conflicting_addr();
+            self.last_store = Some(addr);
+            MicroOp::store(pc, addr, 8, [1, 0])
+        } else if self.slot % 8 == 1 && self.last_store.is_some() && self.rng.gen_bool(0.5) {
+            // Forwarding pair under bank pressure.
+            MicroOp::load(pc, self.last_store.unwrap(), 8, [0, 0])
+        } else {
+            MicroOp::load(pc, self.conflicting_addr(), 8, [0, 0])
+        };
+        self.slot = (self.slot + 1) % ALIAS_SLOTS;
+        op
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+// ---- bursty phases -------------------------------------------------------
+
+/// Load-burst / store-burst / compute phases: LSQ occupancy whipsaws
+/// between directions, exercising allocation, drain-at-commit and
+/// store-heavy forwarding windows that steady-state mixes never reach.
+pub struct BurstyTrace {
+    name: &'static str,
+    rng: SmallRng,
+    burst: u32,
+    emitted: u32,
+    phase: u8,
+    pos: u64,
+    slot: u64,
+}
+
+/// Bursty program length.
+const BURST_SLOTS: u64 = 16;
+
+impl BurstyTrace {
+    fn new(name: &'static str, burst: u32, seed: u64) -> Self {
+        assert!(burst > 0);
+        BurstyTrace {
+            name,
+            rng: SmallRng::seed_from_u64(seed),
+            burst,
+            emitted: 0,
+            phase: 0,
+            pos: 0,
+            slot: 0,
+        }
+    }
+
+    fn next_addr(&mut self) -> u64 {
+        // Small-stride walk with occasional random jumps: consecutive
+        // burst ops share lines (SAMIE's favourite case) until a jump
+        // starts a fresh line neighbourhood.
+        if self.rng.gen_bool(0.125) {
+            self.pos = self.rng.gen_range(0u64..1 << 21) & !7;
+        } else {
+            self.pos = (self.pos + 8) % (1 << 21);
+        }
+        DATA_BASE + (1 << 27) + self.pos
+    }
+}
+
+impl TraceSource for BurstyTrace {
+    fn next_op(&mut self) -> MicroOp {
+        let pc = CODE_BASE + 0x3000 + self.slot * 4;
+        let op = if self.slot == BURST_SLOTS - 1 {
+            MicroOp::jump(pc, CODE_BASE + 0x3000)
+        } else {
+            self.emitted += 1;
+            if self.emitted >= self.burst {
+                self.emitted = 0;
+                self.phase = (self.phase + 1) % 3;
+            }
+            match self.phase {
+                0 if self.slot % 4 != 3 => {
+                    let a = self.next_addr();
+                    MicroOp::load(pc, a, 8, [0, 0])
+                }
+                1 if self.slot % 4 != 3 => {
+                    let a = self.next_addr();
+                    MicroOp::store(pc, a, 8, [1, 0])
+                }
+                _ => MicroOp::alu(pc, [self.rng.gen_range(0..=3), 0]),
+            }
+        };
+        self.slot = (self.slot + 1) % BURST_SLOTS;
+        op
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+// ---- mixer ---------------------------------------------------------------
+
+/// Self-validating composition: interleaves its parts in fixed-size
+/// slices and asserts every emitted op is well-formed — a generator bug in
+/// any part fails here instead of corrupting a simulation.
+pub struct MixTrace {
+    name: &'static str,
+    parts: Vec<Box<dyn TraceSource>>,
+    slice: u32,
+    emitted_in_slice: u32,
+    current: usize,
+}
+
+impl MixTrace {
+    fn new(name: &'static str, parts: &'static [AdversarialSpec], slice: u32, seed: u64) -> Self {
+        assert!(!parts.is_empty(), "a mix needs at least one part");
+        assert!(slice > 0, "slice length must be positive");
+        // Self-validation at construction: parts must be distinct (a
+        // duplicated part would silently skew the mix).
+        for (i, a) in parts.iter().enumerate() {
+            assert!(
+                parts[i + 1..].iter().all(|b| b.name != a.name),
+                "mix part `{}` appears twice",
+                a.name
+            );
+        }
+        let built = parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.build(seed.wrapping_add(i as u64 * 0x9e37)))
+            .collect();
+        MixTrace {
+            name,
+            parts: built,
+            slice,
+            emitted_in_slice: 0,
+            current: 0,
+        }
+    }
+}
+
+impl TraceSource for MixTrace {
+    fn next_op(&mut self) -> MicroOp {
+        let op = self.parts[self.current].next_op();
+        // Self-validation per op: the mixer is the checkpoint through
+        // which every adversarial stream flows in composed workloads.
+        assert!(
+            op.is_well_formed(),
+            "mix part `{}` emitted an ill-formed op: {op:?}",
+            self.parts[self.current].name()
+        );
+        self.emitted_in_slice += 1;
+        if self.emitted_in_slice == self.slice {
+            self.emitted_in_slice = 0;
+            self.current = (self.current + 1) % self.parts.len();
+        }
+        op
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+// ---- the registered pack -------------------------------------------------
+
+/// The four base adversarial generators (referenced by the mix).
+const BASE_PACK: [AdversarialSpec; 4] = [
+    AdversarialSpec {
+        name: "pointer-chase",
+        about: "serial dependent loads over a line permutation (zero locality)",
+        kind: AdvKind::PointerChase { lines: 1 << 16 },
+    },
+    AdversarialSpec {
+        name: "stream-storm",
+        about: "16 independent unit-line-stride streams at maximum MLP",
+        kind: AdvKind::Strided {
+            streams: 16,
+            stride: LINE_BYTES as u64,
+            store_every: 4,
+        },
+    },
+    AdversarialSpec {
+        name: "alias-storm",
+        about: "distinct lines collapsing into 2 DistribLSQ banks",
+        kind: AdvKind::AliasStorm {
+            hot_banks: 2,
+            lines: 4096,
+        },
+    },
+    AdversarialSpec {
+        name: "bursty",
+        about: "load-burst / store-burst / compute phases of 96 ops",
+        kind: AdvKind::Bursty { burst: 96 },
+    },
+];
+
+/// Every adversarial workload, including the self-validating mix of the
+/// four base attacks. Resolved by name through [`crate::find_workload`]
+/// next to the 26 calibrated benchmarks.
+pub const ADVERSARIAL_PACK: [AdversarialSpec; 5] = [
+    BASE_PACK[0],
+    BASE_PACK[1],
+    BASE_PACK[2],
+    BASE_PACK[3],
+    AdversarialSpec {
+        name: "adversarial-mix",
+        about: "all four attacks interleaved in 64-op slices (self-validating)",
+        kind: AdvKind::Mix {
+            parts: &BASE_PACK,
+            slice: 64,
+        },
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use trace_isa::OpClass;
+
+    fn collect(name: &str, seed: u64, n: usize) -> Vec<MicroOp> {
+        let spec = ADVERSARIAL_PACK
+            .iter()
+            .find(|s| s.name == name)
+            .expect("registered");
+        let mut t = spec.build(seed);
+        (0..n).map(|_| t.next_op()).collect()
+    }
+
+    #[test]
+    fn all_generators_are_deterministic_and_well_formed() {
+        for spec in &ADVERSARIAL_PACK {
+            let a = collect(spec.name, 7, 4000);
+            let b = collect(spec.name, 7, 4000);
+            assert_eq!(a, b, "{} not deterministic", spec.name);
+            assert!(
+                a.iter().all(MicroOp::is_well_formed),
+                "{} emitted ill-formed ops",
+                spec.name
+            );
+            let c = collect(spec.name, 8, 4000);
+            assert_ne!(a, c, "{} ignores its seed", spec.name);
+            assert!(
+                a.iter().any(|o| o.class.is_mem()),
+                "{} has no memory ops",
+                spec.name
+            );
+            assert!(
+                a.iter().any(|o| o.class.is_branch()),
+                "{} never branches (fetch would never break groups)",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn pointer_chase_never_repeats_lines_within_window() {
+        let ops = collect("pointer-chase", 3, 4 * 256);
+        let lines: Vec<u64> = ops
+            .iter()
+            .filter_map(|o| o.mem())
+            .map(|m| m.line())
+            .collect();
+        let distinct: HashSet<_> = lines.iter().collect();
+        // A permutation walk: every line in a 256-load window is distinct.
+        assert_eq!(distinct.len(), lines.len(), "lines repeated in window");
+        // And the chase is serial: every load depends on earlier work.
+        assert!(ops
+            .iter()
+            .filter(|o| o.class == OpClass::Load)
+            .all(|o| o.deps[0] > 0));
+    }
+
+    #[test]
+    fn alias_storm_hits_few_banks_with_many_lines() {
+        let ops = collect("alias-storm", 5, 20_000);
+        let mut banks = HashSet::new();
+        let mut lines = HashSet::new();
+        for m in ops.iter().filter_map(|o| o.mem()) {
+            banks.insert((m.addr >> 5) & 63);
+            lines.insert(m.line());
+        }
+        assert!(banks.len() <= 2, "storm leaked into {} banks", banks.len());
+        assert!(lines.len() > 500, "only {} distinct lines", lines.len());
+    }
+
+    #[test]
+    fn stream_storm_is_dependency_free_and_new_line_per_access() {
+        let ops = collect("stream-storm", 1, 10_000);
+        let mems: Vec<_> = ops.iter().filter(|o| o.class.is_mem()).collect();
+        assert!(mems.iter().all(|o| o.deps == [0, 0]));
+        let stores = mems.iter().filter(|o| o.class == OpClass::Store).count();
+        assert!(stores > mems.len() / 8, "storm needs stores too");
+    }
+
+    #[test]
+    fn bursty_alternates_directions() {
+        let ops = collect("bursty", 2, 30_000);
+        // Somewhere a 64-op window must be load-dominated and another
+        // store-dominated — that's what "bursty" means.
+        let mut load_heavy = false;
+        let mut store_heavy = false;
+        for w in ops.windows(64) {
+            let loads = w.iter().filter(|o| o.class == OpClass::Load).count();
+            let stores = w.iter().filter(|o| o.class == OpClass::Store).count();
+            load_heavy |= loads > 40;
+            store_heavy |= stores > 40;
+        }
+        assert!(load_heavy, "no load burst observed");
+        assert!(store_heavy, "no store burst observed");
+    }
+
+    #[test]
+    fn mix_interleaves_all_parts() {
+        let ops = collect("adversarial-mix", 9, 4 * 64);
+        // Slice boundaries rotate parts; each part has a distinct PC page.
+        let pages: HashSet<u64> = ops.iter().map(|o| o.pc >> 12).collect();
+        assert!(
+            pages.len() >= 4,
+            "mix visited only {} PC pages",
+            pages.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn mix_rejects_duplicate_parts() {
+        const DUP: [AdversarialSpec; 2] = [BASE_PACK[0], BASE_PACK[0]];
+        let _ = MixTrace::new("bad", &DUP, 8, 1);
+    }
+}

@@ -21,9 +21,20 @@
 //!
 //! See [`spec::WorkloadSpec`] for the knobs and [`spec::ALL_BENCHMARKS`]
 //! for the calibrated table.
+//!
+//! Beyond the calibrated suite, the crate ships an **adversarial pack**
+//! ([`adversarial`]) of generators built to attack specific LSQ
+//! mechanisms (pointer chasing, alias storms, bursty phases, ...), and a
+//! unified [`Workload`] handle under which calibrated benchmarks,
+//! adversarial generators and recorded `.strc` replay traces all resolve
+//! by name ([`find_workload`]) into sessions, sweeps and the fuzzer.
 
+pub mod adversarial;
 pub mod gen;
 pub mod spec;
+pub mod workload;
 
+pub use adversarial::{AdversarialSpec, ADVERSARIAL_PACK};
 pub use gen::SpecTrace;
 pub use spec::{all_benchmarks, by_name, WorkloadSpec, ALL_BENCHMARKS};
+pub use workload::{all_workloads, find_workload, workload_names, UnknownWorkload, Workload};

@@ -510,9 +510,26 @@ pub fn all_benchmarks() -> &'static [WorkloadSpec] {
     &ALL_BENCHMARKS
 }
 
-/// Look a benchmark up by its SPEC name.
-pub fn by_name(name: &str) -> Option<&'static WorkloadSpec> {
-    ALL_BENCHMARKS.iter().find(|s| s.name == name)
+/// Look a calibrated benchmark up by its SPEC name (case-insensitive).
+///
+/// Unknown names come back as a [`crate::UnknownWorkload`] carrying
+/// "did you mean" suggestions drawn from the *full* workload catalog —
+/// including the adversarial pack, which resolves through
+/// [`crate::find_workload`] rather than here (this function is
+/// spec-only, so callers can rely on getting a [`WorkloadSpec`] back).
+///
+/// ```
+/// use spec_traces::by_name;
+///
+/// assert_eq!(by_name("GZIP").unwrap().name, "gzip");
+/// let err = by_name("gziip").unwrap_err();
+/// assert!(err.to_string().contains("did you mean `gzip`"));
+/// ```
+pub fn by_name(name: &str) -> Result<&'static WorkloadSpec, crate::UnknownWorkload> {
+    ALL_BENCHMARKS
+        .iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| crate::UnknownWorkload::new(name, &crate::workload_names()))
 }
 
 #[cfg(test)]
@@ -548,7 +565,20 @@ mod tests {
     #[test]
     fn lookup_by_name() {
         assert_eq!(by_name("ammp").unwrap().name, "ammp");
-        assert!(by_name("doom").is_none());
+        assert_eq!(by_name("AmMp").unwrap().name, "ammp", "case-insensitive");
+        assert!(by_name("doom").is_err());
+    }
+
+    #[test]
+    fn lookup_errors_carry_suggestions() {
+        let e = by_name("amp").unwrap_err();
+        assert!(e.suggestions.contains(&"ammp"), "{e}");
+        let e = by_name("wupwis").unwrap_err(); // the paper's truncation
+        assert_eq!(e.suggestions.first(), Some(&"wupwise"), "{e}");
+        // Adversarial names are suggested too, even though by_name itself
+        // only resolves calibrated specs.
+        let e = by_name("bursty!").unwrap_err();
+        assert!(e.suggestions.contains(&"bursty"), "{e}");
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! [`Workload`] — the one named handle every session, sweep and fuzzer
+//! resolves its trace source from.
+//!
+//! Three families share the namespace:
+//!
+//! * the 26 calibrated SPEC-like benchmarks ([`crate::WorkloadSpec`]),
+//! * the adversarial pack ([`crate::ADVERSARIAL_PACK`]), and
+//! * recorded `.strc` traces replayed from disk or memory
+//!   ([`trace_isa::RecordedTrace`]),
+//!
+//! plus owned [`crate::WorkloadSpec`] values (fuzzer mutants, user
+//! experiments) that are not in any table. [`find_workload`] resolves a
+//! name case-insensitively against the full catalog and returns a
+//! "did you mean" [`UnknownWorkload`] error on near misses, so CLI typos
+//! fail with a suggestion instead of a bare "not found".
+//!
+//! ```
+//! use spec_traces::{find_workload, Workload};
+//!
+//! // Calibrated benchmarks and adversarial generators resolve alike
+//! // (case-insensitively)...
+//! let gzip = find_workload("GZIP").unwrap();
+//! let storm = find_workload("alias-storm").unwrap();
+//! let mut t = storm.build_trace(42);
+//! assert_eq!(gzip.name(), "gzip");
+//!
+//! // ...and typos come back with suggestions.
+//! let err = find_workload("alias-strom").unwrap_err();
+//! assert!(err.to_string().contains("alias-storm"));
+//! # let _ = t.next_op();
+//! ```
+
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+
+use trace_isa::strc::{RecordedTrace, StrcError};
+use trace_isa::TraceSource;
+
+use crate::adversarial::{AdversarialSpec, ADVERSARIAL_PACK};
+use crate::gen::SpecTrace;
+use crate::spec::{WorkloadSpec, ALL_BENCHMARKS};
+
+/// A named workload: anything that can produce the deterministic, endless
+/// trace a simulation session consumes.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// A calibrated benchmark from [`crate::ALL_BENCHMARKS`].
+    Spec(&'static WorkloadSpec),
+    /// An owned spec (fuzzer mutants, ad-hoc experiments).
+    Owned(Arc<WorkloadSpec>),
+    /// A generator from the adversarial pack.
+    Adversarial(&'static AdversarialSpec),
+    /// A recorded `.strc` trace, replayed cyclically (the trace seed is
+    /// ignored — the recording pinned the stream).
+    Replay(Arc<RecordedTrace>),
+}
+
+impl Workload {
+    /// Load a `.strc` file as a replay workload.
+    pub fn replay_file(path: &Path) -> Result<Self, StrcError> {
+        Ok(Workload::Replay(Arc::new(RecordedTrace::load(path)?)))
+    }
+
+    /// Wrap an in-memory op sequence as a replay workload.
+    pub fn from_recorded(rec: RecordedTrace) -> Self {
+        Workload::Replay(Arc::new(rec))
+    }
+
+    /// The workload's display name (stamped into reports and CSV rows).
+    pub fn name(&self) -> &str {
+        match self {
+            Workload::Spec(s) => s.name,
+            Workload::Owned(s) => s.name,
+            Workload::Adversarial(a) => a.name,
+            Workload::Replay(r) => r.name(),
+        }
+    }
+
+    /// The underlying calibrated/owned spec, if this is a spec workload.
+    pub fn spec(&self) -> Option<&WorkloadSpec> {
+        match self {
+            Workload::Spec(s) => Some(s),
+            Workload::Owned(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Build the trace source (deterministic per `(workload, seed)`).
+    pub fn build_trace(&self, seed: u64) -> Box<dyn TraceSource> {
+        match self {
+            Workload::Spec(s) => Box::new(SpecTrace::new(s, seed)),
+            Workload::Owned(s) => Box::new(SpecTrace::new(s, seed)),
+            Workload::Adversarial(a) => a.build(seed),
+            Workload::Replay(r) => Box::new(trace_isa::FileTrace::from_recorded(Arc::clone(r))),
+        }
+    }
+}
+
+impl From<&'static WorkloadSpec> for Workload {
+    fn from(s: &'static WorkloadSpec) -> Self {
+        Workload::Spec(s)
+    }
+}
+
+impl From<&'static AdversarialSpec> for Workload {
+    fn from(a: &'static AdversarialSpec) -> Self {
+        Workload::Adversarial(a)
+    }
+}
+
+impl From<WorkloadSpec> for Workload {
+    fn from(s: WorkloadSpec) -> Self {
+        Workload::Owned(Arc::new(s))
+    }
+}
+
+/// The full named catalog: 26 calibrated benchmarks, then the adversarial
+/// pack, in stable order.
+pub fn all_workloads() -> Vec<Workload> {
+    ALL_BENCHMARKS
+        .iter()
+        .map(Workload::Spec)
+        .chain(ADVERSARIAL_PACK.iter().map(Workload::Adversarial))
+        .collect()
+}
+
+/// Every registered workload name, in catalog order.
+pub fn workload_names() -> Vec<&'static str> {
+    ALL_BENCHMARKS
+        .iter()
+        .map(|s| s.name)
+        .chain(ADVERSARIAL_PACK.iter().map(|a| a.name))
+        .collect()
+}
+
+/// Resolve `name` (case-insensitively) against the full catalog.
+pub fn find_workload(name: &str) -> Result<Workload, UnknownWorkload> {
+    if let Some(s) = ALL_BENCHMARKS
+        .iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+    {
+        return Ok(Workload::Spec(s));
+    }
+    if let Some(a) = ADVERSARIAL_PACK
+        .iter()
+        .find(|a| a.name.eq_ignore_ascii_case(name))
+    {
+        return Ok(Workload::Adversarial(a));
+    }
+    Err(UnknownWorkload::new(name, &workload_names()))
+}
+
+/// "Unknown workload" error with near-miss suggestions.
+///
+/// Renders as `` unknown workload `gziip`; did you mean `gzip`? `` (or,
+/// with no plausible near miss, lists where to find the catalog).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownWorkload {
+    /// The name that failed to resolve.
+    pub name: String,
+    /// Registered names ranked as plausible intentions, best first.
+    pub suggestions: Vec<&'static str>,
+}
+
+impl UnknownWorkload {
+    pub(crate) fn new(name: &str, candidates: &[&'static str]) -> Self {
+        let lower = name.to_ascii_lowercase();
+        let mut scored: Vec<(usize, &'static str)> = candidates
+            .iter()
+            .filter_map(|&c| {
+                let d = edit_distance(&lower, &c.to_ascii_lowercase());
+                // A near miss: within 2 edits, or a containment either way
+                // (ranked just past the edit-distance matches).
+                if d <= 2 {
+                    Some((d, c))
+                } else if c.contains(lower.as_str()) || lower.contains(c) {
+                    Some((3, c))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        scored.sort_by_key(|&(d, c)| (d, c));
+        UnknownWorkload {
+            name: name.to_string(),
+            suggestions: scored.into_iter().map(|(_, c)| c).take(3).collect(),
+        }
+    }
+}
+
+impl fmt::Display for UnknownWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown workload `{}`", self.name)?;
+        if self.suggestions.is_empty() {
+            write!(
+                f,
+                " (see spec_traces::workload_names() or `samie-exp sweep --bench all`)"
+            )
+        } else {
+            let quoted: Vec<String> = self.suggestions.iter().map(|s| format!("`{s}`")).collect();
+            write!(f, "; did you mean {}?", quoted.join(" or "))
+        }
+    }
+}
+
+impl std::error::Error for UnknownWorkload {}
+
+/// Classic two-row Levenshtein distance (names are short; this runs only
+/// on the error path).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_specs_and_adversarial() {
+        let names = workload_names();
+        assert_eq!(names.len(), 26 + ADVERSARIAL_PACK.len());
+        assert!(names.contains(&"gzip"));
+        assert!(names.contains(&"alias-storm"));
+        assert_eq!(all_workloads().len(), names.len());
+        // Names are unique across families.
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+
+    #[test]
+    fn find_is_case_insensitive_across_families() {
+        assert_eq!(find_workload("AMMP").unwrap().name(), "ammp");
+        assert_eq!(
+            find_workload("Pointer-Chase").unwrap().name(),
+            "pointer-chase"
+        );
+        assert!(find_workload("gzip").unwrap().spec().is_some());
+        assert!(find_workload("bursty").unwrap().spec().is_none());
+    }
+
+    #[test]
+    fn did_you_mean_suggests_near_misses() {
+        let e = find_workload("gziip").unwrap_err();
+        assert_eq!(e.suggestions.first(), Some(&"gzip"));
+        assert!(e.to_string().contains("did you mean `gzip`"), "{e}");
+
+        let e = find_workload("alias").unwrap_err();
+        assert!(e.suggestions.contains(&"alias-storm"), "{e}");
+
+        let e = find_workload("zzzzzz").unwrap_err();
+        assert!(e.suggestions.is_empty());
+        assert!(e.to_string().contains("unknown workload `zzzzzz`"));
+    }
+
+    #[test]
+    fn build_trace_every_catalog_entry() {
+        for w in all_workloads() {
+            let mut t = w.build_trace(3);
+            for _ in 0..200 {
+                assert!(t.next_op().is_well_formed(), "{}", w.name());
+            }
+            assert_eq!(t.name(), w.name());
+        }
+    }
+
+    #[test]
+    fn replay_workload_round_trips() {
+        let ops = vec![
+            trace_isa::MicroOp::alu(0, [0, 0]),
+            trace_isa::MicroOp::load(4, 0x40, 8, [1, 0]),
+        ];
+        let w = Workload::from_recorded(RecordedTrace::from_ops("mini", ops.clone()));
+        assert_eq!(w.name(), "mini");
+        let mut t = w.build_trace(99); // seed ignored for replays
+        assert_eq!(t.next_op(), ops[0]);
+        assert_eq!(t.next_op(), ops[1]);
+        assert_eq!(t.next_op(), ops[0], "replay cycles");
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("gzip", "gzip"), 0);
+        assert_eq!(edit_distance("gziip", "gzip"), 1);
+        assert_eq!(edit_distance("swin", "swim"), 1);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert!(edit_distance("pointer-chase", "gzip") > 2);
+    }
+}

@@ -83,6 +83,88 @@ proptest! {
     }
 }
 
+/// Every way `WorkloadSpec::validate` can reject, as a reusable mutation:
+/// index `which` picks the violated constraint.
+fn break_spec(mut spec: WorkloadSpec, which: u8, magnitude: f64) -> (WorkloadSpec, &'static str) {
+    let big = 1.01 + magnitude; // strictly out of [0, 1]
+    match which % 9 {
+        0 => {
+            spec.f_load = big / 2.0;
+            spec.f_store = big / 2.0;
+            spec.f_branch = big / 2.0; // class fractions sum past 1
+            (spec, "fractions sum")
+        }
+        1 => {
+            spec.dep_density = big;
+            (spec, "dep_density")
+        }
+        2 => {
+            spec.branch_entropy = -big;
+            (spec, "branch_entropy")
+        }
+        3 => {
+            spec.line_reuse = 0.6;
+            spec.random_frac = 0.3;
+            spec.forward_frac = 0.2; // memory roles exceed 1
+            (spec, "memory-role fractions")
+        }
+        4 => {
+            spec.reuse_window = if magnitude < 0.5 { 0 } else { 65 };
+            (spec, "reuse_window")
+        }
+        5 => {
+            spec.streams = 0;
+            (spec, "streams/working_set")
+        }
+        6 => {
+            spec.working_set = 0;
+            (spec, "streams/working_set")
+        }
+        7 => {
+            spec.access_size = 3;
+            (spec, "access size")
+        }
+        _ => {
+            spec.hot_banks = if magnitude < 0.5 { 0 } else { 65 };
+            (spec, "hot_banks")
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn validate_rejects_every_out_of_range_knob(
+        spec in spec_strategy(),
+        which in 0u8..9,
+        magnitude in 0.0f64..10.0,
+    ) {
+        prop_assume!(spec.validate().is_ok());
+        let (broken, needle) = break_spec(spec, which, magnitude);
+        let err = broken.validate().expect_err("mutation must invalidate");
+        prop_assert!(
+            err.contains(needle),
+            "constraint {which}: error `{err}` does not mention `{needle}`"
+        );
+        // The error message names the offending benchmark.
+        prop_assert!(err.contains(spec.name), "{err}");
+    }
+
+    #[test]
+    fn spec_trace_refuses_invalid_specs(
+        spec in spec_strategy(),
+        which in 0u8..9,
+    ) {
+        prop_assume!(spec.validate().is_ok());
+        let (broken, _) = break_spec(spec, which, 0.7);
+        let outcome = std::panic::catch_unwind(|| {
+            let _ = SpecTrace::new(&broken, 1);
+        });
+        prop_assert!(outcome.is_err(), "SpecTrace accepted an invalid spec");
+    }
+}
+
 #[test]
 fn memory_fractions_hold_dynamically_for_the_suite() {
     for spec in all_benchmarks() {

@@ -17,8 +17,8 @@ fn main() {
         .map(|s| s.parse().expect("instruction count"))
         .unwrap_or(500_000);
 
-    let spec = by_name(&bench).unwrap_or_else(|| {
-        eprintln!("unknown benchmark `{bench}`; available:");
+    let spec = by_name(&bench).unwrap_or_else(|err| {
+        eprintln!("{err}; available:");
         for s in spec_traces::all_benchmarks() {
             eprint!(" {}", s.name);
         }

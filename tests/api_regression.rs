@@ -94,8 +94,8 @@ fn sweep_points_are_bit_identical_to_manual_runs() {
     assert_eq!(report.points.len(), 4);
     for p in &report.points {
         let stats = match p.design.as_str() {
-            "conv:128" => manual(p.bench, ConventionalLsq::paper()),
-            _ => manual(p.bench, SamieLsq::paper()),
+            "conv:128" => manual(&p.bench, ConventionalLsq::paper()),
+            _ => manual(&p.bench, SamieLsq::paper()),
         };
         assert_eq!(p.ipc, stats.ipc(), "{} {}", p.design, p.bench);
         assert_eq!(p.cycles, stats.cycles, "{} {}", p.design, p.bench);

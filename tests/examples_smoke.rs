@@ -60,6 +60,20 @@ fn energy_comparison_runs() {
 }
 
 #[test]
+fn record_replay_runs() {
+    let out = run_example("record_replay", &["alias-storm", "20000"]);
+    assert!(out.contains("captured"), "missing capture line:\n{out}");
+    assert!(
+        out.contains("bit-identical"),
+        "missing replay verification:\n{out}"
+    );
+    assert!(
+        out.contains("bit for bit"),
+        "replay diverged or never ran:\n{out}"
+    );
+}
+
+#[test]
 fn deadlock_pathology_runs() {
     let out = run_example("deadlock_pathology", &[]);
     assert!(

@@ -10,8 +10,12 @@
 
 use proptest::prelude::*;
 
+use exp_harness::fuzz::differential_check;
+use exp_harness::runner::RunConfig;
+use exp_harness::sweep::designs_from_specs;
 use samie_lsq::oracle::{forward_status, OracleOp};
 use samie_lsq::{Age, DesignSpec, ForwardStatus, LoadStoreQueue, MemOp, SamieConfig};
+use spec_traces::all_workloads;
 use trace_isa::MemRef;
 
 /// A generated op: direction, address, size.
@@ -102,6 +106,67 @@ fn check_against_oracle<L: LoadStoreQueue>(mut lsq: L, ops: &[GenOp], mask: u64)
             got == expected || conservative_ok,
             "load {load}: design answered {got:?}, oracle {expected:?}\nops: {ops:?}"
         );
+    }
+}
+
+/// The full design × workload matrix: every `DesignSpec` family on every
+/// catalog workload (26 calibrated benchmarks + the adversarial pack),
+/// through real pipeline runs on identical traces.
+///
+/// `differential_check` runs the four bounded families wrapped in
+/// `CheckedLsq` (every forwarding answer cross-checked against the
+/// oracle model) next to `Unbounded` and `Oracle` (which self-asserts),
+/// and verifies the committed-instruction contract, the committed
+/// load/store/branch mix against the unbounded reference, and
+/// forwards ≤ loads. An empty failure list is the invariant.
+#[test]
+fn design_workload_matrix_upholds_invariants() {
+    let rc = RunConfig {
+        instrs: 2_500,
+        warmup: 600,
+        seed: 5,
+    };
+    // Unbounded and Oracle ride along inside differential_check, so this
+    // list is the other four families — all six DesignSpec kinds run.
+    let designs = designs_from_specs([
+        DesignSpec::conventional_paper(),
+        DesignSpec::filtered_paper(),
+        DesignSpec::samie_paper(),
+        "arb".parse().unwrap(),
+    ]);
+    let mut failures: Vec<String> = Vec::new();
+    for workload in all_workloads() {
+        for f in differential_check(&workload, &designs, &rc) {
+            failures.push(format!("[{}] {f}", workload.name()));
+        }
+    }
+    assert!(failures.is_empty(), "matrix violations:\n{failures:#?}");
+}
+
+/// Cramped geometries hit the overflow/buffering paths on the adversarial
+/// pack far more often than the paper configurations do.
+#[test]
+fn cramped_geometries_survive_the_adversarial_pack() {
+    let rc = RunConfig {
+        instrs: 2_000,
+        warmup: 400,
+        seed: 11,
+    };
+    let designs = designs_from_specs([
+        DesignSpec::Conventional { entries: 8 },
+        DesignSpec::Samie(SamieConfig {
+            banks: 2,
+            entries_per_bank: 1,
+            slots_per_entry: 2,
+            shared_entries: 2,
+            abuf_slots: 64,
+        }),
+        "arb:8x1:if16".parse().unwrap(),
+    ]);
+    for name in ["alias-storm", "pointer-chase", "bursty", "adversarial-mix"] {
+        let workload = spec_traces::find_workload(name).unwrap();
+        let failures = differential_check(&workload, &designs, &rc);
+        assert!(failures.is_empty(), "[{name}] violations:\n{failures:#?}");
     }
 }
 
