@@ -1,0 +1,83 @@
+//! Microbenchmarks of the experiment store: key fingerprinting, entry
+//! encode/decode, and the full put/get round trip through the
+//! filesystem. A warm sweep's cost is one `get` per point, so these
+//! bound how much faster than simulation a cache hit can be.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exp_store::{
+    decode_entry, encode_entry, visit_stat_fields, ExperimentStore, PointKey, StoredPoint,
+    SIM_VERSION,
+};
+use ooo_sim::SimStats;
+use std::hint::black_box;
+
+fn sample_key(seed: u64) -> PointKey {
+    PointKey {
+        design: "samie:64x2x8:sh8:ab64".into(),
+        workload: "spec:gzip:0123456789abcdef".into(),
+        seed,
+        instrs: 120_000,
+        warmup: 30_000,
+        sim_config: "fw8,dw8,iwi8,iwf8,cw8,fq64,rob256".into(),
+        sim_version: SIM_VERSION.into(),
+    }
+}
+
+fn sample_point() -> StoredPoint {
+    let mut stats = SimStats::default();
+    let mut n = 1u64;
+    visit_stat_fields(&mut stats, |_, v| {
+        *v = n.wrapping_mul(0x9e37_79b9);
+        n += 1;
+    });
+    StoredPoint {
+        stats,
+        wall_nanos: 40_000_000,
+        extras: vec![("p99_shared".into(), 6)],
+    }
+}
+
+fn bench_key_hash(c: &mut Criterion) {
+    let key = sample_key(42);
+    c.bench_function("store_key_hash128", |b| {
+        b.iter(|| black_box(&key).hash128())
+    });
+}
+
+fn bench_entry_codec(c: &mut Criterion) {
+    let key = sample_key(42);
+    let point = sample_point();
+    let text = encode_entry(&key.canonical(), &point);
+    c.bench_function("store_entry_encode", |b| {
+        b.iter(|| encode_entry(black_box(&key.canonical()), black_box(&point)))
+    });
+    c.bench_function("store_entry_decode", |b| {
+        b.iter(|| decode_entry(black_box(&text)).unwrap())
+    });
+}
+
+fn bench_put_get(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join("samie-bench-store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ExperimentStore::open(&dir).unwrap();
+    let point = sample_point();
+    let mut seed = 0u64;
+    c.bench_function("store_put", |b| {
+        b.iter(|| {
+            seed += 1;
+            store.put(&sample_key(seed), &point).unwrap()
+        })
+    });
+    let key = sample_key(1);
+    c.bench_function("store_get_hit", |b| {
+        b.iter(|| store.get(black_box(&key)).unwrap().unwrap())
+    });
+    let miss = sample_key(u64::MAX);
+    c.bench_function("store_get_miss", |b| {
+        b.iter(|| assert!(store.get(black_box(&miss)).unwrap().is_none()))
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_key_hash, bench_entry_codec, bench_put_get);
+criterion_main!(benches);

@@ -224,6 +224,14 @@ impl DesignSpec {
     pub fn parse_list(specs: &str) -> Result<Vec<DesignSpec>, DesignParseError> {
         split_list(specs).map(str::parse).collect()
     }
+
+    /// Stable 128-bit fingerprint of the canonical spec string — the
+    /// design component of an experiment-store key. Because the canonical
+    /// string pins *every* geometry parameter, any change to the design
+    /// yields a different fingerprint.
+    pub fn fingerprint(&self) -> u128 {
+        trace_isa::fingerprint128(self.to_string().as_bytes())
+    }
 }
 
 impl fmt::Display for DesignSpec {
@@ -510,6 +518,18 @@ mod tests {
     #[should_panic(expected = "cannot build LSQ")]
     fn build_panics_on_invalid_spec() {
         DesignSpec::Conventional { entries: 0 }.build();
+    }
+
+    #[test]
+    fn fingerprint_tracks_geometry() {
+        let paper = DesignSpec::samie_paper().fingerprint();
+        let variant = DesignSpec::Samie(SamieConfig {
+            banks: 32,
+            ..SamieConfig::paper()
+        })
+        .fingerprint();
+        assert_ne!(paper, variant);
+        assert_eq!(paper, DesignSpec::samie_paper().fingerprint());
     }
 
     #[test]

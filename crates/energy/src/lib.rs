@@ -14,6 +14,12 @@
 //! [`price`] converts a [`samie_lsq::LsqActivity`] ledger into nanojoules
 //! (Figures 7–10); [`area`] converts occupancy integrals into active-area
 //! integrals under the §4.2 activation policies (Figures 11–12).
+//!
+//! Pricing is a pure function of the integer activity counters, which is
+//! why the experiment store caches only raw [`samie_lsq::LsqActivity`] /
+//! `SimStats` and re-prices on every read: a cache hit reproduces the
+//! energy figures bit-identically, and a single stored run can be
+//! re-priced under different technology assumptions.
 
 pub mod area;
 pub mod cacti;

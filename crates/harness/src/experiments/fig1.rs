@@ -7,9 +7,9 @@
 //! trace under an unbounded LSQ. The paper's headline: 64×2 loses ~28 %.
 
 use samie_lsq::{ArbConfig, DesignSpec};
-use spec_traces::all_benchmarks;
+use spec_traces::{all_benchmarks, Workload, WorkloadSpec};
 
-use crate::runner::{parallel_map, run_one, RunConfig};
+use crate::runner::{parallel_map, RunConfig, Runner};
 use crate::table::{fmt, Table};
 
 /// The banking sweep of Figure 1 (banks, addresses per bank).
@@ -36,29 +36,43 @@ pub struct Fig1Point {
     pub half: f64,
 }
 
-/// Run the Figure 1 sweep.
+/// Run the Figure 1 sweep over the full suite, always simulating.
 pub fn run(rc: &RunConfig) -> Vec<Fig1Point> {
-    let specs = all_benchmarks();
-    // Reference: unbounded LSQ per benchmark.
-    let reference: Vec<f64> = parallel_map(specs, |s| run_one(s, DesignSpec::Unbounded, rc).ipc());
+    run_with(rc, &Runner::direct(), all_benchmarks())
+}
 
+/// Run the Figure 1 sweep through a [`Runner`] (store-cached when the
+/// runner is) over an explicit benchmark suite. All
+/// `(design, benchmark)` points are flattened into one parallel map, so
+/// cache misses fill every core instead of serialising per configuration.
+pub fn run_with(rc: &RunConfig, runner: &Runner<'_>, suite: &[WorkloadSpec]) -> Vec<Fig1Point> {
+    // One design list: the unbounded reference, then normal/half ARB per
+    // banking configuration.
+    let mut designs = vec![DesignSpec::Unbounded];
+    for &(banks, rows) in &CONFIGS {
+        let cfg = ArbConfig::fig1(banks, rows);
+        designs.push(DesignSpec::Arb(cfg));
+        designs.push(DesignSpec::Arb(cfg.half_inflight()));
+    }
+    let jobs: Vec<(DesignSpec, Workload)> = designs
+        .iter()
+        .flat_map(|&d| suite.iter().map(move |s| (d, Workload::from(*s))))
+        .collect();
+    let ipcs: Vec<f64> = parallel_map(&jobs, |(d, w)| runner.stats(d, w, rc).ipc());
+
+    let n = suite.len();
+    let per_design = |i: usize| &ipcs[i * n..(i + 1) * n];
+    let reference = per_design(0);
+    let avg = |v: &[f64]| -> f64 {
+        v.iter().zip(reference).map(|(i, r)| i / r).sum::<f64>() / v.len() as f64
+    };
     CONFIGS
         .iter()
-        .map(|&(banks, rows)| {
-            let norm_cfg = ArbConfig::fig1(banks, rows);
-            let half_cfg = norm_cfg.half_inflight();
-            let normal: Vec<f64> =
-                parallel_map(specs, |s| run_one(s, DesignSpec::Arb(norm_cfg), rc).ipc());
-            let half: Vec<f64> =
-                parallel_map(specs, |s| run_one(s, DesignSpec::Arb(half_cfg), rc).ipc());
-            let avg = |v: &[f64]| -> f64 {
-                v.iter().zip(&reference).map(|(i, r)| i / r).sum::<f64>() / v.len() as f64
-            };
-            Fig1Point {
-                label: format!("{banks}x{rows}"),
-                normal: avg(&normal),
-                half: avg(&half),
-            }
+        .enumerate()
+        .map(|(c, &(banks, rows))| Fig1Point {
+            label: format!("{banks}x{rows}"),
+            normal: avg(per_design(1 + 2 * c)),
+            half: avg(per_design(2 + 2 * c)),
         })
         .collect()
 }

@@ -9,11 +9,10 @@
 //! SharedLSQ demand stays within N entries during 99 % of cycles, for
 //! N = 0, 4, 8, … 60 — the curve that justifies the 8-entry SharedLSQ.
 
-use samie_lsq::{DesignSpec, SamieConfig, SamieLsq};
-use spec_traces::{all_benchmarks, WorkloadSpec};
+use samie_lsq::{DesignSpec, LoadStoreQueue, SamieConfig, SamieLsq};
+use spec_traces::{all_benchmarks, Workload, WorkloadSpec};
 
-use crate::runner::{parallel_map, RunConfig};
-use crate::session::SimSession;
+use crate::runner::{parallel_map, RunConfig, Runner};
 use crate::table::{fmt, Table};
 
 /// The DistribLSQ geometries of Figure 3.
@@ -34,40 +33,62 @@ pub struct SizingRun {
     pub p99_shared: usize,
 }
 
-fn run_sizing(spec: &'static WorkloadSpec, banks: usize, epb: usize, rc: &RunConfig) -> SizingRun {
+/// The extras name under which the sizing study caches the occupancy
+/// quantile (it lives in SAMIE's histogram, not in `SimStats`).
+const P99_EXTRA: &str = "p99_shared";
+
+fn run_sizing(
+    spec: &WorkloadSpec,
+    banks: usize,
+    epb: usize,
+    rc: &RunConfig,
+    runner: &Runner<'_>,
+) -> SizingRun {
     let design = DesignSpec::Samie(SamieConfig::sizing_study(banks, epb));
     // The p99 statistic lives in SAMIE's occupancy histogram, not in
-    // SimStats: read it off the finished design via the observer.
-    let mut p99_shared = 0;
-    let report = SimSession::new(design, spec)
-        .run_config(*rc)
-        .on_finish(|_, lsq| {
-            let samie = lsq
-                .as_any()
-                .downcast_ref::<SamieLsq>()
-                .expect("sizing study runs SAMIE designs");
-            p99_shared = samie.shared_entries_for_quantile(0.99);
-        })
-        .run();
+    // SimStats: read it off the finished design (or the cached extras).
+    let probe = |lsq: &dyn LoadStoreQueue| {
+        let samie = lsq
+            .as_any()
+            .downcast_ref::<SamieLsq>()
+            .expect("sizing study runs SAMIE designs");
+        vec![(
+            P99_EXTRA.to_string(),
+            samie.shared_entries_for_quantile(0.99) as u64,
+        )]
+    };
+    let (stats, extras) =
+        runner.stats_with_extras(&design, &Workload::from(*spec), rc, &[P99_EXTRA], &probe);
+    let p99_shared = extras
+        .iter()
+        .find(|(n, _)| n == P99_EXTRA)
+        .map(|&(_, v)| v as usize)
+        .expect("probe (or cache) supplies the quantile");
     SizingRun {
         name: spec.name,
         banks,
         entries_per_bank: epb,
-        mean_shared: report.stats().lsq.occupancy.mean_shared_entries(),
+        mean_shared: stats.lsq.occupancy.mean_shared_entries(),
         p99_shared,
     }
 }
 
 /// Run the full sizing study: for each geometry, one run per benchmark.
 pub fn run(rc: &RunConfig) -> Vec<SizingRun> {
-    let mut jobs: Vec<(&'static WorkloadSpec, usize, usize)> = Vec::new();
+    run_with(rc, &Runner::direct(), all_benchmarks())
+}
+
+/// [`run`] through a [`Runner`] (store-cached when the runner is) over an
+/// explicit suite.
+pub fn run_with(rc: &RunConfig, runner: &Runner<'_>, suite: &[WorkloadSpec]) -> Vec<SizingRun> {
+    let mut jobs: Vec<(&WorkloadSpec, usize, usize)> = Vec::new();
     for &(banks, epb) in &CONFIGS {
-        for spec in all_benchmarks() {
+        for spec in suite {
             jobs.push((spec, banks, epb));
         }
     }
     parallel_map(&jobs, |&(spec, banks, epb)| {
-        run_sizing(spec, banks, epb, rc)
+        run_sizing(spec, banks, epb, rc, runner)
     })
 }
 

@@ -21,6 +21,18 @@
 //! grids (`samie-exp sweep`) and the throughput benchmark tracked by CI
 //! (`samie-exp bench`), both emitting machine-readable `BENCH_sweep.json`.
 //!
+//! ## Incremental everything
+//!
+//! Every simulated point can flow through the content-addressed
+//! experiment store (the `exp-store` crate): [`runner::PointCache`] keys
+//! a point by design × workload × run length × seed × core config ×
+//! simulator version and serves bit-identical cache hits, so
+//! `samie-exp sweep` re-runs only what changed and interrupted sweeps
+//! resume. [`report::generate_book`] (`samie-exp report`) rebuilds the
+//! whole paper — tables, figures, SVG charts — into `docs/book/` from
+//! the same cache, making the complete reproduction one idempotent
+//! command.
+//!
 //! ## The front door
 //!
 //! Everything above is built on [`session::SimSession`]: designs are named
@@ -32,18 +44,26 @@
 //! the examples and the benches all construct their LSQs through this one
 //! path.
 
+pub mod chart;
 pub mod experiments;
 pub mod fuzz;
+pub mod report;
 pub mod runner;
 pub mod session;
 pub mod sweep;
 pub mod table;
 
+pub use chart::svg_bar_chart;
+pub use exp_store::{ExperimentStore, PointKey, StoredPoint, SIM_VERSION};
 pub use fuzz::{differential_check, run_fuzz, FuzzConfig, FuzzMismatch, FuzzReport};
+pub use report::{generate_book, BookSummary, ReportOptions};
 pub use runner::{
-    parallel_map, parallel_map_with, run_one, run_paired, run_paired_suite, PairedRun, RunConfig,
+    parallel_map, parallel_map_with, run_one, run_paired, run_paired_suite, run_paired_suite_with,
+    PairedRun, PointCache, RunConfig, Runner,
 };
 pub use samie_lsq::{DesignHandle, DesignParseError, DesignRegistry, DesignSpec, LsqFactory};
 pub use session::{DesignRun, SessionEvent, SessionReport, SimSession};
-pub use sweep::{designs_from_specs, run_sweep, SweepGrid, SweepPoint, SweepReport};
+pub use sweep::{
+    designs_from_specs, run_sweep, run_sweep_cached, SweepGrid, SweepPoint, SweepReport,
+};
 pub use table::Table;

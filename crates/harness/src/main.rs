@@ -40,17 +40,36 @@
 //!   capture the trace a session consumes to <out>/<bench>-s<seed>.strc;
 //!   replay it anywhere with --bench @file.strc (sweep) or
 //!   Workload::replay_file (API).
+//!
+//! samie-exp report [--quick] [--out DIR] [--store DIR] [--no-cache]
+//!                  [--expect-warm X] [common flags]
+//!   regenerate the whole reproduction book (tables 1/4-6, figs 1/3-12,
+//!   summary) as Markdown + SVG into DIR (default docs/book), consulting
+//!   the experiment store so re-runs are nearly free. --expect-warm X
+//!   exits 5 unless the run was all cache hits with a warm speedup >= X
+//!   (the report-smoke CI gate).
+//!
+//! samie-exp store [--store DIR] [--gc]
+//!   inspect the experiment store (entries, size, per-design/workload
+//!   counts); with --gc, delete corrupt and version-stale entries and
+//!   rebuild the index.
+//!
+//! caching: sweep and report consult the content-addressed store at
+//! --store DIR (default .samie-store) and only simulate cache misses;
+//! --no-cache forces full recomputation. bench never caches — it exists
+//! to measure simulation throughput.
 //! ```
 
 use std::path::PathBuf;
 
 use exp_harness::experiments::{fig1, fig3_4, paired, tab1_delay, tab456};
 use exp_harness::fuzz::{run_fuzz, FuzzConfig};
-use exp_harness::runner::{run_paired_suite, RunConfig};
+use exp_harness::report::{generate_book, ReportOptions};
+use exp_harness::runner::{run_paired_suite, PointCache, RunConfig, Runner};
 use exp_harness::session::SimSession;
-use exp_harness::sweep::{check_regression, run_sweep, SweepGrid};
+use exp_harness::sweep::{check_regression, run_sweep_cached, SweepGrid};
 use exp_harness::table::Table;
-use exp_harness::DesignRegistry;
+use exp_harness::{DesignRegistry, SIM_VERSION};
 use spec_traces::{all_benchmarks, find_workload};
 
 struct Args {
@@ -61,6 +80,7 @@ struct Args {
     instrs_set: bool,
     warmup_set: bool,
     out: PathBuf,
+    out_set: bool,
     chart: bool,
     designs: Option<String>,
     benchmarks: Option<String>,
@@ -69,6 +89,10 @@ struct Args {
     baseline: Option<PathBuf>,
     max_regression: f64,
     iters: u64,
+    store: PathBuf,
+    no_cache: bool,
+    gc: bool,
+    expect_warm: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -77,6 +101,7 @@ fn parse_args() -> Args {
     let mut instrs_set = false;
     let mut warmup_set = false;
     let mut out = PathBuf::from("results");
+    let mut out_set = false;
     let mut chart = false;
     let mut designs = None;
     let mut benchmarks = None;
@@ -85,6 +110,10 @@ fn parse_args() -> Args {
     let mut baseline = None;
     let mut max_regression = 2.0;
     let mut iters = 200;
+    let mut store = PathBuf::from(".samie-store");
+    let mut no_cache = false;
+    let mut gc = false;
+    let mut expect_warm = None;
     let mut it = std::env::args().skip(1);
     let mut positional_seen = false;
     while let Some(a) = it.next() {
@@ -99,7 +128,10 @@ fn parse_args() -> Args {
             }
             "--seed" => rc.seed = it.next().expect("--seed N").parse().expect("number"),
             "--iters" => iters = it.next().expect("--iters N").parse().expect("number"),
-            "--out" => out = PathBuf::from(it.next().expect("--out DIR")),
+            "--out" => {
+                out = PathBuf::from(it.next().expect("--out DIR"));
+                out_set = true;
+            }
             "--chart" => chart = true,
             "--quick" => {
                 let q = RunConfig::quick();
@@ -120,8 +152,14 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("number")
             }
+            "--store" => store = PathBuf::from(it.next().expect("--store DIR")),
+            "--no-cache" => no_cache = true,
+            "--gc" => gc = true,
+            "--expect-warm" => {
+                expect_warm = Some(it.next().expect("--expect-warm X").parse().expect("number"))
+            }
             "--help" | "-h" => {
-                eprintln!("usage: samie-exp <fig1|fig3|fig4|tab1|delay|fig5..fig12|tab456|summary|all|sweep|bench|designs|fuzz|record> [--instrs N] [--warmup N] [--seed N] [--out DIR] [--quick] [--chart] [--designs LIST] [--bench LIST] [--seeds LIST] [--jobs N] [--baseline FILE] [--max-regression X] [--iters N]");
+                eprintln!("usage: samie-exp <fig1|fig3|fig4|tab1|delay|fig5..fig12|tab456|summary|all|sweep|bench|designs|fuzz|record|report|store> [--instrs N] [--warmup N] [--seed N] [--out DIR] [--quick] [--chart] [--designs LIST] [--bench LIST] [--seeds LIST] [--jobs N] [--baseline FILE] [--max-regression X] [--iters N] [--store DIR] [--no-cache] [--gc] [--expect-warm X]");
                 std::process::exit(0);
             }
             other if !positional_seen => {
@@ -137,6 +175,7 @@ fn parse_args() -> Args {
         instrs_set,
         warmup_set,
         out,
+        out_set,
         chart,
         designs,
         benchmarks,
@@ -145,6 +184,10 @@ fn parse_args() -> Args {
         baseline,
         max_regression,
         iters,
+        store,
+        no_cache,
+        gc,
+        expect_warm,
     }
 }
 
@@ -251,6 +294,25 @@ fn run_record_command(args: &Args) -> i32 {
     0
 }
 
+/// Open the experiment store for a cache-consulting command, or fall
+/// back to uncached execution with a warning. `disabled` (bench mode,
+/// --no-cache) skips the store silently.
+fn open_cache(args: &Args, disabled: bool) -> Option<PointCache> {
+    if disabled {
+        return None;
+    }
+    match PointCache::open(&args.store) {
+        Ok(c) => Some(c),
+        Err(e) => {
+            eprintln!(
+                "warning: cannot open experiment store {} ({e}); running uncached",
+                args.store.display()
+            );
+            None
+        }
+    }
+}
+
 /// `sweep` / `bench` entry point; returns the process exit code.
 fn run_sweep_command(args: &Args) -> i32 {
     let registry = DesignRegistry::builtin();
@@ -275,12 +337,14 @@ fn run_sweep_command(args: &Args) -> i32 {
     }
     // `bench` is a throughput tracker: its number must be comparable
     // across hosts with different core counts, so it runs serially
-    // unless a worker count is requested explicitly.
+    // unless a worker count is requested explicitly — and it never
+    // consults the cache (a cache hit measures nothing).
     let jobs = if is_bench && args.jobs == 0 {
         1
     } else {
         args.jobs
     };
+    let cache = open_cache(args, is_bench || args.no_cache);
     let n = grid.designs.len() * grid.benchmarks.len() * grid.seeds.len();
     eprintln!(
         "{}: {} designs x {} benchmarks x {} seeds = {n} points ({} + {} instrs each)",
@@ -291,9 +355,16 @@ fn run_sweep_command(args: &Args) -> i32 {
         args.rc.warmup,
         args.rc.instrs,
     );
-    let mut report = run_sweep(&grid, jobs);
+    let mut report = run_sweep_cached(&grid, jobs, cache.as_ref());
     report.mode = if is_bench { "bench" } else { "sweep" };
     println!("{}", report.table().render());
+    if let Some(c) = &cache {
+        println!(
+            "{} [store {}]",
+            report.cache_summary(),
+            c.store().root().display()
+        );
+    }
     println!(
         "total: {} simulated instructions in {:.2} s = {:.2} Msim-instr/s",
         report.total_instructions(),
@@ -317,6 +388,145 @@ fn run_sweep_command(args: &Args) -> i32 {
                 return 3;
             }
         }
+    }
+    0
+}
+
+/// `report` entry point: regenerate the reproduction book.
+fn run_report_command(args: &Args) -> i32 {
+    let out = if args.out_set {
+        args.out.clone()
+    } else {
+        PathBuf::from("docs/book")
+    };
+    let cache = open_cache(args, args.no_cache);
+    let mut opts = ReportOptions::new(args.rc, &out);
+    if let Some(c) = &cache {
+        opts.runner = Runner::cached(c);
+    }
+    eprintln!(
+        "report: {} benchmarks, {} + {} instrs per point (seed {}) -> {}",
+        opts.suite.len(),
+        args.rc.warmup,
+        args.rc.instrs,
+        args.rc.seed,
+        out.display()
+    );
+    let book = match generate_book(&opts) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("report failed: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "wrote {} files to {} in {:.2} s",
+        book.pages.len(),
+        out.display(),
+        book.wall.as_secs_f64()
+    );
+    if let Some(c) = &cache {
+        let speedup = if book.wall.as_secs_f64() > 0.0 {
+            c.saved().as_secs_f64() / book.wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        println!(
+            "cache: {} hits / {} misses; saved ~{:.2} s of simulation (warm speedup ~{speedup:.0}x) [store {}]",
+            c.hits(),
+            c.misses(),
+            c.saved().as_secs_f64(),
+            c.store().root().display()
+        );
+        if let Some(want) = args.expect_warm {
+            if c.misses() > 0 {
+                eprintln!("EXPECTED WARM RUN: {} points missed the cache", c.misses());
+                return 5;
+            }
+            if speedup < want {
+                eprintln!("EXPECTED WARM SPEEDUP >= {want:.0}x, measured ~{speedup:.0}x");
+                return 5;
+            }
+            println!("warm gate OK: all hits, speedup ~{speedup:.0}x >= {want:.0}x");
+        }
+    } else if args.expect_warm.is_some() {
+        eprintln!("--expect-warm requires the cache (drop --no-cache)");
+        return 5;
+    }
+    0
+}
+
+/// `store` entry point: inspect or garbage-collect the experiment store.
+fn run_store_command(args: &Args) -> i32 {
+    let cache = match PointCache::open(&args.store) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot open experiment store {}: {e}", args.store.display());
+            return 1;
+        }
+    };
+    let store = cache.store();
+    if args.gc {
+        match store.gc(SIM_VERSION) {
+            Ok(r) => {
+                println!(
+                    "gc: kept {}, removed {} stale + {} corrupt, freed {} bytes",
+                    r.kept, r.removed_stale, r.removed_corrupt, r.bytes_freed
+                );
+                return 0;
+            }
+            Err(e) => {
+                eprintln!("gc failed: {e}");
+                return 1;
+            }
+        }
+    }
+    let (entries, bytes) = match (store.len(), store.disk_bytes()) {
+        (Ok(n), Ok(b)) => (n, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("cannot read store: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "store {}: {entries} entries, {:.1} KiB (sim version {SIM_VERSION})",
+        store.root().display(),
+        bytes as f64 / 1024.0
+    );
+    let rows = match store.index() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot read index: {e}");
+            return 1;
+        }
+    };
+    let mut by_design: Vec<(String, usize)> = Vec::new();
+    let mut by_version: Vec<(String, usize)> = Vec::new();
+    for row in &rows {
+        match by_design.iter_mut().find(|(d, _)| *d == row.design) {
+            Some((_, n)) => *n += 1,
+            None => by_design.push((row.design.clone(), 1)),
+        }
+        match by_version.iter_mut().find(|(v, _)| *v == row.sim_version) {
+            Some((_, n)) => *n += 1,
+            None => by_version.push((row.sim_version.clone(), 1)),
+        }
+    }
+    let mut t = Table::new(
+        "Experiment store - points per design",
+        &["design", "points"],
+    );
+    for (d, n) in by_design {
+        t.push_row(vec![d, n.to_string()]);
+    }
+    println!("{}", t.render());
+    for (v, n) in by_version {
+        let stale = if v == SIM_VERSION {
+            ""
+        } else {
+            "  (stale - `samie-exp store --gc` reclaims)"
+        };
+        println!("version {v}: {n} points{stale}");
     }
     0
 }
@@ -354,6 +564,12 @@ fn main() {
     }
     if args.experiment == "record" {
         std::process::exit(run_record_command(&args));
+    }
+    if args.experiment == "report" {
+        std::process::exit(run_report_command(&args));
+    }
+    if args.experiment == "store" {
+        std::process::exit(run_store_command(&args));
     }
     let rc = args.rc;
     let exp = args.experiment.as_str();

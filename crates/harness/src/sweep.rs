@@ -174,12 +174,18 @@ impl SweepPoint {
     }
 }
 
-/// Simulate one grid point (warm-up + measured interval) and time it.
-pub fn run_point(design: &DesignHandle, bench: &Workload, seed: u64, rc: &RunConfig) -> SweepPoint {
-    let rc = RunConfig { seed, ..*rc };
-    let t0 = Instant::now();
-    let stats = run_one(bench, design, &rc);
-    let wall = t0.elapsed();
+/// Build a report row from a point's statistics. Every derived field
+/// (IPC, energy) is a pure function of the integer counters, so a row
+/// rebuilt from a cached [`SimStats`](ooo_sim::SimStats) is byte-identical
+/// to the freshly-simulated one.
+fn point_from_stats(
+    design: &DesignHandle,
+    bench: &Workload,
+    seed: u64,
+    rc: &RunConfig,
+    stats: &ooo_sim::SimStats,
+    wall: Duration,
+) -> SweepPoint {
     SweepPoint {
         design: design.id(),
         bench: bench.name().to_string(),
@@ -194,19 +200,70 @@ pub fn run_point(design: &DesignHandle, bench: &Workload, seed: u64, rc: &RunCon
     }
 }
 
+/// Simulate one grid point (warm-up + measured interval) and time it.
+pub fn run_point(design: &DesignHandle, bench: &Workload, seed: u64, rc: &RunConfig) -> SweepPoint {
+    let rc = RunConfig { seed, ..*rc };
+    let t0 = Instant::now();
+    let stats = run_one(bench, design, &rc);
+    let wall = t0.elapsed();
+    point_from_stats(design, bench, seed, &rc, &stats, wall)
+}
+
 /// Execute a grid on `jobs` worker threads (0 = all available cores).
 /// Points are distributed through the work-stealing queue and collected
 /// in deterministic [`SweepGrid::expand`] order.
 pub fn run_sweep(grid: &SweepGrid, jobs: usize) -> SweepReport {
+    run_sweep_cached(grid, jobs, None)
+}
+
+/// [`run_sweep`] against an experiment-store cache: every point is looked
+/// up first and only misses are simulated (and recorded the moment they
+/// finish, so an interrupted sweep resumes where it stopped). The report
+/// rows are byte-identical to an uncached sweep — cache hits rebuild the
+/// row from the stored integer counters; only the wall-clock columns
+/// differ (a hit reports the *original* compute time, which is what the
+/// warm-speedup figure sums).
+pub fn run_sweep_cached(
+    grid: &SweepGrid,
+    jobs: usize,
+    cache: Option<&crate::runner::PointCache>,
+) -> SweepReport {
+    use std::sync::atomic::{AtomicU64, Ordering};
     let points = grid.expand();
+    let (hits, saved) = (AtomicU64::new(0), AtomicU64::new(0));
     let t0 = Instant::now();
-    let results = parallel_map_with(jobs, &points, |(design, bench, seed)| {
-        run_point(design, bench, *seed, &grid.rc)
+    let results = parallel_map_with(jobs, &points, |(design, bench, seed)| match cache {
+        None => run_point(design, bench, *seed, &grid.rc),
+        Some(cache) => {
+            let rc = RunConfig {
+                seed: *seed,
+                ..grid.rc
+            };
+            let key = cache.key(&design.id(), bench, &rc);
+            let (point, hit) =
+                cache.get_or_compute(&key, &[], || (run_one(bench, design, &rc), Vec::new()));
+            if hit {
+                hits.fetch_add(1, Ordering::Relaxed);
+                saved.fetch_add(point.wall_nanos, Ordering::Relaxed);
+            }
+            point_from_stats(
+                design,
+                bench,
+                *seed,
+                &rc,
+                &point.stats,
+                Duration::from_nanos(point.wall_nanos),
+            )
+        }
     });
+    let hits = hits.into_inner() as usize;
     SweepReport {
         mode: "sweep",
         rc: grid.rc,
         wall: t0.elapsed(),
+        hits,
+        misses: results.len() - hits,
+        saved: Duration::from_nanos(saved.into_inner()),
         points: results,
     }
 }
@@ -221,11 +278,40 @@ pub struct SweepReport {
     /// End-to-end wall time of the whole grid (≤ sum of point walls when
     /// workers run in parallel).
     pub wall: Duration,
+    /// Points served from the experiment store (0 for uncached sweeps).
+    pub hits: usize,
+    /// Points actually simulated this run.
+    pub misses: usize,
+    /// Recorded compute time the hits avoided (the "cold" cost of the
+    /// cached points); `saved / wall` is the warm-speedup figure.
+    pub saved: Duration,
     /// Per-point results, in grid order.
     pub points: Vec<SweepPoint>,
 }
 
 impl SweepReport {
+    /// How much faster this (partially) warm run was than recomputing the
+    /// cached points: recorded cold time of the hits over this run's
+    /// grid wall time. 0 when nothing was cached.
+    pub fn warm_speedup(&self) -> f64 {
+        let w = self.wall.as_secs_f64();
+        if w <= 0.0 {
+            0.0
+        } else {
+            self.saved.as_secs_f64() / w
+        }
+    }
+
+    /// One-line cache summary for console output.
+    pub fn cache_summary(&self) -> String {
+        format!(
+            "cache: {} hits / {} misses; saved ~{:.2} s of simulation (warm speedup ~{:.0}x)",
+            self.hits,
+            self.misses,
+            self.saved.as_secs_f64(),
+            self.warm_speedup()
+        )
+    }
     /// Total simulated instructions across all points.
     pub fn total_instructions(&self) -> u64 {
         self.points.iter().map(|p| p.instructions).sum()
@@ -510,6 +596,36 @@ mod tests {
             report.points[0].ipc <= report.points[1].ipc + 1e-9,
             "an 8-entry LSQ cannot beat the 128-entry baseline"
         );
+    }
+
+    #[test]
+    fn cached_sweep_matches_cold_sweep_byte_for_byte() {
+        use crate::runner::PointCache;
+        let dir = std::env::temp_dir().join("samie-sweep-cache-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = PointCache::open(&dir).unwrap();
+        let rc = RunConfig {
+            instrs: 6_000,
+            warmup: 1_000,
+            seed: 9,
+        };
+        let grid = SweepGrid {
+            designs: designs_from_specs(DesignSpec::paper_trio()),
+            benchmarks: SweepGrid::parse_benchmarks("gzip,swim").unwrap(),
+            seeds: vec![9],
+            rc,
+        };
+        let plain = run_sweep(&grid, 1);
+        let cold = run_sweep_cached(&grid, 1, Some(&cache));
+        let warm = run_sweep_cached(&grid, 2, Some(&cache));
+        assert_eq!((cold.hits, cold.misses), (0, 6));
+        assert_eq!((warm.hits, warm.misses), (6, 0));
+        assert!(warm.saved > Duration::ZERO);
+        let json = plain.to_json_deterministic();
+        assert_eq!(json, cold.to_json_deterministic());
+        assert_eq!(json, warm.to_json_deterministic());
+        assert!(warm.cache_summary().contains("6 hits / 0 misses"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

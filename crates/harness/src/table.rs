@@ -95,6 +95,39 @@ impl Table {
         out
     }
 
+    /// GitHub-flavored Markdown table (header row + alignment row +
+    /// data rows), pipes escaped.
+    pub fn to_markdown(&self) -> String {
+        let esc = |s: &str| s.replace('|', "\\|");
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "| {} |",
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        );
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "| {} |",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(" | ")
+            );
+        }
+        out
+    }
+
     /// Write `<dir>/<slug>.csv`, creating the directory.
     pub fn write_csv(&self, dir: &Path) -> io::Result<std::path::PathBuf> {
         std::fs::create_dir_all(dir)?;
@@ -141,6 +174,18 @@ mod tests {
         let r = sample().render();
         assert!(r.contains("== Fig X =="));
         assert!(r.contains("gcc"));
+    }
+
+    #[test]
+    fn markdown_has_header_separator_and_escaping() {
+        let mut t = sample();
+        t.push_row(vec!["a|b".into(), "3".into()]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "| bench | value |");
+        assert_eq!(lines[1], "|---|---|");
+        assert_eq!(lines.len(), 2 + t.rows.len());
+        assert!(md.contains("a\\|b"), "{md}");
     }
 
     #[test]

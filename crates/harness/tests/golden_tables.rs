@@ -7,48 +7,19 @@
 //! model constant) fails here in milliseconds, without running criterion
 //! or any timing simulation.
 //!
-//! If a change to the energy model is *intentional*, regenerate the
-//! expected strings below from `Table::to_csv()` and justify the new
-//! numbers against the paper's Tables 1/6 and §3.6.
+//! The expected outputs live as CSV files under `tests/golden/` (the
+//! checked-in goldens; regenerated `results/` output is never
+//! committed — see `docs/REPRODUCING.md` for the split). If a change to
+//! the energy model is *intentional*, regenerate the files from
+//! `Table::to_csv()` and justify the new numbers against the paper's
+//! Tables 1/6 and §3.6.
 
 use exp_harness::experiments::{fig1, tab1_delay, tab456};
 use exp_harness::Table;
 
-const TAB1_GOLDEN: &str = "\
-size,assoc,ports,conv_model_ns,conv_paper_ns,known_model_ns,known_paper_ns,improv_model,improv_paper
-8KB,2,2,0.864,0.865,0.697,0.700,19.3%,19.1%
-8KB,2,4,1.088,1.014,0.951,0.875,12.6%,13.7%
-8KB,4,2,0.967,1.008,0.848,0.878,12.3%,12.9%
-8KB,4,4,1.274,1.307,1.223,1.266,4.0%,3.1%
-32KB,2,2,1.154,1.195,1.062,1.092,8.0%,8.6%
-32KB,2,4,1.518,1.551,1.447,1.490,4.7%,3.9%
-32KB,4,2,1.256,1.194,1.212,1.165,3.5%,2.4%
-32KB,4,4,1.719,1.693,1.719,1.693,0.0%,0.0%
-";
-
-const DELAY_GOLDEN: &str = "\
-component,model_ns,paper_ns
-conventional LSQ (128),0.882,0.881
-conventional LSQ (16),0.744,0.743
-bus to DistribLSQ,0.124,0.124
-DistribLSQ bank compare,0.590,0.590
-DistribLSQ total,0.714,0.714
-SharedLSQ,0.617,0.617
-AddrBuffer,0.319,0.319
-";
-
-const TAB6_GOLDEN: &str = "\
-component,value,unit
-conventional addr CAM cell,28.0,um2/bit
-conventional datum RAM cell,20.0,um2/bit
-SAMIE addr/age CAM cell,10.0,um2/bit
-SAMIE datum/TLB/lineid RAM cell,6.0,um2/bit
-AddrBuffer RAM cell,20.0,um2/bit
-conventional entry (derived),2512.0,um2
-DistribLSQ entry (derived),510.0,um2
-SAMIE slot (derived),558.0,um2
-AddrBuffer slot (derived),1340.0,um2
-";
+const TAB1_GOLDEN: &str = include_str!("golden/tab1.csv");
+const DELAY_GOLDEN: &str = include_str!("golden/delay.csv");
+const TAB6_GOLDEN: &str = include_str!("golden/tab6.csv");
 
 fn assert_csv_golden(t: &Table, golden: &str) {
     let got = t.to_csv();
@@ -107,20 +78,7 @@ fn fig1_table_has_the_paper_shape() {
         })
         .collect();
     let t = fig1::table(&points);
-    assert_eq!(
-        t.to_csv(),
-        "\
-banks_x_addresses,normal_%ipc,half_inflight_%ipc
-1x128,72.0,55.0
-2x64,72.0,55.0
-4x32,72.0,55.0
-8x16,72.0,55.0
-16x8,72.0,55.0
-32x4,72.0,55.0
-64x2,72.0,55.0
-128x1,72.0,55.0
-"
-    );
+    assert_eq!(t.to_csv(), include_str!("golden/fig1_shape.csv"));
     assert!(
         t.rows.iter().any(|r| r[0] == "64x2"),
         "the paper's chosen geometry is swept"

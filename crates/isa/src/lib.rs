@@ -28,7 +28,7 @@ pub mod source;
 pub mod strc;
 
 pub use addr::{line_addr, line_offset, page_number, LINE_BYTES, PAGE_BYTES};
-pub use hash::{FastU64Hasher, U64Map};
+pub use hash::{fingerprint128, FastU64Hasher, U64Map};
 pub use latency::{ExecLatency, FuKind};
 pub use op::{BranchInfo, MemRef, MicroOp, OpClass, Payload};
 pub use source::{FnTrace, TraceSource, VecTrace};

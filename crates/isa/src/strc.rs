@@ -5,20 +5,23 @@
 //! cross-machine regression traces, captured workloads). The format is
 //! deliberately tiny and self-contained:
 //!
-//! ```text
-//! magic  "STRC"            4 bytes
-//! version u8               currently 1
-//! name    varint len + UTF-8 bytes (display name of the workload)
-//! ops     one record per micro-op, delta-encoded (see below)
-//! ```
+//! | field | size | contents |
+//! |---|---|---|
+//! | magic | 4 bytes | `"STRC"` ([`STRC_MAGIC`]) |
+//! | version | 1 byte | currently 1 ([`STRC_VERSION`]) |
+//! | name | varint length + UTF-8 bytes | display name of the workload |
+//! | ops | one record per micro-op | delta-encoded, see below |
 //!
-//! Each op record starts with a tag byte — the [`OpClass`] discriminant in
-//! the low 4 bits, class-specific flags in the high 4 (access-size code for
-//! memory ops, taken bit for branches) — followed by LEB128 varints: the
-//! zigzag PC delta from the previous op, both producer distances, and the
-//! payload (zigzag address delta from the previous *memory* op for
-//! loads/stores, zigzag target delta from the own PC for branches). Typical
-//! traces encode in 4–7 bytes per dynamic op.
+//! Each op record starts with a tag byte, followed by LEB128 varints:
+//!
+//! | record field | encoding | notes |
+//! |---|---|---|
+//! | tag | 1 byte | [`OpClass`] discriminant in bits 0–3; class flags in bits 4–7 (access-size code for memory ops, taken bit for branches) |
+//! | pc | zigzag varint | delta from the previous op's PC |
+//! | deps\[0\], deps\[1\] | varint ×2 | producer distances (must fit `u32`) |
+//! | payload | zigzag varint | loads/stores: address delta from the previous *memory* op; branches: target delta from the own PC; compute ops: absent |
+//!
+//! Typical traces encode in 4–7 bytes per dynamic op.
 //!
 //! Round-tripping is bit-identical: for any op sequence,
 //! `decode(encode(ops)) == ops` (the property suite in
@@ -443,6 +446,30 @@ impl RecordedTrace {
     pub fn into_source(self) -> FileTrace {
         FileTrace::from_recorded(Arc::new(self))
     }
+
+    /// Stable content digest of the op sequence
+    /// ([`fingerprint128`](crate::fingerprint128) over the encoded op
+    /// records, *excluding* the header) — the identity the experiment
+    /// store keys replay workloads by. Renaming a trace does not change
+    /// its digest; changing any op does.
+    ///
+    /// ```
+    /// use trace_isa::strc::RecordedTrace;
+    /// use trace_isa::MicroOp;
+    ///
+    /// let ops = vec![MicroOp::alu(0x400000, [0, 0])];
+    /// let a = RecordedTrace::from_ops("a", ops.clone());
+    /// let b = RecordedTrace::from_ops("b", ops);
+    /// assert_eq!(a.content_digest(), b.content_digest());
+    /// ```
+    pub fn content_digest(&self) -> u128 {
+        let mut bytes = Vec::with_capacity(self.ops.len() * 8);
+        let (mut prev_pc, mut prev_addr) = (0u64, 0u64);
+        for op in &self.ops {
+            encode_op(&mut bytes, op, &mut prev_pc, &mut prev_addr);
+        }
+        crate::hash::fingerprint128(&bytes)
+    }
 }
 
 /// A recorded trace replayed as a [`TraceSource`].
@@ -510,6 +537,21 @@ impl TraceSource for FileTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn content_digest_ignores_name_and_tracks_ops() {
+        let ops = sample_ops();
+        let a = RecordedTrace::from_ops("one", ops.clone());
+        let b = RecordedTrace::from_ops("two", ops.clone());
+        assert_eq!(a.content_digest(), b.content_digest());
+        let mut shorter = ops.clone();
+        shorter.pop();
+        let c = RecordedTrace::from_ops("one", shorter);
+        assert_ne!(a.content_digest(), c.content_digest());
+        // Round-tripping through bytes preserves the digest.
+        let d = RecordedTrace::decode(&a.encode()).unwrap();
+        assert_eq!(a.content_digest(), d.content_digest());
+    }
 
     fn sample_ops() -> Vec<MicroOp> {
         vec![

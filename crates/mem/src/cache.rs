@@ -22,6 +22,16 @@ pub struct CacheConfig {
 }
 
 impl CacheConfig {
+    /// Canonical one-token rendition of the full geometry
+    /// (`size/assoc/line/latency`), embedded in experiment-store cache
+    /// keys — any field change must produce a different string.
+    pub fn canonical(&self) -> String {
+        format!(
+            "{}B/{}w/{}l/{}c",
+            self.size_bytes, self.assoc, self.line_bytes, self.hit_latency
+        )
+    }
+
     /// The paper's L1 D-cache: 8 KB, 4-way, 32 B lines, 2-cycle hit.
     pub fn l1d() -> Self {
         CacheConfig {

@@ -99,6 +99,21 @@ impl Default for DataMemoryConfig {
     }
 }
 
+impl DataMemoryConfig {
+    /// Canonical rendition of the whole hierarchy configuration for
+    /// experiment-store cache keys; every field participates.
+    pub fn canonical(&self) -> String {
+        format!(
+            "l1d={},l2={},mem={},tlb={}x{}",
+            self.l1d.canonical(),
+            self.l2.canonical(),
+            self.mem_latency,
+            self.dtlb_entries,
+            self.dtlb_miss_penalty
+        )
+    }
+}
+
 /// D-TLB + L1D + L2 composition.
 #[derive(Debug, Clone)]
 pub struct DataMemory {

@@ -19,6 +19,11 @@
 //!   when its location is cached in some LSQ entry; replacements report
 //!   which line/set/way was evicted so the LSQ can (conservatively)
 //!   invalidate cached locations.
+//!
+//! Every configuration struct renders a canonical string
+//! ([`CacheConfig::canonical`], [`DataMemoryConfig::canonical`]) naming
+//! all of its fields — the component the experiment store's cache keys
+//! embed, so changing any geometry invalidates cached simulation points.
 
 pub mod cache;
 pub mod hierarchy;

@@ -64,6 +64,40 @@ impl SimConfig {
         Self::default()
     }
 
+    /// Canonical string naming every configuration field — the
+    /// `sim_config` component of an experiment-store cache key. Two
+    /// configs produce the same string iff they simulate identically, so
+    /// any field change (including cache geometry) invalidates cached
+    /// points.
+    ///
+    /// ```
+    /// use ooo_sim::SimConfig;
+    ///
+    /// let paper = SimConfig::paper().canonical();
+    /// let wide = SimConfig { fetch_width: 16, ..SimConfig::paper() }.canonical();
+    /// assert_ne!(paper, wide);
+    /// assert_eq!(paper, SimConfig::paper().canonical(), "deterministic");
+    /// ```
+    pub fn canonical(&self) -> String {
+        format!(
+            "fw{},dw{},iwi{},iwf{},cw{},fq{},rob{},iqi{},iqf{},mr{},ports{},wd{},l1i={},{}",
+            self.fetch_width,
+            self.dispatch_width,
+            self.issue_width_int,
+            self.issue_width_fp,
+            self.commit_width,
+            self.fetch_queue,
+            self.rob_size,
+            self.iq_int,
+            self.iq_fp,
+            self.mispredict_redirect,
+            self.mem_ports,
+            self.watchdog_cycles,
+            self.l1i.canonical(),
+            self.mem.canonical()
+        )
+    }
+
     /// Sanity checks.
     pub fn validate(&self) -> Result<(), String> {
         if self.rob_size == 0 || self.fetch_queue == 0 {
@@ -106,6 +140,44 @@ mod tests {
         assert_eq!(c.l1i.size_bytes, 64 * 1024);
         assert_eq!(c.mem.l1d.size_bytes, 8 * 1024);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn canonical_covers_every_field() {
+        let base = SimConfig::paper().canonical();
+        // A representative mutation per section of the struct: each must
+        // move the canonical string (the store-key sensitivity contract).
+        let variants = [
+            SimConfig {
+                commit_width: 4,
+                ..SimConfig::paper()
+            },
+            SimConfig {
+                rob_size: 128,
+                ..SimConfig::paper()
+            },
+            SimConfig {
+                watchdog_cycles: 50_000,
+                ..SimConfig::paper()
+            },
+            SimConfig {
+                l1i: CacheConfig {
+                    assoc: 4,
+                    ..CacheConfig::l1i()
+                },
+                ..SimConfig::paper()
+            },
+            SimConfig {
+                mem: DataMemoryConfig {
+                    mem_latency: 200,
+                    ..DataMemoryConfig::default()
+                },
+                ..SimConfig::paper()
+            },
+        ];
+        for v in variants {
+            assert_ne!(v.canonical(), base, "{:?}", v.canonical());
+        }
     }
 
     #[test]

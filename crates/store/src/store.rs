@@ -1,0 +1,467 @@
+//! [`ExperimentStore`] — the on-disk store proper: atomic puts, checked
+//! gets, an inspection index and garbage collection.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::entry::{decode_entry, encode_entry, StoredPoint};
+use crate::key::PointKey;
+
+/// Error from a store operation.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem I/O failed.
+    Io(io::Error),
+    /// An entry file exists but is truncated, bit-rotten, mis-keyed or
+    /// otherwise unusable. The store never silently serves such entries;
+    /// callers typically log it and recompute (or run
+    /// [`ExperimentStore::gc`]).
+    Corrupt {
+        /// The offending entry file.
+        path: PathBuf,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "experiment store i/o error: {e}"),
+            StoreError::Corrupt { path, reason } => {
+                write!(f, "corrupt store entry {}: {reason}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// One line of the inspection index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexRow {
+    /// Entry file stem (32 hex digits of the key hash).
+    pub hash: String,
+    /// Canonical design id.
+    pub design: String,
+    /// Workload cache id.
+    pub workload: String,
+    /// Trace seed.
+    pub seed: u64,
+    /// Measured instructions.
+    pub instrs: u64,
+    /// Warm-up instructions.
+    pub warmup: u64,
+    /// Simulator version the point was computed under.
+    pub sim_version: String,
+}
+
+/// Outcome of [`ExperimentStore::gc`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Entries kept (current version, intact).
+    pub kept: usize,
+    /// Entries removed because their simulator version is stale.
+    pub removed_stale: usize,
+    /// Entries (and stray temp files) removed as corrupt or unreadable.
+    pub removed_corrupt: usize,
+    /// Disk bytes reclaimed.
+    pub bytes_freed: u64,
+}
+
+/// A content-addressed, on-disk store of simulated experiment points.
+///
+/// Thread-safe: `put` writes entries atomically (temp file + rename) and
+/// serialises index appends behind a mutex, so sweep workers cache their
+/// points as soon as they finish — which is what makes an interrupted
+/// sweep resumable. See the [crate docs](crate) for the layout and a
+/// usage example.
+#[derive(Debug)]
+pub struct ExperimentStore {
+    root: PathBuf,
+    index: Mutex<()>,
+    tmp_counter: AtomicU64,
+}
+
+impl ExperimentStore {
+    /// Open (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = dir.into();
+        fs::create_dir_all(root.join("entries"))?;
+        Ok(ExperimentStore {
+            root,
+            index: Mutex::new(()),
+            tmp_counter: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entries_dir(&self) -> PathBuf {
+        self.root.join("entries")
+    }
+
+    fn index_path(&self) -> PathBuf {
+        self.root.join("index.tsv")
+    }
+
+    fn entry_path(&self, key: &PointKey) -> PathBuf {
+        self.entries_dir().join(key.file_name())
+    }
+
+    /// Look up a point. `Ok(None)` is a clean miss; [`StoreError::Corrupt`]
+    /// means an entry exists for this key's address but cannot be trusted
+    /// (including the collision case where it was stored under a
+    /// different canonical key).
+    pub fn get(&self, key: &PointKey) -> Result<Option<StoredPoint>, StoreError> {
+        let path = self.entry_path(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let decoded = decode_entry(&text).map_err(|reason| StoreError::Corrupt {
+            path: path.clone(),
+            reason,
+        })?;
+        if decoded.key_canonical != key.canonical() {
+            return Err(StoreError::Corrupt {
+                path,
+                reason: format!(
+                    "key mismatch: entry holds `{}`, lookup wanted `{}`",
+                    decoded.key_canonical,
+                    key.canonical()
+                ),
+            });
+        }
+        Ok(Some(decoded.point))
+    }
+
+    /// Whether a (possibly corrupt) entry exists for `key`.
+    pub fn contains(&self, key: &PointKey) -> bool {
+        self.entry_path(key).exists()
+    }
+
+    /// Store a point under `key`, atomically (write temp + rename), and
+    /// append it to the inspection index. Overwrites any previous entry
+    /// for the same key.
+    pub fn put(&self, key: &PointKey, point: &StoredPoint) -> io::Result<PathBuf> {
+        let path = self.entry_path(key);
+        let fresh = !path.exists();
+        let tmp = self.entries_dir().join(format!(
+            ".tmp-{}-{}",
+            key.file_name(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, encode_entry(&key.canonical(), point))?;
+        fs::rename(&tmp, &path)?;
+        if fresh {
+            let line = format!(
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                key.file_name().trim_end_matches(".point"),
+                key.design,
+                key.workload,
+                key.seed,
+                key.instrs,
+                key.warmup,
+                key.sim_version
+            );
+            let _guard = self.index.lock().expect("index lock");
+            let mut f = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.index_path())?;
+            f.write_all(line.as_bytes())?;
+        }
+        Ok(path)
+    }
+
+    /// Number of entry files currently in the store.
+    pub fn len(&self) -> io::Result<usize> {
+        Ok(self.entry_files()?.len())
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Total size in bytes of all entry files.
+    pub fn disk_bytes(&self) -> io::Result<u64> {
+        let mut total = 0;
+        for p in self.entry_files()? {
+            total += fs::metadata(&p)?.len();
+        }
+        Ok(total)
+    }
+
+    /// Read the inspection index (one row per stored point, deduplicated,
+    /// in insertion order). Malformed lines are skipped — the index is a
+    /// convenience listing; the entries are the truth ([`gc`](Self::gc)
+    /// rebuilds it from them).
+    pub fn index(&self) -> io::Result<Vec<IndexRow>> {
+        let text = match fs::read_to_string(self.index_path()) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut seen = std::collections::HashSet::new();
+        let mut rows = Vec::new();
+        for line in text.lines() {
+            let mut it = line.split('\t');
+            let (
+                Some(hash),
+                Some(design),
+                Some(workload),
+                Some(seed),
+                Some(instrs),
+                Some(warmup),
+                Some(ver),
+            ) = (
+                it.next(),
+                it.next(),
+                it.next(),
+                it.next(),
+                it.next(),
+                it.next(),
+                it.next(),
+            )
+            else {
+                continue;
+            };
+            let (Ok(seed), Ok(instrs), Ok(warmup)) = (seed.parse(), instrs.parse(), warmup.parse())
+            else {
+                continue;
+            };
+            if seen.insert(hash.to_string()) {
+                rows.push(IndexRow {
+                    hash: hash.to_string(),
+                    design: design.to_string(),
+                    workload: workload.to_string(),
+                    seed,
+                    instrs,
+                    warmup,
+                    sim_version: ver.to_string(),
+                });
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Garbage-collect: delete corrupt entries, stray temp files and
+    /// entries computed under a simulator version other than
+    /// `current_version`, then rebuild the index from the survivors.
+    pub fn gc(&self, current_version: &str) -> io::Result<GcReport> {
+        let mut report = GcReport::default();
+        let mut survivors: Vec<String> = Vec::new();
+        let _guard = self.index.lock().expect("index lock");
+        for path in self.entry_files_and_temps()? {
+            let size = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with(".tmp-") {
+                fs::remove_file(&path)?;
+                report.removed_corrupt += 1;
+                report.bytes_freed += size;
+                continue;
+            }
+            let decoded = fs::read_to_string(&path)
+                .ok()
+                .and_then(|t| decode_entry(&t).ok());
+            match decoded {
+                None => {
+                    fs::remove_file(&path)?;
+                    report.removed_corrupt += 1;
+                    report.bytes_freed += size;
+                }
+                Some(d) => {
+                    let ver = d
+                        .key_canonical
+                        .rsplit_once("|ver=")
+                        .map(|(_, v)| v)
+                        .unwrap_or("");
+                    if ver != current_version {
+                        fs::remove_file(&path)?;
+                        report.removed_stale += 1;
+                        report.bytes_freed += size;
+                    } else {
+                        report.kept += 1;
+                        survivors.push(index_line_from_canonical(name, &d.key_canonical));
+                    }
+                }
+            }
+        }
+        survivors.sort();
+        fs::write(self.index_path(), survivors.concat())?;
+        Ok(report)
+    }
+
+    fn entry_files(&self) -> io::Result<Vec<PathBuf>> {
+        Ok(self
+            .entry_files_and_temps()?
+            .into_iter()
+            .filter(|p| p.extension().is_some_and(|e| e == "point"))
+            .collect())
+    }
+
+    fn entry_files_and_temps(&self) -> io::Result<Vec<PathBuf>> {
+        let mut files: Vec<PathBuf> = fs::read_dir(self.entries_dir())?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_file())
+            .collect();
+        files.sort();
+        Ok(files)
+    }
+}
+
+/// Rebuild an index line from an entry's canonical key string.
+fn index_line_from_canonical(file_name: &str, canonical: &str) -> String {
+    let field = |tag: &str| {
+        canonical
+            .split('|')
+            .find_map(|part| part.strip_prefix(tag))
+            .unwrap_or("")
+            .to_string()
+    };
+    format!(
+        "{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+        file_name.trim_end_matches(".point"),
+        field("design="),
+        field("workload="),
+        field("seed="),
+        field("instrs="),
+        field("warmup="),
+        field("ver=")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ooo_sim::SimStats;
+
+    fn tmp_store(tag: &str) -> ExperimentStore {
+        let dir = std::env::temp_dir().join(format!("exp-store-test-{tag}"));
+        let _ = fs::remove_dir_all(&dir);
+        ExperimentStore::open(dir).unwrap()
+    }
+
+    fn key(design: &str, seed: u64, ver: &str) -> PointKey {
+        PointKey {
+            design: design.into(),
+            workload: "spec:gzip:00".into(),
+            seed,
+            instrs: 1000,
+            warmup: 100,
+            sim_config: "paper".into(),
+            sim_version: ver.into(),
+        }
+    }
+
+    fn point(cycles: u64) -> StoredPoint {
+        StoredPoint {
+            stats: SimStats {
+                cycles,
+                committed: cycles * 2,
+                ..SimStats::default()
+            },
+            wall_nanos: 5_000,
+            extras: vec![],
+        }
+    }
+
+    #[test]
+    fn put_get_and_index() {
+        let store = tmp_store("basic");
+        let k = key("conv:128", 1, "v1");
+        assert!(store.get(&k).unwrap().is_none());
+        assert!(store.is_empty().unwrap());
+        store.put(&k, &point(10)).unwrap();
+        assert_eq!(store.get(&k).unwrap().unwrap(), point(10));
+        assert_eq!(store.len().unwrap(), 1);
+        assert!(store.disk_bytes().unwrap() > 0);
+        // Overwrite does not duplicate the index.
+        store.put(&k, &point(11)).unwrap();
+        assert_eq!(store.get(&k).unwrap().unwrap().stats.cycles, 11);
+        let idx = store.index().unwrap();
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx[0].design, "conv:128");
+        assert_eq!(idx[0].seed, 1);
+    }
+
+    #[test]
+    fn corrupt_entries_error_loudly() {
+        let store = tmp_store("corrupt");
+        let k = key("samie", 2, "v1");
+        let path = store.put(&k, &point(42)).unwrap();
+        // Truncate the entry in place.
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() / 2]).unwrap();
+        let err = store.get(&k).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("corrupt store entry"));
+        // A key collision (same file, different canonical key) is also
+        // rejected rather than served.
+        fs::write(
+            &path,
+            encode_entry(&key("other", 9, "v1").canonical(), &point(1)),
+        )
+        .unwrap();
+        let err = store.get(&k).unwrap_err();
+        assert!(err.to_string().contains("key mismatch"), "{err}");
+    }
+
+    #[test]
+    fn gc_reclaims_stale_and_corrupt() {
+        let store = tmp_store("gc");
+        store.put(&key("conv:128", 1, "v1"), &point(1)).unwrap();
+        store.put(&key("conv:128", 2, "v0"), &point(2)).unwrap();
+        let corrupt_path = store.put(&key("samie", 3, "v1"), &point(3)).unwrap();
+        fs::write(&corrupt_path, "garbage").unwrap();
+        fs::write(store.entries_dir().join(".tmp-leftover-0"), "x").unwrap();
+
+        let report = store.gc("v1").unwrap();
+        assert_eq!(report.kept, 1);
+        assert_eq!(report.removed_stale, 1);
+        assert_eq!(report.removed_corrupt, 2, "corrupt entry + stray temp");
+        assert!(report.bytes_freed > 0);
+        assert_eq!(store.len().unwrap(), 1);
+        // Index was rebuilt from the survivors.
+        let idx = store.index().unwrap();
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx[0].seed, 1);
+        assert_eq!(idx[0].sim_version, "v1");
+    }
+
+    #[test]
+    fn concurrent_puts_from_many_threads() {
+        let store = tmp_store("parallel");
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let store = &store;
+                s.spawn(move || {
+                    for i in 0..16 {
+                        let k = key("conv:64", t * 100 + i, "v1");
+                        store.put(&k, &point(t * 100 + i)).unwrap();
+                        assert!(store.get(&k).unwrap().is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len().unwrap(), 128);
+        assert_eq!(store.index().unwrap().len(), 128);
+    }
+}

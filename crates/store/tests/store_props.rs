@@ -1,0 +1,128 @@
+//! Property tests for the store's key and entry layers: any key-field
+//! change must produce a new content address, and entries must round-trip
+//! bit-identically for arbitrary statistics.
+
+use proptest::prelude::*;
+
+use exp_store::{decode_entry, encode_entry, visit_stat_fields, PointKey, StoredPoint};
+use ooo_sim::SimStats;
+
+fn key_strategy() -> impl Strategy<Value = PointKey> {
+    (
+        prop::sample::select(vec![
+            "conv:128",
+            "filtered:128:1024:2",
+            "samie:64x2x8:sh8:ab64",
+            "unbounded",
+        ]),
+        prop::sample::select(vec!["spec:gzip:00ff", "adv:bursty:aa", "strc:deadbeef"]),
+        any::<u64>(),
+        1u64..10_000_000,
+        0u64..10_000_000,
+    )
+        .prop_map(|(design, workload, seed, instrs, warmup)| PointKey {
+            design: design.into(),
+            workload: workload.into(),
+            seed,
+            instrs,
+            warmup,
+            sim_config: "paper".into(),
+            sim_version: "samie-sim-v1".into(),
+        })
+}
+
+/// Every single-field mutation of `k` (guaranteed different from `k`).
+fn mutations(k: &PointKey) -> Vec<(&'static str, PointKey)> {
+    let mut out = Vec::new();
+    let mut m = k.clone();
+    m.design.push_str(":x");
+    out.push(("design", m));
+    let mut m = k.clone();
+    m.workload = format!("{}x", m.workload);
+    out.push(("workload", m));
+    let mut m = k.clone();
+    m.seed = m.seed.wrapping_add(1);
+    out.push(("seed", m));
+    let mut m = k.clone();
+    m.instrs += 1;
+    out.push(("instrs", m));
+    let mut m = k.clone();
+    m.warmup += 1;
+    out.push(("warmup", m));
+    let mut m = k.clone();
+    m.sim_config = format!("{}+", m.sim_config);
+    out.push(("sim_config", m));
+    let mut m = k.clone();
+    m.sim_version = format!("{}2", m.sim_version);
+    out.push(("sim_version", m));
+    out
+}
+
+fn stats_strategy() -> impl Strategy<Value = SimStats> {
+    // 70 counters driven from a handful of generators: fill the schema
+    // with a seeded mixing function so every field varies independently
+    // enough to catch positional swaps.
+    (any::<u64>(), any::<u64>()).prop_map(|(a, b)| {
+        let mut s = SimStats::default();
+        let mut i = 0u64;
+        visit_stat_fields(&mut s, |_, v| {
+            *v = a
+                .wrapping_mul(i.wrapping_add(1))
+                .wrapping_add(b.rotate_left((i % 63) as u32));
+            i += 1;
+        });
+        s
+    })
+}
+
+proptest! {
+    #[test]
+    fn any_key_field_change_changes_the_address(k in key_strategy()) {
+        let base_hash = k.hash128();
+        let base_canonical = k.canonical();
+        for (field, m) in mutations(&k) {
+            prop_assert_ne!(m.hash128(), base_hash, "field `{}` did not move the hash", field);
+            prop_assert_ne!(m.canonical(), base_canonical.clone(), "field `{}` did not move the canonical string", field);
+            prop_assert_ne!(m.file_name(), k.file_name(), "field `{}` did not move the file name", field);
+        }
+    }
+
+    #[test]
+    fn entries_round_trip_for_arbitrary_stats(
+        stats in stats_strategy(),
+        wall in any::<u64>(),
+        extra in 0u64..1_000_000,
+        k in key_strategy(),
+    ) {
+        let point = StoredPoint { stats, wall_nanos: wall, extras: vec![("p99_shared".into(), extra)] };
+        let text = encode_entry(&k.canonical(), &point);
+        let decoded = decode_entry(&text).unwrap();
+        prop_assert_eq!(decoded.key_canonical, k.canonical());
+        prop_assert_eq!(decoded.point, point);
+    }
+
+    #[test]
+    fn damaged_entries_never_decode(stats in stats_strategy(), pos_seed in any::<u64>()) {
+        let k = PointKey {
+            design: "conv:128".into(),
+            workload: "spec:gzip:00".into(),
+            seed: 7,
+            instrs: 1000,
+            warmup: 100,
+            sim_config: "paper".into(),
+            sim_version: "v1".into(),
+        };
+        let point = StoredPoint { stats, wall_nanos: 1, extras: vec![] };
+        let text = encode_entry(&k.canonical(), &point);
+        // Truncate at an arbitrary position: must never decode.
+        let cut = (pos_seed as usize) % text.len();
+        prop_assert!(decode_entry(&text[..cut]).is_err(), "truncation at {} decoded", cut);
+        // Flip one byte (avoiding a flip that lands on its own value).
+        let mut bytes = text.clone().into_bytes();
+        let at = (pos_seed as usize).wrapping_mul(31) % bytes.len();
+        bytes[at] ^= 0x01;
+        if let Ok(s) = String::from_utf8(bytes) {
+            prop_assert!(decode_entry(&s).is_err(), "bit flip at {} decoded", at);
+        }
+    }
+}

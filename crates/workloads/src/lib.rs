@@ -28,6 +28,9 @@
 //! unified [`Workload`] handle under which calibrated benchmarks,
 //! adversarial generators and recorded `.strc` replay traces all resolve
 //! by name ([`find_workload`]) into sessions, sweeps and the fuzzer.
+//! [`Workload::cache_id`] gives each of them a content-pinned identity —
+//! generator parameters or trace digest, not display name — which is the
+//! workload component of an experiment-store cache key.
 
 pub mod adversarial;
 pub mod gen;

@@ -86,6 +86,29 @@ impl Workload {
         }
     }
 
+    /// Stable identity for experiment-store cache keys.
+    ///
+    /// Unlike [`Workload::name`] (a display label), the cache id pins the
+    /// *trace content*: calibrated/owned specs carry a fingerprint of all
+    /// their generator parameters, adversarial generators a fingerprint
+    /// of their kind + knobs, and `.strc` replays the
+    /// [`RecordedTrace::content_digest`] of their op stream. Renaming a
+    /// replay file therefore does not invalidate cached points, while
+    /// recalibrating a benchmark's parameters does.
+    pub fn cache_id(&self) -> String {
+        let fp64 = |s: String| (trace_isa::fingerprint128(s.as_bytes()) >> 64) as u64;
+        match self {
+            // Catalog and owned specs share one scheme, so an owned copy
+            // of a catalog spec hits the same cache entries.
+            Workload::Spec(s) => format!("spec:{}:{:016x}", s.name, fp64(format!("{s:?}"))),
+            Workload::Owned(s) => format!("spec:{}:{:016x}", s.name, fp64(format!("{s:?}"))),
+            Workload::Adversarial(a) => {
+                format!("adv:{}:{:016x}", a.name, fp64(format!("{:?}", a.kind)))
+            }
+            Workload::Replay(r) => format!("strc:{:032x}", r.content_digest()),
+        }
+    }
+
     /// Build the trace source (deterministic per `(workload, seed)`).
     pub fn build_trace(&self, seed: u64) -> Box<dyn TraceSource> {
         match self {
@@ -273,6 +296,30 @@ mod tests {
             }
             assert_eq!(t.name(), w.name());
         }
+    }
+
+    #[test]
+    fn cache_ids_pin_content_not_names() {
+        // Every catalog entry has a distinct cache id.
+        let ids: std::collections::HashSet<String> =
+            all_workloads().iter().map(|w| w.cache_id()).collect();
+        assert_eq!(ids.len(), workload_names().len());
+
+        // An owned copy of a catalog spec shares its id; a parameter
+        // change breaks it.
+        let gzip = crate::spec::by_name("gzip").unwrap();
+        let owned = Workload::from(*gzip);
+        assert_eq!(owned.cache_id(), Workload::Spec(gzip).cache_id());
+        let mut tweaked = *gzip;
+        tweaked.dep_distance += 1;
+        assert_ne!(Workload::from(tweaked).cache_id(), owned.cache_id());
+
+        // Replays are identified by op content, not by trace name.
+        let ops = vec![trace_isa::MicroOp::alu(0, [0, 0])];
+        let a = Workload::from_recorded(RecordedTrace::from_ops("a", ops.clone()));
+        let b = Workload::from_recorded(RecordedTrace::from_ops("b", ops));
+        assert_eq!(a.cache_id(), b.cache_id());
+        assert!(a.cache_id().starts_with("strc:"));
     }
 
     #[test]

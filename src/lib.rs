@@ -9,10 +9,12 @@
 //! * [`mem_hier`] — cache/TLB hierarchy.
 //! * [`spec_traces`] — synthetic SPEC CPU2000-like workloads.
 //! * [`energy_model`] — CACTI-lite timing/energy/area model and accounting.
+//! * [`exp_store`] — content-addressed experiment store (incremental sweeps).
 //! * [`exp_harness`] — experiment harness regenerating every table/figure.
 
 pub use energy_model;
 pub use exp_harness;
+pub use exp_store;
 pub use mem_hier;
 pub use ooo_sim;
 pub use samie_lsq;
