@@ -33,6 +33,12 @@
 //! the same cache, making the complete reproduction one idempotent
 //! command.
 //!
+//! Because the store is multi-process safe, one grid also spreads across
+//! worker **processes**: `samie-exp sweep --shard i/n` runs one slice,
+//! `--workers N` spawns and supervises all of them and merges the result
+//! by reconciling the full grid against the store ([`shard`] module) —
+//! deterministically byte-identical to a serial sweep.
+//!
 //! ## The front door
 //!
 //! Everything above is built on [`session::SimSession`]: designs are named
@@ -50,6 +56,7 @@ pub mod fuzz;
 pub mod report;
 pub mod runner;
 pub mod session;
+pub mod shard;
 pub mod sweep;
 pub mod table;
 
@@ -63,7 +70,9 @@ pub use runner::{
 };
 pub use samie_lsq::{DesignHandle, DesignParseError, DesignRegistry, DesignSpec, LsqFactory};
 pub use session::{DesignRun, SessionEvent, SessionReport, SimSession};
+pub use shard::{Coordinator, FabricReport, ShardSpec, WorkerOutcome};
 pub use sweep::{
-    designs_from_specs, run_sweep, run_sweep_cached, SweepGrid, SweepPoint, SweepReport,
+    designs_from_specs, run_sweep, run_sweep_cached, run_sweep_sharded, SweepGrid, SweepPoint,
+    SweepReport,
 };
 pub use table::Table;

@@ -16,11 +16,21 @@
 //!   all       everything above
 //!
 //! samie-exp sweep [--designs LIST] [--bench LIST|all] [--seeds LIST]
-//!                 [--jobs N] [common flags]
+//!                 [--jobs N] [--shard I/N | --workers N] [common flags]
 //!   design-space grid: LSQ designs x workloads x seeds -> CSV +
-//!   BENCH_sweep.json. Designs are DesignSpec strings (run
+//!   BENCH_sweep.json (+ timing-zeroed BENCH_sweep.det.{json,csv}, the
+//!   byte-comparable artifacts). Designs are DesignSpec strings (run
 //!   `samie-exp designs` for the registered kinds and their syntax),
 //!   comma-separated.
+//!
+//!   Multi-process fabric: --shard i/n runs only worker i's slice of the
+//!   grid against the shared --store; --workers N spawns N such worker
+//!   processes, restarts any that die (up to --max-restarts, default 2;
+//!   a restarted worker resumes from the store), then reconciles the
+//!   full grid against the store and writes a merged report whose
+//!   deterministic JSON/CSV is byte-identical to a serial run.
+//!   --chaos-kill I [--chaos-delay-ms MS] SIGKILLs worker I once, for
+//!   crash-recovery drills (the CI shard-smoke job).
 //!
 //! samie-exp bench [--baseline FILE] [--max-regression X] [common flags]
 //!   fixed throughput-tracking grid; with --baseline, exits 3 if
@@ -67,7 +77,8 @@ use exp_harness::fuzz::{run_fuzz, FuzzConfig};
 use exp_harness::report::{generate_book, ReportOptions};
 use exp_harness::runner::{run_paired_suite, PointCache, RunConfig, Runner};
 use exp_harness::session::SimSession;
-use exp_harness::sweep::{check_regression, run_sweep_cached, SweepGrid};
+use exp_harness::shard::{Coordinator, ShardSpec};
+use exp_harness::sweep::{check_regression, run_sweep_cached, run_sweep_sharded, SweepGrid};
 use exp_harness::table::Table;
 use exp_harness::{DesignRegistry, SIM_VERSION};
 use spec_traces::{all_benchmarks, find_workload};
@@ -93,6 +104,11 @@ struct Args {
     no_cache: bool,
     gc: bool,
     expect_warm: Option<f64>,
+    shard: Option<ShardSpec>,
+    workers: usize,
+    max_restarts: usize,
+    chaos_kill: Option<usize>,
+    chaos_delay_ms: u64,
 }
 
 fn parse_args() -> Args {
@@ -114,6 +130,11 @@ fn parse_args() -> Args {
     let mut no_cache = false;
     let mut gc = false;
     let mut expect_warm = None;
+    let mut shard = None;
+    let mut workers = 0;
+    let mut max_restarts = 2;
+    let mut chaos_kill = None;
+    let mut chaos_delay_ms = 400;
     let mut it = std::env::args().skip(1);
     let mut positional_seen = false;
     while let Some(a) = it.next() {
@@ -158,8 +179,34 @@ fn parse_args() -> Args {
             "--expect-warm" => {
                 expect_warm = Some(it.next().expect("--expect-warm X").parse().expect("number"))
             }
+            "--shard" => {
+                shard = Some(
+                    it.next()
+                        .expect("--shard I/N")
+                        .parse::<ShardSpec>()
+                        .unwrap_or_else(|e| panic!("{e}")),
+                )
+            }
+            "--workers" => workers = it.next().expect("--workers N").parse().expect("number"),
+            "--max-restarts" => {
+                max_restarts = it
+                    .next()
+                    .expect("--max-restarts N")
+                    .parse()
+                    .expect("number")
+            }
+            "--chaos-kill" => {
+                chaos_kill = Some(it.next().expect("--chaos-kill I").parse().expect("number"))
+            }
+            "--chaos-delay-ms" => {
+                chaos_delay_ms = it
+                    .next()
+                    .expect("--chaos-delay-ms MS")
+                    .parse()
+                    .expect("number")
+            }
             "--help" | "-h" => {
-                eprintln!("usage: samie-exp <fig1|fig3|fig4|tab1|delay|fig5..fig12|tab456|summary|all|sweep|bench|designs|fuzz|record|report|store> [--instrs N] [--warmup N] [--seed N] [--out DIR] [--quick] [--chart] [--designs LIST] [--bench LIST] [--seeds LIST] [--jobs N] [--baseline FILE] [--max-regression X] [--iters N] [--store DIR] [--no-cache] [--gc] [--expect-warm X]");
+                eprintln!("usage: samie-exp <fig1|fig3|fig4|tab1|delay|fig5..fig12|tab456|summary|all|sweep|bench|designs|fuzz|record|report|store> [--instrs N] [--warmup N] [--seed N] [--out DIR] [--quick] [--chart] [--designs LIST] [--bench LIST] [--seeds LIST] [--jobs N] [--baseline FILE] [--max-regression X] [--iters N] [--store DIR] [--no-cache] [--gc] [--expect-warm X] [--shard I/N] [--workers N] [--max-restarts N] [--chaos-kill I] [--chaos-delay-ms MS]");
                 std::process::exit(0);
             }
             other if !positional_seen => {
@@ -188,6 +235,11 @@ fn parse_args() -> Args {
         no_cache,
         gc,
         expect_warm,
+        shard,
+        workers,
+        max_restarts,
+        chaos_kill,
+        chaos_delay_ms,
     }
 }
 
@@ -335,6 +387,16 @@ fn run_sweep_command(args: &Args) -> i32 {
             .map(|x| x.parse().unwrap_or_else(|_| panic!("bad seed `{x}`")))
             .collect();
     }
+    // Sharding and the fabric distribute results through the store, and
+    // `bench` exists to measure raw simulation throughput — the modes
+    // are mutually exclusive.
+    if (args.shard.is_some() || args.workers > 0) && (is_bench || args.no_cache) {
+        eprintln!("--shard/--workers need the experiment store: use `sweep` without --no-cache");
+        return 2;
+    }
+    if args.workers > 0 {
+        return run_fabric_command(args, &grid);
+    }
     // `bench` is a throughput tracker: its number must be comparable
     // across hosts with different core counts, so it runs serially
     // unless a worker count is requested explicitly — and it never
@@ -345,9 +407,17 @@ fn run_sweep_command(args: &Args) -> i32 {
         args.jobs
     };
     let cache = open_cache(args, is_bench || args.no_cache);
+    if args.shard.is_some() && cache.is_none() {
+        eprintln!("a sharded worker without a store would simulate into the void");
+        return 2;
+    }
     let n = grid.designs.len() * grid.benchmarks.len() * grid.seeds.len();
+    let shard_note = args
+        .shard
+        .map(|s| format!(" [shard {s}]"))
+        .unwrap_or_default();
     eprintln!(
-        "{}: {} designs x {} benchmarks x {} seeds = {n} points ({} + {} instrs each)",
+        "{}: {} designs x {} benchmarks x {} seeds = {n} points ({} + {} instrs each){shard_note}",
         args.experiment,
         grid.designs.len(),
         grid.benchmarks.len(),
@@ -355,10 +425,16 @@ fn run_sweep_command(args: &Args) -> i32 {
         args.rc.warmup,
         args.rc.instrs,
     );
-    let mut report = run_sweep_cached(&grid, jobs, cache.as_ref());
+    let mut report = run_sweep_sharded(&grid, jobs, cache.as_ref(), args.shard);
     report.mode = if is_bench { "bench" } else { "sweep" };
+    finish_sweep(args, report, cache.as_ref())
+}
+
+/// Shared tail of every sweep-family run: console table, cache summary,
+/// output files, optional baseline gate.
+fn finish_sweep(args: &Args, report: exp_harness::SweepReport, cache: Option<&PointCache>) -> i32 {
     println!("{}", report.table().render());
-    if let Some(c) = &cache {
+    if let Some(c) = cache {
         println!(
             "{} [store {}]",
             report.cache_summary(),
@@ -390,6 +466,106 @@ fn run_sweep_command(args: &Args) -> i32 {
         }
     }
     0
+}
+
+/// Coordinator mode (`sweep --workers N`): spawn N sharded worker
+/// processes over one grid and one store, supervise and restart them,
+/// then reconcile the full grid against the store and write the merged
+/// report — byte-identical (deterministic JSON/CSV) to a serial sweep.
+fn run_fabric_command(args: &Args, grid: &SweepGrid) -> i32 {
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot locate own binary to spawn workers: {e}");
+            return 1;
+        }
+    };
+    // Split the machine across workers unless --jobs pins a per-worker
+    // thread count explicitly.
+    let per_worker_jobs = if args.jobs > 0 {
+        args.jobs
+    } else {
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
+        (cores / args.workers).max(1)
+    };
+    let mut base: Vec<String> = vec![
+        "sweep".into(),
+        "--instrs".into(),
+        args.rc.instrs.to_string(),
+        "--warmup".into(),
+        args.rc.warmup.to_string(),
+        "--seed".into(),
+        args.rc.seed.to_string(),
+        "--store".into(),
+        args.store.display().to_string(),
+        "--jobs".into(),
+        per_worker_jobs.to_string(),
+    ];
+    for (flag, value) in [
+        ("--designs", &args.designs),
+        ("--bench", &args.benchmarks),
+        ("--seeds", &args.seeds),
+    ] {
+        if let Some(v) = value {
+            base.push(flag.into());
+            base.push(v.clone());
+        }
+    }
+    let coordinator = Coordinator {
+        exe,
+        base_args: base,
+        workers: args.workers,
+        out_dir: args.out.clone(),
+        max_restarts: args.max_restarts,
+        chaos_kill: args.chaos_kill,
+        chaos_delay: std::time::Duration::from_millis(args.chaos_delay_ms),
+    };
+    let n = grid.designs.len() * grid.benchmarks.len() * grid.seeds.len();
+    eprintln!(
+        "fabric: {} workers x {} jobs over {n} points [store {}]",
+        args.workers,
+        per_worker_jobs,
+        args.store.display()
+    );
+    let fabric = match coordinator.run() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("fabric failed to spawn workers: {e}");
+            return 1;
+        }
+    };
+    for w in &fabric.workers {
+        eprintln!(
+            "  worker {}: {}{}",
+            w.shard,
+            if w.ok { "completed" } else { "FAILED" },
+            match w.restarts {
+                0 => String::new(),
+                r => format!(" after {r} restart(s)"),
+            }
+        );
+    }
+    if fabric.chaos_killed {
+        eprintln!(
+            "  (chaos: worker {} was SIGKILLed once)",
+            args.chaos_kill.unwrap_or(0)
+        );
+    }
+    if !fabric.all_ok() {
+        eprintln!("  reconciling permanently-failed shards in-process");
+    }
+    // Reconcile-and-merge: the full grid against the shared store — every
+    // worker-computed point is a hit, stragglers are simulated here, and
+    // the merged rows are pure functions of the stored counters.
+    let Some(cache) = open_cache(args, false) else {
+        eprintln!("fabric cannot open the store it just swept into");
+        return 1;
+    };
+    let mut report = run_sweep_cached(grid, args.jobs, Some(&cache));
+    report.mode = "sweep";
+    finish_sweep(args, report, Some(&cache))
 }
 
 /// `report` entry point: regenerate the reproduction book.
@@ -493,13 +669,29 @@ fn run_store_command(args: &Args) -> i32 {
         store.root().display(),
         bytes as f64 / 1024.0
     );
-    let rows = match store.index() {
+    let mut rows = match store.index() {
         Ok(r) => r,
         Err(e) => {
             eprintln!("cannot read index: {e}");
             return 1;
         }
     };
+    // The index is a convenience the entries can always regenerate:
+    // concurrent appenders (or a crash between publish and append) can
+    // leave it short or duplicated — heal it on sight.
+    if rows.len() != entries {
+        eprintln!(
+            "index lists {} of {entries} entries; rebuilding it from the entry files",
+            rows.len()
+        );
+        match store.rebuild_index().and_then(|_| store.index()) {
+            Ok(r) => rows = r,
+            Err(e) => {
+                eprintln!("cannot rebuild index: {e}");
+                return 1;
+            }
+        }
+    }
     let mut by_design: Vec<(String, usize)> = Vec::new();
     let mut by_version: Vec<(String, usize)> = Vec::new();
     for row in &rows {

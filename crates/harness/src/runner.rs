@@ -206,6 +206,11 @@ impl PointCache {
         compute: impl FnOnce() -> (SimStats, Vec<(String, u64)>),
     ) -> (StoredPoint, bool) {
         let mut stale_extras = Vec::new();
+        // Whether an entry already occupies this key (incomplete or
+        // corrupt): storing the recomputed point must then *replace* it —
+        // the write-once `put` would verify the old entry and discard the
+        // fresh one.
+        let mut replace = false;
         match self.store.get(key) {
             Ok(Some(point)) => {
                 if expected_extras
@@ -220,11 +225,13 @@ impl PointCache {
                 // Incomplete for this caller, but its extras are still
                 // good — carry them into the refreshed entry.
                 stale_extras = point.extras;
+                replace = true;
             }
             Ok(None) => {}
             Err(e @ StoreError::Corrupt { .. }) => {
                 eprintln!("warning: {e}; recomputing the point");
                 self.rejected.fetch_add(1, Ordering::Relaxed);
+                replace = true;
             }
             Err(e) => eprintln!("warning: store read failed ({e}); recomputing the point"),
         }
@@ -241,7 +248,12 @@ impl PointCache {
             wall_nanos: t0.elapsed().as_nanos() as u64,
             extras,
         };
-        if let Err(e) = self.store.put(key, &point) {
+        let stored = if replace {
+            self.store.put_replace(key, &point)
+        } else {
+            self.store.put(key, &point)
+        };
+        if let Err(e) = stored {
             eprintln!("warning: could not cache point ({e})");
         }
         (point, false)

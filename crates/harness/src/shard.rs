@@ -1,0 +1,266 @@
+//! Sharded sweep fabric: one grid, N worker **processes**, one store.
+//!
+//! The experiment store's content-addressed keys make every grid point
+//! idempotent, and its write path is multi-process safe (write-once
+//! entries, collision-free temps, gc grace — see the `exp-store` crate
+//! docs). This module exploits that to spread a single
+//! [`SweepGrid`](crate::sweep::SweepGrid) across processes:
+//!
+//! * a **worker** (`samie-exp sweep --shard i/n`) runs the slice of the
+//!   grid a [`ShardSpec`] assigns to it — points are dealt round-robin
+//!   over the deterministic [`SweepGrid::expand`](crate::sweep::SweepGrid::expand)
+//!   order, so shards are disjoint, cover the grid exactly, and stay
+//!   balanced across designs and workloads — writing every finished
+//!   point to the shared store;
+//! * a **coordinator** (`samie-exp sweep --workers N`) spawns the N
+//!   workers ([`Coordinator`]), restarts any that die (a restarted
+//!   worker resumes from the store — everything its predecessor finished
+//!   is a cache hit), and finally **reconciles**: it re-runs the full
+//!   grid against the store, which serves every point a worker computed
+//!   and simulates any stragglers in-process. The merged
+//!   [`SweepReport`](crate::sweep::SweepReport) is byte-identical to a
+//!   serial run's deterministic JSON/CSV, because report rows are pure
+//!   functions of the stored integer counters.
+//!
+//! The same reconcile-against-durable-state loop makes the fabric
+//! chaos-tolerant: SIGKILL a worker mid-grid and nothing is lost or
+//! corrupted — the store holds only whole entries, and the reconcile
+//! pass completes the exact grid.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::str::FromStr;
+use std::time::Duration;
+
+/// Which slice of a sweep grid one worker owns: shard `i` of `n`,
+/// written `i/n` with `1 <= i <= n`. A point at position `p` in the
+/// grid's deterministic expansion belongs to shard `i` iff
+/// `p % n == i - 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// 1-based worker index.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// Whether this shard owns the grid point at expansion position
+    /// `point_index` (0-based).
+    pub fn owns(&self, point_index: usize) -> bool {
+        point_index % self.count == self.index - 1
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+impl FromStr for ShardSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let err = || format!("bad shard `{s}`: expected i/n with 1 <= i <= n, e.g. 2/3");
+        let (i, n) = s.split_once('/').ok_or_else(err)?;
+        let index: usize = i.trim().parse().map_err(|_| err())?;
+        let count: usize = n.trim().parse().map_err(|_| err())?;
+        if index == 0 || count == 0 || index > count {
+            return Err(err());
+        }
+        Ok(ShardSpec { index, count })
+    }
+}
+
+/// What happened to one worker process under the [`Coordinator`].
+#[derive(Debug, Clone)]
+pub struct WorkerOutcome {
+    /// The shard this worker owned.
+    pub shard: ShardSpec,
+    /// Times the worker was respawned after dying or failing.
+    pub restarts: usize,
+    /// Whether the worker (or a restart of it) eventually exited 0.
+    pub ok: bool,
+}
+
+/// Outcome of one [`Coordinator::run`].
+#[derive(Debug, Clone)]
+pub struct FabricReport {
+    /// Per-worker outcomes, in shard order.
+    pub workers: Vec<WorkerOutcome>,
+    /// Whether the chaos kill actually hit a live worker.
+    pub chaos_killed: bool,
+}
+
+impl FabricReport {
+    /// Whether every worker eventually completed its shard.
+    pub fn all_ok(&self) -> bool {
+        self.workers.iter().all(|w| w.ok)
+    }
+
+    /// Total restarts across all workers.
+    pub fn restarts(&self) -> usize {
+        self.workers.iter().map(|w| w.restarts).sum()
+    }
+}
+
+/// Spawns and supervises the worker processes of a sharded sweep.
+///
+/// Every worker is launched as `<exe> <base_args...> --shard i/n --out
+/// <out_dir>/shard-i-of-n`; `base_args` must name the subcommand and
+/// carry every flag that defines the grid and the shared store
+/// (designs, benchmarks, seeds, run length, `--store`, `--jobs`), so
+/// all workers expand the identical grid and disagree only on which
+/// points they own. Workers that exit non-zero — or are killed — are
+/// respawned up to `max_restarts` times each; a respawn loses nothing
+/// because the dead worker's finished points are already durable in the
+/// store.
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    /// Path of the `samie-exp` binary to spawn.
+    pub exe: PathBuf,
+    /// Subcommand + shared grid/store flags, e.g.
+    /// `["sweep", "--bench", "gzip,swim", "--store", ".samie-store"]`.
+    pub base_args: Vec<String>,
+    /// Number of worker processes (= shard count).
+    pub workers: usize,
+    /// Directory under which each worker writes its partial report
+    /// (`shard-i-of-n/`).
+    pub out_dir: PathBuf,
+    /// Maximum respawns per worker before giving up on it (the
+    /// reconcile pass still completes its points in-process).
+    pub max_restarts: usize,
+    /// Chaos hook: SIGKILL this worker (1-based) once, `chaos_delay`
+    /// after launch — exercises exactly the crash-recovery path the
+    /// fabric promises to survive.
+    pub chaos_kill: Option<usize>,
+    /// How long after launch the chaos kill fires.
+    pub chaos_delay: Duration,
+}
+
+impl Coordinator {
+    /// A coordinator with no chaos and 2 restarts per worker.
+    pub fn new(exe: PathBuf, base_args: Vec<String>, workers: usize, out_dir: PathBuf) -> Self {
+        Coordinator {
+            exe,
+            base_args,
+            workers,
+            out_dir,
+            max_restarts: 2,
+            chaos_kill: None,
+            chaos_delay: Duration::from_millis(400),
+        }
+    }
+
+    fn spawn(&self, index: usize) -> io::Result<Child> {
+        let shard = ShardSpec {
+            index,
+            count: self.workers,
+        };
+        let out = self
+            .out_dir
+            .join(format!("shard-{index}-of-{}", self.workers));
+        Command::new(&self.exe)
+            .args(&self.base_args)
+            .arg("--shard")
+            .arg(shard.to_string())
+            .arg("--out")
+            .arg(&out)
+            // Worker tables would interleave on the console; their
+            // stderr (progress, warnings) is left attached.
+            .stdout(Stdio::null())
+            .spawn()
+    }
+
+    /// Launch all workers, apply the chaos kill if configured, wait for
+    /// every worker and respawn failures. Never returns an error for a
+    /// *worker* failure — only for being unable to spawn at all; check
+    /// [`FabricReport::all_ok`].
+    pub fn run(&self) -> io::Result<FabricReport> {
+        let mut children: Vec<Option<Child>> = Vec::with_capacity(self.workers);
+        let mut outcomes: Vec<WorkerOutcome> = Vec::with_capacity(self.workers);
+        for index in 1..=self.workers {
+            children.push(Some(self.spawn(index)?));
+            outcomes.push(WorkerOutcome {
+                shard: ShardSpec {
+                    index,
+                    count: self.workers,
+                },
+                restarts: 0,
+                ok: false,
+            });
+        }
+        let mut chaos_killed = false;
+        if let Some(victim) = self.chaos_kill {
+            std::thread::sleep(self.chaos_delay);
+            if let Some(child) = children.get_mut(victim - 1).and_then(|c| c.as_mut()) {
+                // kill() errors if the worker already exited — then there
+                // is nothing to disrupt and the run degrades to chaos-free.
+                chaos_killed = child.kill().is_ok();
+            }
+        }
+        for index in 1..=self.workers {
+            let mut child = children[index - 1].take().expect("spawned above");
+            loop {
+                let status = child.wait()?;
+                if status.success() {
+                    outcomes[index - 1].ok = true;
+                    break;
+                }
+                if outcomes[index - 1].restarts >= self.max_restarts {
+                    break;
+                }
+                outcomes[index - 1].restarts += 1;
+                child = self.spawn(index)?;
+            }
+        }
+        Ok(FabricReport {
+            workers: outcomes,
+            chaos_killed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_spec_parses_and_displays() {
+        let s: ShardSpec = "2/3".parse().unwrap();
+        assert_eq!((s.index, s.count), (2, 3));
+        assert_eq!(s.to_string(), "2/3");
+        let one: ShardSpec = "1/1".parse().unwrap();
+        assert!(one.owns(0) && one.owns(17));
+        for bad in ["", "3", "0/3", "4/3", "a/b", "1/0", "-1/2"] {
+            let err = bad.parse::<ShardSpec>().unwrap_err();
+            assert!(err.contains("expected i/n"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_grid_exactly_and_evenly() {
+        let n = 5;
+        let points = 123;
+        let shards: Vec<ShardSpec> = (1..=n).map(|index| ShardSpec { index, count: n }).collect();
+        let mut owners = vec![0usize; points];
+        let mut sizes = vec![0usize; n];
+        for (si, s) in shards.iter().enumerate() {
+            for (p, owner) in owners.iter_mut().enumerate() {
+                if s.owns(p) {
+                    *owner += 1;
+                    sizes[si] += 1;
+                }
+            }
+        }
+        assert!(
+            owners.iter().all(|&o| o == 1),
+            "every point owned exactly once"
+        );
+        let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "round-robin balance: {sizes:?}");
+    }
+}

@@ -34,6 +34,7 @@ use samie_lsq::{DesignHandle, DesignSpec, SamieConfig};
 use spec_traces::{all_benchmarks, all_workloads, by_name, find_workload, Workload};
 
 use crate::runner::{parallel_map_with, run_one, RunConfig};
+use crate::shard::ShardSpec;
 use crate::table::{fmt, Table};
 
 /// A declarative sweep grid: the cross product of designs × workloads ×
@@ -228,8 +229,31 @@ pub fn run_sweep_cached(
     jobs: usize,
     cache: Option<&crate::runner::PointCache>,
 ) -> SweepReport {
+    run_sweep_sharded(grid, jobs, cache, None)
+}
+
+/// [`run_sweep_cached`] restricted to the points a [`ShardSpec`] owns
+/// (`None` = the whole grid) — the worker half of the multi-process
+/// sweep fabric (see the [`shard`](crate::shard) module). The report
+/// covers only the owned points, in grid order; merging happens by
+/// re-running the full grid against the shared store.
+pub fn run_sweep_sharded(
+    grid: &SweepGrid,
+    jobs: usize,
+    cache: Option<&crate::runner::PointCache>,
+    shard: Option<ShardSpec>,
+) -> SweepReport {
     use std::sync::atomic::{AtomicU64, Ordering};
-    let points = grid.expand();
+    let points: Vec<_> = match shard {
+        None => grid.expand(),
+        Some(s) => grid
+            .expand()
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| s.owns(*i))
+            .map(|(_, p)| p)
+            .collect(),
+    };
     let (hits, saved) = (AtomicU64::new(0), AtomicU64::new(0));
     let t0 = Instant::now();
     let results = parallel_map_with(jobs, &points, |(design, bench, seed)| match cache {
@@ -364,6 +388,21 @@ impl SweepReport {
         t
     }
 
+    /// [`table`](Self::table) with the two wall-clock columns
+    /// (`wall_ms`, `sim_mips`) zeroed — the CSV determinism contract:
+    /// equal grids + seeds produce byte-identical output regardless of
+    /// host, worker count, or how many processes the grid was sharded
+    /// across.
+    pub fn table_deterministic(&self) -> Table {
+        let mut t = self.table();
+        for row in &mut t.rows {
+            let n = row.len();
+            row[n - 2] = fmt(0.0, 1);
+            row[n - 1] = fmt(0.0, 3);
+        }
+        t
+    }
+
     /// Machine-readable JSON (schema `samie-bench-v1`), including the
     /// non-deterministic timing fields.
     pub fn to_json(&self) -> String {
@@ -426,13 +465,25 @@ impl SweepReport {
         out
     }
 
-    /// Write `<dir>/BENCH_sweep.json` (and the CSV next to it); returns
-    /// the JSON path.
+    /// Write `<dir>/BENCH_sweep.json` (and the CSV next to it), plus the
+    /// deterministic companions `BENCH_sweep.det.json` /
+    /// `BENCH_sweep.det.csv` with every timing field zeroed — those two
+    /// are byte-comparable across runs, hosts and sharding layouts
+    /// (`diff` them to prove a sharded sweep equals a serial one).
+    /// Returns the JSON path.
     pub fn write(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join("BENCH_sweep.json");
         std::fs::write(&path, self.to_json())?;
         self.table().write_csv(dir)?;
+        std::fs::write(
+            dir.join("BENCH_sweep.det.json"),
+            self.to_json_deterministic(),
+        )?;
+        std::fs::write(
+            dir.join("BENCH_sweep.det.csv"),
+            self.table_deterministic().to_csv(),
+        )?;
         Ok(path)
     }
 }

@@ -23,9 +23,17 @@
 //! * **Exactness** — every stored counter is a `u64`; a cache hit is
 //!   byte-identical to recomputing the point (the statistics never pass
 //!   through floats).
-//! * **Atomicity** — entries are written to a temp file and renamed into
-//!   place, so an interrupted sweep leaves only whole entries behind and
-//!   is resumable.
+//! * **Atomicity** — entries are written to a collision-free temp file
+//!   (pid + nonce, `O_EXCL`) and published atomically, so an interrupted
+//!   sweep leaves only whole entries behind and is resumable.
+//! * **Multi-process safety** — [`ExperimentStore::put`] is write-once
+//!   per fingerprint path (first publish wins, losers verify-and-discard),
+//!   index appends are single `O_APPEND` writes deduplicated by readers,
+//!   and [`ExperimentStore::gc`] never reclaims a temp file younger than
+//!   [`GC_TEMP_GRACE`] — any number of sweep workers (threads *or*
+//!   processes) can share one store directory. This is what the sharded
+//!   sweep fabric (`samie-exp sweep --shard i/n` / `--workers N`) builds
+//!   on.
 //! * **Loud corruption** — entries carry a content checksum and a full
 //!   copy of their canonical key; truncation, bit rot and hash collisions
 //!   all surface as [`StoreError::Corrupt`], never as silently wrong
@@ -72,7 +80,7 @@ mod store;
 
 pub use entry::{decode_entry, encode_entry, visit_stat_fields, DecodedEntry, StoredPoint};
 pub use key::PointKey;
-pub use store::{ExperimentStore, GcReport, IndexRow, StoreError};
+pub use store::{ExperimentStore, GcReport, IndexRow, StoreError, GC_TEMP_GRACE};
 
 /// Version tag of the simulation semantics baked into store keys.
 ///

@@ -7,9 +7,17 @@ use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use crate::entry::{decode_entry, encode_entry, StoredPoint};
 use crate::key::PointKey;
+
+/// How long a stray `.tmp-*` file is protected from
+/// [`ExperimentStore::gc`]: a temp file younger than this may belong to a
+/// concurrent writer in another process that has not renamed it into
+/// place yet, so gc leaves it alone. Entry writes take milliseconds, so
+/// anything older than this is an orphan from a crashed writer.
+pub const GC_TEMP_GRACE: Duration = Duration::from_secs(15 * 60);
 
 /// Error from a store operation.
 #[derive(Debug)]
@@ -75,16 +83,34 @@ pub struct GcReport {
     pub removed_stale: usize,
     /// Entries (and stray temp files) removed as corrupt or unreadable.
     pub removed_corrupt: usize,
+    /// Temp files left alone because they are younger than the grace age
+    /// — a writer in another process may still own them.
+    pub kept_temps: usize,
     /// Disk bytes reclaimed.
     pub bytes_freed: u64,
 }
 
 /// A content-addressed, on-disk store of simulated experiment points.
 ///
-/// Thread-safe: `put` writes entries atomically (temp file + rename) and
-/// serialises index appends behind a mutex, so sweep workers cache their
-/// points as soon as they finish — which is what makes an interrupted
-/// sweep resumable. See the [crate docs](crate) for the layout and a
+/// Safe for concurrent writers in many **threads and processes** sharing
+/// one store directory:
+///
+/// * [`put`](Self::put) is **write-once** on each fingerprint path — the
+///   first fully-written entry wins (an atomic hard-link publish) and
+///   racing losers verify the winner's entry and discard their own, so
+///   two processes computing the same point can never corrupt it;
+/// * temp files are collision-free (pid + per-process nonce, created
+///   with `O_EXCL`) and [`gc`](Self::gc) refuses to reclaim temp files
+///   younger than [`GC_TEMP_GRACE`], so it cannot destroy another
+///   process's in-flight write;
+/// * index appends are a single `O_APPEND` write by the publishing
+///   winner only; readers deduplicate, and the index is a convenience
+///   that [`rebuild_index`](Self::rebuild_index) / [`gc`](Self::gc)
+///   regenerate from the entries (the durable truth) at any time.
+///
+/// Sweep workers cache their points as soon as they finish — which is
+/// what makes an interrupted sweep resumable and a multi-process sharded
+/// sweep mergeable. See the [crate docs](crate) for the layout and a
 /// usage example.
 #[derive(Debug)]
 pub struct ExperimentStore {
@@ -155,38 +181,127 @@ impl ExperimentStore {
         self.entry_path(key).exists()
     }
 
-    /// Store a point under `key`, atomically (write temp + rename), and
-    /// append it to the inspection index. Overwrites any previous entry
-    /// for the same key.
+    /// Store a point under `key`, **write-once**: the first fully-written
+    /// entry for a fingerprint path wins and is appended to the
+    /// inspection index; a racing loser verifies that the winner's entry
+    /// is intact for this key, discards its own copy and returns the
+    /// shared path. (Points are pure functions of their key, so the
+    /// winner's entry is equivalent — only `wall_nanos`/extras can
+    /// differ.) An existing entry that turns out to be corrupt is healed
+    /// in place. Use [`put_replace`](Self::put_replace) to overwrite an
+    /// intact entry deliberately.
     pub fn put(&self, key: &PointKey, point: &StoredPoint) -> io::Result<PathBuf> {
         let path = self.entry_path(key);
-        let fresh = !path.exists();
-        let tmp = self.entries_dir().join(format!(
-            ".tmp-{}-{}",
-            key.file_name(),
-            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
-        ));
-        fs::write(&tmp, encode_entry(&key.canonical(), point))?;
+        let tmp = self.write_temp(key, point)?;
+        // A hard link publishes the finished temp file atomically and
+        // fails with `AlreadyExists` instead of overwriting — exactly
+        // the first-rename-wins semantics a cross-process race needs
+        // (plain `rename` would silently replace the winner).
+        for _ in 0..8 {
+            match fs::hard_link(&tmp, &path) {
+                Ok(()) => {
+                    let _ = fs::remove_file(&tmp);
+                    self.append_index(key)?;
+                    return Ok(path);
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => match self.get(key) {
+                    Ok(Some(_)) => {
+                        // Lost the race to an intact equivalent entry:
+                        // verify-and-discard.
+                        let _ = fs::remove_file(&tmp);
+                        return Ok(path);
+                    }
+                    // The entry vanished between the failed link and the
+                    // verify (concurrent gc): retry the publish.
+                    Ok(None) => continue,
+                    Err(_) => {
+                        // The existing entry is corrupt or mis-keyed:
+                        // heal it with our complete copy.
+                        fs::rename(&tmp, &path)?;
+                        self.append_index(key)?;
+                        return Ok(path);
+                    }
+                },
+                // Filesystems without hard links degrade to an atomic
+                // rename (last writer wins, entries still always whole).
+                Err(_) => {
+                    fs::rename(&tmp, &path)?;
+                    self.append_index(key)?;
+                    return Ok(path);
+                }
+            }
+        }
         fs::rename(&tmp, &path)?;
-        if fresh {
-            let line = format!(
-                "{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
-                key.file_name().trim_end_matches(".point"),
-                key.design,
-                key.workload,
-                key.seed,
-                key.instrs,
-                key.warmup,
-                key.sim_version
-            );
-            let _guard = self.index.lock().expect("index lock");
-            let mut f = fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(self.index_path())?;
-            f.write_all(line.as_bytes())?;
+        self.append_index(key)?;
+        Ok(path)
+    }
+
+    /// Store a point under `key`, atomically **replacing** any previous
+    /// entry (temp + rename). This is the refresh path — e.g. re-storing
+    /// a point with merged extras, or after the old entry was rejected as
+    /// corrupt; plain caching should use the write-once
+    /// [`put`](Self::put).
+    pub fn put_replace(&self, key: &PointKey, point: &StoredPoint) -> io::Result<PathBuf> {
+        let path = self.entry_path(key);
+        let existed = path.exists();
+        let tmp = self.write_temp(key, point)?;
+        fs::rename(&tmp, &path)?;
+        if !existed {
+            self.append_index(key)?;
         }
         Ok(path)
+    }
+
+    /// Write the encoded entry to a collision-free temp file in the
+    /// entries directory. The name embeds the pid and a per-process nonce
+    /// and the file is opened with `create_new` (`O_EXCL`), so two
+    /// processes — even two incarnations of the same pid — can never
+    /// interleave writes into one temp file.
+    fn write_temp(&self, key: &PointKey, point: &StoredPoint) -> io::Result<PathBuf> {
+        let pid = std::process::id();
+        loop {
+            let nonce = self.tmp_counter.fetch_add(1, Ordering::Relaxed);
+            let tmp = self
+                .entries_dir()
+                .join(format!(".tmp-{}-{pid}-{nonce}", key.file_name()));
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&tmp)
+            {
+                Ok(mut f) => {
+                    f.write_all(encode_entry(&key.canonical(), point).as_bytes())?;
+                    return Ok(tmp);
+                }
+                // A leftover temp from a crashed run with our pid: take
+                // the next nonce.
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Append `key`'s row to the inspection index as one `O_APPEND`
+    /// write — atomic across processes for a line this size, so
+    /// concurrent appenders can duplicate rows but never interleave
+    /// bytes. Readers ([`index`](Self::index)) deduplicate.
+    fn append_index(&self, key: &PointKey) -> io::Result<()> {
+        let line = format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            key.file_name().trim_end_matches(".point"),
+            key.design,
+            key.workload,
+            key.seed,
+            key.instrs,
+            key.warmup,
+            key.sim_version
+        );
+        let _guard = self.index.lock().expect("index lock");
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.index_path())?;
+        f.write_all(line.as_bytes())
     }
 
     /// Number of entry files currently in the store.
@@ -209,9 +324,12 @@ impl ExperimentStore {
     }
 
     /// Read the inspection index (one row per stored point, deduplicated,
-    /// in insertion order). Malformed lines are skipped — the index is a
-    /// convenience listing; the entries are the truth ([`gc`](Self::gc)
-    /// rebuilds it from them).
+    /// in insertion order). Duplicate rows — the benign residue of
+    /// concurrent appenders racing on one store — collapse to the first
+    /// occurrence, and malformed lines are skipped: the index is a
+    /// convenience listing; the entries are the truth
+    /// ([`rebuild_index`](Self::rebuild_index) and [`gc`](Self::gc)
+    /// regenerate it from them).
     pub fn index(&self) -> io::Result<Vec<IndexRow>> {
         let text = match fs::read_to_string(self.index_path()) {
             Ok(t) => t,
@@ -261,10 +379,27 @@ impl ExperimentStore {
         Ok(rows)
     }
 
-    /// Garbage-collect: delete corrupt entries, stray temp files and
+    /// Garbage-collect: delete corrupt entries, orphaned temp files and
     /// entries computed under a simulator version other than
     /// `current_version`, then rebuild the index from the survivors.
+    ///
+    /// Temp files younger than [`GC_TEMP_GRACE`] are **never** reclaimed
+    /// — they may be another process's in-flight write; use
+    /// [`gc_with_temp_grace`](Self::gc_with_temp_grace) to choose the
+    /// grace age explicitly.
     pub fn gc(&self, current_version: &str) -> io::Result<GcReport> {
+        self.gc_with_temp_grace(current_version, GC_TEMP_GRACE)
+    }
+
+    /// [`gc`](Self::gc) with an explicit temp-file grace age: temp files
+    /// whose mtime is younger than `temp_grace` are kept (counted in
+    /// [`GcReport::kept_temps`]), everything older is reclaimed as an
+    /// orphan of a crashed writer.
+    pub fn gc_with_temp_grace(
+        &self,
+        current_version: &str,
+        temp_grace: Duration,
+    ) -> io::Result<GcReport> {
         let mut report = GcReport::default();
         let mut survivors: Vec<String> = Vec::new();
         let _guard = self.index.lock().expect("index lock");
@@ -272,6 +407,17 @@ impl ExperimentStore {
             let size = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
             let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
             if name.starts_with(".tmp-") {
+                // A young temp may be a concurrent writer's in-flight
+                // entry (an unreadable mtime counts as young — when in
+                // doubt, never destroy another process's work).
+                let age = fs::metadata(&path)
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|t| t.elapsed().ok());
+                if age.is_none_or(|a| a < temp_grace) {
+                    report.kept_temps += 1;
+                    continue;
+                }
                 fs::remove_file(&path)?;
                 report.removed_corrupt += 1;
                 report.bytes_freed += size;
@@ -306,6 +452,29 @@ impl ExperimentStore {
         survivors.sort();
         fs::write(self.index_path(), survivors.concat())?;
         Ok(report)
+    }
+
+    /// Rewrite the inspection index from the entry files (sorted by
+    /// hash), dropping duplicate and stale rows without deleting
+    /// anything. Returns the number of indexed entries. Undecodable
+    /// entries are skipped — [`gc`](Self::gc) is the tool that removes
+    /// them.
+    pub fn rebuild_index(&self) -> io::Result<usize> {
+        let mut lines: Vec<String> = Vec::new();
+        for path in self.entry_files()? {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if let Some(d) = fs::read_to_string(&path)
+                .ok()
+                .and_then(|t| decode_entry(&t).ok())
+            {
+                lines.push(index_line_from_canonical(name, &d.key_canonical));
+            }
+        }
+        lines.sort();
+        let n = lines.len();
+        let _guard = self.index.lock().expect("index lock");
+        fs::write(self.index_path(), lines.concat())?;
+        Ok(n)
     }
 
     fn entry_files(&self) -> io::Result<Vec<PathBuf>> {
@@ -393,13 +562,37 @@ mod tests {
         assert_eq!(store.get(&k).unwrap().unwrap(), point(10));
         assert_eq!(store.len().unwrap(), 1);
         assert!(store.disk_bytes().unwrap() > 0);
-        // Overwrite does not duplicate the index.
+        // put is write-once: a second writer loses the race, verifies the
+        // winner's entry and discards its own (no temp file left behind).
         store.put(&k, &point(11)).unwrap();
+        assert_eq!(store.get(&k).unwrap().unwrap().stats.cycles, 10);
+        // put_replace deliberately refreshes; neither path duplicates the
+        // index.
+        store.put_replace(&k, &point(11)).unwrap();
         assert_eq!(store.get(&k).unwrap().unwrap().stats.cycles, 11);
         let idx = store.index().unwrap();
         assert_eq!(idx.len(), 1);
         assert_eq!(idx[0].design, "conv:128");
         assert_eq!(idx[0].seed, 1);
+        // No stray temps after any of the puts.
+        let temps: Vec<_> = fs::read_dir(store.entries_dir())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(temps.is_empty(), "{temps:?}");
+    }
+
+    #[test]
+    fn put_heals_a_corrupt_loser_entry() {
+        let store = tmp_store("heal");
+        let k = key("conv:128", 7, "v1");
+        let path = store.put(&k, &point(1)).unwrap();
+        fs::write(&path, "garbage").unwrap();
+        // The write-once loser path detects the corruption and replaces
+        // the entry instead of discarding its fresh copy.
+        store.put(&k, &point(2)).unwrap();
+        assert_eq!(store.get(&k).unwrap().unwrap().stats.cycles, 2);
     }
 
     #[test]
@@ -433,10 +626,11 @@ mod tests {
         fs::write(&corrupt_path, "garbage").unwrap();
         fs::write(store.entries_dir().join(".tmp-leftover-0"), "x").unwrap();
 
-        let report = store.gc("v1").unwrap();
+        let report = store.gc_with_temp_grace("v1", Duration::ZERO).unwrap();
         assert_eq!(report.kept, 1);
         assert_eq!(report.removed_stale, 1);
         assert_eq!(report.removed_corrupt, 2, "corrupt entry + stray temp");
+        assert_eq!(report.kept_temps, 0);
         assert!(report.bytes_freed > 0);
         assert_eq!(store.len().unwrap(), 1);
         // Index was rebuilt from the survivors.
@@ -444,6 +638,51 @@ mod tests {
         assert_eq!(idx.len(), 1);
         assert_eq!(idx[0].seed, 1);
         assert_eq!(idx[0].sim_version, "v1");
+    }
+
+    #[test]
+    fn gc_spares_temp_files_within_the_grace_age() {
+        let store = tmp_store("gc-grace");
+        store.put(&key("conv:128", 1, "v1"), &point(1)).unwrap();
+        let temp = store.entries_dir().join(".tmp-inflight-999-0");
+        fs::write(&temp, "another process is still writing this").unwrap();
+
+        // The default grace protects a just-written temp...
+        let report = store.gc("v1").unwrap();
+        assert_eq!(report.kept, 1);
+        assert_eq!(report.kept_temps, 1, "in-flight temp must survive gc");
+        assert!(temp.exists());
+        // ...while a zero grace treats it as an orphan.
+        let report = store.gc_with_temp_grace("v1", Duration::ZERO).unwrap();
+        assert_eq!(report.kept_temps, 0);
+        assert!(!temp.exists());
+    }
+
+    #[test]
+    fn rebuild_index_recovers_from_a_lost_or_duplicated_index() {
+        let store = tmp_store("rebuild");
+        for s in 0..4 {
+            store.put(&key("conv:128", s, "v1"), &point(s)).unwrap();
+        }
+        // Simulate concurrent-appender residue plus a torn final line.
+        let existing = fs::read_to_string(store.index_path()).unwrap();
+        let first = existing.lines().next().unwrap();
+        fs::write(
+            store.index_path(),
+            format!("{existing}{first}\n{}", &first[..10]),
+        )
+        .unwrap();
+        assert_eq!(store.index().unwrap().len(), 4, "readers dedup");
+        assert_eq!(store.rebuild_index().unwrap(), 4);
+        assert_eq!(store.index().unwrap().len(), 4);
+        // A deleted index is rebuilt wholesale from the entries.
+        fs::remove_file(store.index_path()).unwrap();
+        assert_eq!(store.rebuild_index().unwrap(), 4);
+        let idx = store.index().unwrap();
+        assert_eq!(idx.len(), 4);
+        let mut seeds: Vec<u64> = idx.iter().map(|r| r.seed).collect();
+        seeds.sort_unstable();
+        assert_eq!(seeds, vec![0, 1, 2, 3]);
     }
 
     #[test]
@@ -463,5 +702,34 @@ mod tests {
         });
         assert_eq!(store.len().unwrap(), 128);
         assert_eq!(store.index().unwrap().len(), 128);
+    }
+
+    #[test]
+    fn concurrent_puts_on_overlapping_keys_never_corrupt() {
+        // 8 threads hammer the *same* 16 keys — the write-once race in
+        // its purest form. Every entry must decode, hold one of the
+        // written values, and index exactly once.
+        let store = tmp_store("overlap");
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let store = &store;
+                s.spawn(move || {
+                    for round in 0..4u64 {
+                        for i in 0..16 {
+                            let k = key("samie", i, "v1");
+                            store.put(&k, &point(1000 + t * 10 + round)).unwrap();
+                            let got = store.get(&k).unwrap().expect("entry present");
+                            assert!(got.stats.cycles >= 1000, "torn value: {got:?}");
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len().unwrap(), 16);
+        assert_eq!(store.index().unwrap().len(), 16);
+        for i in 0..16 {
+            let got = store.get(&key("samie", i, "v1")).unwrap().unwrap();
+            assert!(got.stats.cycles >= 1000);
+        }
     }
 }
