@@ -51,10 +51,14 @@
 //! path.
 
 pub mod chart;
+pub mod experiment;
 pub mod experiments;
 pub mod fuzz;
+pub mod load;
+pub mod protocol;
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod session;
 pub mod shard;
 pub mod sweep;
@@ -62,13 +66,19 @@ pub mod table;
 
 pub use chart::svg_bar_chart;
 pub use exp_store::{ExperimentStore, PointKey, StoredPoint, SIM_VERSION};
+pub use experiment::{
+    BenchSel, ConfigOverrides, ExperimentParseError, ExperimentRequest, ExperimentSpec, Priority,
+};
 pub use fuzz::{differential_check, run_fuzz, FuzzConfig, FuzzMismatch, FuzzReport};
+pub use load::{run_load, LoadOptions, LoadReport, MixSpec};
+pub use protocol::{parse_request, Request, Response, ServerConn, DEFAULT_ADDR};
 pub use report::{generate_book, BookSummary, ReportOptions};
 pub use runner::{
-    parallel_map, parallel_map_with, run_one, run_paired, run_paired_suite, run_paired_suite_with,
-    PairedRun, PointCache, RunConfig, Runner,
+    parallel_map, parallel_map_with, run_one, run_one_configured, run_paired, run_paired_suite,
+    run_paired_suite_with, PairedRun, PointCache, RunConfig, Runner,
 };
 pub use samie_lsq::{DesignHandle, DesignParseError, DesignRegistry, DesignSpec, LsqFactory};
+pub use serve::{run_serve, ServeOptions};
 pub use session::{DesignRun, SessionEvent, SessionReport, SimSession};
 pub use shard::{Coordinator, FabricReport, ShardSpec, WorkerOutcome};
 pub use sweep::{

@@ -1,0 +1,468 @@
+//! `samie-exp load` — the load generator for a running `samie-exp
+//! serve` daemon.
+//!
+//! Hammers the server with a configurable mixed workload of three
+//! deterministic request classes:
+//!
+//! * **hit** — a spec from a small pool the load run *primed* first, so
+//!   the server answers entirely from the store;
+//! * **miss** — a unique seed per request, forcing a real simulation;
+//! * **dup** — one fixed unprimed spec submitted by many clients, so
+//!   the server's dedup machinery (submit ledger + in-flight claims +
+//!   write-once store) collapses them into at most one simulation.
+//!
+//! Emits `BENCH_serve.json` (schema `samie-serve-v1`: throughput and
+//! p50/p99 submit→done latency split by hit vs simulated, plus the
+//! server's own counters) and `SWEEP_equivalent.txt` — the canonical
+//! [`ExperimentSpec`] covering exactly the union of submitted points,
+//! so CI can run the same grid through `samie-exp sweep` into a second
+//! store and diff the two deterministic dumps byte for byte.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::experiment::ExperimentSpec;
+use crate::protocol::{job_id_from, Request, Response, ServerConn};
+
+/// Load-run configuration (the CLI fills this from flags).
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Server address.
+    pub addr: String,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Total measured requests across all clients.
+    pub requests: usize,
+    /// Percentage mix `hit/miss/dup` (must sum to 100).
+    pub mix: MixSpec,
+    /// The base experiment every request varies the seed of.
+    pub base: ExperimentSpec,
+    /// Send `SHUTDOWN` after the run (CI uses this to assert a clean
+    /// drain-and-exit).
+    pub shutdown: bool,
+}
+
+/// The `hit/miss/dup` percentage mix, e.g. `50/30/20`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixSpec {
+    /// Requests served entirely from the primed store.
+    pub hit: u32,
+    /// Requests with a unique seed (forced simulation).
+    pub miss: u32,
+    /// Identical concurrent requests (dedup exercise).
+    pub dup: u32,
+}
+
+impl std::str::FromStr for MixSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<u32> = s
+            .split('/')
+            .map(|p| p.parse().map_err(|_| format!("bad mix component `{p}`")))
+            .collect::<Result<_, _>>()?;
+        let [hit, miss, dup] = parts[..] else {
+            return Err(format!("expected hit/miss/dup percentages, got `{s}`"));
+        };
+        if hit + miss + dup != 100 {
+            return Err(format!("mix `{s}` must sum to 100"));
+        }
+        Ok(MixSpec { hit, miss, dup })
+    }
+}
+
+impl std::fmt::Display for MixSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}/{}", self.hit, self.miss, self.dup)
+    }
+}
+
+/// Seed bases for the three request classes — disjoint ranges so class
+/// membership is visible in the store keys.
+const HIT_POOL_SEED: u64 = 9_000;
+const MISS_SEED: u64 = 50_000;
+const DUP_SEED: u64 = 7_777;
+
+/// One measured request's outcome.
+#[derive(Debug, Clone)]
+struct Sample {
+    latency: Duration,
+    /// The server answered every point from the store.
+    all_hits: bool,
+}
+
+/// Aggregated latency stats for one class of samples.
+#[derive(Debug, Clone, Copy, Default)]
+struct LatencyStats {
+    count: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn latency_stats(samples: &mut [Duration]) -> LatencyStats {
+    if samples.is_empty() {
+        return LatencyStats::default();
+    }
+    samples.sort();
+    let pct = |p: f64| {
+        let idx = ((samples.len() as f64 * p).ceil() as usize).clamp(1, samples.len()) - 1;
+        samples[idx].as_secs_f64() * 1e3
+    };
+    LatencyStats {
+        count: samples.len(),
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+    }
+}
+
+/// The completed load run, ready to render.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Requests measured (excludes the priming phase).
+    pub requests: usize,
+    /// Client threads used.
+    pub clients: usize,
+    /// The mix that was requested.
+    pub mix: MixSpec,
+    /// Wall time of the measured phase.
+    pub wall: Duration,
+    hit: LatencyStats,
+    simulated: LatencyStats,
+    /// `stat <name> <value>` lines captured from the server after the
+    /// run (dedup counters, store size, ...).
+    pub server_stats: Vec<(String, u64)>,
+    /// The canonical spec covering the union of submitted points.
+    pub equivalent: ExperimentSpec,
+}
+
+impl LoadReport {
+    /// Requests per second over the measured phase.
+    pub fn throughput_rps(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.requests as f64 / s
+        }
+    }
+
+    /// A named server counter captured after the run.
+    pub fn server_stat(&self, name: &str) -> Option<u64> {
+        self.server_stats
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Machine-readable JSON (schema `samie-serve-v1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"samie-serve-v1\",");
+        let _ = writeln!(out, "  \"requests\": {},", self.requests);
+        let _ = writeln!(out, "  \"clients\": {},", self.clients);
+        let _ = writeln!(out, "  \"mix\": \"{}\",", self.mix);
+        let _ = writeln!(out, "  \"wall_ms\": {:.3},", self.wall.as_secs_f64() * 1e3);
+        let _ = writeln!(out, "  \"throughput_rps\": {:.3},", self.throughput_rps());
+        for (name, s) in [("hit", self.hit), ("simulated", self.simulated)] {
+            let _ = writeln!(
+                out,
+                "  \"{name}\": {{\"count\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}},",
+                s.count, s.p50_ms, s.p99_ms
+            );
+        }
+        out.push_str("  \"server\": {\n");
+        for (i, (name, v)) in self.server_stats.iter().enumerate() {
+            let _ = write!(out, "    \"{name}\": {v}");
+            out.push_str(if i + 1 < self.server_stats.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Console summary table.
+    pub fn table(&self) -> crate::table::Table {
+        let mut t = crate::table::Table::new(
+            format!(
+                "Serve load - {} requests, {} clients, mix {}",
+                self.requests, self.clients, self.mix
+            ),
+            &["class", "count", "p50_ms", "p99_ms"],
+        );
+        for (name, s) in [("hit", self.hit), ("simulated", self.simulated)] {
+            t.push_row(vec![
+                name.to_string(),
+                s.count.to_string(),
+                crate::table::fmt(s.p50_ms, 1),
+                crate::table::fmt(s.p99_ms, 1),
+            ]);
+        }
+        t
+    }
+
+    /// Write `BENCH_serve.json` and `SWEEP_equivalent.txt` under `dir`;
+    /// returns the JSON path.
+    pub fn write(&self, dir: &Path) -> io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("BENCH_serve.json");
+        std::fs::write(&path, self.to_json())?;
+        std::fs::write(
+            dir.join("SWEEP_equivalent.txt"),
+            format!("{}\n", self.equivalent),
+        )?;
+        Ok(path)
+    }
+}
+
+/// The request class of measured request `i` — a fixed pseudo-random
+/// but fully deterministic assignment, so every load run with the same
+/// options submits the same sequence.
+fn class_of(i: usize, mix: MixSpec) -> &'static str {
+    let r = ((i as u64 * 31 + 7) % 100) as u32;
+    if r < mix.hit {
+        "hit"
+    } else if r < mix.hit + mix.miss {
+        "miss"
+    } else {
+        "dup"
+    }
+}
+
+/// The seed request `i` submits under its class.
+fn seed_of(i: usize, mix: MixSpec, pool: usize) -> u64 {
+    match class_of(i, mix) {
+        "hit" => HIT_POOL_SEED + (i % pool) as u64,
+        "miss" => MISS_SEED + i as u64,
+        _ => DUP_SEED,
+    }
+}
+
+fn with_seed(base: &ExperimentSpec, seed: u64) -> ExperimentSpec {
+    ExperimentSpec {
+        seeds: vec![seed],
+        ..base.clone()
+    }
+}
+
+/// Submit one spec and wait for completion; returns the final response.
+fn submit_and_wait(conn: &mut ServerConn, spec: &ExperimentSpec) -> io::Result<Response> {
+    let accepted = conn.request(&Request::Submit(spec.clone().into()))?;
+    if !accepted.ok() {
+        return Err(io::Error::other(format!(
+            "submit rejected: {}",
+            accepted.status
+        )));
+    }
+    let id = job_id_from(&accepted)
+        .ok_or_else(|| io::Error::other(format!("no job id in `{}`", accepted.status)))?;
+    conn.request(&Request::Wait(id))
+}
+
+/// Run the full load: prime the hit pool, fire the measured mixed
+/// phase from `clients` threads, gather server stats, and (optionally)
+/// shut the server down.
+pub fn run_load(opts: &LoadOptions) -> io::Result<LoadReport> {
+    let pool = (opts.requests / 8).clamp(1, 4);
+    let mut conn = ServerConn::connect_retry(&opts.addr, Duration::from_secs(10))?;
+
+    // Prime: the hit pool and every seed the run will submit live in
+    // one canonical "equivalent" spec; priming runs only the pool.
+    for p in 0..pool {
+        submit_and_wait(&mut conn, &with_seed(&opts.base, HIT_POOL_SEED + p as u64))?;
+    }
+
+    // Measured phase: clients pull request indices off a shared atomic
+    // counter, so the class sequence is deterministic while the
+    // interleaving is genuinely concurrent.
+    let next = AtomicU64::new(0);
+    let samples: Mutex<Vec<Sample>> = Mutex::new(Vec::with_capacity(opts.requests));
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..opts.clients.max(1) {
+            scope.spawn(|| {
+                let mut conn = match ServerConn::connect_retry(&opts.addr, Duration::from_secs(10))
+                {
+                    Ok(c) => c,
+                    Err(e) => {
+                        errors.lock().expect("errors").push(e.to_string());
+                        return;
+                    }
+                };
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                    if i >= opts.requests {
+                        return;
+                    }
+                    let spec = with_seed(&opts.base, seed_of(i, opts.mix, pool));
+                    let t = Instant::now();
+                    match submit_and_wait(&mut conn, &spec) {
+                        Ok(resp) => {
+                            let hits = resp.field_u64("hits").unwrap_or(0);
+                            let points = resp.field_u64("points").unwrap_or(0);
+                            samples.lock().expect("samples").push(Sample {
+                                latency: t.elapsed(),
+                                all_hits: points > 0 && hits == points,
+                            });
+                        }
+                        Err(e) => errors.lock().expect("errors").push(e.to_string()),
+                    }
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed();
+    let errors = errors.into_inner().expect("errors");
+    if let Some(first) = errors.first() {
+        return Err(io::Error::other(format!(
+            "{} of {} requests failed; first: {first}",
+            errors.len(),
+            opts.requests
+        )));
+    }
+
+    // Split latencies by how the server actually served each request.
+    let samples = samples.into_inner().expect("samples");
+    let (mut hit_lat, mut sim_lat) = (Vec::new(), Vec::new());
+    for s in &samples {
+        if s.all_hits {
+            hit_lat.push(s.latency);
+        } else {
+            sim_lat.push(s.latency);
+        }
+    }
+
+    let stats_resp = conn.request(&Request::Stats)?;
+    let server_stats = stats_resp
+        .data
+        .iter()
+        .filter_map(|line| {
+            let mut it = line.split_whitespace();
+            match (it.next(), it.next(), it.next(), it.next()) {
+                (Some("stat"), Some(name), Some(v), None) => {
+                    Some((name.to_string(), v.parse().ok()?))
+                }
+                _ => None,
+            }
+        })
+        .collect();
+
+    // The union of everything this run submitted, as one canonical
+    // spec: pool seeds + every miss seed + the dup seed (all requests
+    // share design/bench/length and differ only in seed).
+    let mut seeds: Vec<u64> = (0..pool).map(|p| HIT_POOL_SEED + p as u64).collect();
+    for i in 0..opts.requests {
+        seeds.push(seed_of(i, opts.mix, pool));
+    }
+    seeds.sort_unstable();
+    seeds.dedup();
+    let equivalent = ExperimentSpec {
+        seeds,
+        ..opts.base.clone()
+    };
+
+    if opts.shutdown {
+        let bye = conn.request(&Request::Shutdown)?;
+        if !bye.ok() {
+            return Err(io::Error::other(format!("shutdown failed: {}", bye.status)));
+        }
+    }
+
+    Ok(LoadReport {
+        requests: samples.len(),
+        clients: opts.clients.max(1),
+        mix: opts.mix,
+        wall,
+        hit: latency_stats(&mut hit_lat),
+        simulated: latency_stats(&mut sim_lat),
+        server_stats,
+        equivalent,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_parses_and_rejects() {
+        let mix: MixSpec = "50/30/20".parse().unwrap();
+        assert_eq!((mix.hit, mix.miss, mix.dup), (50, 30, 20));
+        assert_eq!(mix.to_string(), "50/30/20");
+        for bad in ["50/30", "50/30/30", "a/b/c", "110/-5/-5"] {
+            assert!(bad.parse::<MixSpec>().is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn class_assignment_is_deterministic_and_respects_the_mix() {
+        let mix: MixSpec = "50/25/25".parse().unwrap();
+        let n = 1000;
+        let hits = (0..n).filter(|&i| class_of(i, mix) == "hit").count();
+        let dups = (0..n).filter(|&i| class_of(i, mix) == "dup").count();
+        // The linear-probe assignment tracks the requested mix closely.
+        assert!((400..=600).contains(&hits), "{hits}");
+        assert!((150..=350).contains(&dups), "{dups}");
+        // Same i, same class — always.
+        assert_eq!(class_of(17, mix), class_of(17, mix));
+        // Dup requests share one seed; miss seeds are unique.
+        let mut miss_seeds: Vec<u64> = (0..n)
+            .filter(|&i| class_of(i, mix) == "miss")
+            .map(|i| seed_of(i, mix, 4))
+            .collect();
+        let miss_count = miss_seeds.len();
+        miss_seeds.dedup();
+        assert_eq!(miss_seeds.len(), miss_count);
+        for i in 0..n {
+            if class_of(i, mix) == "dup" {
+                assert_eq!(seed_of(i, mix, 4), DUP_SEED);
+            }
+        }
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let mut samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let stats = latency_stats(&mut samples);
+        assert_eq!(stats.count, 100);
+        assert!((stats.p50_ms - 50.0).abs() < 1.5, "{}", stats.p50_ms);
+        assert!((stats.p99_ms - 99.0).abs() < 1.5, "{}", stats.p99_ms);
+        assert_eq!(latency_stats(&mut []).count, 0);
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let report = LoadReport {
+            requests: 8,
+            clients: 2,
+            mix: "50/25/25".parse().unwrap(),
+            wall: Duration::from_millis(500),
+            hit: LatencyStats {
+                count: 4,
+                p50_ms: 1.0,
+                p99_ms: 2.0,
+            },
+            simulated: LatencyStats {
+                count: 4,
+                p50_ms: 40.0,
+                p99_ms: 80.0,
+            },
+            server_stats: vec![("deduped_submits".into(), 2), ("store_entries".into(), 5)],
+            equivalent: "design=conv:32 bench=gzip seed=1,2,3".parse().unwrap(),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"samie-serve-v1\""));
+        assert!(json.contains("\"throughput_rps\": 16.000"));
+        assert!(json.contains("\"deduped_submits\": 2"));
+        assert_eq!(report.server_stat("store_entries"), Some(5));
+        assert!(report.table().to_csv().contains("simulated"));
+    }
+}

@@ -15,13 +15,19 @@
 //!   summary   headline numbers vs the paper
 //!   all       everything above
 //!
-//! samie-exp sweep [--designs LIST] [--bench LIST|all] [--seeds LIST]
-//!                 [--jobs N] [--shard I/N | --workers N] [common flags]
+//! samie-exp sweep [--exp SPEC] [--designs LIST] [--bench LIST|all]
+//!                 [--seeds LIST] [--jobs N] [--shard I/N | --workers N]
+//!                 [common flags]
 //!   design-space grid: LSQ designs x workloads x seeds -> CSV +
 //!   BENCH_sweep.json (+ timing-zeroed BENCH_sweep.det.{json,csv}, the
 //!   byte-comparable artifacts). Designs are DesignSpec strings (run
 //!   `samie-exp designs` for the registered kinds and their syntax),
 //!   comma-separated.
+//!
+//!   --exp takes a whole typed ExperimentSpec in one string —
+//!   `design=conv:128,samie bench=gzip,swim seed=1,2 cfg=rob:128` — the
+//!   same grammar `samie-exp serve` accepts over the wire; the explicit
+//!   flags override individual fields of it.
 //!
 //!   Multi-process fabric: --shard i/n runs only worker i's slice of the
 //!   grid against the shared --store; --workers N spawns N such worker
@@ -59,10 +65,29 @@
 //!   exits 5 unless the run was all cache hits with a warm speedup >= X
 //!   (the report-smoke CI gate).
 //!
-//! samie-exp store [--store DIR] [--gc]
+//! samie-exp store [--store DIR] [--gc] [--dump]
 //!   inspect the experiment store (entries, size, per-design/workload
 //!   counts); with --gc, delete corrupt and version-stale entries and
-//!   rebuild the index.
+//!   rebuild the index; with --dump, print every entry in deterministic
+//!   sorted text form (timing excluded) for byte-for-byte store diffs.
+//!
+//! samie-exp serve [--addr HOST:PORT] [--jobs N] [--queue-cap N]
+//!                 [--store DIR]
+//!   simulation-as-a-service: accept ExperimentSpec requests over a
+//!   line-delimited TCP protocol, dedup against the store, run them on
+//!   a bounded worker pool with priority classes and backpressure, and
+//!   stream per-job progress. Refuses to start if the store cannot be
+//!   opened. SHUTDOWN drains in-flight jobs and journals the queue so a
+//!   restart resumes exactly.
+//!
+//! samie-exp load [--addr HOST:PORT] [--clients N] [--requests N]
+//!                [--mix H/M/D] [--exp SPEC] [--shutdown] [--out DIR]
+//!   client-side load generator for `serve`: a configurable mix of
+//!   store-hit / miss / duplicate requests from N concurrent clients,
+//!   reporting throughput and p50/p99 latency split by hit vs simulated
+//!   into BENCH_serve.json (+ SWEEP_equivalent.txt, the canonical spec
+//!   covering everything submitted — `sweep --exp "$(cat ...)"` must
+//!   produce a byte-identical store).
 //!
 //! caching: sweep and report consult the content-addressed store at
 //! --store DIR (default .samie-store) and only simulate cache misses;
@@ -72,19 +97,108 @@
 
 use std::path::PathBuf;
 
+use exp_harness::experiment::{BenchSel, ExperimentSpec};
 use exp_harness::experiments::{fig1, fig3_4, paired, tab1_delay, tab456};
 use exp_harness::fuzz::{run_fuzz, FuzzConfig};
+use exp_harness::load::{run_load, LoadOptions, MixSpec};
 use exp_harness::report::{generate_book, ReportOptions};
 use exp_harness::runner::{run_paired_suite, PointCache, RunConfig, Runner};
+use exp_harness::serve::{run_serve, ServeOptions};
 use exp_harness::session::SimSession;
 use exp_harness::shard::{Coordinator, ShardSpec};
 use exp_harness::sweep::{check_regression, run_sweep_cached, run_sweep_sharded, SweepGrid};
 use exp_harness::table::Table;
-use exp_harness::{DesignRegistry, SIM_VERSION};
+use exp_harness::{DesignRegistry, DesignSpec, SIM_VERSION};
 use spec_traces::{all_benchmarks, find_workload};
 
+/// What the first positional argument asks for. The paper experiment ids
+/// (`fig1`, `tab456`, `summary`, ...) stay data — they select table
+/// emitters — but every *mode* is typed here, so an unknown command
+/// fails up front with a suggestion instead of falling through to the
+/// experiment loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Command {
+    /// Regenerate paper artefacts (`fig1`..`tab456`, `summary`, `all`).
+    Paper(String),
+    Sweep,
+    Bench,
+    Designs,
+    Fuzz,
+    Record,
+    Report,
+    Store,
+    Serve,
+    Load,
+}
+
+/// Paper experiment ids `Command::Paper` accepts.
+const PAPER_IDS: &[&str] = &[
+    "fig1", "fig3", "fig4", "tab1", "delay", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "fig11", "fig12", "tab456", "summary", "all",
+];
+
+impl Command {
+    fn parse(word: &str) -> Result<Command, String> {
+        match word {
+            "sweep" => return Ok(Command::Sweep),
+            "bench" => return Ok(Command::Bench),
+            "designs" => return Ok(Command::Designs),
+            "fuzz" => return Ok(Command::Fuzz),
+            "record" => return Ok(Command::Record),
+            "report" => return Ok(Command::Report),
+            "store" => return Ok(Command::Store),
+            "serve" => return Ok(Command::Serve),
+            "load" => return Ok(Command::Load),
+            _ => {}
+        }
+        if PAPER_IDS.contains(&word) {
+            return Ok(Command::Paper(word.to_string()));
+        }
+        let known: Vec<&str> = PAPER_IDS
+            .iter()
+            .copied()
+            .chain([
+                "sweep", "bench", "designs", "fuzz", "record", "report", "store", "serve", "load",
+            ])
+            .collect();
+        let mut msg = format!("unknown command `{word}`");
+        if let Some(best) = closest(word, &known) {
+            msg.push_str(&format!(" (did you mean `{best}`?)"));
+        } else {
+            msg.push_str(&format!(" (known: {})", known.join(", ")));
+        }
+        Err(msg)
+    }
+}
+
+/// The closest known command within edit distance 2, for typo hints.
+fn closest<'a>(word: &str, known: &[&'a str]) -> Option<&'a str> {
+    known
+        .iter()
+        .map(|k| (edit_distance(word, k), *k))
+        .filter(|&(d, _)| d <= 2)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, k)| k)
+}
+
+/// Plain Levenshtein distance over bytes (commands are ASCII).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
 struct Args {
-    experiment: String,
+    command: Command,
     rc: RunConfig,
     /// Which of instrs/warmup were given explicitly (fuzz/record pick
     /// their own defaults otherwise).
@@ -109,10 +223,18 @@ struct Args {
     max_restarts: usize,
     chaos_kill: Option<usize>,
     chaos_delay_ms: u64,
+    exp: Option<String>,
+    addr: String,
+    queue_cap: usize,
+    clients: usize,
+    requests: usize,
+    mix: MixSpec,
+    shutdown: bool,
+    dump: bool,
 }
 
 fn parse_args() -> Args {
-    let mut experiment = String::from("all");
+    let mut command = None;
     let mut rc = RunConfig::default();
     let mut instrs_set = false;
     let mut warmup_set = false;
@@ -135,8 +257,19 @@ fn parse_args() -> Args {
     let mut max_restarts = 2;
     let mut chaos_kill = None;
     let mut chaos_delay_ms = 400;
+    let mut exp = None;
+    let mut addr = String::from(exp_harness::DEFAULT_ADDR);
+    let mut queue_cap = 64;
+    let mut clients = 4;
+    let mut requests = 16;
+    let mut mix = MixSpec {
+        hit: 50,
+        miss: 30,
+        dup: 20,
+    };
+    let mut shutdown = false;
+    let mut dump = false;
     let mut it = std::env::args().skip(1);
-    let mut positional_seen = false;
     while let Some(a) = it.next() {
         match a.as_str() {
             "--instrs" => {
@@ -205,19 +338,35 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("number")
             }
+            "--exp" => exp = Some(it.next().expect("--exp SPEC")),
+            "--addr" => addr = it.next().expect("--addr HOST:PORT"),
+            "--queue-cap" => queue_cap = it.next().expect("--queue-cap N").parse().expect("number"),
+            "--clients" => clients = it.next().expect("--clients N").parse().expect("number"),
+            "--requests" => requests = it.next().expect("--requests N").parse().expect("number"),
+            "--mix" => {
+                mix = it
+                    .next()
+                    .expect("--mix H/M/D")
+                    .parse()
+                    .unwrap_or_else(|e| panic!("{e}"))
+            }
+            "--shutdown" => shutdown = true,
+            "--dump" => dump = true,
             "--help" | "-h" => {
-                eprintln!("usage: samie-exp <fig1|fig3|fig4|tab1|delay|fig5..fig12|tab456|summary|all|sweep|bench|designs|fuzz|record|report|store> [--instrs N] [--warmup N] [--seed N] [--out DIR] [--quick] [--chart] [--designs LIST] [--bench LIST] [--seeds LIST] [--jobs N] [--baseline FILE] [--max-regression X] [--iters N] [--store DIR] [--no-cache] [--gc] [--expect-warm X] [--shard I/N] [--workers N] [--max-restarts N] [--chaos-kill I] [--chaos-delay-ms MS]");
+                eprintln!("usage: samie-exp <fig1|fig3|fig4|tab1|delay|fig5..fig12|tab456|summary|all|sweep|bench|designs|fuzz|record|report|store|serve|load> [--exp SPEC] [--instrs N] [--warmup N] [--seed N] [--out DIR] [--quick] [--chart] [--designs LIST] [--bench LIST] [--seeds LIST] [--jobs N] [--baseline FILE] [--max-regression X] [--iters N] [--store DIR] [--no-cache] [--gc] [--dump] [--expect-warm X] [--shard I/N] [--workers N] [--max-restarts N] [--chaos-kill I] [--chaos-delay-ms MS] [--addr HOST:PORT] [--queue-cap N] [--clients N] [--requests N] [--mix H/M/D] [--shutdown]");
                 std::process::exit(0);
             }
-            other if !positional_seen => {
-                experiment = other.to_string();
-                positional_seen = true;
+            other if command.is_none() => {
+                command = Some(Command::parse(other).unwrap_or_else(|e| {
+                    eprintln!("{e}; run with --help");
+                    std::process::exit(2);
+                }));
             }
             other => panic!("unexpected argument {other}"),
         }
     }
     Args {
-        experiment,
+        command: command.unwrap_or_else(|| Command::Paper("all".to_string())),
         rc,
         instrs_set,
         warmup_set,
@@ -240,6 +389,14 @@ fn parse_args() -> Args {
         max_restarts,
         chaos_kill,
         chaos_delay_ms,
+        exp,
+        addr,
+        queue_cap,
+        clients,
+        requests,
+        mix,
+        shutdown,
+        dump,
     }
 }
 
@@ -346,47 +503,103 @@ fn run_record_command(args: &Args) -> i32 {
     0
 }
 
-/// Open the experiment store for a cache-consulting command, or fall
-/// back to uncached execution with a warning. `disabled` (bench mode,
-/// --no-cache) skips the store silently.
-fn open_cache(args: &Args, disabled: bool) -> Option<PointCache> {
-    if disabled {
-        return None;
+/// How a cache-consulting command sees the experiment store: open, off
+/// by request (`--no-cache`, bench mode), or *failed to open* — the
+/// failure carries its reason so the final report can surface it
+/// instead of a mid-scroll warning silently degrading the run.
+enum CacheState {
+    Open(PointCache),
+    Disabled,
+    Failed(String),
+}
+
+impl CacheState {
+    fn cache(&self) -> Option<&PointCache> {
+        match self {
+            CacheState::Open(c) => Some(c),
+            _ => None,
+        }
     }
-    match PointCache::open(&args.store) {
-        Ok(c) => Some(c),
-        Err(e) => {
-            eprintln!(
-                "warning: cannot open experiment store {} ({e}); running uncached",
-                args.store.display()
-            );
-            None
+
+    fn failure(&self) -> Option<&str> {
+        match self {
+            CacheState::Failed(reason) => Some(reason),
+            _ => None,
         }
     }
 }
 
-/// `sweep` / `bench` entry point; returns the process exit code.
-fn run_sweep_command(args: &Args) -> i32 {
-    let registry = DesignRegistry::builtin();
-    let is_bench = args.experiment == "bench";
-    let mut grid = if is_bench {
-        SweepGrid::bench_default(args.rc)
-    } else {
-        SweepGrid::sweep_default(args.rc)
+/// Open the experiment store for a cache-consulting command. A failure
+/// is reported *and remembered*: cached CLI paths degrade to uncached
+/// execution but print the reason again in the report tail, and `serve`
+/// refuses to start on it (a daemon that silently stopped deduplicating
+/// would defeat its purpose).
+fn open_cache(args: &Args, disabled: bool) -> CacheState {
+    if disabled {
+        return CacheState::Disabled;
+    }
+    match PointCache::open(&args.store) {
+        Ok(c) => CacheState::Open(c),
+        Err(e) => {
+            let reason = format!(
+                "cannot open experiment store {} ({e})",
+                args.store.display()
+            );
+            eprintln!("warning: {reason}; running uncached");
+            CacheState::Failed(reason)
+        }
+    }
+}
+
+/// Resolve the experiment for `sweep`/`bench`: start from `--exp` (or
+/// the mode's default grid), then let the explicit flags override
+/// individual fields.
+fn build_spec(args: &Args, is_bench: bool) -> Result<ExperimentSpec, String> {
+    let mut spec = match &args.exp {
+        Some(s) => s.parse::<ExperimentSpec>().map_err(|e| e.to_string())?,
+        None if is_bench => ExperimentSpec::bench_default(args.rc),
+        None => ExperimentSpec::sweep_default(args.rc),
     };
+    if args.instrs_set {
+        spec.instrs = args.rc.instrs;
+    }
+    if args.warmup_set {
+        spec.warmup = args.rc.warmup;
+    }
     if let Some(d) = &args.designs {
-        grid.designs = registry.parse_list(d).unwrap_or_else(|e| panic!("{e}"));
+        spec.designs = DesignSpec::parse_list(d).map_err(|e| e.to_string())?;
     }
     if let Some(b) = &args.benchmarks {
-        grid.benchmarks = SweepGrid::parse_benchmarks(b).unwrap_or_else(|e| panic!("{e}"));
+        spec.benches = BenchSel::parse_bench_list(b).map_err(|e| e.to_string())?;
     }
     if let Some(s) = &args.seeds {
-        grid.seeds = s
+        spec.seeds = s
             .split(',')
             .filter(|x| !x.is_empty())
-            .map(|x| x.parse().unwrap_or_else(|_| panic!("bad seed `{x}`")))
-            .collect();
+            .map(|x| x.parse().map_err(|_| format!("bad seed `{x}`")))
+            .collect::<Result<_, _>>()?;
     }
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// `sweep` / `bench` entry point; returns the process exit code.
+fn run_sweep_command(args: &Args, is_bench: bool) -> i32 {
+    let mode = if is_bench { "bench" } else { "sweep" };
+    let spec = match build_spec(args, is_bench) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{mode}: {e}");
+            return 2;
+        }
+    };
+    let grid = match spec.to_grid() {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{mode}: {e}");
+            return 2;
+        }
+    };
     // Sharding and the fabric distribute results through the store, and
     // `bench` exists to measure raw simulation throughput — the modes
     // are mutually exclusive.
@@ -395,7 +608,7 @@ fn run_sweep_command(args: &Args) -> i32 {
         return 2;
     }
     if args.workers > 0 {
-        return run_fabric_command(args, &grid);
+        return run_fabric_command(args, &spec, &grid);
     }
     // `bench` is a throughput tracker: its number must be comparable
     // across hosts with different core counts, so it runs serially
@@ -407,39 +620,43 @@ fn run_sweep_command(args: &Args) -> i32 {
         args.jobs
     };
     let cache = open_cache(args, is_bench || args.no_cache);
-    if args.shard.is_some() && cache.is_none() {
+    if args.shard.is_some() && cache.cache().is_none() {
         eprintln!("a sharded worker without a store would simulate into the void");
         return 2;
     }
-    let n = grid.designs.len() * grid.benchmarks.len() * grid.seeds.len();
+    let n = spec.points();
     let shard_note = args
         .shard
         .map(|s| format!(" [shard {s}]"))
         .unwrap_or_default();
     eprintln!(
-        "{}: {} designs x {} benchmarks x {} seeds = {n} points ({} + {} instrs each){shard_note}",
-        args.experiment,
+        "{mode}: {} designs x {} benchmarks x {} seeds = {n} points ({} + {} instrs each){shard_note}",
         grid.designs.len(),
         grid.benchmarks.len(),
         grid.seeds.len(),
-        args.rc.warmup,
-        args.rc.instrs,
+        spec.warmup,
+        spec.instrs,
     );
-    let mut report = run_sweep_sharded(&grid, jobs, cache.as_ref(), args.shard);
-    report.mode = if is_bench { "bench" } else { "sweep" };
-    finish_sweep(args, report, cache.as_ref())
+    let mut report = run_sweep_sharded(&grid, jobs, cache.cache(), args.shard);
+    report.mode = mode;
+    finish_sweep(args, report, &cache)
 }
 
 /// Shared tail of every sweep-family run: console table, cache summary,
 /// output files, optional baseline gate.
-fn finish_sweep(args: &Args, report: exp_harness::SweepReport, cache: Option<&PointCache>) -> i32 {
+fn finish_sweep(args: &Args, report: exp_harness::SweepReport, cache: &CacheState) -> i32 {
     println!("{}", report.table().render());
-    if let Some(c) = cache {
+    if let Some(c) = cache.cache() {
         println!(
             "{} [store {}]",
             report.cache_summary(),
             c.store().root().display()
         );
+    }
+    if let Some(reason) = cache.failure() {
+        // Repeated at the tail on purpose: the warning at open time
+        // scrolls away under the sweep's progress output.
+        println!("store UNAVAILABLE — ran uncached: {reason}");
     }
     println!(
         "total: {} simulated instructions in {:.2} s = {:.2} Msim-instr/s",
@@ -472,7 +689,7 @@ fn finish_sweep(args: &Args, report: exp_harness::SweepReport, cache: Option<&Po
 /// processes over one grid and one store, supervise and restart them,
 /// then reconcile the full grid against the store and write the merged
 /// report — byte-identical (deterministic JSON/CSV) to a serial sweep.
-fn run_fabric_command(args: &Args, grid: &SweepGrid) -> i32 {
+fn run_fabric_command(args: &Args, spec: &ExperimentSpec, grid: &SweepGrid) -> i32 {
     let exe = match std::env::current_exe() {
         Ok(p) => p,
         Err(e) => {
@@ -490,29 +707,18 @@ fn run_fabric_command(args: &Args, grid: &SweepGrid) -> i32 {
             .unwrap_or(4);
         (cores / args.workers).max(1)
     };
-    let mut base: Vec<String> = vec![
+    // Workers get the *canonical* spec string, not a re-assembly of the
+    // coordinator's flags — one typed value describes the whole grid, so
+    // a worker cannot drift from the grid it is a shard of.
+    let base: Vec<String> = vec![
         "sweep".into(),
-        "--instrs".into(),
-        args.rc.instrs.to_string(),
-        "--warmup".into(),
-        args.rc.warmup.to_string(),
-        "--seed".into(),
-        args.rc.seed.to_string(),
+        "--exp".into(),
+        spec.to_string(),
         "--store".into(),
         args.store.display().to_string(),
         "--jobs".into(),
         per_worker_jobs.to_string(),
     ];
-    for (flag, value) in [
-        ("--designs", &args.designs),
-        ("--bench", &args.benchmarks),
-        ("--seeds", &args.seeds),
-    ] {
-        if let Some(v) = value {
-            base.push(flag.into());
-            base.push(v.clone());
-        }
-    }
     let coordinator = Coordinator {
         exe,
         base_args: base,
@@ -559,13 +765,14 @@ fn run_fabric_command(args: &Args, grid: &SweepGrid) -> i32 {
     // Reconcile-and-merge: the full grid against the shared store — every
     // worker-computed point is a hit, stragglers are simulated here, and
     // the merged rows are pure functions of the stored counters.
-    let Some(cache) = open_cache(args, false) else {
+    let cache = open_cache(args, false);
+    let Some(c) = cache.cache() else {
         eprintln!("fabric cannot open the store it just swept into");
         return 1;
     };
-    let mut report = run_sweep_cached(grid, args.jobs, Some(&cache));
+    let mut report = run_sweep_cached(grid, args.jobs, Some(c));
     report.mode = "sweep";
-    finish_sweep(args, report, Some(&cache))
+    finish_sweep(args, report, &cache)
 }
 
 /// `report` entry point: regenerate the reproduction book.
@@ -576,8 +783,16 @@ fn run_report_command(args: &Args) -> i32 {
         PathBuf::from("docs/book")
     };
     let cache = open_cache(args, args.no_cache);
+    if let Some(reason) = cache.failure() {
+        if args.expect_warm.is_some() {
+            // A warm-gate run that cannot even open the store can only
+            // fail the gate after simulating everything — refuse early.
+            eprintln!("--expect-warm needs the store: {reason}");
+            return 5;
+        }
+    }
     let mut opts = ReportOptions::new(args.rc, &out);
-    if let Some(c) = &cache {
+    if let Some(c) = cache.cache() {
         opts.runner = Runner::cached(c);
     }
     eprintln!(
@@ -601,7 +816,10 @@ fn run_report_command(args: &Args) -> i32 {
         out.display(),
         book.wall.as_secs_f64()
     );
-    if let Some(c) = &cache {
+    if let Some(reason) = cache.failure() {
+        println!("store UNAVAILABLE — book regenerated uncached: {reason}");
+    }
+    if let Some(c) = cache.cache() {
         let speedup = if book.wall.as_secs_f64() > 0.0 {
             c.saved().as_secs_f64() / book.wall.as_secs_f64()
         } else {
@@ -642,6 +860,21 @@ fn run_store_command(args: &Args) -> i32 {
         }
     };
     let store = cache.store();
+    if args.dump {
+        // Deterministic text form of every entry, sorted, timing
+        // excluded — two stores holding the same results dump
+        // byte-identical text (the CI serve-vs-sweep equivalence gate).
+        match store.dump_deterministic() {
+            Ok(text) => {
+                print!("{text}");
+                return 0;
+            }
+            Err(e) => {
+                eprintln!("cannot dump store: {e}");
+                return 1;
+            }
+        }
+    }
     if args.gc {
         match store.gc(SIM_VERSION) {
             Ok(r) => {
@@ -723,6 +956,111 @@ fn run_store_command(args: &Args) -> i32 {
     0
 }
 
+/// `serve` entry point: the simulation-as-a-service daemon. Unlike the
+/// cached CLI paths, a store-open failure here is fatal — a server that
+/// cannot consult the store would silently re-simulate every request
+/// and never deduplicate, which is exactly the degradation `serve`
+/// exists to prevent.
+fn run_serve_command(args: &Args) -> i32 {
+    let cache = match PointCache::open(&args.store) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!(
+                "serve: refusing to start: cannot open experiment store {}: {e}",
+                args.store.display()
+            );
+            return 1;
+        }
+    };
+    let opts = ServeOptions {
+        addr: args.addr.clone(),
+        workers: args.jobs,
+        queue_cap: args.queue_cap,
+    };
+    match run_serve(&opts, cache) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            1
+        }
+    }
+}
+
+/// `load` entry point: drive a running server with a mixed workload and
+/// write BENCH_serve.json.
+fn run_load_command(args: &Args) -> i32 {
+    let base = match &args.exp {
+        Some(s) => match s.parse::<ExperimentSpec>() {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("load: {e}");
+                return 2;
+            }
+        },
+        // Default base: one cheap point per request, so a bare
+        // `samie-exp load` measures the server, not the simulator.
+        None => {
+            let rc = RunConfig {
+                instrs: if args.instrs_set {
+                    args.rc.instrs
+                } else {
+                    RunConfig::quick().instrs
+                },
+                warmup: if args.warmup_set {
+                    args.rc.warmup
+                } else {
+                    RunConfig::quick().warmup
+                },
+                seed: args.rc.seed,
+            };
+            ExperimentSpec::single(
+                DesignSpec::Conventional { entries: 64 },
+                "gzip",
+                rc.seed,
+                rc,
+            )
+        }
+    };
+    let opts = LoadOptions {
+        addr: args.addr.clone(),
+        clients: args.clients,
+        requests: args.requests,
+        mix: args.mix,
+        base,
+        shutdown: args.shutdown,
+    };
+    eprintln!(
+        "load: {} requests x {} clients, mix {} -> {}",
+        opts.requests, opts.clients, opts.mix, opts.addr
+    );
+    let report = match run_load(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("load failed: {e}");
+            return 1;
+        }
+    };
+    println!("{}", report.table().render());
+    println!(
+        "throughput: {:.1} req/s over {:.2} s",
+        report.throughput_rps(),
+        report.wall.as_secs_f64()
+    );
+    for name in ["submits", "deduped_submits", "completed", "rejected"] {
+        if let Some(v) = report.server_stat(name) {
+            println!("server {name}: {v}");
+        }
+    }
+    match report.write(&args.out) {
+        Ok(p) => eprintln!("  -> {}", p.display()),
+        Err(e) => {
+            eprintln!("cannot write load report: {e}");
+            return 1;
+        }
+    }
+    0
+}
+
 fn emit(t: &Table, out: &std::path::Path, chart: bool) {
     println!("{}", t.render());
     if chart && t.headers.len() >= 2 {
@@ -741,30 +1079,26 @@ fn emit(t: &Table, out: &std::path::Path, chart: bool) {
 
 fn main() {
     let args = parse_args();
-    if args.experiment == "designs" {
-        println!("registered design kinds (comma-separate specs for --designs):");
-        for (kind, help) in DesignRegistry::builtin().help_lines() {
-            println!("  {kind:<14} {help}");
+    let exp = match &args.command {
+        Command::Designs => {
+            println!("registered design kinds (comma-separate specs for --designs):");
+            for (kind, help) in DesignRegistry::builtin().help_lines() {
+                println!("  {kind:<14} {help}");
+            }
+            return;
         }
-        return;
-    }
-    if matches!(args.experiment.as_str(), "sweep" | "bench") {
-        std::process::exit(run_sweep_command(&args));
-    }
-    if args.experiment == "fuzz" {
-        std::process::exit(run_fuzz_command(&args));
-    }
-    if args.experiment == "record" {
-        std::process::exit(run_record_command(&args));
-    }
-    if args.experiment == "report" {
-        std::process::exit(run_report_command(&args));
-    }
-    if args.experiment == "store" {
-        std::process::exit(run_store_command(&args));
-    }
+        Command::Sweep => std::process::exit(run_sweep_command(&args, false)),
+        Command::Bench => std::process::exit(run_sweep_command(&args, true)),
+        Command::Fuzz => std::process::exit(run_fuzz_command(&args)),
+        Command::Record => std::process::exit(run_record_command(&args)),
+        Command::Report => std::process::exit(run_report_command(&args)),
+        Command::Store => std::process::exit(run_store_command(&args)),
+        Command::Serve => std::process::exit(run_serve_command(&args)),
+        Command::Load => std::process::exit(run_load_command(&args)),
+        Command::Paper(id) => id.clone(),
+    };
     let rc = args.rc;
-    let exp = args.experiment.as_str();
+    let exp = exp.as_str();
     eprintln!(
         "running `{exp}` with {} measured / {} warm-up instructions per benchmark (seed {})",
         rc.instrs, rc.warmup, rc.seed

@@ -1,0 +1,296 @@
+//! The `samie-exp serve` wire protocol: line-delimited text over TCP,
+//! hand-rolled like every other format in this workspace (no serde, no
+//! crates.io). An [`ExperimentRequest`]'s canonical string — already the
+//! CLI's `--exp` syntax — **is** the submission payload, so anything
+//! that can print a spec can talk to the server, `nc` included.
+//!
+//! ## Grammar
+//!
+//! Requests are single lines, uppercase verb first:
+//!
+//! ```text
+//! SUBMIT [prio=high|low] design=... bench=... [seed=...] [instrs=...] [warmup=...] [cfg=...]
+//! WAIT j<id>        stream progress, then rows + final status
+//! STATUS j<id>      one-line phase snapshot
+//! RESULT j<id>      rows + final status of a finished job
+//! HEALTH            liveness + queue occupancy
+//! STATS             counters + per-design wall time
+//! SHUTDOWN          drain in-flight jobs, journal the rest, exit 0
+//! QUIT              close this connection
+//! ```
+//!
+//! Every response is zero or more *data lines* (first word `progress`,
+//! `point` or `stat`) terminated by exactly one *status line*, which
+//! starts with a 3-digit code — `2xx` success, `4xx` client error, `5xx`
+//! server state — so clients read lines until the terminator:
+//!
+//! ```text
+//! 202 accepted j7 points=4          SUBMIT queued (dedups against the store first)
+//! 429 queue-full depth=64 cap=64    backpressure: resubmit later
+//! 400 <reason>                      unparseable request ("did you mean" included)
+//! 503 draining                      server is shutting down
+//! 200 done j7 points=4 hits=3 simulated=1 dedup_waits=0 wall_ms=812
+//! 500 failed j7: <reason>
+//! ```
+//!
+//! See `docs/ARCHITECTURE.md` for the full contract (queue semantics,
+//! shutdown, journal resume).
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::experiment::ExperimentRequest;
+
+/// Default address `serve` binds and `load` dials.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7979";
+
+/// A parsed protocol request (one line from a client).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Queue an experiment (dedup against the store first).
+    Submit(ExperimentRequest),
+    /// Stream progress until the job finishes, then its rows + status.
+    Wait(u64),
+    /// One-line phase snapshot of a job.
+    Status(u64),
+    /// Rows + final status of a finished job.
+    Result(u64),
+    /// Liveness + queue occupancy.
+    Health,
+    /// Counters + per-design wall time.
+    Stats,
+    /// Drain in-flight jobs, journal the rest, exit.
+    Shutdown,
+    /// Close this connection.
+    Quit,
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Request::Submit(r) => write!(f, "SUBMIT {r}"),
+            Request::Wait(id) => write!(f, "WAIT j{id}"),
+            Request::Status(id) => write!(f, "STATUS j{id}"),
+            Request::Result(id) => write!(f, "RESULT j{id}"),
+            Request::Health => f.write_str("HEALTH"),
+            Request::Stats => f.write_str("STATS"),
+            Request::Shutdown => f.write_str("SHUTDOWN"),
+            Request::Quit => f.write_str("QUIT"),
+        }
+    }
+}
+
+/// Parse one request line. Errors are single-line, client-facing
+/// strings (they travel back as `400` status lines verbatim).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    let job = |rest: &str| -> Result<u64, String> {
+        rest.strip_prefix('j')
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| format!("expected a job id like j7, got `{rest}`"))
+    };
+    let bare = |verb: &str, rest: &str, req: Request| -> Result<Request, String> {
+        if rest.is_empty() {
+            Ok(req)
+        } else {
+            Err(format!("{verb} takes no arguments, got `{rest}`"))
+        }
+    };
+    match verb {
+        "SUBMIT" => {
+            let req: ExperimentRequest = rest.parse().map_err(|e| format!("{e}"))?;
+            Ok(Request::Submit(req))
+        }
+        "WAIT" => Ok(Request::Wait(job(rest)?)),
+        "STATUS" => Ok(Request::Status(job(rest)?)),
+        "RESULT" => Ok(Request::Result(job(rest)?)),
+        "HEALTH" => bare(verb, rest, Request::Health),
+        "STATS" => bare(verb, rest, Request::Stats),
+        "SHUTDOWN" => bare(verb, rest, Request::Shutdown),
+        "QUIT" => bare(verb, rest, Request::Quit),
+        "" => Err("empty request".into()),
+        other => Err(format!(
+            "unknown verb `{other}` (known: SUBMIT, WAIT, STATUS, RESULT, HEALTH, STATS, SHUTDOWN, QUIT)"
+        )),
+    }
+}
+
+/// A complete response: data lines plus the terminating status line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The 3-digit status code off the terminator line.
+    pub code: u16,
+    /// The full status line (including the code).
+    pub status: String,
+    /// The data lines that preceded it (`progress`/`point`/`stat`).
+    pub data: Vec<String>,
+}
+
+impl Response {
+    /// Whether the status code is 2xx.
+    pub fn ok(&self) -> bool {
+        (200..300).contains(&self.code)
+    }
+
+    /// Extract `key=value` off the status line (e.g. `points`, `hits`).
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.status
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix(key)?.strip_prefix('='))
+    }
+
+    /// [`field`](Self::field) parsed as a number.
+    pub fn field_u64(&self, key: &str) -> Option<u64> {
+        self.field(key)?.parse().ok()
+    }
+}
+
+/// Whether a line is a status terminator: three ASCII digits, then end
+/// of line or a space.
+pub fn is_status_line(line: &str) -> bool {
+    let b = line.as_bytes();
+    b.len() >= 3 && b[..3].iter().all(u8::is_ascii_digit) && (b.len() == 3 || b[3] == b' ')
+}
+
+/// The job id off a `202 accepted j<id> ...` (or `200 done j<id> ...`)
+/// status line.
+pub fn job_id_from(resp: &Response) -> Option<u64> {
+    resp.status
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix('j')?.parse().ok())
+}
+
+/// A client connection: writes request lines, reads framed responses.
+#[derive(Debug)]
+pub struct ServerConn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl ServerConn {
+    /// Connect to a running server.
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(ServerConn { stream, reader })
+    }
+
+    /// [`connect`](Self::connect), retrying until `timeout` — for
+    /// clients racing a server that is still binding its listener.
+    pub fn connect_retry(addr: &str, timeout: Duration) -> io::Result<Self> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Self::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// Send one request and read its complete framed response. Calls
+    /// `on_data` on every data line as it arrives (progress streaming);
+    /// the lines are also collected into the returned [`Response`].
+    pub fn request_with(
+        &mut self,
+        req: &Request,
+        mut on_data: impl FnMut(&str),
+    ) -> io::Result<Response> {
+        writeln!(self.stream, "{req}")?;
+        self.stream.flush()?;
+        let mut data = Vec::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-response",
+                ));
+            }
+            let line = line.trim_end().to_string();
+            if is_status_line(&line) {
+                let code = line[..3].parse().expect("checked 3 digits");
+                return Ok(Response {
+                    code,
+                    status: line,
+                    data,
+                });
+            }
+            on_data(&line);
+            data.push(line);
+        }
+    }
+
+    /// [`request_with`](Self::request_with) discarding streamed lines
+    /// (they still land in [`Response::data`]).
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        self.request_with(req, |_| {})
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_their_display() {
+        let lines = [
+            "SUBMIT design=conv:64 bench=gzip seed=42 instrs=1000000 warmup=200000",
+            "SUBMIT prio=high design=samie:64x2x8:sh8:ab64 bench=swim seed=7 instrs=5000 warmup=100",
+            "WAIT j7",
+            "STATUS j0",
+            "RESULT j12",
+            "HEALTH",
+            "STATS",
+            "SHUTDOWN",
+            "QUIT",
+        ];
+        for line in lines {
+            let req = parse_request(line).unwrap();
+            assert_eq!(req.to_string(), line, "canonical form is a fixed point");
+            assert_eq!(parse_request(&req.to_string()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn bad_requests_are_single_line_errors() {
+        for (line, needle) in [
+            ("", "empty request"),
+            ("FROB j1", "unknown verb `FROB`"),
+            ("WAIT seven", "expected a job id"),
+            ("HEALTH now", "takes no arguments"),
+            ("SUBMIT bench=gzip", "missing required field `design="),
+            ("SUBMIT design=conv:64 bench=gziip", "did you mean `gzip`"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "`{line}`: {err}");
+            assert!(!err.contains('\n'), "errors must fit a status line");
+        }
+    }
+
+    #[test]
+    fn status_line_detection_and_fields() {
+        assert!(is_status_line("200 done j3 points=4 hits=4"));
+        assert!(is_status_line("429 queue-full depth=8 cap=8"));
+        assert!(is_status_line("200"));
+        assert!(!is_status_line("progress j3 2000/4000"));
+        assert!(!is_status_line("20x nope"));
+        assert!(!is_status_line("2000 too many digits"));
+        let resp = Response {
+            code: 200,
+            status: "200 done j3 points=4 hits=2 wall_ms=17".into(),
+            data: vec![],
+        };
+        assert!(resp.ok());
+        assert_eq!(resp.field_u64("points"), Some(4));
+        assert_eq!(resp.field_u64("hits"), Some(2));
+        assert_eq!(resp.field("missing"), None);
+        assert_eq!(job_id_from(&resp), Some(3));
+    }
+}

@@ -57,7 +57,22 @@ impl RunConfig {
 /// registry-produced handle; the workload may be a calibrated spec, an
 /// adversarial generator or a recorded replay trace).
 pub fn run_one(workload: impl IntoWorkload, design: impl IntoDesign, rc: &RunConfig) -> SimStats {
-    let report = SimSession::new(design, workload).run_config(*rc).run();
+    run_one_configured(workload, design, rc, SimConfig::paper())
+}
+
+/// [`run_one`] under an explicit core configuration (the sweep engine
+/// threads [`SweepGrid::cfg`](crate::sweep::SweepGrid::cfg) through
+/// here).
+pub fn run_one_configured(
+    workload: impl IntoWorkload,
+    design: impl IntoDesign,
+    rc: &RunConfig,
+    cfg: SimConfig,
+) -> SimStats {
+    let report = SimSession::new(design, workload)
+        .config(cfg)
+        .run_config(*rc)
+        .run();
     report
         .runs
         .into_iter()
@@ -175,15 +190,28 @@ impl PointCache {
         &self.store
     }
 
-    /// The key of one simulation point.
+    /// The key of one simulation point (under the paper configuration).
     pub fn key(&self, design_id: &str, workload: &Workload, rc: &RunConfig) -> PointKey {
+        self.key_with_config(design_id, workload, rc, &self.sim_config)
+    }
+
+    /// [`key`](Self::key) under an explicit canonical core-configuration
+    /// string ([`SimConfig::canonical`]) — grids with config overrides
+    /// key their points here so overridden runs never alias paper runs.
+    pub fn key_with_config(
+        &self,
+        design_id: &str,
+        workload: &Workload,
+        rc: &RunConfig,
+        sim_config: &str,
+    ) -> PointKey {
         PointKey {
             design: design_id.to_string(),
             workload: workload.cache_id(),
             seed: rc.seed,
             instrs: rc.instrs,
             warmup: rc.warmup,
-            sim_config: self.sim_config.clone(),
+            sim_config: sim_config.to_string(),
             sim_version: SIM_VERSION.to_string(),
         }
     }

@@ -1,0 +1,849 @@
+//! `samie-exp serve` — the simulation-as-a-service daemon.
+//!
+//! A multi-tenant TCP server (see [`protocol`](crate::protocol) for the
+//! wire grammar) that reconciles declarative [`ExperimentRequest`]s
+//! against the content-addressed experiment store:
+//!
+//! * **dedup before work** — every submitted point is fingerprinted; a
+//!   point already in the store is served from it, a point another job
+//!   is currently computing is *waited for* (never computed twice in
+//!   one server), and only genuinely new points simulate;
+//! * **bounded queue, priority classes** — jobs queue per
+//!   [`Priority`]; a full queue rejects with `429 queue-full` instead
+//!   of buffering without bound;
+//! * **streamed progress** — `WAIT` streams per-job progress lines fed
+//!   by the [`SessionEvent`] observer;
+//! * **crash-safe resume** — submissions are journaled
+//!   (`<store>/serve.journal`) before they are acknowledged; on
+//!   `SHUTDOWN` workers finish their current job, queued jobs stay
+//!   journaled, and a restarted server re-enqueues them — completed
+//!   points are store hits, so the resumed queue finishes
+//!   bit-identically.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fs;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ooo_sim::SimConfig;
+use samie_lsq::DesignHandle;
+use spec_traces::Workload;
+
+use crate::experiment::{ExperimentRequest, Priority};
+use crate::protocol::{parse_request, Request};
+use crate::runner::{PointCache, RunConfig};
+use crate::session::{SessionEvent, SimSession};
+use crate::sweep::point_from_stats;
+use crate::table::fmt as fmt_num;
+
+/// Server configuration (the CLI fills this from flags).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Address to bind, e.g. `127.0.0.1:7979` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads simulating jobs (0 = all cores).
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs before `429`.
+    pub queue_cap: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: crate::protocol::DEFAULT_ADDR.to_string(),
+            workers: 0,
+            queue_cap: 64,
+        }
+    }
+}
+
+/// Job lifecycle phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Queued,
+    Running,
+    Done,
+    Failed,
+}
+
+impl Phase {
+    fn name(self) -> &'static str {
+        match self {
+            Phase::Queued => "queued",
+            Phase::Running => "running",
+            Phase::Done => "done",
+            Phase::Failed => "failed",
+        }
+    }
+}
+
+/// One served grid point, rendered as a `point` data line.
+#[derive(Debug, Clone)]
+struct ServedRow {
+    design: String,
+    bench: String,
+    seed: u64,
+    ipc: f64,
+    cycles: u64,
+    instructions: u64,
+    hit: bool,
+}
+
+impl ServedRow {
+    fn line(&self) -> String {
+        format!(
+            "point design={} bench={} seed={} ipc={} cycles={} instructions={} hit={}",
+            self.design,
+            self.bench,
+            self.seed,
+            fmt_num(self.ipc, 6),
+            self.cycles,
+            self.instructions,
+            u8::from(self.hit)
+        )
+    }
+}
+
+/// Mutable job progress, guarded by the job's mutex; `version` bumps on
+/// every change so `WAIT` streams exactly the updates that happened.
+#[derive(Debug, Default)]
+struct JobState {
+    phase: Option<Phase>,
+    error: String,
+    points_done: usize,
+    committed: u64,
+    target: u64,
+    rows: Vec<ServedRow>,
+    hits: u64,
+    simulated: u64,
+    dedup_waits: u64,
+    wall: Duration,
+    version: u64,
+}
+
+/// One submitted experiment, shared between the queue, the jobs map,
+/// the worker running it and every connection watching it.
+struct Job {
+    id: u64,
+    request: ExperimentRequest,
+    points: Vec<(DesignHandle, Workload, u64)>,
+    rc: RunConfig,
+    cfg: SimConfig,
+    state: Mutex<JobState>,
+    changed: Condvar,
+}
+
+impl Job {
+    fn phase(&self) -> Phase {
+        self.state
+            .lock()
+            .expect("job lock")
+            .phase
+            .unwrap_or(Phase::Queued)
+    }
+
+    fn touch(&self, f: impl FnOnce(&mut JobState)) {
+        let mut st = self.state.lock().expect("job lock");
+        f(&mut st);
+        st.version += 1;
+        self.changed.notify_all();
+    }
+
+    fn done_status(&self) -> String {
+        let st = self.state.lock().expect("job lock");
+        match st.phase {
+            Some(Phase::Failed) => format!("500 failed j{}: {}", self.id, st.error),
+            _ => format!(
+                "200 done j{} points={} hits={} simulated={} dedup_waits={} wall_ms={}",
+                self.id,
+                self.points.len(),
+                st.hits,
+                st.simulated,
+                st.dedup_waits,
+                st.wall.as_millis()
+            ),
+        }
+    }
+}
+
+/// Per-priority FIFO queues, drained highest class first.
+#[derive(Default)]
+struct Queues {
+    classes: [VecDeque<Arc<Job>>; 3],
+}
+
+impl Queues {
+    fn slot(p: Priority) -> usize {
+        match p {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    fn push(&mut self, job: Arc<Job>) {
+        self.classes[Self::slot(job.request.priority)].push_back(job);
+    }
+
+    fn pop(&mut self) -> Option<Arc<Job>> {
+        self.classes.iter_mut().find_map(|q| q.pop_front())
+    }
+
+    fn len(&self) -> usize {
+        self.classes.iter().map(|q| q.len()).sum()
+    }
+}
+
+/// Monotonic serving counters (reported by `STATS`).
+#[derive(Default)]
+struct ServeStats {
+    submits: AtomicU64,
+    deduped_submits: AtomicU64,
+    dedup_waits: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// Everything the connection handlers and workers share.
+struct ServerState {
+    cache: PointCache,
+    queues: Mutex<Queues>,
+    queue_ready: Condvar,
+    queue_cap: usize,
+    workers: usize,
+    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+    next_id: AtomicU64,
+    /// Point file-names currently being simulated by some worker — the
+    /// in-flight claim registry that collapses concurrent identical
+    /// points into one simulation.
+    inflight: Mutex<HashSet<String>>,
+    inflight_done: Condvar,
+    /// Point file-names ever submitted to this server — the
+    /// deterministic submit-time dedup ledger.
+    seen: Mutex<HashSet<String>>,
+    stats: ServeStats,
+    /// design id → (points served, recorded compute nanos).
+    per_design: Mutex<HashMap<String, (u64, u64)>>,
+    draining: AtomicBool,
+    busy: Mutex<usize>,
+    idle: Condvar,
+    journal: Mutex<fs::File>,
+    started: Instant,
+}
+
+impl ServerState {
+    fn journal_line(&self, line: &str) {
+        let mut f = self.journal.lock().expect("journal lock");
+        // O_APPEND single-write lines, same durability idiom as the
+        // store index.
+        let _ = f.write_all(line.as_bytes());
+        let _ = f.flush();
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.queues.lock().expect("queue lock").len()
+    }
+}
+
+/// A journaled submission that has not completed: `(job id, request)`.
+type PendingJob = (u64, String);
+
+/// Parse a journal's text into the still-pending submissions (in
+/// original submit order) and the next free job id.
+fn pending_from_journal(text: &str) -> (Vec<PendingJob>, u64) {
+    let mut submits: Vec<PendingJob> = Vec::new();
+    let mut closed: HashSet<u64> = HashSet::new();
+    let mut max_id = 0;
+    for line in text.lines() {
+        let mut it = line.splitn(3, '\t');
+        match (it.next(), it.next(), it.next()) {
+            (Some("submit"), Some(id), Some(req)) => {
+                if let Ok(id) = id.parse::<u64>() {
+                    max_id = max_id.max(id);
+                    submits.push((id, req.to_string()));
+                }
+            }
+            (Some("done"), Some(id), _) | (Some("failed"), Some(id), _) => {
+                if let Ok(id) = id.parse::<u64>() {
+                    closed.insert(id);
+                }
+            }
+            _ => {}
+        }
+    }
+    submits.retain(|(id, _)| !closed.contains(id));
+    (submits, max_id + 1)
+}
+
+/// Resolve a request into a queueable job. Fails (with a client-facing
+/// message) if the grid does not validate here — unknown replay path,
+/// invalid config override.
+fn job_from_request(id: u64, request: ExperimentRequest) -> Result<Job, String> {
+    let grid = request.spec.to_grid()?;
+    Ok(Job {
+        id,
+        request,
+        points: grid.expand(),
+        rc: grid.rc,
+        cfg: grid.cfg,
+        state: Mutex::new(JobState::default()),
+        changed: Condvar::new(),
+    })
+}
+
+/// Run the server: bind, replay the journal, spawn workers, serve
+/// connections until a `SHUTDOWN` drains and exits the process. The
+/// caller opens the [`PointCache`] first — a store that cannot open is
+/// a refusal to start, never a degraded uncached server.
+pub fn run_serve(opts: &ServeOptions, cache: PointCache) -> io::Result<()> {
+    let listener = TcpListener::bind(&opts.addr)?;
+    let addr = listener.local_addr()?;
+    let workers = if opts.workers == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    } else {
+        opts.workers
+    };
+
+    let journal_path = cache.store().root().join("serve.journal");
+    let journal_text = match fs::read_to_string(&journal_path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    let (pending, next_id) = pending_from_journal(&journal_text);
+    // Compact: the journal restarts holding only the still-pending
+    // submissions (re-written before the append handle opens).
+    let compacted: String = pending
+        .iter()
+        .map(|(id, req)| format!("submit\t{id}\t{req}\n"))
+        .collect();
+    fs::write(&journal_path, &compacted)?;
+    let journal = fs::OpenOptions::new().append(true).open(&journal_path)?;
+
+    let state = Arc::new(ServerState {
+        cache,
+        queues: Mutex::new(Queues::default()),
+        queue_ready: Condvar::new(),
+        queue_cap: opts.queue_cap,
+        workers,
+        jobs: Mutex::new(HashMap::new()),
+        next_id: AtomicU64::new(next_id),
+        inflight: Mutex::new(HashSet::new()),
+        inflight_done: Condvar::new(),
+        seen: Mutex::new(HashSet::new()),
+        stats: ServeStats::default(),
+        per_design: Mutex::new(HashMap::new()),
+        draining: AtomicBool::new(false),
+        busy: Mutex::new(0),
+        idle: Condvar::new(),
+        journal: Mutex::new(journal),
+        started: Instant::now(),
+    });
+
+    // Re-enqueue journaled jobs under their original ids; a request
+    // whose grid no longer resolves (deleted replay trace) fails loudly
+    // into the journal instead of vanishing.
+    let mut resumed = 0;
+    for (id, line) in pending {
+        let parsed = line
+            .parse::<ExperimentRequest>()
+            .map_err(|e| e.to_string())
+            .and_then(|req| job_from_request(id, req));
+        match parsed {
+            Ok(job) => {
+                resumed += 1;
+                enqueue(&state, Arc::new(job));
+            }
+            Err(e) => {
+                // Keep the job queryable: a resumed id that no longer
+                // resolves answers `500 failed`, it does not 404.
+                state.journal_line(&format!("failed\t{id}\t{e}\n"));
+                state.stats.failed.fetch_add(1, Ordering::Relaxed);
+                eprintln!("warning: journaled job j{id} no longer resolves: {e}");
+                let request = line.parse::<ExperimentRequest>().unwrap_or_else(|_| {
+                    "design=conv:32 bench=gzip"
+                        .parse()
+                        .expect("placeholder request parses")
+                });
+                let job = Job {
+                    id,
+                    request,
+                    points: Vec::new(),
+                    rc: RunConfig::default(),
+                    cfg: SimConfig::paper(),
+                    state: Mutex::new(JobState {
+                        phase: Some(Phase::Failed),
+                        error: e,
+                        ..JobState::default()
+                    }),
+                    changed: Condvar::new(),
+                };
+                state
+                    .jobs
+                    .lock()
+                    .expect("jobs lock")
+                    .insert(id, Arc::new(job));
+            }
+        }
+    }
+
+    for _ in 0..workers {
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || worker_loop(&state));
+    }
+
+    // The startup line is the machine-readable handshake: tests and
+    // scripts parse the bound address (so `--addr 127.0.0.1:0` works).
+    println!(
+        "SERVE listening {addr} workers={workers} queue-cap={} store={} resumed={resumed}",
+        opts.queue_cap,
+        state.cache.store().root().display()
+    );
+    io::stdout().flush()?;
+
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || {
+            let _ = handle_connection(&state, stream);
+        });
+    }
+    Ok(())
+}
+
+/// Register a job in the jobs map and its priority queue (capacity was
+/// checked by the caller; journal replay bypasses the cap — those jobs
+/// were already accepted in a previous life).
+fn enqueue(state: &ServerState, job: Arc<Job>) {
+    {
+        let mut seen = state.seen.lock().expect("seen lock");
+        for key in point_keys(state, &job) {
+            seen.insert(key);
+        }
+    }
+    state
+        .jobs
+        .lock()
+        .expect("jobs lock")
+        .insert(job.id, Arc::clone(&job));
+    state.queues.lock().expect("queue lock").push(job);
+    state.queue_ready.notify_one();
+}
+
+/// The fingerprint file-names of every point a job covers.
+fn point_keys(state: &ServerState, job: &Job) -> Vec<String> {
+    let cfg = job.cfg.canonical();
+    job.points
+        .iter()
+        .map(|(design, bench, seed)| {
+            let rc = RunConfig {
+                seed: *seed,
+                ..job.rc
+            };
+            state
+                .cache
+                .key_with_config(&design.id(), bench, &rc, &cfg)
+                .file_name()
+        })
+        .collect()
+}
+
+/// Worker: pop jobs by priority, run them point by point against the
+/// store, stop when the server starts draining (the *current* job is
+/// always finished — that is the drain contract).
+fn worker_loop(state: &ServerState) {
+    loop {
+        let job = {
+            let mut queues = state.queues.lock().expect("queue lock");
+            loop {
+                if state.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(job) = queues.pop() {
+                    break job;
+                }
+                queues = state.queue_ready.wait(queues).expect("queue wait");
+            }
+        };
+        *state.busy.lock().expect("busy lock") += 1;
+        run_job(state, &job);
+        let mut busy = state.busy.lock().expect("busy lock");
+        *busy -= 1;
+        state.idle.notify_all();
+    }
+}
+
+/// Execute every point of one job: store hit → serve; someone else
+/// computing it → wait; otherwise claim and simulate (streaming
+/// progress into the job state).
+fn run_job(state: &ServerState, job: &Arc<Job>) {
+    job.touch(|st| st.phase = Some(Phase::Running));
+    let t0 = Instant::now();
+    let cfg = job.cfg.canonical();
+    for (design, bench, seed) in &job.points {
+        let rc = RunConfig {
+            seed: *seed,
+            ..job.rc
+        };
+        let key = state.cache.key_with_config(&design.id(), bench, &rc, &cfg);
+        let fname = key.file_name();
+        let compute = || {
+            let progress_every = (job.rc.instrs / 8).max(1);
+            let report = SimSession::new(design, bench)
+                .config(job.cfg)
+                .run_config(rc)
+                .progress_every(progress_every)
+                .observer(|event| {
+                    if let SessionEvent::Progress {
+                        committed, target, ..
+                    } = *event
+                    {
+                        job.touch(|st| {
+                            st.committed = committed;
+                            st.target = target;
+                        });
+                    }
+                })
+                .run();
+            let stats = report
+                .runs
+                .into_iter()
+                .next()
+                .expect("one design ran")
+                .stats;
+            (stats, Vec::new())
+        };
+        let (point, hit) = loop {
+            // Present-and-intact entries serve as hits without a claim;
+            // corrupt ones fall through to the claimed compute path
+            // (get_or_compute heals them there).
+            if matches!(state.cache.store().get(&key), Ok(Some(_))) {
+                break state.cache.get_or_compute(&key, &[], compute);
+            }
+            let claimed = state
+                .inflight
+                .lock()
+                .expect("inflight lock")
+                .insert(fname.clone());
+            if claimed {
+                let result = state.cache.get_or_compute(&key, &[], compute);
+                state.inflight.lock().expect("inflight lock").remove(&fname);
+                state.inflight_done.notify_all();
+                break result;
+            }
+            // Another worker is simulating this exact point: wait for
+            // its claim to clear, then loop (the re-check handles a
+            // claimant that failed to publish).
+            job.touch(|st| st.dedup_waits += 1);
+            state.stats.dedup_waits.fetch_add(1, Ordering::Relaxed);
+            let mut inflight = state.inflight.lock().expect("inflight lock");
+            while inflight.contains(&fname) {
+                inflight = state.inflight_done.wait(inflight).expect("inflight wait");
+            }
+        };
+        let sweep_point = point_from_stats(
+            design,
+            bench,
+            *seed,
+            &rc,
+            &point.stats,
+            Duration::from_nanos(point.wall_nanos),
+        );
+        {
+            let mut per_design = state.per_design.lock().expect("per-design lock");
+            let slot = per_design.entry(design.id()).or_insert((0, 0));
+            slot.0 += 1;
+            slot.1 += point.wall_nanos;
+        }
+        job.touch(|st| {
+            if hit {
+                st.hits += 1;
+            } else {
+                st.simulated += 1;
+            }
+            st.points_done += 1;
+            st.rows.push(ServedRow {
+                design: sweep_point.design,
+                bench: sweep_point.bench,
+                seed: sweep_point.seed,
+                ipc: sweep_point.ipc,
+                cycles: sweep_point.cycles,
+                instructions: sweep_point.instructions,
+                hit,
+            });
+        });
+    }
+    job.touch(|st| {
+        st.phase = Some(Phase::Done);
+        st.wall = t0.elapsed();
+    });
+    state.journal_line(&format!("done\t{}\n", job.id));
+    state.stats.completed.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Serve one client connection until `QUIT`, EOF, or `SHUTDOWN`.
+fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        let request = match parse_request(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                writeln!(out, "400 {e}")?;
+                continue;
+            }
+        };
+        match request {
+            Request::Quit => {
+                writeln!(out, "200 bye")?;
+                return Ok(());
+            }
+            Request::Submit(req) => handle_submit(state, &mut out, req)?,
+            Request::Wait(id) => handle_wait(state, &mut out, id)?,
+            Request::Status(id) => match lookup(state, id) {
+                None => writeln!(out, "404 no such job j{id}")?,
+                Some(job) => {
+                    let st = job.state.lock().expect("job lock");
+                    writeln!(
+                        out,
+                        "200 job j{id} phase={} done={}/{}",
+                        st.phase.unwrap_or(Phase::Queued).name(),
+                        st.points_done,
+                        job.points.len()
+                    )?;
+                }
+            },
+            Request::Result(id) => match lookup(state, id) {
+                None => writeln!(out, "404 no such job j{id}")?,
+                Some(job) => match job.phase() {
+                    Phase::Done | Phase::Failed => {
+                        write_rows(&mut out, &job)?;
+                        writeln!(out, "{}", job.done_status())?;
+                    }
+                    phase => writeln!(out, "409 j{id} not finished (phase={})", phase.name())?,
+                },
+            },
+            Request::Health => {
+                writeln!(
+                    out,
+                    "200 ok uptime_ms={} queue={}/{} busy={} workers={} draining={}",
+                    state.started.elapsed().as_millis(),
+                    state.queue_depth(),
+                    state.queue_cap,
+                    *state.busy.lock().expect("busy lock"),
+                    state.workers,
+                    u8::from(state.draining.load(Ordering::SeqCst))
+                )?;
+            }
+            Request::Stats => handle_stats(state, &mut out)?,
+            Request::Shutdown => {
+                // Drain: workers finish their current job (never
+                // mid-job), queued jobs stay in the journal for the
+                // next incarnation, then the process exits cleanly.
+                state.draining.store(true, Ordering::SeqCst);
+                state.queue_ready.notify_all();
+                let mut busy = state.busy.lock().expect("busy lock");
+                while *busy > 0 {
+                    busy = state.idle.wait(busy).expect("idle wait");
+                }
+                drop(busy);
+                writeln!(out, "200 bye")?;
+                out.flush()?;
+                std::process::exit(0);
+            }
+        }
+    }
+}
+
+fn lookup(state: &ServerState, id: u64) -> Option<Arc<Job>> {
+    state.jobs.lock().expect("jobs lock").get(&id).cloned()
+}
+
+fn write_rows(out: &mut TcpStream, job: &Job) -> io::Result<()> {
+    let st = job.state.lock().expect("job lock");
+    for row in &st.rows {
+        writeln!(out, "{}", row.line())?;
+    }
+    Ok(())
+}
+
+fn handle_submit(
+    state: &Arc<ServerState>,
+    out: &mut TcpStream,
+    req: ExperimentRequest,
+) -> io::Result<()> {
+    if state.draining.load(Ordering::SeqCst) {
+        return writeln!(out, "503 draining");
+    }
+    let id = state.next_id.fetch_add(1, Ordering::SeqCst);
+    let job = match job_from_request(id, req) {
+        Ok(job) => Arc::new(job),
+        Err(e) => return writeln!(out, "400 {e}"),
+    };
+    // Backpressure: a full queue rejects rather than buffers.
+    {
+        let queues = state.queues.lock().expect("queue lock");
+        if queues.len() >= state.queue_cap {
+            state.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return writeln!(
+                out,
+                "429 queue-full depth={} cap={}",
+                queues.len(),
+                state.queue_cap
+            );
+        }
+    }
+    state.stats.submits.fetch_add(1, Ordering::Relaxed);
+    // Submit-time dedup ledger: a request whose every fingerprint was
+    // already stored or already submitted adds zero new simulation.
+    let fresh = {
+        let seen = state.seen.lock().expect("seen lock");
+        point_keys(state, &job)
+            .iter()
+            .any(|k| !seen.contains(k) && !state.cache.store().contains_file(k))
+    };
+    if !fresh {
+        state.stats.deduped_submits.fetch_add(1, Ordering::Relaxed);
+    }
+    // Journal before acknowledging: an accepted job survives a crash.
+    state.journal_line(&format!("submit\t{id}\t{}\n", job.request));
+    let points = job.points.len();
+    enqueue(state, job);
+    writeln!(out, "202 accepted j{id} points={points}")
+}
+
+fn handle_wait(state: &Arc<ServerState>, out: &mut TcpStream, id: u64) -> io::Result<()> {
+    let Some(job) = lookup(state, id) else {
+        return writeln!(out, "404 no such job j{id}");
+    };
+    let mut last_version = 0;
+    loop {
+        let (finished, progress) = {
+            let mut st = job.state.lock().expect("job lock");
+            while st.version == last_version
+                && !matches!(st.phase, Some(Phase::Done) | Some(Phase::Failed))
+            {
+                let (next, _) = job
+                    .changed
+                    .wait_timeout(st, Duration::from_secs(1))
+                    .expect("job wait");
+                st = next;
+            }
+            last_version = st.version;
+            let finished = matches!(st.phase, Some(Phase::Done) | Some(Phase::Failed));
+            let progress = format!(
+                "progress j{id} phase={} done={}/{} committed={}/{}",
+                st.phase.unwrap_or(Phase::Queued).name(),
+                st.points_done,
+                job.points.len(),
+                st.committed,
+                st.target
+            );
+            (finished, progress)
+        };
+        if finished {
+            write_rows(out, &job)?;
+            return writeln!(out, "{}", job.done_status());
+        }
+        writeln!(out, "{progress}")?;
+    }
+}
+
+fn handle_stats(state: &Arc<ServerState>, out: &mut TcpStream) -> io::Result<()> {
+    let s = &state.stats;
+    let store = state.cache.store();
+    let counters = store.counters();
+    for (name, v) in [
+        ("submits", s.submits.load(Ordering::Relaxed)),
+        ("deduped_submits", s.deduped_submits.load(Ordering::Relaxed)),
+        ("dedup_waits", s.dedup_waits.load(Ordering::Relaxed)),
+        ("completed", s.completed.load(Ordering::Relaxed)),
+        ("failed", s.failed.load(Ordering::Relaxed)),
+        ("rejected_429", s.rejected.load(Ordering::Relaxed)),
+        ("store_hits", state.cache.hits()),
+        ("simulated", state.cache.misses()),
+        ("store_published", counters.published),
+        ("store_deduped", counters.deduped),
+        ("store_entries", store.len().unwrap_or(0) as u64),
+        ("queue_depth", state.queue_depth() as u64),
+    ] {
+        writeln!(out, "stat {name} {v}")?;
+    }
+    let per_design = state.per_design.lock().expect("per-design lock");
+    let mut designs: Vec<_> = per_design.iter().collect();
+    designs.sort_by(|a, b| a.0.cmp(b.0));
+    for (id, (points, nanos)) in designs {
+        writeln!(
+            out,
+            "stat design {id} points={points} wall_ms={}",
+            nanos / 1_000_000
+        )?;
+    }
+    writeln!(out, "200 ok")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queues_drain_highest_priority_first() {
+        let mut queues = Queues::default();
+        for (seed, prio) in [(1, "low"), (2, "high"), (3, ""), (4, "high")] {
+            let prefix = if prio.is_empty() {
+                String::new()
+            } else {
+                format!("prio={prio} ")
+            };
+            let req: ExperimentRequest = format!("{prefix}design=conv:32 bench=gzip seed={seed}")
+                .parse()
+                .unwrap();
+            queues.push(Arc::new(job_from_request(seed, req).unwrap()));
+        }
+        assert_eq!(queues.len(), 4);
+        let order: Vec<u64> = std::iter::from_fn(|| queues.pop().map(|j| j.id)).collect();
+        assert_eq!(order, vec![2, 4, 3, 1], "high FIFO, then normal, then low");
+    }
+
+    #[test]
+    fn journal_replay_keeps_only_pending_submissions() {
+        let text = "submit\t1\tdesign=conv:32 bench=gzip\n\
+                    submit\t2\tdesign=samie bench=swim\n\
+                    done\t1\n\
+                    submit\t3\tdesign=conv:64 bench=ammp\n\
+                    failed\t3\tno such trace\n\
+                    garbage line\n";
+        let (pending, next_id) = pending_from_journal(text);
+        assert_eq!(pending, vec![(2, "design=samie bench=swim".to_string())]);
+        assert_eq!(next_id, 4, "ids never recycle across restarts");
+        assert_eq!(pending_from_journal(""), (vec![], 1));
+    }
+
+    #[test]
+    fn jobs_resolve_their_grid_at_submit_time() {
+        let req: ExperimentRequest = "design=conv:32,samie bench=gzip,swim seed=1,2"
+            .parse()
+            .unwrap();
+        let job = job_from_request(7, req).unwrap();
+        assert_eq!(job.points.len(), 8);
+        assert_eq!(job.phase(), Phase::Queued);
+        assert!(job.done_status().starts_with("200 done j7 points=8"));
+
+        let bad: ExperimentRequest = "design=conv:32 bench=@no/such.strc".parse().unwrap();
+        let err = match job_from_request(8, bad) {
+            Err(e) => e,
+            Ok(_) => panic!("a missing replay trace must fail job resolution"),
+        };
+        assert!(err.contains("cannot replay"), "{err}");
+    }
+}

@@ -30,10 +30,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use energy_model::price_lsq;
-use samie_lsq::{DesignHandle, DesignSpec, SamieConfig};
-use spec_traces::{all_benchmarks, all_workloads, by_name, find_workload, Workload};
+use ooo_sim::SimConfig;
+use samie_lsq::{DesignHandle, DesignSpec};
+use spec_traces::{all_workloads, find_workload, Workload};
 
-use crate::runner::{parallel_map_with, run_one, RunConfig};
+use crate::experiment::ExperimentSpec;
+use crate::runner::{parallel_map_with, run_one_configured, RunConfig};
 use crate::shard::ShardSpec;
 use crate::table::{fmt, Table};
 
@@ -51,6 +53,9 @@ pub struct SweepGrid {
     pub seeds: Vec<u64>,
     /// Simulation length (its `seed` field is ignored; `seeds` governs).
     pub rc: RunConfig,
+    /// Core configuration every point simulates under (store keys hash
+    /// its canonical form, so grids with different configs never alias).
+    pub cfg: SimConfig,
 }
 
 /// Lift typed [`DesignSpec`]s into the handles a grid carries.
@@ -65,39 +70,19 @@ impl SweepGrid {
     /// The default `bench` grid: the paper trio on one integer, one
     /// floating-point and the pathological benchmark — small enough for a
     /// CI smoke run, diverse enough to exercise every hot path.
+    /// (Canonically defined by [`ExperimentSpec::bench_default`].)
     pub fn bench_default(rc: RunConfig) -> Self {
-        SweepGrid {
-            designs: designs_from_specs(DesignSpec::paper_trio()),
-            benchmarks: ["gzip", "swim", "ammp"]
-                .iter()
-                .map(|n| Workload::Spec(by_name(n).unwrap()))
-                .collect(),
-            seeds: vec![rc.seed],
-            rc,
-        }
+        ExperimentSpec::bench_default(rc)
+            .to_grid()
+            .expect("the built-in bench grid is valid")
     }
 
     /// The default `sweep` grid: a geometry ladder over the full suite.
+    /// (Canonically defined by [`ExperimentSpec::sweep_default`].)
     pub fn sweep_default(rc: RunConfig) -> Self {
-        SweepGrid {
-            designs: designs_from_specs([
-                DesignSpec::Conventional { entries: 64 },
-                DesignSpec::Conventional { entries: 128 },
-                DesignSpec::filtered_paper(),
-                DesignSpec::Samie(SamieConfig {
-                    banks: 32,
-                    ..SamieConfig::paper()
-                }),
-                DesignSpec::samie_paper(),
-                DesignSpec::Samie(SamieConfig {
-                    entries_per_bank: 4,
-                    ..SamieConfig::paper()
-                }),
-            ]),
-            benchmarks: all_benchmarks().iter().map(Workload::Spec).collect(),
-            seeds: vec![rc.seed],
-            rc,
-        }
+        ExperimentSpec::sweep_default(rc)
+            .to_grid()
+            .expect("the built-in sweep grid is valid")
     }
 
     /// Parse a comma-separated workload list. `all` expands to the full
@@ -179,7 +164,7 @@ impl SweepPoint {
 /// (IPC, energy) is a pure function of the integer counters, so a row
 /// rebuilt from a cached [`SimStats`](ooo_sim::SimStats) is byte-identical
 /// to the freshly-simulated one.
-fn point_from_stats(
+pub(crate) fn point_from_stats(
     design: &DesignHandle,
     bench: &Workload,
     seed: u64,
@@ -203,9 +188,21 @@ fn point_from_stats(
 
 /// Simulate one grid point (warm-up + measured interval) and time it.
 pub fn run_point(design: &DesignHandle, bench: &Workload, seed: u64, rc: &RunConfig) -> SweepPoint {
+    run_point_configured(design, bench, seed, rc, SimConfig::paper())
+}
+
+/// [`run_point`] under an explicit core configuration (the grid's
+/// [`SweepGrid::cfg`]).
+pub fn run_point_configured(
+    design: &DesignHandle,
+    bench: &Workload,
+    seed: u64,
+    rc: &RunConfig,
+    cfg: SimConfig,
+) -> SweepPoint {
     let rc = RunConfig { seed, ..*rc };
     let t0 = Instant::now();
-    let stats = run_one(bench, design, &rc);
+    let stats = run_one_configured(bench, design, &rc, cfg);
     let wall = t0.elapsed();
     point_from_stats(design, bench, seed, &rc, &stats, wall)
 }
@@ -255,17 +252,19 @@ pub fn run_sweep_sharded(
             .collect(),
     };
     let (hits, saved) = (AtomicU64::new(0), AtomicU64::new(0));
+    let cfg_canonical = grid.cfg.canonical();
     let t0 = Instant::now();
     let results = parallel_map_with(jobs, &points, |(design, bench, seed)| match cache {
-        None => run_point(design, bench, *seed, &grid.rc),
+        None => run_point_configured(design, bench, *seed, &grid.rc, grid.cfg),
         Some(cache) => {
             let rc = RunConfig {
                 seed: *seed,
                 ..grid.rc
             };
-            let key = cache.key(&design.id(), bench, &rc);
-            let (point, hit) =
-                cache.get_or_compute(&key, &[], || (run_one(bench, design, &rc), Vec::new()));
+            let key = cache.key_with_config(&design.id(), bench, &rc, &cfg_canonical);
+            let (point, hit) = cache.get_or_compute(&key, &[], || {
+                (run_one_configured(bench, design, &rc, grid.cfg), Vec::new())
+            });
             if hit {
                 hits.fetch_add(1, Ordering::Relaxed);
                 saved.fetch_add(point.wall_nanos, Ordering::Relaxed);
@@ -573,6 +572,7 @@ mod tests {
             benchmarks: SweepGrid::parse_benchmarks("gzip,gcc").unwrap(),
             seeds: vec![1, 2],
             rc,
+            cfg: SimConfig::paper(),
         };
         let pts = grid.expand();
         assert_eq!(pts.len(), 8);
@@ -598,6 +598,7 @@ mod tests {
             benchmarks: SweepGrid::parse_benchmarks("gzip").unwrap(),
             seeds: vec![7],
             rc,
+            cfg: SimConfig::paper(),
         };
         let report = run_sweep(&grid, 1);
         assert_eq!(report.points.len(), 3);
@@ -640,6 +641,7 @@ mod tests {
             benchmarks: SweepGrid::parse_benchmarks("gzip").unwrap(),
             seeds: vec![7],
             rc,
+            cfg: SimConfig::paper(),
         };
         let report = run_sweep(&grid, 2);
         assert_eq!(report.points[0].design, "tiny");
@@ -665,6 +667,7 @@ mod tests {
             benchmarks: SweepGrid::parse_benchmarks("gzip,swim").unwrap(),
             seeds: vec![9],
             rc,
+            cfg: SimConfig::paper(),
         };
         let plain = run_sweep(&grid, 1);
         let cold = run_sweep_cached(&grid, 1, Some(&cache));
@@ -691,6 +694,7 @@ mod tests {
             benchmarks: SweepGrid::parse_benchmarks("gzip").unwrap(),
             seeds: vec![7],
             rc,
+            cfg: SimConfig::paper(),
         };
         let report = run_sweep(&grid, 1);
         let fast = format!(

@@ -1,0 +1,365 @@
+//! End-to-end contract of `samie-exp serve`, tested against real server
+//! **processes** (`CARGO_BIN_EXE_samie-exp`):
+//!
+//! * N identical concurrent submissions run exactly one simulation and
+//!   publish exactly one store entry — every client still gets the full
+//!   result rows;
+//! * served answers are byte-identical (deterministic store dump) to a
+//!   direct `sweep` over the same spec;
+//! * a server SIGKILLed mid-job loses nothing: a restart resumes the
+//!   journaled queue and completes it bit-identically, with zero lost
+//!   or duplicated entries;
+//! * a full queue rejects with `429 queue-full` instead of buffering;
+//! * malformed submissions come back as single-line `400`s with the
+//!   parser's "did you mean" intact.
+//!
+//! Spawned servers run the *debug* binary, so specs here are tiny.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use exp_harness::experiment::ExperimentSpec;
+use exp_harness::protocol::{parse_request, Request, Response, ServerConn};
+use exp_harness::runner::PointCache;
+use exp_harness::sweep::run_sweep_cached;
+use exp_store::ExperimentStore;
+
+const EXE: &str = env!("CARGO_BIN_EXE_samie-exp");
+
+/// A fresh scratch directory (removed first if a previous run left it).
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("samie-serve-e2e-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A spawned `samie-exp serve` process with its bound address parsed
+/// off the startup handshake line.
+struct Server {
+    child: Child,
+    addr: String,
+    resumed: u64,
+}
+
+impl Server {
+    /// Start a server on an OS-assigned port over `store`.
+    fn start(store: &Path, extra: &[&str]) -> Server {
+        let mut child = Command::new(EXE)
+            .arg("serve")
+            .args(["--addr", "127.0.0.1:0"])
+            .args(["--store", &store.display().to_string()])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn samie-exp serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read startup line");
+        assert!(
+            line.starts_with("SERVE listening "),
+            "startup handshake, got `{line}`"
+        );
+        let field = |key: &str| {
+            line.split_whitespace()
+                .find_map(|tok| tok.strip_prefix(key)?.strip_prefix('=').map(str::to_string))
+        };
+        let addr = line
+            .split_whitespace()
+            .nth(2)
+            .expect("address on startup line")
+            .to_string();
+        let resumed = field("resumed")
+            .and_then(|v| v.parse().ok())
+            .expect("resumed= on startup line");
+        Server {
+            child,
+            addr,
+            resumed,
+        }
+    }
+
+    fn connect(&self) -> ServerConn {
+        ServerConn::connect_retry(&self.addr, Duration::from_secs(10)).expect("connect")
+    }
+
+    /// SHUTDOWN over the protocol and assert the process exits 0.
+    fn shutdown(mut self) {
+        let mut conn = self.connect();
+        let resp = conn.request(&Request::Shutdown).expect("shutdown");
+        assert_eq!(resp.code, 200, "{}", resp.status);
+        let status = self.child.wait().expect("wait");
+        assert!(
+            status.success(),
+            "server must exit 0 after drain, got {status}"
+        );
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// SUBMIT a request string, asserting acceptance; returns the job id.
+fn submit(conn: &mut ServerConn, req: &str) -> u64 {
+    let resp = send(conn, &format!("SUBMIT {req}"));
+    assert_eq!(resp.code, 202, "{}", resp.status);
+    exp_harness::protocol::job_id_from(&resp).expect("job id on 202")
+}
+
+/// Send one raw request line and read the framed response.
+fn send(conn: &mut ServerConn, line: &str) -> Response {
+    let req = parse_request(line).expect(line);
+    conn.request(&req).expect("request")
+}
+
+/// `stat <name> <value>` out of a STATS response.
+fn stat(resp: &Response, name: &str) -> u64 {
+    resp.data
+        .iter()
+        .find_map(|l| l.strip_prefix(&format!("stat {name} "))?.parse().ok())
+        .unwrap_or_else(|| panic!("no stat `{name}` in {:?}", resp.data))
+}
+
+/// Deterministic dump of a store (timing excluded) for byte-for-byte
+/// equivalence checks.
+fn dump(store: &Path) -> String {
+    ExperimentStore::open(store)
+        .expect("open store")
+        .dump_deterministic()
+        .expect("dump store")
+}
+
+#[test]
+fn concurrent_identical_submits_simulate_once() {
+    let store = scratch("dedup");
+    let server = Server::start(&store, &["--jobs", "2"]);
+    let spec = "design=conv:32 bench=gzip seed=5 instrs=2000 warmup=500";
+
+    // Four identical submissions, all in flight before any WAIT: the
+    // submit-time ledger marks the last three as adding nothing new.
+    let mut conns: Vec<ServerConn> = (0..4).map(|_| server.connect()).collect();
+    let ids: Vec<u64> = conns.iter_mut().map(|c| submit(c, spec)).collect();
+
+    let mut row_sets = Vec::new();
+    let (mut hits, mut simulated) = (0, 0);
+    for (conn, id) in conns.iter_mut().zip(&ids) {
+        let resp = send(conn, &format!("WAIT j{id}"));
+        assert_eq!(resp.code, 200, "{}", resp.status);
+        assert_eq!(resp.field_u64("points"), Some(1), "{}", resp.status);
+        hits += resp.field_u64("hits").unwrap();
+        simulated += resp.field_u64("simulated").unwrap();
+        let rows: Vec<&String> = resp
+            .data
+            .iter()
+            .filter(|l| l.starts_with("point "))
+            .collect();
+        assert_eq!(rows.len(), 1, "every client gets its row: {:?}", resp.data);
+        // The `hit=` flag differs between the simulating job and the
+        // served ones; the physics must not.
+        row_sets.push(rows[0].rsplit_once(" hit=").unwrap().0.to_string());
+    }
+    assert_eq!(
+        simulated, 1,
+        "exactly one simulation across 4 identical jobs"
+    );
+    assert_eq!(hits, 3);
+    assert!(
+        row_sets.windows(2).all(|w| w[0] == w[1]),
+        "identical rows for identical requests: {row_sets:?}"
+    );
+
+    let mut conn = server.connect();
+    let resp = send(&mut conn, "STATS");
+    assert_eq!(stat(&resp, "simulated"), 1);
+    assert_eq!(stat(&resp, "deduped_submits"), 3);
+    assert_eq!(stat(&resp, "store_entries"), 1, "exactly one store entry");
+    assert_eq!(stat(&resp, "completed"), 4);
+
+    let health = send(&mut conn, "HEALTH");
+    assert_eq!(health.code, 200);
+    assert_eq!(health.field("draining"), Some("0"));
+    drop(conn);
+    drop(conns);
+    server.shutdown();
+
+    let cache = PointCache::open(&store).unwrap();
+    assert_eq!(cache.store().len().unwrap(), 1);
+}
+
+#[test]
+fn served_answers_match_a_direct_sweep_byte_for_byte() {
+    let spec_text = "design=conv:32,samie bench=gzip,swim seed=9 instrs=3000 warmup=800";
+    let served_store = scratch("equiv-served");
+    let swept_store = scratch("equiv-swept");
+
+    let server = Server::start(&served_store, &["--jobs", "2"]);
+    let mut conn = server.connect();
+    let id = submit(&mut conn, spec_text);
+    let resp = send(&mut conn, &format!("WAIT j{id}"));
+    assert_eq!(resp.code, 200, "{}", resp.status);
+    assert_eq!(resp.field_u64("points"), Some(4));
+    drop(conn);
+    server.shutdown();
+
+    // The same spec through the in-process sweep engine, fresh store.
+    let grid = spec_text
+        .parse::<ExperimentSpec>()
+        .unwrap()
+        .to_grid()
+        .unwrap();
+    let cache = PointCache::open(&swept_store).unwrap();
+    let report = run_sweep_cached(&grid, 2, Some(&cache));
+    assert_eq!(report.points.len(), 4);
+
+    let served = dump(&served_store);
+    assert!(!served.is_empty());
+    assert_eq!(served, dump(&swept_store), "served == swept, byte for byte");
+}
+
+#[test]
+fn killed_server_resumes_its_journal_bit_identically() {
+    let store = scratch("chaos");
+    let baseline_store = scratch("chaos-baseline");
+    // Two jobs: one wide enough that the SIGKILL lands mid-job, one
+    // queued behind it on the single worker.
+    let job_a = "design=conv:32,samie bench=gzip,swim seed=11 instrs=15000 warmup=2000";
+    let job_b = "design=conv:32 bench=ammp seed=11 instrs=15000 warmup=2000";
+
+    let mut server = Server::start(&store, &["--jobs", "1"]);
+    assert_eq!(server.resumed, 0);
+    let mut conn = server.connect();
+    let id_a = submit(&mut conn, job_a);
+    let id_b = submit(&mut conn, job_b);
+
+    // Poll until the first point lands in the store — the kill then
+    // interrupts job A partway through its grid.
+    let cache = PointCache::open(&store).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while cache.store().len().unwrap() == 0 {
+        assert!(Instant::now() < deadline, "no entry appeared before kill");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.child.kill().expect("SIGKILL server");
+    server.child.wait().expect("reap");
+    drop(conn);
+    drop(server);
+
+    // Restart over the same store: both unfinished jobs must come back
+    // from the journal under their original ids.
+    let server = Server::start(&store, &["--jobs", "1"]);
+    assert_eq!(server.resumed, 2, "both journaled jobs resume");
+    let mut conn = server.connect();
+    for id in [id_a, id_b] {
+        let resp = send(&mut conn, &format!("WAIT j{id}"));
+        assert_eq!(resp.code, 200, "resumed j{id}: {}", resp.status);
+    }
+    let resp = send(&mut conn, "STATS");
+    assert_eq!(stat(&resp, "completed"), 2);
+    assert_eq!(
+        stat(&resp, "store_entries"),
+        5,
+        "4 + 1 points, none duplicated"
+    );
+    drop(conn);
+    server.shutdown();
+
+    // Bit-identical to a never-killed sweep of the same two specs.
+    let baseline = PointCache::open(&baseline_store).unwrap();
+    for spec in [job_a, job_b] {
+        let grid = spec.parse::<ExperimentSpec>().unwrap().to_grid().unwrap();
+        run_sweep_cached(&grid, 1, Some(&baseline));
+    }
+    assert_eq!(
+        dump(&store),
+        dump(&baseline_store),
+        "resumed queue completes bit-identically"
+    );
+}
+
+#[test]
+fn full_queue_rejects_with_429() {
+    let store = scratch("backpressure");
+    let server = Server::start(&store, &["--jobs", "1", "--queue-cap", "1"]);
+    let mut conn = server.connect();
+
+    // Occupy the single worker...
+    let busy_id = submit(
+        &mut conn,
+        "design=conv:32,samie bench=gzip,swim seed=3 instrs=20000 warmup=3000",
+    );
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let resp = send(&mut conn, &format!("STATUS j{busy_id}"));
+        if resp.status.contains("phase=running") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job never started: {}",
+            resp.status
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // ...fill the queue (cap 1)...
+    let queued_id = submit(
+        &mut conn,
+        "design=conv:32 bench=gzip seed=4 instrs=2000 warmup=500",
+    );
+    // ...and the next submission must bounce, not buffer.
+    let resp = send(
+        &mut conn,
+        "SUBMIT design=conv:32 bench=swim seed=5 instrs=2000 warmup=500",
+    );
+    assert_eq!(resp.code, 429, "{}", resp.status);
+    assert!(resp.status.contains("queue-full"), "{}", resp.status);
+    assert_eq!(resp.field("cap"), Some("1"));
+
+    let resp = send(&mut conn, "STATS");
+    assert_eq!(stat(&resp, "rejected_429"), 1);
+
+    for id in [busy_id, queued_id] {
+        let resp = send(&mut conn, &format!("WAIT j{id}"));
+        assert_eq!(resp.code, 200, "{}", resp.status);
+    }
+    drop(conn);
+    server.shutdown();
+}
+
+#[test]
+fn bad_requests_answer_400_with_guidance() {
+    let store = scratch("bad-requests");
+    let server = Server::start(&store, &[]);
+    let mut stream = std::net::TcpStream::connect(&server.addr).expect("connect raw");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut ask = |line: &str| -> String {
+        use std::io::Write;
+        writeln!(stream, "{line}").unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        resp.trim_end().to_string()
+    };
+    let resp = ask("SUBMIT design=conv:32 bench=gziip");
+    assert!(resp.starts_with("400 "), "{resp}");
+    assert!(resp.contains("did you mean `gzip`"), "{resp}");
+
+    let resp = ask("FROB j1");
+    assert!(resp.starts_with("400 "), "{resp}");
+    assert!(resp.contains("unknown verb"), "{resp}");
+
+    let resp = ask("SUBMIT prio=urgent design=conv:32 bench=gzip");
+    assert!(resp.starts_with("400 "), "{resp}");
+    assert!(resp.contains("expected high/normal/low"), "{resp}");
+
+    let resp = ask("STATUS j999");
+    assert!(resp.starts_with("404 "), "{resp}");
+    drop(reader);
+    drop(stream);
+    server.shutdown();
+}

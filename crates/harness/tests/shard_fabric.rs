@@ -21,6 +21,7 @@ use exp_harness::sweep::SweepGrid;
 use exp_harness::{
     run_sweep, run_sweep_cached, run_sweep_sharded, DesignRegistry, PointCache, ShardSpec,
 };
+use ooo_sim::SimConfig;
 
 const EXE: &str = env!("CARGO_BIN_EXE_samie-exp");
 
@@ -38,6 +39,7 @@ fn small_grid(seed: u64) -> SweepGrid {
             warmup: 500,
             seed,
         },
+        cfg: SimConfig::paper(),
     }
 }
 
@@ -191,6 +193,7 @@ fn sigkilled_worker_loses_nothing_and_a_resumed_sweep_completes_the_grid() {
             warmup: 2_000,
             seed: 41,
         },
+        cfg: SimConfig::paper(),
     };
     let mut args = worker_args(&grid, &store, &out);
     for (flag, value) in [("--bench", "gzip,swim,ammp"), ("--jobs", "1")] {

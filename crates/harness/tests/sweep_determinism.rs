@@ -7,6 +7,7 @@ use exp_harness::run_sweep;
 use exp_harness::runner::RunConfig;
 use exp_harness::sweep::{baseline_total_sim_ips, SweepGrid};
 use exp_harness::DesignRegistry;
+use ooo_sim::SimConfig;
 
 fn grid(seed: u64) -> SweepGrid {
     SweepGrid {
@@ -20,6 +21,7 @@ fn grid(seed: u64) -> SweepGrid {
             warmup: 3_000,
             seed,
         },
+        cfg: SimConfig::paper(),
     }
 }
 

@@ -80,7 +80,7 @@ mod store;
 
 pub use entry::{decode_entry, encode_entry, visit_stat_fields, DecodedEntry, StoredPoint};
 pub use key::PointKey;
-pub use store::{ExperimentStore, GcReport, IndexRow, StoreError, GC_TEMP_GRACE};
+pub use store::{ExperimentStore, GcReport, IndexRow, StoreCounters, StoreError, GC_TEMP_GRACE};
 
 /// Version tag of the simulation semantics baked into store keys.
 ///

@@ -9,7 +9,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-use crate::entry::{decode_entry, encode_entry, StoredPoint};
+use crate::entry::{decode_entry, encode_entry, visit_stat_fields, StoredPoint};
 use crate::key::PointKey;
 
 /// How long a stray `.tmp-*` file is protected from
@@ -90,6 +90,26 @@ pub struct GcReport {
     pub bytes_freed: u64,
 }
 
+/// A snapshot of one store handle's write-path counters (see
+/// [`ExperimentStore::counters`]). The counts are per-handle, not
+/// per-directory: they tell a server (or test) what *this* process did —
+/// how often its writes published fresh entries versus collapsed into a
+/// concurrent winner's.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Entries this handle published first (won the write-once race or
+    /// wrote an uncontended key).
+    pub published: u64,
+    /// Writes that lost the write-once race to an intact concurrent
+    /// entry and were verified-and-discarded — the store-level
+    /// deduplication the serving layer reports.
+    pub deduped: u64,
+    /// Corrupt or mis-keyed entries healed in place by a fresh copy.
+    pub healed: u64,
+    /// Deliberate overwrites through [`ExperimentStore::put_replace`].
+    pub replaced: u64,
+}
+
 /// A content-addressed, on-disk store of simulated experiment points.
 ///
 /// Safe for concurrent writers in many **threads and processes** sharing
@@ -117,6 +137,11 @@ pub struct ExperimentStore {
     root: PathBuf,
     index: Mutex<()>,
     tmp_counter: AtomicU64,
+    read_only: bool,
+    published: AtomicU64,
+    deduped: AtomicU64,
+    healed: AtomicU64,
+    replaced: AtomicU64,
 }
 
 impl ExperimentStore {
@@ -124,11 +149,65 @@ impl ExperimentStore {
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let root = dir.into();
         fs::create_dir_all(root.join("entries"))?;
-        Ok(ExperimentStore {
+        Ok(Self::handle(root, false))
+    }
+
+    /// Open an **existing** store without write access: refuses to
+    /// create the directory (a missing store is `NotFound`, never
+    /// silently materialised empty), and every mutating call —
+    /// [`put`](Self::put), [`put_replace`](Self::put_replace) — fails
+    /// with `PermissionDenied`. The read-mostly handle for inspection
+    /// tools and serving-layer fast paths.
+    pub fn open_read_only(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = dir.into();
+        if !root.join("entries").is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no experiment store at {}", root.display()),
+            ));
+        }
+        Ok(Self::handle(root, true))
+    }
+
+    fn handle(root: PathBuf, read_only: bool) -> Self {
+        ExperimentStore {
             root,
             index: Mutex::new(()),
             tmp_counter: AtomicU64::new(0),
-        })
+            read_only,
+            published: AtomicU64::new(0),
+            deduped: AtomicU64::new(0),
+            healed: AtomicU64::new(0),
+            replaced: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether this handle was opened with [`open_read_only`](Self::open_read_only).
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Snapshot this handle's write-path counters.
+    pub fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            published: self.published.load(Ordering::Relaxed),
+            deduped: self.deduped.load(Ordering::Relaxed),
+            healed: self.healed.load(Ordering::Relaxed),
+            replaced: self.replaced.load(Ordering::Relaxed),
+        }
+    }
+
+    fn deny_if_read_only(&self) -> io::Result<()> {
+        if self.read_only {
+            return Err(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                format!(
+                    "experiment store {} was opened read-only",
+                    self.root.display()
+                ),
+            ));
+        }
+        Ok(())
     }
 
     /// The store's root directory.
@@ -181,6 +260,14 @@ impl ExperimentStore {
         self.entry_path(key).exists()
     }
 
+    /// [`contains`](Self::contains) by entry file name
+    /// ([`PointKey::file_name`]) — for callers that pre-computed the
+    /// fingerprints of many keys (e.g. the serving layer's dedup
+    /// ledger).
+    pub fn contains_file(&self, file_name: &str) -> bool {
+        self.entries_dir().join(file_name).exists()
+    }
+
     /// Store a point under `key`, **write-once**: the first fully-written
     /// entry for a fingerprint path wins and is appended to the
     /// inspection index; a racing loser verifies that the winner's entry
@@ -191,6 +278,7 @@ impl ExperimentStore {
     /// in place. Use [`put_replace`](Self::put_replace) to overwrite an
     /// intact entry deliberately.
     pub fn put(&self, key: &PointKey, point: &StoredPoint) -> io::Result<PathBuf> {
+        self.deny_if_read_only()?;
         let path = self.entry_path(key);
         let tmp = self.write_temp(key, point)?;
         // A hard link publishes the finished temp file atomically and
@@ -202,6 +290,7 @@ impl ExperimentStore {
                 Ok(()) => {
                     let _ = fs::remove_file(&tmp);
                     self.append_index(key)?;
+                    self.published.fetch_add(1, Ordering::Relaxed);
                     return Ok(path);
                 }
                 Err(e) if e.kind() == io::ErrorKind::AlreadyExists => match self.get(key) {
@@ -209,6 +298,7 @@ impl ExperimentStore {
                         // Lost the race to an intact equivalent entry:
                         // verify-and-discard.
                         let _ = fs::remove_file(&tmp);
+                        self.deduped.fetch_add(1, Ordering::Relaxed);
                         return Ok(path);
                     }
                     // The entry vanished between the failed link and the
@@ -219,6 +309,7 @@ impl ExperimentStore {
                         // heal it with our complete copy.
                         fs::rename(&tmp, &path)?;
                         self.append_index(key)?;
+                        self.healed.fetch_add(1, Ordering::Relaxed);
                         return Ok(path);
                     }
                 },
@@ -227,12 +318,14 @@ impl ExperimentStore {
                 Err(_) => {
                     fs::rename(&tmp, &path)?;
                     self.append_index(key)?;
+                    self.published.fetch_add(1, Ordering::Relaxed);
                     return Ok(path);
                 }
             }
         }
         fs::rename(&tmp, &path)?;
         self.append_index(key)?;
+        self.published.fetch_add(1, Ordering::Relaxed);
         Ok(path)
     }
 
@@ -242,6 +335,7 @@ impl ExperimentStore {
     /// corrupt; plain caching should use the write-once
     /// [`put`](Self::put).
     pub fn put_replace(&self, key: &PointKey, point: &StoredPoint) -> io::Result<PathBuf> {
+        self.deny_if_read_only()?;
         let path = self.entry_path(key);
         let existed = path.exists();
         let tmp = self.write_temp(key, point)?;
@@ -249,6 +343,7 @@ impl ExperimentStore {
         if !existed {
             self.append_index(key)?;
         }
+        self.replaced.fetch_add(1, Ordering::Relaxed);
         Ok(path)
     }
 
@@ -477,6 +572,40 @@ impl ExperimentStore {
         Ok(n)
     }
 
+    /// Render every stored point as deterministic text: entries sorted
+    /// by canonical key, each as a `key` line followed by `stat`/`extra`
+    /// lines, with the wall-clock field (the one non-deterministic byte
+    /// of an entry) omitted. Two stores hold equivalent results — no
+    /// matter which processes filled them, in what order, or how often
+    /// writers raced — exactly when their dumps are byte-identical;
+    /// CI diffs a served store against a direct sweep's this way. A
+    /// corrupt entry fails the dump rather than vanishing from it.
+    pub fn dump_deterministic(&self) -> Result<String, StoreError> {
+        let mut entries = Vec::new();
+        for path in self.entry_files()? {
+            let text = fs::read_to_string(&path).map_err(StoreError::Io)?;
+            let decoded = decode_entry(&text).map_err(|reason| StoreError::Corrupt {
+                path: path.clone(),
+                reason,
+            })?;
+            entries.push(decoded);
+        }
+        entries.sort_by(|a, b| a.key_canonical.cmp(&b.key_canonical));
+        let mut out = String::new();
+        for mut e in entries {
+            out.push_str("key ");
+            out.push_str(&e.key_canonical);
+            out.push('\n');
+            visit_stat_fields(&mut e.point.stats, |name, v| {
+                out.push_str(&format!("stat {name} {v}\n"));
+            });
+            for (name, v) in &e.point.extras {
+                out.push_str(&format!("extra {name} {v}\n"));
+            }
+        }
+        Ok(out)
+    }
+
     fn entry_files(&self) -> io::Result<Vec<PathBuf>> {
         Ok(self
             .entry_files_and_temps()?
@@ -683,6 +812,79 @@ mod tests {
         let mut seeds: Vec<u64> = idx.iter().map(|r| r.seed).collect();
         seeds.sort_unstable();
         assert_eq!(seeds, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn read_only_handle_reads_but_never_writes_or_creates() {
+        let store = tmp_store("read-only");
+        let k = key("conv:128", 5, "v1");
+        store.put(&k, &point(9)).unwrap();
+
+        let ro = ExperimentStore::open_read_only(store.root()).unwrap();
+        assert!(ro.is_read_only());
+        assert_eq!(ro.get(&k).unwrap().unwrap(), point(9));
+        for err in [
+            ro.put(&key("conv:128", 6, "v1"), &point(1)).unwrap_err(),
+            ro.put_replace(&k, &point(1)).unwrap_err(),
+        ] {
+            assert_eq!(err.kind(), io::ErrorKind::PermissionDenied, "{err}");
+        }
+        assert_eq!(ro.counters(), StoreCounters::default());
+
+        // A missing store is NotFound, never materialised empty.
+        let missing = std::env::temp_dir().join("exp-store-test-no-such-store");
+        let _ = fs::remove_dir_all(&missing);
+        let err = ExperimentStore::open_read_only(&missing).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        assert!(!missing.exists(), "read-only open must not create");
+    }
+
+    #[test]
+    fn counters_track_publish_dedup_heal_replace() {
+        let store = tmp_store("counters");
+        let k = key("samie", 1, "v1");
+        store.put(&k, &point(1)).unwrap();
+        store.put(&k, &point(2)).unwrap(); // loses the write-once race
+        store.put_replace(&k, &point(3)).unwrap();
+        fs::write(store.entry_path(&k), "garbage").unwrap();
+        store.put(&k, &point(4)).unwrap(); // heals the corrupt entry
+        assert_eq!(
+            store.counters(),
+            StoreCounters {
+                published: 1,
+                deduped: 1,
+                healed: 1,
+                replaced: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn deterministic_dump_is_order_independent_and_loud_on_corruption() {
+        let a = tmp_store("dump-a");
+        let b = tmp_store("dump-b");
+        // Same logical contents, inserted in opposite orders with
+        // different wall clocks.
+        for (store, seeds, wall) in [(&a, [1, 2, 3], 10), (&b, [3, 2, 1], 999_999)] {
+            for s in seeds {
+                let p = StoredPoint {
+                    wall_nanos: wall,
+                    ..point(s * 7)
+                };
+                store.put(&key("conv:64", s, "v1"), &p).unwrap();
+            }
+        }
+        let dump = a.dump_deterministic().unwrap();
+        assert_eq!(dump, b.dump_deterministic().unwrap());
+        assert_eq!(dump.matches("key design=").count(), 3);
+        assert!(!dump.contains("wall"), "wall clock is excluded");
+
+        // A corrupt entry fails the dump instead of vanishing from it.
+        fs::write(a.entry_path(&key("conv:64", 1, "v1")), "garbage").unwrap();
+        assert!(matches!(
+            a.dump_deterministic().unwrap_err(),
+            StoreError::Corrupt { .. }
+        ));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use exp_harness::runner::{run_one, run_paired, RunConfig};
 use exp_harness::session::SimSession;
 use exp_harness::sweep::{designs_from_specs, run_sweep, SweepGrid};
-use ooo_sim::{SimStats, Simulator};
+use ooo_sim::{SimConfig, SimStats, Simulator};
 use samie_lsq::{ConventionalLsq, DesignSpec, FilteredLsq, LoadStoreQueue, SamieLsq, UnboundedLsq};
 use spec_traces::{by_name, SpecTrace};
 
@@ -89,6 +89,7 @@ fn sweep_points_are_bit_identical_to_manual_runs() {
         benchmarks: SweepGrid::parse_benchmarks("gzip,swim").unwrap(),
         seeds: vec![RC.seed],
         rc: RC,
+        cfg: SimConfig::paper(),
     };
     let report = run_sweep(&grid, 2);
     assert_eq!(report.points.len(), 4);

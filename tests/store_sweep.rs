@@ -9,6 +9,7 @@ use exp_harness::runner::{PointCache, RunConfig};
 use exp_harness::sweep::{run_sweep, run_sweep_cached, SweepGrid};
 use exp_harness::{designs_from_specs, DesignSpec};
 use exp_store::StoreError;
+use ooo_sim::SimConfig;
 
 fn tmp_dir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("samie-store-sweep-{tag}"));
@@ -22,6 +23,7 @@ fn grid(benchmarks: &str, rc: RunConfig) -> SweepGrid {
         benchmarks: SweepGrid::parse_benchmarks(benchmarks).unwrap(),
         seeds: vec![rc.seed],
         rc,
+        cfg: SimConfig::paper(),
     }
 }
 

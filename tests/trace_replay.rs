@@ -6,6 +6,7 @@
 use exp_harness::runner::RunConfig;
 use exp_harness::session::SimSession;
 use exp_harness::sweep::{designs_from_specs, run_sweep, SweepGrid};
+use ooo_sim::SimConfig;
 use samie_lsq::DesignSpec;
 use spec_traces::{find_workload, Workload};
 use trace_isa::strc::RecordedTrace;
@@ -108,6 +109,7 @@ fn replay_traces_sweep_like_benchmarks() {
         benchmarks: SweepGrid::parse_benchmarks(&format!("@{}", path.display())).unwrap(),
         seeds: vec![RC.seed],
         rc: RC,
+        cfg: SimConfig::paper(),
     };
     let report = run_sweep(&grid, 1);
     assert_eq!(report.points.len(), 1);
