@@ -1,0 +1,314 @@
+//! A minimal Rust lexer — just enough token structure for lints to tell
+//! code from comments, string/char literals and lifetimes, so a banned
+//! identifier inside `"a string"` or `// a comment` never fires.
+//!
+//! It is deliberately not a full grammar: tokens are comments, string
+//! literals (plain, raw, byte), char literals (disambiguated from
+//! lifetimes), numbers, identifiers and single-character punctuation.
+//! Multi-character operators arrive as separate punctuation tokens
+//! (`::` is `:` `:`), which is all the pattern matching in
+//! [`crate::lints`] needs.
+
+/// Token class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (integer or float, suffix included).
+    Num,
+    /// String literal, quotes included (plain, raw or byte).
+    Str,
+    /// Char or byte-char literal, quotes included.
+    Char,
+    /// Lifetime (`'a`, `'static`) — the leading quote is not a char.
+    Lifetime,
+    /// One punctuation character.
+    Punct,
+    /// Line or block comment, markers included.
+    Comment,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Raw source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Consume one character, tracking line/column.
+    fn bump(&mut self) -> char {
+        let c = self.chars[self.i];
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn take_while(&mut self, buf: &mut String, f: impl Fn(char) -> bool) {
+        while self.peek(0).is_some_and(&f) {
+            buf.push(self.bump());
+        }
+    }
+
+    /// Consume a `"…"` body (opening quote already taken), honouring
+    /// backslash escapes.
+    fn quoted_body(&mut self, buf: &mut String) {
+        while let Some(c) = self.peek(0) {
+            buf.push(self.bump());
+            if c == '\\' && self.peek(0).is_some() {
+                buf.push(self.bump());
+            } else if c == '"' {
+                return;
+            }
+        }
+    }
+
+    /// Consume a raw-string body: `#…#"…"#…#` with `hashes` delimiters
+    /// (the leading hashes and quote are consumed here).
+    fn raw_body(&mut self, buf: &mut String) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            buf.push(self.bump());
+            hashes += 1;
+        }
+        if self.peek(0) == Some('"') {
+            buf.push(self.bump());
+        }
+        while self.peek(0).is_some() {
+            let c = self.bump();
+            buf.push(c);
+            if c == '"' && (0..hashes).all(|k| self.peek(k) == Some('#')) {
+                for _ in 0..hashes {
+                    buf.push(self.bump());
+                }
+                return;
+            }
+        }
+    }
+
+    /// Whether a raw string starts at the current position (`r"`/`r#`,
+    /// with the `r`/`br` prefix already consumed by the caller's check).
+    fn at_raw_delim(&self, ahead: usize) -> bool {
+        let mut k = ahead;
+        while self.peek(k) == Some('#') {
+            k += 1;
+        }
+        self.peek(k) == Some('"')
+    }
+}
+
+/// Lex `src` into tokens (comments included, whitespace dropped).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = lx.peek(0) {
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+        let (line, col) = (lx.line, lx.col);
+        let mut text = String::new();
+        let kind = if c == '/' && lx.peek(1) == Some('/') {
+            text.push(lx.bump());
+            text.push(lx.bump());
+            lx.take_while(&mut text, |c| c != '\n');
+            TokKind::Comment
+        } else if c == '/' && lx.peek(1) == Some('*') {
+            text.push(lx.bump());
+            text.push(lx.bump());
+            let mut depth = 1usize;
+            while depth > 0 && lx.peek(0).is_some() {
+                if lx.peek(0) == Some('/') && lx.peek(1) == Some('*') {
+                    text.push(lx.bump());
+                    text.push(lx.bump());
+                    depth += 1;
+                } else if lx.peek(0) == Some('*') && lx.peek(1) == Some('/') {
+                    text.push(lx.bump());
+                    text.push(lx.bump());
+                    depth -= 1;
+                } else {
+                    text.push(lx.bump());
+                }
+            }
+            TokKind::Comment
+        } else if (c == 'r' && lx.at_raw_delim(1))
+            || (c == 'b' && lx.peek(1) == Some('r') && lx.at_raw_delim(2))
+        {
+            text.push(lx.bump());
+            if text == "b" {
+                text.push(lx.bump());
+            }
+            lx.raw_body(&mut text);
+            TokKind::Str
+        } else if c == 'b' && lx.peek(1) == Some('"') {
+            text.push(lx.bump());
+            text.push(lx.bump());
+            lx.quoted_body(&mut text);
+            TokKind::Str
+        } else if c == 'b' && lx.peek(1) == Some('\'') {
+            text.push(lx.bump());
+            text.push(lx.bump());
+            char_body(&mut lx, &mut text);
+            TokKind::Char
+        } else if c == '"' {
+            text.push(lx.bump());
+            lx.quoted_body(&mut text);
+            TokKind::Str
+        } else if c == '\'' {
+            // `'x'` (and `'\n'`) are char literals; `'a` in `&'a str` is
+            // a lifetime. An escape or a closing quote two ahead means
+            // char; otherwise it is a lifetime.
+            if lx.peek(1) == Some('\\') || (lx.peek(2) == Some('\'') && lx.peek(1) != Some('\'')) {
+                text.push(lx.bump());
+                char_body(&mut lx, &mut text);
+                TokKind::Char
+            } else {
+                text.push(lx.bump());
+                lx.take_while(&mut text, is_ident_continue);
+                TokKind::Lifetime
+            }
+        } else if is_ident_start(c) {
+            lx.take_while(&mut text, is_ident_continue);
+            TokKind::Ident
+        } else if c.is_ascii_digit() {
+            lx.take_while(&mut text, is_ident_continue);
+            // Float continuation: `1.5`, `1.5e-3` (but not `0..3` or
+            // `8.max(1)` — only a digit may follow the dot).
+            if lx.peek(0) == Some('.') && lx.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                text.push(lx.bump());
+                lx.take_while(&mut text, is_ident_continue);
+            }
+            TokKind::Num
+        } else {
+            text.push(lx.bump());
+            TokKind::Punct
+        };
+        out.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Consume a char-literal body after the opening quote: one (possibly
+/// escaped) character, then the closing quote.
+fn char_body(lx: &mut Lexer, text: &mut String) {
+    if lx.peek(0) == Some('\\') {
+        text.push(lx.bump());
+        if lx.peek(0).is_some() {
+            text.push(lx.bump());
+        }
+        // `\u{…}` escapes carry a braced payload.
+        if lx.peek(0) == Some('{') {
+            while lx.peek(0).is_some_and(|c| c != '\'') {
+                text.push(lx.bump());
+            }
+        }
+    } else if lx.peek(0).is_some() {
+        text.push(lx.bump());
+    }
+    if lx.peek(0) == Some('\'') {
+        text.push(lx.bump());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_inside_literals_and_comments_never_tokenize() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant::now() in /* a nested */ block */
+            fn f() {
+                let s = "thread_rng HashMap";
+                let r = r#"unsafe "quoted" unwrap"#;
+                let c = 'H';
+            }
+        "##;
+        let idents: Vec<String> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(idents, vec!["fn", "f", "let", "s", "let", "r", "let", "c"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks.contains(&(TokKind::Lifetime, "'a".into())));
+        assert!(toks.contains(&(TokKind::Char, "'x'".into())));
+        let toks = kinds(r"let nl = '\n'; let q = '\''; let s: &'static str;");
+        assert!(toks.contains(&(TokKind::Char, r"'\n'".into())));
+        assert!(toks.contains(&(TokKind::Char, r"'\''".into())));
+        assert!(toks.contains(&(TokKind::Lifetime, "'static".into())));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("ab cd\n  ef");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (1, 4));
+        assert_eq!((toks[2].line, toks[2].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_swallow_quotes() {
+        let toks = kinds(r###"let x = r##"say "hi"# ok"## + 1;"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("say")));
+        assert!(toks.contains(&(TokKind::Num, "1".into())));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_or_method_dots() {
+        assert!(kinds("0..3").contains(&(TokKind::Num, "0".into())));
+        assert!(kinds("1.5e-3").contains(&(TokKind::Num, "1.5e".into())));
+        assert!(kinds("0xff_u64").contains(&(TokKind::Num, "0xff_u64".into())));
+    }
+}

@@ -1,0 +1,136 @@
+//! `samie-analyze` — run the repo-specific lints over the workspace.
+//!
+//! ```text
+//! samie-analyze [--root DIR] [--lints id,id,...] [--json PATH]
+//!               [--deny-all] [--list] [--quiet]
+//! ```
+//!
+//! Exit codes: `0` clean (or findings without `--deny-all`), `1`
+//! findings under `--deny-all`, `2` usage or I/O error. The CI
+//! `analyze` job runs `--deny-all` and uploads `ANALYZE_report.json`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use samie_analyzer::{analyze, lints, render_json, AnalyzeOptions};
+
+struct Cli {
+    root: Option<PathBuf>,
+    only: Option<Vec<String>>,
+    json: Option<PathBuf>,
+    deny_all: bool,
+    list: bool,
+    quiet: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: samie-analyze [--root DIR] [--lints id,id,...] [--json PATH] [--deny-all] [--list] [--quiet]"
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        root: None,
+        only: None,
+        json: None,
+        deny_all: false,
+        list: false,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => cli.root = Some(PathBuf::from(it.next().ok_or("--root needs a path")?)),
+            "--lints" => {
+                cli.only = Some(
+                    it.next()
+                        .ok_or("--lints needs a comma-separated id list")?
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                )
+            }
+            "--json" => cli.json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?)),
+            "--deny-all" => cli.deny_all = true,
+            "--list" => cli.list = true,
+            "--quiet" => cli.quiet = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(cli)
+}
+
+/// Walk upward from the current directory to the workspace root (the
+/// directory holding both `Cargo.toml` and `ROADMAP.md`).
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("ROADMAP.md").exists() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    if cli.list {
+        for l in lints::all() {
+            println!("{:<16} {}", l.id, l.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let Some(root) = cli.root.or_else(find_root) else {
+        eprintln!("samie-analyze: cannot find the workspace root (pass --root)");
+        return ExitCode::from(2);
+    };
+    let opts = AnalyzeOptions {
+        root: root.clone(),
+        only: cli.only,
+    };
+    let report = match analyze(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("samie-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let json_path = cli.json.unwrap_or_else(|| root.join("ANALYZE_report.json"));
+    if let Err(e) = std::fs::write(&json_path, render_json(&report)) {
+        eprintln!("samie-analyze: cannot write {}: {e}", json_path.display());
+        return ExitCode::from(2);
+    }
+    if !cli.quiet {
+        // Tolerate a closed pipe (`samie-analyze | head`): the report
+        // file already landed, stdout is best-effort.
+        use std::io::Write;
+        let stdout = std::io::stdout();
+        let mut w = stdout.lock();
+        for f in &report.findings {
+            let _ = writeln!(w, "{f}");
+        }
+        let _ = writeln!(
+            w,
+            "samie-analyze: {} finding(s), {} suppressed, {} files, {} lints -> {}",
+            report.findings.len(),
+            report.suppressed.len(),
+            report.files_scanned,
+            report.lints_run.len(),
+            json_path.display()
+        );
+    }
+    if cli.deny_all && !report.findings.is_empty() {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,129 @@
+//! Golden-diagnostic tests: every lint has a `clean/` tree it stays
+//! silent on and a `violation/` tree whose findings must match the
+//! committed `expected.txt` byte for byte — position drift in the lexer
+//! or a message rewording shows up as a golden diff, not a silent
+//! behavior change. The final test runs the whole catalog over this
+//! repository itself: the tree the analyzer ships from must be clean.
+
+use std::path::{Path, PathBuf};
+
+use samie_analyzer::{analyze, lints, AnalyzeOptions};
+
+fn fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn run(root: PathBuf, lint: &str) -> Vec<String> {
+    let report = analyze(&AnalyzeOptions {
+        root,
+        only: Some(vec![lint.to_string()]),
+    })
+    .expect("fixture tree analyzes");
+    report.findings.iter().map(|f| f.to_string()).collect()
+}
+
+#[test]
+fn every_lint_has_a_fixture_pair() {
+    for spec in lints::all() {
+        let dir = fixtures().join(spec.id);
+        assert!(
+            dir.join("clean").is_dir() && dir.join("violation").is_dir(),
+            "lint `{}` is missing its clean/ or violation/ fixture tree",
+            spec.id
+        );
+        assert!(
+            dir.join("expected.txt").is_file(),
+            "lint `{}` is missing its expected.txt golden",
+            spec.id
+        );
+    }
+}
+
+#[test]
+fn clean_fixtures_produce_no_findings() {
+    for spec in lints::all() {
+        let findings = run(fixtures().join(spec.id).join("clean"), spec.id);
+        assert!(
+            findings.is_empty(),
+            "lint `{}` fired on its clean fixture:\n{}",
+            spec.id,
+            findings.join("\n")
+        );
+    }
+}
+
+#[test]
+fn violation_fixtures_match_their_goldens() {
+    for spec in lints::all() {
+        let dir = fixtures().join(spec.id);
+        let got = run(dir.join("violation"), spec.id).join("\n");
+        let want = std::fs::read_to_string(dir.join("expected.txt"))
+            .expect("golden exists")
+            .trim_end()
+            .to_string();
+        assert!(
+            !want.is_empty(),
+            "lint `{}` has an empty golden — a violation fixture must trip it",
+            spec.id
+        );
+        assert_eq!(
+            got, want,
+            "lint `{}` diverged from its golden (left: got, right: expected.txt)",
+            spec.id
+        );
+    }
+}
+
+#[test]
+fn allows_suppress_and_are_reported_as_suppressed() {
+    // The wall-clock violation tree plus an allow on every finding line
+    // must analyze clean, with the findings moved to `suppressed`.
+    let dir = fixtures().join("wall-clock/violation");
+    let src = std::fs::read_to_string(dir.join("crates/sim/src/lib.rs")).unwrap();
+    let patched: String = src
+        .lines()
+        .map(|l| {
+            if l.contains("Instant") || l.contains("elapsed") {
+                format!("// samie-allow(wall-clock): golden-suppression test\n{l}\n")
+            } else {
+                format!("{l}\n")
+            }
+        })
+        .collect();
+    let tmp = std::env::temp_dir().join("samie-analyze-allow-fixture");
+    let rs = tmp.join("crates/sim/src");
+    std::fs::create_dir_all(&rs).unwrap();
+    std::fs::write(rs.join("lib.rs"), patched).unwrap();
+    let report = analyze(&AnalyzeOptions {
+        root: tmp.clone(),
+        only: Some(vec!["wall-clock".to_string()]),
+    })
+    .unwrap();
+    std::fs::remove_dir_all(&tmp).ok();
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.suppressed.len(), 3, "{:?}", report.suppressed);
+}
+
+#[test]
+fn the_repository_itself_is_clean() {
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let report = analyze(&AnalyzeOptions {
+        root: repo,
+        only: None,
+    })
+    .expect("repo tree analyzes");
+    assert!(
+        report.findings.is_empty(),
+        "the shipped tree must pass its own lints:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files_scanned > 50, "walked the real workspace");
+}

@@ -1,0 +1,11 @@
+//! Deterministic containers only.
+
+use std::collections::BTreeMap;
+
+pub fn histogram(xs: &[u64]) -> BTreeMap<u64, usize> {
+    let mut h = BTreeMap::new();
+    for &x in xs {
+        *h.entry(x).or_insert(0) += 1;
+    }
+    h
+}

@@ -1,0 +1,11 @@
+//! RandomState iteration order leaks the process seed into results.
+
+use std::collections::HashMap;
+
+pub fn histogram(xs: &[u64]) -> Vec<(u64, usize)> {
+    let mut h = HashMap::new();
+    for &x in xs {
+        *h.entry(x).or_insert(0) += 1;
+    }
+    h.into_iter().collect()
+}

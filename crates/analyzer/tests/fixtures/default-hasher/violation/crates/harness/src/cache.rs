@@ -1,0 +1,7 @@
+//! Out of scope: the harness is allowed process-local hash maps.
+
+use std::collections::HashMap;
+
+pub fn scratch() -> HashMap<u64, u64> {
+    HashMap::new()
+}

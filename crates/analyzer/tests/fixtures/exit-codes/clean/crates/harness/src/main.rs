@@ -1,0 +1,10 @@
+fn run() -> i32 {
+    if std::env::args().count() > 9 {
+        return 2;
+    }
+    0
+}
+
+fn main() {
+    std::process::exit(run());
+}

@@ -1,0 +1,21 @@
+//! Daemon paths answer malformed input with status lines, not panics.
+
+pub fn handle(line: &str) -> Result<u64, String> {
+    match line.parse::<u64>() {
+        Ok(n) => Ok(n),
+        Err(e) => Err(format!("400 {e}")),
+    }
+}
+
+pub fn nth(xs: &[u64], i: usize) -> Option<u64> {
+    xs.get(i).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let xs = [1u64, 2];
+        assert_eq!(super::handle("1").unwrap(), xs[0]);
+    }
+}

@@ -1,0 +1,10 @@
+//! Three ways a daemon dies on untrusted input.
+
+pub fn handle(line: &str) -> u64 {
+    let n: u64 = line.parse().unwrap();
+    if n > 100 {
+        panic!("too big");
+    }
+    let xs = [1u64, 2, 3];
+    xs[n as usize]
+}

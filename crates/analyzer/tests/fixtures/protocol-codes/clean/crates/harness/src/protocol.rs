@@ -1,0 +1,6 @@
+//! ## Grammar
+//!
+//! ```text
+//! 200 done          success
+//! 400 <reason>      unparseable request
+//! ```

@@ -1,0 +1,9 @@
+//! Emits exactly the documented codes.
+
+pub fn reply(ok: bool) -> &'static str {
+    if ok {
+        "200 done"
+    } else {
+        "400 bad request"
+    }
+}

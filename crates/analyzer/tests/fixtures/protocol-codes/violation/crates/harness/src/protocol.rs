@@ -1,0 +1,6 @@
+//! ## Grammar
+//!
+//! ```text
+//! 200 done          success
+//! 500 <reason>      server error
+//! ```

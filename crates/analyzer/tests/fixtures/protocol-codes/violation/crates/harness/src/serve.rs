@@ -1,0 +1,9 @@
+//! Emits a code nobody documented.
+
+pub fn reply(ok: bool) -> &'static str {
+    if ok {
+        "200 done"
+    } else {
+        "418 teapot"
+    }
+}

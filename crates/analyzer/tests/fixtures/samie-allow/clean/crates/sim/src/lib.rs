@@ -1,0 +1,6 @@
+//! A well-formed suppression: known lint, stated reason.
+
+pub fn advance(cycle: u64) -> u64 {
+    // samie-allow(wall-clock): this fixture exercises the allow parser, not the clock
+    cycle + 1
+}

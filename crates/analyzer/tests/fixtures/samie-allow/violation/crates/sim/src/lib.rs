@@ -1,0 +1,7 @@
+//! A suppression that names a lint that does not exist and gives no
+//! reason — both are findings.
+
+pub fn advance(cycle: u64) -> u64 {
+    // samie-allow(made-up-lint):
+    cycle + 1
+}

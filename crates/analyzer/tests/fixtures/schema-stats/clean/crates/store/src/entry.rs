@@ -1,0 +1,12 @@
+//! The store's mirror of the schema.
+
+pub fn visit_stat_fields(s: &mut super::SimStats, mut f: impl FnMut(&str, &mut f64)) {
+    macro_rules! field {
+        ($name:expr, $e:expr) => {
+            f($name, $e)
+        };
+    }
+    field!("ipc", &mut s.ipc);
+    field!("cache.hits", &mut (s.cache.hits as f64));
+    field!("cache.misses", &mut (s.cache.misses as f64));
+}

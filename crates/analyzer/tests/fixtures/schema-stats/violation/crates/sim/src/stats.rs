@@ -1,0 +1,11 @@
+//! The stats schema's single source of truth.
+
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+pub struct SimStats {
+    pub ipc: f64,
+    pub cache: CacheStats,
+}

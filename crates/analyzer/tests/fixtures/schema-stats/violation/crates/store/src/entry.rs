@@ -1,0 +1,12 @@
+//! Drifted: one counter dropped, one invented.
+
+pub fn visit_stat_fields(s: &mut super::SimStats, mut f: impl FnMut(&str, &mut f64)) {
+    macro_rules! field {
+        ($name:expr, $e:expr) => {
+            f($name, $e)
+        };
+    }
+    field!("ipc", &mut s.ipc);
+    field!("cache.hits", &mut (s.cache.hits as f64));
+    field!("cache.evictions", &mut 0.0);
+}

@@ -1,0 +1,5 @@
+//! Every random stream derives from an explicit experiment seed.
+
+pub fn mix(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}

@@ -1,0 +1,6 @@
+//! Ambient entropy makes a run unrepeatable.
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,13 @@
+//! Documented unsafety.
+
+use std::cell::UnsafeCell;
+
+pub struct Slot(UnsafeCell<u64>);
+
+impl Slot {
+    pub fn set(&self, v: u64) {
+        // SAFETY: Slot is !Sync, so this thread holds the only
+        // reference; no aliasing write can race this one.
+        unsafe { *self.0.get() = v }
+    }
+}

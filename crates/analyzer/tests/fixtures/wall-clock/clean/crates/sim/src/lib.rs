@@ -1,0 +1,16 @@
+//! Simulated time only: cycles come from the pipeline model.
+
+pub fn advance(cycle: u64) -> u64 {
+    cycle + 1
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may time itself; the lint only guards simulation paths.
+    use std::time::Instant;
+
+    #[test]
+    fn timing_tests_are_fine() {
+        let _ = Instant::now().elapsed();
+    }
+}

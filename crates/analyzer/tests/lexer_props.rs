@@ -1,0 +1,125 @@
+//! Property tests for the lexer's core guarantee: nothing inside a
+//! string literal or a comment ever becomes an identifier token, so no
+//! lint can fire on quoted or commented-out text.
+
+use proptest::prelude::*;
+
+use samie_analyzer::{lex, TokKind};
+
+/// Words every lint keys on — the worst possible payload to smuggle
+/// through a literal.
+const BANNED: &[&str] = &[
+    "Instant",
+    "SystemTime",
+    "elapsed",
+    "HashMap",
+    "HashSet",
+    "thread_rng",
+    "unwrap",
+    "expect",
+    "panic",
+    "unsafe",
+];
+
+fn banned_word() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(BANNED.to_vec())
+}
+
+/// Filler characters safe inside every literal kind: no quotes, no
+/// backslashes, no newlines (plain `//` comments end at one), no `#`
+/// (which would close an `r#"…"#` raw string early).
+fn filler() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop::sample::select(" abcxyz019_.():;".chars().collect::<Vec<char>>()),
+        0..20,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+/// A payload of two banned words around arbitrary filler, wrapped as
+/// the *content* of one of the literal/comment forms, with real code
+/// on either side to keep the lexer honest about where literals end.
+fn wrapped() -> impl Strategy<Value = String> {
+    (banned_word(), filler(), banned_word(), 0usize..7).prop_map(|(a, mid, b, form)| {
+        let p = format!("{a}{mid}{b}");
+        match form {
+            0 => format!("let s = \"{p}\";"),
+            1 => format!("let s = r\"{p}\";"),
+            2 => format!("let s = r#\"{p}\"#;"),
+            3 => format!("// {p}\nlet x = 1;"),
+            4 => format!("/* {p} */ let x = 1;"),
+            5 => format!("/// {p}\nfn f() {{}}"),
+            _ => format!("let c = 'x'; // {p}"),
+        }
+    })
+}
+
+/// Arbitrary source soup: tricky fragment boundaries (quotes, raw
+/// strings, lifetimes, char literals, half-open comments) butted
+/// against each other in random order.
+fn soup() -> impl Strategy<Value = String> {
+    let fragments: Vec<&'static str> = vec![
+        "\"str\"",
+        "r#\"raw\"#",
+        "'a",
+        "'x'",
+        "// line\n",
+        "/* block */",
+        "ident",
+        "1.5e-3",
+        "::",
+        "..=",
+        "{",
+        "}",
+        "'\\n'",
+        "\"\"",
+        "b\"bytes\"",
+        "#",
+        "\n",
+    ];
+    prop::collection::vec(prop::sample::select(fragments), 0..12).prop_map(|fs| fs.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn literals_and_comments_never_leak_identifiers(src in wrapped()) {
+        for t in lex(&src) {
+            if t.kind == TokKind::Ident {
+                prop_assert!(
+                    !BANNED.contains(&t.text.as_str()),
+                    "`{}` tokenized as an identifier out of literal/comment content in {src:?}",
+                    t.text
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lexing_never_panics_and_positions_stay_in_bounds(src in soup()) {
+        let nlines = src.lines().count().max(1);
+        for t in lex(&src) {
+            prop_assert!(t.line >= 1);
+            prop_assert!(t.col >= 1);
+            prop_assert!(
+                (t.line as usize) <= nlines,
+                "token {:?} claims line {} of {}",
+                t.text, t.line, nlines
+            );
+        }
+    }
+
+    #[test]
+    fn identifiers_outside_literals_always_tokenize(words in prop::collection::vec(banned_word(), 1..6)) {
+        // The flip side: the same banned words as *code* must all
+        // surface as identifier tokens, or the lints would go blind.
+        let src = words.join(" + ");
+        let idents: Vec<String> = lex(&src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect();
+        prop_assert_eq!(idents, words);
+    }
+}

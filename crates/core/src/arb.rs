@@ -12,11 +12,9 @@
 //! retry — the pathology Figure 1 quantifies: with 64×2 banking, programs
 //! lose as much as 28 % IPC.
 
-use std::collections::HashMap;
-
 use crate::activity::LsqActivity;
 use crate::traits::{CachePlan, LoadStoreQueue};
-use crate::types::{Age, ForwardStatus, LsqOccupancy, MemOp, PlaceOutcome};
+use crate::types::{Age, AgeMap, ForwardStatus, LsqOccupancy, MemOp, PlaceOutcome};
 
 /// ARB geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,7 +86,7 @@ struct Row {
 pub struct ArbLsq {
     cfg: ArbConfig,
     rows: Vec<Row>, // banks * rows_per_bank, row-major by bank
-    ops: HashMap<Age, ArbOp>,
+    ops: AgeMap<ArbOp>,
     /// Buffered ages in arrival (FIFO) order.
     retry: Vec<Age>,
     inflight: usize,
@@ -102,7 +100,7 @@ impl ArbLsq {
         ArbLsq {
             cfg,
             rows: vec![Row::default(); cfg.banks * cfg.rows_per_bank],
-            ops: HashMap::new(),
+            ops: AgeMap::default(),
             retry: Vec::new(),
             inflight: 0,
             activity: LsqActivity::default(),

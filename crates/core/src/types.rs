@@ -132,7 +132,7 @@ mod tests {
         assert!(!m.contains_key(&0));
         // Sequential keys must not collapse onto few buckets: the mixed
         // hashes of 0..1000 should be pairwise distinct.
-        let hashes: std::collections::HashSet<u64> = (0..1000u64)
+        let hashes: std::collections::BTreeSet<u64> = (0..1000u64)
             .map(|a| {
                 let mut h = AgeHasher::default();
                 std::hash::Hash::hash(&a, &mut h);

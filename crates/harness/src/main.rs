@@ -89,6 +89,12 @@
 //!   covering everything submitted — `sweep --exp "$(cat ...)"` must
 //!   produce a byte-identical store).
 //!
+//! samie-exp analyze
+//!   run the repo-specific static-analysis lints (determinism,
+//!   panic-hygiene, unsafe audit, schema/doc consistency) over the
+//!   workspace; writes ANALYZE_report.json and exits 6 on findings.
+//!   The standalone `samie-analyze` binary adds --lints/--json/--list.
+//!
 //! caching: sweep and report consult the content-addressed store at
 //! --store DIR (default .samie-store) and only simulate cache misses;
 //! --no-cache forces full recomputation. bench never caches — it exists
@@ -129,6 +135,7 @@ enum Command {
     Store,
     Serve,
     Load,
+    Analyze,
 }
 
 /// Paper experiment ids `Command::Paper` accepts.
@@ -149,6 +156,7 @@ impl Command {
             "store" => return Ok(Command::Store),
             "serve" => return Ok(Command::Serve),
             "load" => return Ok(Command::Load),
+            "analyze" => return Ok(Command::Analyze),
             _ => {}
         }
         if PAPER_IDS.contains(&word) {
@@ -159,6 +167,7 @@ impl Command {
             .copied()
             .chain([
                 "sweep", "bench", "designs", "fuzz", "record", "report", "store", "serve", "load",
+                "analyze",
             ])
             .collect();
         let mut msg = format!("unknown command `{word}`");
@@ -353,7 +362,7 @@ fn parse_args() -> Args {
             "--shutdown" => shutdown = true,
             "--dump" => dump = true,
             "--help" | "-h" => {
-                eprintln!("usage: samie-exp <fig1|fig3|fig4|tab1|delay|fig5..fig12|tab456|summary|all|sweep|bench|designs|fuzz|record|report|store|serve|load> [--exp SPEC] [--instrs N] [--warmup N] [--seed N] [--out DIR] [--quick] [--chart] [--designs LIST] [--bench LIST] [--seeds LIST] [--jobs N] [--baseline FILE] [--max-regression X] [--iters N] [--store DIR] [--no-cache] [--gc] [--dump] [--expect-warm X] [--shard I/N] [--workers N] [--max-restarts N] [--chaos-kill I] [--chaos-delay-ms MS] [--addr HOST:PORT] [--queue-cap N] [--clients N] [--requests N] [--mix H/M/D] [--shutdown]");
+                eprintln!("usage: samie-exp <fig1|fig3|fig4|tab1|delay|fig5..fig12|tab456|summary|all|sweep|bench|designs|fuzz|record|report|store|serve|load|analyze> [--exp SPEC] [--instrs N] [--warmup N] [--seed N] [--out DIR] [--quick] [--chart] [--designs LIST] [--bench LIST] [--seeds LIST] [--jobs N] [--baseline FILE] [--max-regression X] [--iters N] [--store DIR] [--no-cache] [--gc] [--dump] [--expect-warm X] [--shard I/N] [--workers N] [--max-restarts N] [--chaos-kill I] [--chaos-delay-ms MS] [--addr HOST:PORT] [--queue-cap N] [--clients N] [--requests N] [--mix H/M/D] [--shutdown]");
                 std::process::exit(0);
             }
             other if command.is_none() => {
@@ -1061,6 +1070,54 @@ fn run_load_command(args: &Args) -> i32 {
     0
 }
 
+/// `analyze` entry point: run the repo-specific lints
+/// (`samie-analyzer`) over the workspace, always denying findings —
+/// the standalone `samie-analyze` binary has the permissive flags.
+fn run_analyze_command() -> i32 {
+    let mut root = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    loop {
+        if root.join("Cargo.toml").exists() && root.join("ROADMAP.md").exists() {
+            break;
+        }
+        if !root.pop() {
+            eprintln!("analyze: cannot find the workspace root (run inside the repo)");
+            return 2;
+        }
+    }
+    let opts = samie_analyzer::AnalyzeOptions {
+        root: root.clone(),
+        only: None,
+    };
+    let report = match samie_analyzer::analyze(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            return 1;
+        }
+    };
+    for f in &report.findings {
+        println!("{f}");
+    }
+    let json = root.join("ANALYZE_report.json");
+    if let Err(e) = std::fs::write(&json, samie_analyzer::render_json(&report)) {
+        eprintln!("analyze: cannot write {}: {e}", json.display());
+        return 1;
+    }
+    eprintln!(
+        "analyze: {} finding(s), {} suppressed, {} files, {} lints -> {}",
+        report.findings.len(),
+        report.suppressed.len(),
+        report.files_scanned,
+        report.lints_run.len(),
+        json.display()
+    );
+    if report.findings.is_empty() {
+        0
+    } else {
+        6
+    }
+}
+
 fn emit(t: &Table, out: &std::path::Path, chart: bool) {
     println!("{}", t.render());
     if chart && t.headers.len() >= 2 {
@@ -1095,6 +1152,7 @@ fn main() {
         Command::Store => std::process::exit(run_store_command(&args)),
         Command::Serve => std::process::exit(run_serve_command(&args)),
         Command::Load => std::process::exit(run_load_command(&args)),
+        Command::Analyze => std::process::exit(run_analyze_command()),
         Command::Paper(id) => id.clone(),
     };
     let rc = args.rc;

@@ -28,6 +28,8 @@
 //! 202 accepted j7 points=4          SUBMIT queued (dedups against the store first)
 //! 429 queue-full depth=64 cap=64    backpressure: resubmit later
 //! 400 <reason>                      unparseable request ("did you mean" included)
+//! 404 no such job j<id>             STATUS/RESULT/WAIT of an unknown id
+//! 409 j<id> not finished            RESULT of a job still queued or running
 //! 503 draining                      server is shutting down
 //! 200 done j7 points=4 hits=3 simulated=1 dedup_waits=0 wall_ms=812
 //! 500 failed j7: <reason>
@@ -155,7 +157,17 @@ impl Response {
 /// of line or a space.
 pub fn is_status_line(line: &str) -> bool {
     let b = line.as_bytes();
-    b.len() >= 3 && b[..3].iter().all(u8::is_ascii_digit) && (b.len() == 3 || b[3] == b' ')
+    b.get(..3).is_some_and(|d| d.iter().all(u8::is_ascii_digit))
+        && (b.len() == 3 || b.get(3) == Some(&b' '))
+}
+
+/// The numeric status code of a terminator line, if it is one.
+fn status_code(line: &str) -> Option<u16> {
+    if is_status_line(line) {
+        line.get(..3)?.parse().ok()
+    } else {
+        None
+    }
 }
 
 /// The job id off a `202 accepted j<id> ...` (or `200 done j<id> ...`)
@@ -214,8 +226,7 @@ impl ServerConn {
                 ));
             }
             let line = line.trim_end().to_string();
-            if is_status_line(&line) {
-                let code = line[..3].parse().expect("checked 3 digits");
+            if let Some(code) = status_code(&line) {
                 return Ok(Response {
                     code,
                     status: line,

@@ -47,6 +47,7 @@ pub fn fingerprint128(bytes: &[u8]) -> u128 {
 }
 
 /// Hash map keyed by `u64` using [`FastU64Hasher`].
+// samie-allow(default-hasher): this alias is the sanctioned deterministic map — the hasher parameter below is FastU64Hasher, not RandomState
 pub type U64Map<V> = std::collections::HashMap<u64, V, BuildHasherDefault<FastU64Hasher>>;
 
 /// Fibonacci multiply, then fold the high bits (which carry the entropy
@@ -82,7 +83,7 @@ mod tests {
 
     #[test]
     fn sequential_keys_hash_distinctly() {
-        let hashes: std::collections::HashSet<u64> = (0..4096u64)
+        let hashes: std::collections::BTreeSet<u64> = (0..4096u64)
             .map(|k| {
                 let mut h = FastU64Hasher::default();
                 k.hash(&mut h);

@@ -377,7 +377,7 @@ mod tests {
         // Names are unique.
         let mut names = Vec::new();
         visit_stat_fields(&mut SimStats::default(), |n, _| names.push(n));
-        let set: std::collections::HashSet<_> = names.iter().collect();
+        let set: std::collections::BTreeSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());
     }
 

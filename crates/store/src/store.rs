@@ -110,6 +110,14 @@ pub struct StoreCounters {
     pub replaced: u64,
 }
 
+/// Take the in-process index lock, recovering from poison: the lock
+/// only serializes index writes within this process (cross-process
+/// safety comes from `O_APPEND`), and a panicked writer leaves the
+/// index file merely stale — `rebuild_index` regenerates it.
+fn lock_index(m: &Mutex<()>) -> std::sync::MutexGuard<'_, ()> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// A content-addressed, on-disk store of simulated experiment points.
 ///
 /// Safe for concurrent writers in many **threads and processes** sharing
@@ -391,7 +399,7 @@ impl ExperimentStore {
             key.warmup,
             key.sim_version
         );
-        let _guard = self.index.lock().expect("index lock");
+        let _guard = lock_index(&self.index);
         let mut f = fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -431,7 +439,7 @@ impl ExperimentStore {
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
             Err(e) => return Err(e),
         };
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let mut rows = Vec::new();
         for line in text.lines() {
             let mut it = line.split('\t');
@@ -497,7 +505,7 @@ impl ExperimentStore {
     ) -> io::Result<GcReport> {
         let mut report = GcReport::default();
         let mut survivors: Vec<String> = Vec::new();
-        let _guard = self.index.lock().expect("index lock");
+        let _guard = lock_index(&self.index);
         for path in self.entry_files_and_temps()? {
             let size = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
             let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
@@ -508,6 +516,7 @@ impl ExperimentStore {
                 let age = fs::metadata(&path)
                     .and_then(|m| m.modified())
                     .ok()
+                    // samie-allow(wall-clock): gc's temp-file grace period is host file mtime age by design — it protects other processes' in-flight writes, not simulated time
                     .and_then(|t| t.elapsed().ok());
                 if age.is_none_or(|a| a < temp_grace) {
                     report.kept_temps += 1;
@@ -567,7 +576,7 @@ impl ExperimentStore {
         }
         lines.sort();
         let n = lines.len();
-        let _guard = self.index.lock().expect("index lock");
+        let _guard = lock_index(&self.index);
         fs::write(self.index_path(), lines.concat())?;
         Ok(n)
     }

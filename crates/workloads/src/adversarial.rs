@@ -520,7 +520,7 @@ pub const ADVERSARIAL_PACK: [AdversarialSpec; 5] = [
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
     use trace_isa::OpClass;
 
     fn collect(name: &str, seed: u64, n: usize) -> Vec<MicroOp> {
@@ -566,7 +566,7 @@ mod tests {
             .filter_map(|o| o.mem())
             .map(|m| m.line())
             .collect();
-        let distinct: HashSet<_> = lines.iter().collect();
+        let distinct: BTreeSet<_> = lines.iter().collect();
         // A permutation walk: every line in a 256-load window is distinct.
         assert_eq!(distinct.len(), lines.len(), "lines repeated in window");
         // And the chase is serial: every load depends on earlier work.
@@ -579,8 +579,8 @@ mod tests {
     #[test]
     fn alias_storm_hits_few_banks_with_many_lines() {
         let ops = collect("alias-storm", 5, 20_000);
-        let mut banks = HashSet::new();
-        let mut lines = HashSet::new();
+        let mut banks = BTreeSet::new();
+        let mut lines = BTreeSet::new();
         for m in ops.iter().filter_map(|o| o.mem()) {
             banks.insert((m.addr >> 5) & 63);
             lines.insert(m.line());
@@ -619,7 +619,7 @@ mod tests {
     fn mix_interleaves_all_parts() {
         let ops = collect("adversarial-mix", 9, 4 * 64);
         // Slice boundaries rotate parts; each part has a distinct PC page.
-        let pages: HashSet<u64> = ops.iter().map(|o| o.pc >> 12).collect();
+        let pages: BTreeSet<u64> = ops.iter().map(|o| o.pc >> 12).collect();
         assert!(
             pages.len() >= 4,
             "mix visited only {} PC pages",

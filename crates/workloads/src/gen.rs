@@ -488,7 +488,7 @@ impl TraceSource for SpecTrace {
 mod tests {
     use super::*;
     use crate::spec::{all_benchmarks, by_name};
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     fn collect(name: &str, seed: u64, n: usize) -> Vec<MicroOp> {
         let mut t = SpecTrace::new(by_name(name).unwrap(), seed);
@@ -561,7 +561,7 @@ mod tests {
         // bank share must clearly exceed an unskewed benchmark's.
         let top4_share = |name: &str| {
             let ops = collect(name, 3, 100_000);
-            let mut per_bank: HashMap<u64, usize> = HashMap::new();
+            let mut per_bank: BTreeMap<u64, usize> = BTreeMap::new();
             let mut mem = 0usize;
             for o in &ops {
                 if let Some(m) = o.mem() {
@@ -581,7 +581,7 @@ mod tests {
     #[test]
     fn gcc_lines_spread_across_banks() {
         let ops = collect("gcc", 3, 50_000);
-        let mut banks = std::collections::HashSet::new();
+        let mut banks = std::collections::BTreeSet::new();
         for o in &ops {
             if let Some(m) = o.mem() {
                 banks.insert((m.addr >> 5) & 63);
@@ -595,7 +595,7 @@ mod tests {
         let sharing = |name: &str| {
             let ops = collect(name, 5, 50_000);
             let mems: Vec<_> = ops.iter().filter_map(|o| o.mem()).collect();
-            let lines: std::collections::HashSet<_> = mems.iter().map(|m| m.line()).collect();
+            let lines: std::collections::BTreeSet<_> = mems.iter().map(|m| m.line()).collect();
             mems.len() as f64 / lines.len() as f64 // ops per distinct line
         };
         let swim = sharing("swim");
@@ -637,12 +637,12 @@ mod tests {
     #[test]
     fn mcf_touches_many_pages() {
         let ops = collect("mcf", 11, 50_000);
-        let pages: std::collections::HashSet<_> = ops
+        let pages: std::collections::BTreeSet<_> = ops
             .iter()
             .filter_map(|o| o.mem())
             .map(|m| m.addr >> 13)
             .collect();
-        let gzip_pages: std::collections::HashSet<_> = collect("gzip", 11, 50_000)
+        let gzip_pages: std::collections::BTreeSet<_> = collect("gzip", 11, 50_000)
             .iter()
             .filter_map(|o| o.mem())
             .map(|m| m.addr >> 13)

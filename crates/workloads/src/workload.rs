@@ -258,7 +258,7 @@ mod tests {
         assert!(names.contains(&"alias-storm"));
         assert_eq!(all_workloads().len(), names.len());
         // Names are unique across families.
-        let set: std::collections::HashSet<_> = names.iter().collect();
+        let set: std::collections::BTreeSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());
     }
 
@@ -301,7 +301,7 @@ mod tests {
     #[test]
     fn cache_ids_pin_content_not_names() {
         // Every catalog entry has a distinct cache id.
-        let ids: std::collections::HashSet<String> =
+        let ids: std::collections::BTreeSet<String> =
             all_workloads().iter().map(|w| w.cache_id()).collect();
         assert_eq!(ids.len(), workload_names().len());
 

@@ -75,7 +75,7 @@ proptest! {
         prop_assume!(spec.validate().is_ok());
         prop_assume!(spec.f_branch >= 0.05);
         let mut t = SpecTrace::new(&spec, seed);
-        let mut pcs = std::collections::HashSet::new();
+        let mut pcs = std::collections::BTreeSet::new();
         for _ in 0..30_000 {
             pcs.insert(t.next_op().pc);
         }
