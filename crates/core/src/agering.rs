@@ -1,0 +1,305 @@
+//! [`AgeRing`] — a generation-aware open-addressing map from [`Age`] to
+//! per-op bookkeeping, replacing general-purpose hashing on the LSQ hot
+//! path.
+//!
+//! Every in-flight memory op is keyed by its dispatch [`Age`], a
+//! monotonically increasing sequence number. A general hash map spends
+//! its lookup budget mixing bits that are already uniformly distributed:
+//! the low bits of an age *are* a perfect slot index for a window of
+//! in-flight ops. `AgeRing` exploits that by using `age & mask` as the
+//! home slot directly (identity indexing), resolving collisions with
+//! linear probing and backward-shift deletion, and storing the **full**
+//! age in each slot as a generation tag.
+//!
+//! The generation tag is what makes slot recycling safe: when the age
+//! counter laps the table (every `capacity` dispatches — thousands of
+//! times per million simulated instructions), a new op whose age maps to
+//! a previously used slot can never alias a stale occupant, because
+//! lookups compare the complete 64-bit age, not the slot index. The
+//! wrap-recycling property test below drives the table through > 2^16
+//! slot-index wraps against a reference model to pin this down.
+//!
+//! Invariants:
+//! - capacity is a power of two and load factor stays ≤ 1/2, so linear
+//!   probe chains stay short (expected O(1) lookups);
+//! - backward-shift deletion keeps every entry reachable from its home
+//!   slot without tombstones, so probe chains never decay over a long
+//!   simulation (removal happens at every commit and squash).
+
+use crate::types::Age;
+
+/// One occupied slot: the full age (generation tag) plus the value.
+type Slot<V> = Option<(Age, V)>;
+
+/// An open-addressing `Age → V` map with identity indexing, linear
+/// probing and backward-shift deletion. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct AgeRing<V> {
+    slots: Vec<Slot<V>>,
+    mask: u64,
+    len: usize,
+}
+
+impl<V> Default for AgeRing<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> AgeRing<V> {
+    const MIN_CAPACITY: usize = 16;
+
+    /// An empty ring with the minimum capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::MIN_CAPACITY)
+    }
+
+    /// An empty ring that can hold `cap / 2` entries before growing.
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.next_power_of_two().max(Self::MIN_CAPACITY);
+        AgeRing {
+            slots: (0..cap).map(|_| None).collect(),
+            mask: (cap - 1) as u64,
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.len = 0;
+    }
+
+    fn home(&self, age: Age) -> usize {
+        (age & self.mask) as usize
+    }
+
+    /// Slot index holding `age`, if present.
+    fn find(&self, age: Age) -> Option<usize> {
+        let mut i = self.home(age);
+        loop {
+            match &self.slots[i] {
+                None => return None,
+                Some((a, _)) if *a == age => return Some(i),
+                Some(_) => i = (i + 1) & self.mask as usize,
+            }
+        }
+    }
+
+    /// Shared lookup.
+    pub fn get(&self, age: Age) -> Option<&V> {
+        self.find(age).map(|i| &self.slots[i].as_ref().unwrap().1)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, age: Age) -> Option<&mut V> {
+        let i = self.find(age)?;
+        Some(&mut self.slots[i].as_mut().unwrap().1)
+    }
+
+    /// Is `age` present?
+    pub fn contains(&self, age: Age) -> bool {
+        self.find(age).is_some()
+    }
+
+    /// Insert or replace; returns the previous value for `age`, if any.
+    pub fn insert(&mut self, age: Age, value: V) -> Option<V> {
+        if (self.len + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let mut i = self.home(age);
+        loop {
+            match &mut self.slots[i] {
+                slot @ None => {
+                    *slot = Some((age, value));
+                    self.len += 1;
+                    return None;
+                }
+                Some((a, v)) if *a == age => {
+                    return Some(std::mem::replace(v, value));
+                }
+                Some(_) => i = (i + 1) & self.mask as usize,
+            }
+        }
+    }
+
+    /// Remove `age`, returning its value if present. Uses backward-shift
+    /// deletion so no tombstones accumulate.
+    pub fn remove(&mut self, age: Age) -> Option<V> {
+        let mut hole = self.find(age)?;
+        let (_, value) = self.slots[hole].take().unwrap();
+        self.len -= 1;
+        let cap = self.slots.len();
+        let mut j = (hole + 1) & (cap - 1);
+        // Shift any follower whose probe path covers the hole back into
+        // it: the entry at `j` with home `h` may move iff the hole lies
+        // on its probe path, i.e. (j - h) mod cap >= (j - hole) mod cap.
+        while let Some((a, _)) = &self.slots[j] {
+            let h = self.home(*a);
+            if j.wrapping_sub(h) & (cap - 1) >= j.wrapping_sub(hole) & (cap - 1) {
+                self.slots[hole] = self.slots[j].take();
+                hole = j;
+            }
+            j = (j + 1) & (cap - 1);
+        }
+        Some(value)
+    }
+
+    /// Iterate over `(age, &value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Age, &V)> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|(a, v)| (*a, v)))
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.slots.len() * 2;
+        let old: Vec<Slot<V>> =
+            std::mem::replace(&mut self.slots, (0..new_cap).map(|_| None).collect());
+        self.mask = (new_cap - 1) as u64;
+        self.len = 0;
+        for (a, v) in old.into_iter().flatten() {
+            self.insert(a, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut r: AgeRing<u32> = AgeRing::new();
+        assert!(r.is_empty());
+        assert_eq!(r.insert(5, 50), None);
+        assert_eq!(r.insert(5, 55), Some(50));
+        assert_eq!(r.get(5), Some(&55));
+        *r.get_mut(5).unwrap() += 1;
+        assert_eq!(r.remove(5), Some(56));
+        assert_eq!(r.remove(5), None);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn colliding_ages_coexist() {
+        // All these ages share home slot 0 at capacity 16.
+        let mut r: AgeRing<u64> = AgeRing::with_capacity(16);
+        for k in 0..6u64 {
+            r.insert(k * 16, k);
+        }
+        for k in 0..6u64 {
+            assert_eq!(r.get(k * 16), Some(&k), "age {}", k * 16);
+        }
+        // Remove from the middle of the probe chain; the rest must stay
+        // reachable (backward shift, no tombstones).
+        r.remove(2 * 16);
+        for k in [0u64, 1, 3, 4, 5] {
+            assert_eq!(r.get(k * 16), Some(&k));
+        }
+        assert_eq!(r.get(2 * 16), None);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut r: AgeRing<u64> = AgeRing::with_capacity(16);
+        for a in 0..1000u64 {
+            r.insert(a, a * 3);
+        }
+        assert_eq!(r.len(), 1000);
+        for a in 0..1000u64 {
+            assert_eq!(r.get(a), Some(&(a * 3)));
+        }
+    }
+
+    #[test]
+    fn clear_keeps_working() {
+        let mut r: AgeRing<u8> = AgeRing::new();
+        for a in 0..40u64 {
+            r.insert(a, 1);
+        }
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.get(3), None);
+        r.insert(7, 9);
+        assert_eq!(r.get(7), Some(&9));
+    }
+
+    #[test]
+    fn iter_yields_every_entry_once() {
+        let mut r: AgeRing<u64> = AgeRing::new();
+        for a in (0..64u64).step_by(3) {
+            r.insert(a, a + 1);
+        }
+        let mut seen: Vec<(u64, u64)> = r.iter().map(|(a, v)| (a, *v)).collect();
+        seen.sort_unstable();
+        let want: Vec<(u64, u64)> = (0..64).step_by(3).map(|a| (a, a + 1)).collect();
+        assert_eq!(seen, want);
+    }
+
+    /// Deterministic splitmix64 — the repo's no-dependency stand-in for
+    /// a property-test RNG.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The wrap-recycling property the tentpole depends on: drive a
+    /// sliding window of in-flight ages through far more than 2^16 slot
+    /// index wraps and check the ring against a reference model at
+    /// every step — a stale slot aliasing a recycled index would show up
+    /// as a phantom hit or a lost entry.
+    #[test]
+    fn no_stale_slot_aliasing_after_wraps() {
+        let mut r: AgeRing<u64> = AgeRing::with_capacity(16);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut rng = 0x5eed_u64;
+        let mut next_age = 0u64;
+        // Capacity stays small (window <= 8 entries), so 2^20 dispatched
+        // ages lap the 16-slot ring 2^16 times.
+        for step in 0..(1u64 << 20) {
+            let roll = splitmix(&mut rng);
+            if roll.is_multiple_of(3) || model.len() >= 8 {
+                // Retire the oldest (commit) or a random member (squash).
+                if let Some(&victim) = if roll.is_multiple_of(2) {
+                    model.keys().next()
+                } else {
+                    let n = model.len().max(1);
+                    model.keys().nth((roll >> 8) as usize % n)
+                } {
+                    assert_eq!(r.remove(victim), model.remove(&victim), "step {step}");
+                }
+            } else {
+                // Dispatch a new op; occasionally skip ages so homes are
+                // not visited in pure sequence.
+                next_age += 1 + (roll >> 16) % 7;
+                assert_eq!(
+                    r.insert(next_age, step),
+                    model.insert(next_age, step),
+                    "step {step}"
+                );
+            }
+            // Spot-check membership around the live window.
+            let probe = next_age.saturating_sub(roll % 24);
+            assert_eq!(r.get(probe), model.get(&probe), "step {step} probe {probe}");
+            assert_eq!(r.len(), model.len(), "step {step}");
+        }
+        assert!(next_age > (1 << 20), "must actually wrap the index space");
+    }
+}

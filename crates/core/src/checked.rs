@@ -202,6 +202,10 @@ impl LoadStoreQueue for CheckedLsq {
         self.inner.tick(promoted)
     }
 
+    fn tick_idle(&mut self, k: u64) {
+        self.inner.tick_idle(k)
+    }
+
     fn activity(&self) -> &crate::activity::LsqActivity {
         self.inner.activity()
     }
@@ -300,6 +304,10 @@ impl LoadStoreQueue for ForwardDroppingLsq {
 
     fn tick(&mut self, promoted: &mut Vec<Age>) {
         self.0.tick(promoted)
+    }
+
+    fn tick_idle(&mut self, k: u64) {
+        self.0.tick_idle(k)
     }
 
     fn activity(&self) -> &crate::activity::LsqActivity {

@@ -15,8 +15,9 @@
 use std::collections::VecDeque;
 
 use crate::activity::LsqActivity;
+use crate::agering::AgeRing;
 use crate::traits::{CachePlan, LoadStoreQueue};
-use crate::types::{Age, AgeMap, ForwardStatus, LsqOccupancy, MemOp, PlaceOutcome};
+use crate::types::{Age, ForwardStatus, LsqOccupancy, MemOp, PlaceOutcome};
 use trace_isa::MemRef;
 
 #[derive(Debug, Clone, Copy)]
@@ -42,8 +43,10 @@ pub struct ConventionalLsq {
     known_loads: Vec<Age>,
     /// Age -> dispatch sequence number; with `base_seq` (the sequence
     /// number of the current front entry) this makes every in-queue
-    /// lookup O(1) instead of a binary search.
-    seq_of: AgeMap<u64>,
+    /// lookup O(1) instead of a binary search. An [`AgeRing`] rather
+    /// than a hash map: ages index their slots directly, with the full
+    /// age as a generation tag so recycled slots never alias.
+    seq_of: AgeRing<u64>,
     /// Sequence number of `entries.front()`.
     base_seq: u64,
     activity: LsqActivity,
@@ -71,7 +74,7 @@ impl ConventionalLsq {
             capacity,
             known_stores: Vec::new(),
             known_loads: Vec::new(),
-            seq_of: AgeMap::default(),
+            seq_of: AgeRing::with_capacity(capacity.min(1024) * 2),
             base_seq: 0,
             activity: LsqActivity::default(),
             count_activity: true,
@@ -101,7 +104,8 @@ impl ConventionalLsq {
     fn idx_of(&self, age: Age) -> usize {
         // Entries are age-sorted (dispatch order); the op's dispatch
         // sequence number minus the front's gives its position directly.
-        let i = (self.seq_of[&age] - self.base_seq) as usize;
+        let seq = *self.seq_of.get(age).expect("op not in conventional LSQ");
+        let i = (seq - self.base_seq) as usize;
         debug_assert!(
             i < self.entries.len() && self.entries[i].age == age,
             "op {age} not in conventional LSQ"
@@ -251,7 +255,7 @@ impl LoadStoreQueue for ConventionalLsq {
             debug_assert_eq!(known.first(), Some(&age));
             known.remove(0);
         }
-        self.seq_of.remove(&age);
+        self.seq_of.remove(age);
         self.base_seq += 1;
         self.entries.pop_front();
     }
@@ -259,7 +263,7 @@ impl LoadStoreQueue for ConventionalLsq {
     fn squash_younger(&mut self, age: Age) {
         while self.entries.back().is_some_and(|e| e.age > age) {
             let e = self.entries.pop_back().expect("back exists");
-            self.seq_of.remove(&e.age);
+            self.seq_of.remove(e.age);
         }
         self.known_stores
             .truncate(self.known_stores.partition_point(|&a| a <= age));
@@ -283,6 +287,14 @@ impl LoadStoreQueue for ConventionalLsq {
         let occ = &mut self.activity.occupancy;
         occ.cycles += 1;
         occ.conv_entries += self.entries.len() as u64;
+    }
+
+    fn tick_idle(&mut self, k: u64) {
+        // A conventional tick only integrates occupancy, which is
+        // constant while the simulator guarantees no state change.
+        let occ = &mut self.activity.occupancy;
+        occ.cycles += k;
+        occ.conv_entries += self.entries.len() as u64 * k;
     }
 
     fn activity(&self) -> &LsqActivity {

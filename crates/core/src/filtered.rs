@@ -254,6 +254,10 @@ impl LoadStoreQueue for FilteredLsq {
         self.inner.tick(promoted);
     }
 
+    fn tick_idle(&mut self, k: u64) {
+        self.inner.tick_idle(k);
+    }
+
     fn activity(&self) -> &LsqActivity {
         self.inner.activity()
     }

@@ -40,6 +40,7 @@
 //! sweeps and CLIs need no type parameter per design.
 
 pub mod activity;
+pub mod agering;
 pub mod arb;
 pub mod checked;
 pub mod conventional;
@@ -53,10 +54,11 @@ pub mod types;
 pub mod unbounded;
 
 pub use activity::{CamActivity, LsqActivity, OccupancyIntegrals};
+pub use agering::AgeRing;
 pub use arb::{ArbConfig, ArbLsq};
 pub use checked::{checked, CheckedLsq};
 pub use conventional::ConventionalLsq;
-pub use design::{DesignParseError, DesignSpec};
+pub use design::{DesignParseError, DesignSpec, FastPathLsq};
 pub use filtered::{CountingBloom, FilteredLsq};
 pub use oracle::OracleLsq;
 pub use registry::{DesignHandle, DesignRegistry, LsqFactory};

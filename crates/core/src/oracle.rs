@@ -185,6 +185,10 @@ impl crate::traits::LoadStoreQueue for OracleLsq {
         self.inner.tick(promoted)
     }
 
+    fn tick_idle(&mut self, k: u64) {
+        self.inner.tick_idle(k)
+    }
+
     fn activity(&self) -> &crate::activity::LsqActivity {
         self.inner.activity()
     }

@@ -54,8 +54,9 @@ pub use entry::{Entry, Slot};
 use std::collections::VecDeque;
 
 use crate::activity::LsqActivity;
+use crate::agering::AgeRing;
 use crate::traits::{CachePlan, LoadStoreQueue};
-use crate::types::{Age, AgeMap, ForwardStatus, LsqOccupancy, MemOp, PlaceOutcome};
+use crate::types::{Age, ForwardStatus, LsqOccupancy, MemOp, PlaceOutcome};
 use trace_isa::addr::line_index;
 use trace_isa::MemRef;
 
@@ -102,7 +103,10 @@ pub struct SamieLsq {
     /// Stores currently in the AddrBuffer (fast-path gate for the
     /// per-load ordering scan in [`Self::older_overlapping_store_buffered`]).
     abuf_stores: usize,
-    index: AgeMap<OpState>,
+    /// Age -> op state. An [`AgeRing`]: ages index their slots directly
+    /// (no hashing on the hot path), with the full age stored as a
+    /// generation tag so recycled slots never alias.
+    index: AgeRing<OpState>,
     activity: LsqActivity,
     /// Per-cycle SharedLSQ occupancy histogram (Figures 3 and 4).
     shared_hist: Vec<u64>,
@@ -134,7 +138,7 @@ impl SamieLsq {
             shared,
             abuf: VecDeque::with_capacity(cfg.abuf_slots),
             abuf_stores: 0,
-            index: AgeMap::default(),
+            index: AgeRing::with_capacity(512),
             activity: LsqActivity::default(),
             shared_hist: vec![0; SHARED_HIST_BUCKETS],
             dist_entries_used: 0,
@@ -402,6 +406,21 @@ impl SamieLsq {
         best
     }
 
+    /// The tracked state of an in-flight op (all ops the simulator asks
+    /// about are between dispatch and commit, so the lookup must hit).
+    #[inline]
+    fn state(&self, age: Age) -> OpState {
+        *self.index.get(age).expect("unknown op")
+    }
+
+    /// Debug check backing `tick_idle`: no buffered op has a home.
+    #[cfg(debug_assertions)]
+    fn find_home_none_for_all_buffered(&self) -> bool {
+        self.abuf
+            .iter()
+            .all(|b| self.find_home(line_index(b.op.mref.addr)).is_none())
+    }
+
     #[cfg(debug_assertions)]
     fn check_counters(&self) {
         let de = self.dist.iter().filter(|e| !e.is_free()).count();
@@ -448,7 +467,7 @@ impl LoadStoreQueue for SamieLsq {
     }
 
     fn address_ready(&mut self, age: Age) -> PlaceOutcome {
-        let st = self.index[&age];
+        let st = self.state(age);
         debug_assert_eq!(st.loc, Where::Dispatched, "address_ready on a placed op");
         let line = line_index(st.op.mref.addr);
         let bank = self.bank_of(line);
@@ -483,7 +502,7 @@ impl LoadStoreQueue for SamieLsq {
     }
 
     fn store_executed(&mut self, age: Age) {
-        let st = self.index[&age];
+        let st = self.state(age);
         debug_assert!(st.op.is_store);
         match st.loc {
             Where::Dist { entry } => {
@@ -516,7 +535,7 @@ impl LoadStoreQueue for SamieLsq {
     }
 
     fn load_forward_status(&mut self, age: Age) -> ForwardStatus {
-        let st = self.index[&age];
+        let st = self.state(age);
         debug_assert!(!st.op.is_store);
         match st.loc {
             Where::Buffered | Where::Dispatched => return ForwardStatus::Wait,
@@ -542,7 +561,7 @@ impl LoadStoreQueue for SamieLsq {
     fn take_forward(&mut self, load: Age, store: Age) {
         debug_assert!(store < load);
         // Read the store's datum out of its structure.
-        match self.index[&store].loc {
+        match self.state(store).loc {
             Where::Dist { .. } => self.activity.dist_data_rw += 1,
             Where::Shared { .. } => self.activity.shared_data_rw += 1,
             _ => unreachable!("forwarding store must be placed"),
@@ -551,7 +570,7 @@ impl LoadStoreQueue for SamieLsq {
     }
 
     fn cache_access_plan(&mut self, age: Age) -> CachePlan {
-        let st = self.index[&age];
+        let st = self.state(age);
         let (loc, translation, is_shared) = match st.loc {
             Where::Dist { entry } => {
                 let e = &self.dist[entry as usize];
@@ -585,7 +604,7 @@ impl LoadStoreQueue for SamieLsq {
     }
 
     fn note_cache_access(&mut self, age: Age, set: u32, way: u32) -> bool {
-        let st = self.index[&age];
+        let st = self.state(age);
         let (entry, is_shared) = match st.loc {
             Where::Dist { entry } => (&mut self.dist[entry as usize], false),
             Where::Shared { entry } => (&mut self.shared[entry as usize], true),
@@ -612,7 +631,7 @@ impl LoadStoreQueue for SamieLsq {
     }
 
     fn load_data_arrived(&mut self, age: Age) {
-        match self.index[&age].loc {
+        match self.state(age).loc {
             Where::Dist { .. } => self.activity.dist_data_rw += 1,
             Where::Shared { .. } => self.activity.shared_data_rw += 1,
             _ => unreachable!("a buffered load cannot receive data"),
@@ -635,7 +654,7 @@ impl LoadStoreQueue for SamieLsq {
     }
 
     fn commit(&mut self, age: Age) {
-        let st = self.index.remove(&age).expect("commit of unknown op");
+        let st = self.index.remove(age).expect("commit of unknown op");
         assert!(
             !matches!(st.loc, Where::Buffered | Where::Dispatched),
             "only placed ops can commit (the simulator flushes a buffered ROB head)"
@@ -657,11 +676,11 @@ impl LoadStoreQueue for SamieLsq {
         let doomed: Vec<(Age, Where)> = self
             .index
             .iter()
-            .filter(|&(&a, _)| a > age)
-            .map(|(&a, s)| (a, s.loc))
+            .filter(|&(a, _)| a > age)
+            .map(|(a, s)| (a, s.loc))
             .collect();
         for (a, loc) in doomed {
-            self.index.remove(&a);
+            self.index.remove(a);
             self.remove_from_entry(a, loc);
         }
         #[cfg(debug_assertions)]
@@ -685,7 +704,7 @@ impl LoadStoreQueue for SamieLsq {
 
     fn is_buffered(&self, age: Age) -> bool {
         self.index
-            .get(&age)
+            .get(age)
             .is_some_and(|s| s.loc == Where::Buffered)
     }
 
@@ -737,6 +756,31 @@ impl LoadStoreQueue for SamieLsq {
         self.shared_hist[bucket] += 1;
     }
 
+    fn tick_idle(&mut self, k: u64) {
+        // The caller guarantees the previous tick promoted nothing and no
+        // state changed since, and promotion eligibility depends only on
+        // LSQ state — so k idle ticks are exactly k occupancy
+        // integrations with unchanged occupancy (and no search activity:
+        // a failed promotion scan charges nothing).
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            self.abuf.is_empty() || self.find_home_none_for_all_buffered(),
+            "tick_idle while a buffered op could promote"
+        );
+        let occ = &mut self.activity.occupancy;
+        occ.cycles += k;
+        occ.dist_entries += self.dist_entries_used as u64 * k;
+        occ.dist_slots += self.dist_slots_used as u64 * k;
+        occ.shared_entries += self.shared_entries_used as u64 * k;
+        occ.shared_slots += self.shared_slots_used as u64 * k;
+        occ.abuf_slots += self.abuf.len() as u64 * k;
+        if !self.abuf.is_empty() {
+            self.activity.abuf_busy_cycles += k;
+        }
+        let bucket = self.shared_entries_used.min(SHARED_HIST_BUCKETS - 1);
+        self.shared_hist[bucket] += k;
+    }
+
     fn activity(&self) -> &LsqActivity {
         &self.activity
     }
@@ -762,7 +806,7 @@ impl SamieLsq {
     /// The line address an op's entry is keyed by (test helper).
     #[doc(hidden)]
     pub fn entry_line_of(&self, age: Age) -> Option<u64> {
-        let st = self.index.get(&age)?;
+        let st = self.index.get(age)?;
         match st.loc {
             Where::Dist { .. } | Where::Shared { .. } => Some(self.entry_of(st.loc).line),
             _ => None,
@@ -773,7 +817,7 @@ impl SamieLsq {
     #[doc(hidden)]
     pub fn is_in_shared(&self, age: Age) -> bool {
         matches!(
-            self.index.get(&age).map(|s| s.loc),
+            self.index.get(age).map(|s| s.loc),
             Some(Where::Shared { .. })
         )
     }
@@ -781,16 +825,13 @@ impl SamieLsq {
     /// Is the op currently in the DistribLSQ (test helper)?
     #[doc(hidden)]
     pub fn is_in_dist(&self, age: Age) -> bool {
-        matches!(
-            self.index.get(&age).map(|s| s.loc),
-            Some(Where::Dist { .. })
-        )
+        matches!(self.index.get(age).map(|s| s.loc), Some(Where::Dist { .. }))
     }
 
     /// `(set, way)` cached by the op's entry, if any (test helper).
     #[doc(hidden)]
     pub fn entry_cached_loc(&self, age: Age) -> Option<(u32, u32)> {
-        let st = self.index.get(&age)?;
+        let st = self.index.get(age)?;
         match st.loc {
             Where::Dist { .. } | Where::Shared { .. } => self.entry_of(st.loc).cached_loc,
             _ => None,

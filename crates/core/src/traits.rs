@@ -132,6 +132,26 @@ pub trait LoadStoreQueue {
     /// occupancy.
     fn tick(&mut self, promoted: &mut Vec<Age>);
 
+    /// `k` consecutive [`tick`](LoadStoreQueue::tick)s during which the
+    /// simulator guarantees the LSQ state cannot change: the previous
+    /// tick promoted nothing and no op was dispatched, placed, executed
+    /// or committed since. Used by the simulator's event-driven cycle
+    /// skipping, so the accounting must be exactly `k` idle ticks' worth.
+    ///
+    /// The default implementation literally replays `k` ticks (correct
+    /// for every design by construction); designs whose idle tick only
+    /// integrates occupancy override it with a closed form.
+    fn tick_idle(&mut self, k: u64) {
+        let mut promoted = Vec::new();
+        for _ in 0..k {
+            self.tick(&mut promoted);
+            debug_assert!(
+                promoted.is_empty(),
+                "tick_idle during a cycle with promotions"
+            );
+        }
+    }
+
     /// The activity ledger accumulated so far.
     fn activity(&self) -> &LsqActivity;
 
@@ -216,6 +236,12 @@ impl<L: LoadStoreQueue + ?Sized> LoadStoreQueue for Box<L> {
 
     fn tick(&mut self, promoted: &mut Vec<Age>) {
         (**self).tick(promoted)
+    }
+
+    fn tick_idle(&mut self, k: u64) {
+        // Must forward explicitly: the provided default would replay
+        // `k` ticks on the Box and lose the inner design's closed form.
+        (**self).tick_idle(k)
     }
 
     fn activity(&self) -> &LsqActivity {

@@ -101,6 +101,10 @@ impl LoadStoreQueue for UnboundedLsq {
         self.inner.tick(promoted)
     }
 
+    fn tick_idle(&mut self, k: u64) {
+        self.inner.tick_idle(k)
+    }
+
     fn activity(&self) -> &LsqActivity {
         self.inner.activity()
     }

@@ -55,6 +55,7 @@ pub mod experiment;
 pub mod experiments;
 pub mod fuzz;
 pub mod load;
+pub mod profile;
 pub mod protocol;
 pub mod report;
 pub mod runner;
@@ -71,6 +72,7 @@ pub use experiment::{
 };
 pub use fuzz::{differential_check, run_fuzz, FuzzConfig, FuzzMismatch, FuzzReport};
 pub use load::{run_load, LoadOptions, LoadReport, MixSpec};
+pub use profile::{run_profile, ProfilePoint, ProfileReport};
 pub use protocol::{parse_request, Request, Response, ServerConn, DEFAULT_ADDR};
 pub use report::{generate_book, BookSummary, ReportOptions};
 pub use runner::{

@@ -108,14 +108,18 @@ fn latency_stats(samples: &mut [Duration]) -> LatencyStats {
         return LatencyStats::default();
     }
     samples.sort();
-    let pct = |p: f64| {
-        let idx = ((samples.len() as f64 * p).ceil() as usize).clamp(1, samples.len()) - 1;
-        samples[idx].as_secs_f64() * 1e3
+    // Nearest-rank percentile with exact integer arithmetic: rank =
+    // ceil(n·p/100), 1-based. The obvious float version computes
+    // 100 × 0.99 = 99.00000000000001, whose ceil lands on the wrong
+    // sample — with integers there is nothing to round.
+    let pct = |p_num: usize| {
+        let rank = (samples.len() * p_num).div_ceil(100).max(1);
+        samples[rank - 1].as_secs_f64() * 1e3
     };
     LatencyStats {
         count: samples.len(),
-        p50_ms: pct(0.50),
-        p99_ms: pct(0.99),
+        p50_ms: pct(50),
+        p99_ms: pct(99),
     }
 }
 
@@ -430,11 +434,24 @@ mod tests {
 
     #[test]
     fn latency_percentiles() {
+        // Exact nearest-rank: over 1..=100 ms, p50 is the 50th sample
+        // and p99 the 99th — float rounding (100 × 0.99 = 99.000…01)
+        // used to push p99 onto the 100th sample.
         let mut samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
         let stats = latency_stats(&mut samples);
         assert_eq!(stats.count, 100);
-        assert!((stats.p50_ms - 50.0).abs() < 1.5, "{}", stats.p50_ms);
-        assert!((stats.p99_ms - 99.0).abs() < 1.5, "{}", stats.p99_ms);
+        assert_eq!(stats.p50_ms, 50.0);
+        assert_eq!(stats.p99_ms, 99.0);
+        // Small sample counts: rank never underflows below the first or
+        // overshoots the last sample.
+        let mut one: Vec<Duration> = vec![Duration::from_millis(7)];
+        let s1 = latency_stats(&mut one);
+        assert_eq!(s1.p50_ms, 7.0);
+        assert_eq!(s1.p99_ms, 7.0);
+        let mut three: Vec<Duration> = (1..=3).map(Duration::from_millis).collect();
+        let s3 = latency_stats(&mut three);
+        assert_eq!(s3.p50_ms, 2.0, "ceil(3 * 0.50) = 2nd sample");
+        assert_eq!(s3.p99_ms, 3.0, "ceil(3 * 0.99) = 3rd sample");
         assert_eq!(latency_stats(&mut []).count, 0);
     }
 

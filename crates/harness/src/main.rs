@@ -43,6 +43,14 @@
 //!   aggregate simulated-instructions/sec regressed more than X times
 //!   (default 2.0) vs the checked-in BENCH_baseline.json.
 //!
+//! samie-exp profile [--designs LIST] [--bench LIST] [--exp SPEC]
+//!                   [common flags]
+//!   per-stage attribution of where simulation wall time goes: runs the
+//!   bench grid (default: the paper trio x gzip/swim/ammp) serially with
+//!   the pipeline probe enabled and writes PROFILE_report.json (schema
+//!   samie-profile-v1) + PROFILE_report.md with wall-ns, event counts
+//!   and ns/event per stage, plus stepped-vs-skipped cycle totals.
+//!
 //! samie-exp designs
 //!   list every design kind in the registry with its spec syntax.
 //!
@@ -128,6 +136,7 @@ enum Command {
     Paper(String),
     Sweep,
     Bench,
+    Profile,
     Designs,
     Fuzz,
     Record,
@@ -149,6 +158,7 @@ impl Command {
         match word {
             "sweep" => return Ok(Command::Sweep),
             "bench" => return Ok(Command::Bench),
+            "profile" => return Ok(Command::Profile),
             "designs" => return Ok(Command::Designs),
             "fuzz" => return Ok(Command::Fuzz),
             "record" => return Ok(Command::Record),
@@ -166,8 +176,8 @@ impl Command {
             .iter()
             .copied()
             .chain([
-                "sweep", "bench", "designs", "fuzz", "record", "report", "store", "serve", "load",
-                "analyze",
+                "sweep", "bench", "profile", "designs", "fuzz", "record", "report", "store",
+                "serve", "load", "analyze",
             ])
             .collect();
         let mut msg = format!("unknown command `{word}`");
@@ -362,7 +372,7 @@ fn parse_args() -> Args {
             "--shutdown" => shutdown = true,
             "--dump" => dump = true,
             "--help" | "-h" => {
-                eprintln!("usage: samie-exp <fig1|fig3|fig4|tab1|delay|fig5..fig12|tab456|summary|all|sweep|bench|designs|fuzz|record|report|store|serve|load|analyze> [--exp SPEC] [--instrs N] [--warmup N] [--seed N] [--out DIR] [--quick] [--chart] [--designs LIST] [--bench LIST] [--seeds LIST] [--jobs N] [--baseline FILE] [--max-regression X] [--iters N] [--store DIR] [--no-cache] [--gc] [--dump] [--expect-warm X] [--shard I/N] [--workers N] [--max-restarts N] [--chaos-kill I] [--chaos-delay-ms MS] [--addr HOST:PORT] [--queue-cap N] [--clients N] [--requests N] [--mix H/M/D] [--shutdown]");
+                eprintln!("usage: samie-exp <fig1|fig3|fig4|tab1|delay|fig5..fig12|tab456|summary|all|sweep|bench|profile|designs|fuzz|record|report|store|serve|load|analyze> [--exp SPEC] [--instrs N] [--warmup N] [--seed N] [--out DIR] [--quick] [--chart] [--designs LIST] [--bench LIST] [--seeds LIST] [--jobs N] [--baseline FILE] [--max-regression X] [--iters N] [--store DIR] [--no-cache] [--gc] [--dump] [--expect-warm X] [--shard I/N] [--workers N] [--max-restarts N] [--chaos-kill I] [--chaos-delay-ms MS] [--addr HOST:PORT] [--queue-cap N] [--clients N] [--requests N] [--mix H/M/D] [--shutdown]");
                 std::process::exit(0);
             }
             other if command.is_none() => {
@@ -692,6 +702,47 @@ fn finish_sweep(args: &Args, report: exp_harness::SweepReport, cache: &CacheStat
         }
     }
     0
+}
+
+/// `profile` entry point: per-stage wall-time attribution over the
+/// bench grid (or whatever --exp/--designs/--bench selects). Runs
+/// serially by construction — concurrent points would contend for cores
+/// and smear each other's timings.
+fn run_profile_command(args: &Args) -> i32 {
+    let spec = match build_spec(args, true) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("profile: {e}");
+            return 2;
+        }
+    };
+    let grid = match spec.to_grid() {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("profile: {e}");
+            return 2;
+        }
+    };
+    eprintln!(
+        "profile: {} designs x {} benchmarks x {} seeds, {} + {} instrs per point (serial)",
+        grid.designs.len(),
+        grid.benchmarks.len(),
+        grid.seeds.len(),
+        spec.warmup,
+        spec.instrs,
+    );
+    let report = exp_harness::run_profile(&grid);
+    println!("{}", report.table().render());
+    match report.write(&args.out) {
+        Ok(p) => {
+            eprintln!("  -> {}", p.display());
+            0
+        }
+        Err(e) => {
+            eprintln!("cannot write profile report: {e}");
+            1
+        }
+    }
 }
 
 /// Coordinator mode (`sweep --workers N`): spawn N sharded worker
@@ -1146,6 +1197,7 @@ fn main() {
         }
         Command::Sweep => std::process::exit(run_sweep_command(&args, false)),
         Command::Bench => std::process::exit(run_sweep_command(&args, true)),
+        Command::Profile => std::process::exit(run_profile_command(&args)),
         Command::Fuzz => std::process::exit(run_fuzz_command(&args)),
         Command::Record => std::process::exit(run_record_command(&args)),
         Command::Report => std::process::exit(run_report_command(&args)),

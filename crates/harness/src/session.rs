@@ -62,7 +62,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use ooo_sim::{SimConfig, SimStats, Simulator};
-use samie_lsq::{DesignHandle, DesignSpec, LoadStoreQueue};
+use samie_lsq::{DesignHandle, DesignSpec, FastPathLsq, LoadStoreQueue};
 use spec_traces::{AdversarialSpec, Workload, WorkloadSpec};
 use trace_isa::strc::TraceWriter;
 
@@ -377,72 +377,29 @@ impl<'s> SimSession<'s> {
 
     /// Run every design on the identical trace and collect the report.
     pub fn run(mut self) -> SessionReport {
-        fn emit(observer: &mut Option<Observer<'_>>, e: SessionEvent<'_>) {
-            if let Some(f) = observer {
-                f(&e);
-            }
-        }
-        let total = self.designs.len();
+        let designs = std::mem::take(&mut self.designs);
+        let total = designs.len();
         let mut runs = Vec::with_capacity(total);
         let mut ops_consumed = 0u64;
-        for (index, design) in self.designs.iter().enumerate() {
+        for (index, design) in designs.iter().enumerate() {
             let id = design.id();
-            emit(
-                &mut self.observer,
-                SessionEvent::DesignStarted {
-                    index,
-                    total,
-                    id: &id,
-                },
-            );
-            let mut sim = Simulator::new(
-                self.cfg,
-                design.build(),
-                self.workload.build_trace(self.seed),
-            );
-            sim.warm_up(self.warmup);
-            emit(
-                &mut self.observer,
-                SessionEvent::WarmupDone { index, id: &id },
-            );
-            if self.progress_every == 0 || self.observer.is_none() {
-                sim.run(self.instrs);
-            } else {
-                // Chunked run with absolute targets: the same step()
-                // sequence as one run(instrs) call, so results stay
-                // bit-identical under any progress interval.
-                let mut committed = 0;
-                while committed < self.instrs {
-                    let step = self.progress_every.min(self.instrs - committed);
-                    let stats = sim.run(step);
-                    committed = stats.committed;
-                    emit(
-                        &mut self.observer,
-                        SessionEvent::Progress {
-                            index,
-                            id: &id,
-                            committed,
-                            target: self.instrs,
-                            stats: &stats,
-                            lsq: sim.lsq().as_ref(),
-                        },
-                    );
-                }
-            }
-            let stats = sim.stats();
-            emit(
-                &mut self.observer,
-                SessionEvent::DesignFinished {
-                    index,
-                    id: &id,
-                    stats: &stats,
-                    lsq: sim.lsq().as_ref(),
-                },
-            );
-            if let Some(hook) = &mut self.on_finish {
-                hook(&id, sim.lsq().as_ref());
-            }
-            ops_consumed = ops_consumed.max(sim.trace_ops_pulled());
+            self.emit(SessionEvent::DesignStarted {
+                index,
+                total,
+                id: &id,
+            });
+            // The paper's headline families run fully monomorphized (the
+            // hot loop never crosses a vtable); everything else takes the
+            // flexible `Box<dyn LoadStoreQueue>` edge. Both paths perform
+            // the exact same warm_up/run sequence — stats are
+            // bit-identical by the fast-path contract.
+            let (stats, ops) = match design.build_fast_path() {
+                Some(FastPathLsq::Conventional(lsq)) => self.run_design(index, &id, lsq),
+                Some(FastPathLsq::Filtered(lsq)) => self.run_design(index, &id, lsq),
+                Some(FastPathLsq::Samie(lsq)) => self.run_design(index, &id, lsq),
+                None => self.run_design(index, &id, design.build()),
+            };
+            ops_consumed = ops_consumed.max(ops);
             runs.push(DesignRun { id, stats });
         }
         if let Some(path) = &self.record {
@@ -466,6 +423,58 @@ impl<'s> SimSession<'s> {
             ops_consumed,
             recorded: self.record,
         }
+    }
+
+    fn emit(&mut self, e: SessionEvent<'_>) {
+        if let Some(f) = &mut self.observer {
+            f(&e);
+        }
+    }
+
+    /// Simulate one design — generic over the LSQ type so the three
+    /// paper families get their own monomorphized copies of the hot
+    /// loop. Returns the final stats and the trace prefix pulled.
+    fn run_design<L: LoadStoreQueue + 'static>(
+        &mut self,
+        index: usize,
+        id: &str,
+        lsq: L,
+    ) -> (SimStats, u64) {
+        let mut sim = Simulator::new(self.cfg, lsq, self.workload.build_trace(self.seed));
+        sim.warm_up(self.warmup);
+        self.emit(SessionEvent::WarmupDone { index, id });
+        if self.progress_every == 0 || self.observer.is_none() {
+            sim.run(self.instrs);
+        } else {
+            // Chunked run with absolute targets: the same step()
+            // sequence as one run(instrs) call, so results stay
+            // bit-identical under any progress interval.
+            let mut committed = 0;
+            while committed < self.instrs {
+                let step = self.progress_every.min(self.instrs - committed);
+                let stats = sim.run(step);
+                committed = stats.committed;
+                self.emit(SessionEvent::Progress {
+                    index,
+                    id,
+                    committed,
+                    target: self.instrs,
+                    stats: &stats,
+                    lsq: sim.lsq(),
+                });
+            }
+        }
+        let stats = sim.stats();
+        self.emit(SessionEvent::DesignFinished {
+            index,
+            id,
+            stats: &stats,
+            lsq: sim.lsq(),
+        });
+        if let Some(hook) = &mut self.on_finish {
+            hook(id, sim.lsq());
+        }
+        (stats, sim.trace_ops_pulled())
     }
 }
 

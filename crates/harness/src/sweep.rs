@@ -148,15 +148,22 @@ pub struct SweepPoint {
     pub wall: Duration,
 }
 
+/// Shortest wall time `sim_ips` trusts. Host timers legitimately report
+/// a cached or trivially small point in microseconds; dividing by that
+/// yields billions of instr/s, which would poison the `--baseline`
+/// worst-point gate. Clamping the denominator bounds the reported
+/// throughput instead of letting it explode.
+pub const MIN_TRUSTED_WALL: Duration = Duration::from_millis(1);
+
 impl SweepPoint {
-    /// Simulated instructions per host second.
+    /// Simulated instructions per host second. A wall time below
+    /// [`MIN_TRUSTED_WALL`] is clamped up to it — a zero or sub-ms
+    /// measurement reports a bounded throughput, never an absurd one.
     pub fn sim_ips(&self) -> f64 {
-        let s = self.wall.as_secs_f64();
-        if s <= 0.0 {
-            0.0
-        } else {
-            self.instructions as f64 / s
+        if self.wall.is_zero() {
+            return 0.0;
         }
+        self.instructions as f64 / self.wall.max(MIN_TRUSTED_WALL).as_secs_f64()
     }
 }
 
@@ -501,10 +508,43 @@ pub fn baseline_total_sim_ips(json: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Compare a fresh report against a checked-in baseline: `Ok` unless the
-/// aggregate throughput regressed by more than `factor` (CI uses 2.0 —
-/// only a *gross* regression fails the smoke job, since runner hardware
-/// varies).
+/// Extract every per-point `"sim_ips": N` from a `BENCH_sweep.json` and
+/// return the worst (smallest) strictly-positive one. `None` when the
+/// baseline has no positive per-point throughput (e.g. a
+/// timing-zeroed deterministic JSON) — the per-point gate is then moot.
+pub fn baseline_worst_point_sim_ips(json: &str) -> Option<f64> {
+    // The totals block uses the distinct key `total_sim_ips`, so a plain
+    // scan over `"sim_ips":` sees exactly the per-point values.
+    let key = "\"sim_ips\":";
+    let mut worst: Option<f64> = None;
+    let mut rest = json;
+    while let Some(at) = rest.find(key) {
+        rest = &rest[at + key.len()..];
+        let trimmed = rest.trim_start();
+        let end = trimmed
+            .find(|c: char| {
+                !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E')
+            })
+            .unwrap_or(trimmed.len());
+        if let Ok(v) = trimmed[..end].parse::<f64>() {
+            if v > 0.0 && worst.is_none_or(|w| v < w) {
+                worst = Some(v);
+            }
+        }
+    }
+    worst
+}
+
+/// Compare a fresh report against a checked-in baseline: `Ok` unless
+/// throughput regressed by more than `factor` (CI uses 2.0 — only a
+/// *gross* regression fails the smoke job, since runner hardware
+/// varies). Two gates, both required:
+///
+/// * **aggregate** — the report's `total_sim_ips` vs the baseline's;
+/// * **worst point** — the slowest per-point `sim_ips` vs the
+///   baseline's slowest. The aggregate alone lets one pathological
+///   design/workload point regress 10× while the other points hide it;
+///   the worst-point gate catches exactly that.
 pub fn check_regression(
     report: &SweepReport,
     baseline_json: &str,
@@ -519,16 +559,35 @@ pub fn check_regression(
     } else {
         f64::INFINITY
     };
-    let msg = format!(
+    let mut msg = format!(
         "throughput {:.2} Msim-instr/s vs baseline {:.2} Msim-instr/s ({ratio:.2}x)",
         now / 1e6,
         base / 1e6
     );
     if base > 0.0 && now * factor < base {
-        Err(msg)
-    } else {
-        Ok(msg)
+        return Err(msg);
     }
+    // Worst-point gate: only when both sides have positive per-point
+    // throughput to compare.
+    if let Some(worst_base) = baseline_worst_point_sim_ips(baseline_json) {
+        let worst_now = report
+            .points
+            .iter()
+            .map(SweepPoint::sim_ips)
+            .fold(f64::INFINITY, f64::min);
+        if worst_now.is_finite() {
+            let _ = write!(
+                msg,
+                "; worst point {:.2} vs baseline worst {:.2} Msim-instr/s",
+                worst_now / 1e6,
+                worst_base / 1e6
+            );
+            if worst_now * factor < worst_base {
+                return Err(msg);
+            }
+        }
+    }
+    Ok(msg)
 }
 
 #[cfg(test)]
@@ -680,6 +739,87 @@ mod tests {
         assert_eq!(json, warm.to_json_deterministic());
         assert!(warm.cache_summary().contains("6 hits / 0 misses"));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A synthetic point with a controllable wall time.
+    fn synthetic_point(design: &str, instructions: u64, wall: Duration) -> SweepPoint {
+        SweepPoint {
+            design: design.to_string(),
+            bench: "gzip".to_string(),
+            seed: 1,
+            ipc: 1.0,
+            cycles: instructions,
+            instructions,
+            deadlock_flushes: 0,
+            nospace_flushes: 0,
+            lsq_energy_nj: 1.0,
+            wall,
+        }
+    }
+
+    #[test]
+    fn sim_ips_is_bounded_for_sub_ms_walls() {
+        // 150k instructions in 10 ns would naively report 15 Tinstr/s;
+        // the clamp caps the rate at instructions-per-MIN_TRUSTED_WALL.
+        let absurd = synthetic_point("conv:32", 150_000, Duration::from_nanos(10));
+        let cap = 150_000.0 / MIN_TRUSTED_WALL.as_secs_f64();
+        assert_eq!(absurd.sim_ips(), cap);
+        // Zero wall (a never-measured point) stays zero, not infinity.
+        assert_eq!(
+            synthetic_point("conv:32", 150_000, Duration::ZERO).sim_ips(),
+            0.0
+        );
+        // Trustworthy walls are untouched.
+        let normal = synthetic_point("conv:32", 150_000, Duration::from_millis(50));
+        assert!((normal.sim_ips() - 3_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn regression_check_gates_the_worst_point_not_just_the_aggregate() {
+        let rc = RunConfig {
+            instrs: 10_000,
+            warmup: 0,
+            seed: 1,
+        };
+        // Synthetic two-point report: one healthy point, one point that
+        // regressed ~8x (40k instrs in 100 ms = 0.4 Msim-instr/s).
+        let report = SweepReport {
+            mode: "bench",
+            rc,
+            wall: Duration::from_millis(120),
+            hits: 0,
+            misses: 2,
+            saved: Duration::ZERO,
+            points: vec![
+                synthetic_point("conv:128", 60_000, Duration::from_millis(20)),
+                synthetic_point("samie:64x2x8:sh8:ab64", 40_000, Duration::from_millis(100)),
+            ],
+        };
+        // Baseline where both points ran at ~3 Msim-instr/s. Aggregate:
+        // baseline 0.83 vs fresh 0.83 Msim-instr/s (same wall) — passes.
+        let baseline = r#"{
+          "points": [
+            {"design": "conv:128", "sim_ips": 3000000},
+            {"design": "samie:64x2x8:sh8:ab64", "sim_ips": 3200000}
+          ],
+          "total": {"total_sim_ips": 833000}
+        }"#;
+        assert_eq!(baseline_worst_point_sim_ips(baseline), Some(3_000_000.0));
+        // The aggregate gate alone would pass (0.83M vs 0.83M), but the
+        // worst point (0.4M) regressed more than 2x vs the baseline's
+        // worst (3.0M) — the check must fail.
+        let err = check_regression(&report, baseline, 2.0).unwrap_err();
+        assert!(err.contains("worst point"), "{err}");
+        // With a generous factor the same report passes both gates.
+        assert!(check_regression(&report, baseline, 10.0).is_ok());
+        // A timing-zeroed baseline (det.json) has no positive per-point
+        // values: the worst-point gate is skipped, not tripped.
+        let det = r#"{
+          "points": [{"design": "conv:128", "sim_ips": 0}],
+          "total": {"total_sim_ips": 833000}
+        }"#;
+        assert_eq!(baseline_worst_point_sim_ips(det), None);
+        assert!(check_regression(&report, det, 2.0).is_ok());
     }
 
     #[test]

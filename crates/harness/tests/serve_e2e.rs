@@ -13,7 +13,8 @@
 //! * malformed submissions come back as single-line `400`s with the
 //!   parser's "did you mean" intact.
 //!
-//! Spawned servers run the *debug* binary, so specs here are tiny.
+//! Spawned servers run the same profile as the test build, so the
+//! mid-flight tests scale their job sizes by [`SCALE`].
 
 use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
@@ -27,6 +28,12 @@ use exp_harness::sweep::run_sweep_cached;
 use exp_store::ExperimentStore;
 
 const EXE: &str = env!("CARGO_BIN_EXE_samie-exp");
+
+/// Instruction-count multiplier for tests that must catch a job
+/// mid-flight (kill it, or fill the queue behind it). The release
+/// simulator finishes debug-sized jobs in milliseconds — faster than
+/// the observation poll — so those jobs grow with the build profile.
+const SCALE: u64 = if cfg!(debug_assertions) { 1 } else { 20 };
 
 /// A fresh scratch directory (removed first if a previous run left it).
 fn scratch(name: &str) -> PathBuf {
@@ -229,14 +236,20 @@ fn killed_server_resumes_its_journal_bit_identically() {
     let baseline_store = scratch("chaos-baseline");
     // Two jobs: one wide enough that the SIGKILL lands mid-job, one
     // queued behind it on the single worker.
-    let job_a = "design=conv:32,samie bench=gzip,swim seed=11 instrs=15000 warmup=2000";
-    let job_b = "design=conv:32 bench=ammp seed=11 instrs=15000 warmup=2000";
+    let job_a = format!(
+        "design=conv:32,samie bench=gzip,swim seed=11 instrs={} warmup=2000",
+        15_000 * SCALE
+    );
+    let job_b = format!(
+        "design=conv:32 bench=ammp seed=11 instrs={} warmup=2000",
+        15_000 * SCALE
+    );
 
     let mut server = Server::start(&store, &["--jobs", "1"]);
     assert_eq!(server.resumed, 0);
     let mut conn = server.connect();
-    let id_a = submit(&mut conn, job_a);
-    let id_b = submit(&mut conn, job_b);
+    let id_a = submit(&mut conn, &job_a);
+    let id_b = submit(&mut conn, &job_b);
 
     // Poll until the first point lands in the store — the kill then
     // interrupts job A partway through its grid.
@@ -272,7 +285,7 @@ fn killed_server_resumes_its_journal_bit_identically() {
 
     // Bit-identical to a never-killed sweep of the same two specs.
     let baseline = PointCache::open(&baseline_store).unwrap();
-    for spec in [job_a, job_b] {
+    for spec in [&job_a, &job_b] {
         let grid = spec.parse::<ExperimentSpec>().unwrap().to_grid().unwrap();
         run_sweep_cached(&grid, 1, Some(&baseline));
     }
@@ -289,10 +302,15 @@ fn full_queue_rejects_with_429() {
     let server = Server::start(&store, &["--jobs", "1", "--queue-cap", "1"]);
     let mut conn = server.connect();
 
-    // Occupy the single worker...
+    // Occupy the single worker. The job must stay busy from the
+    // `phase=running` observation below through two more submissions
+    // even on a loaded machine, so it is big in both build profiles.
     let busy_id = submit(
         &mut conn,
-        "design=conv:32,samie bench=gzip,swim seed=3 instrs=20000 warmup=3000",
+        &format!(
+            "design=conv:32,samie bench=gzip,swim seed=3 instrs={} warmup=3000",
+            100_000 * SCALE
+        ),
     );
     let deadline = Instant::now() + Duration::from_secs(120);
     loop {

@@ -68,6 +68,23 @@ impl FuScoreboard {
     pub fn free_units(&self, kind: FuKind, now: u64) -> usize {
         self.pool(kind).iter().filter(|&&b| b <= now).count()
     }
+
+    /// The first cycle after `now` at which any currently busy unit frees
+    /// up, or `None` if every unit is already free. Drives the
+    /// simulator's event-driven cycle skipping: a stalled pipeline can
+    /// only be unblocked by a unit release, a completion, or a fetch
+    /// resume.
+    pub fn earliest_release(&self, now: u64) -> Option<u64> {
+        let mut best: Option<u64> = None;
+        for pool in &self.busy_until {
+            for &b in pool {
+                if b > now {
+                    best = Some(best.map_or(b, |x: u64| x.min(b)));
+                }
+            }
+        }
+        best
+    }
 }
 
 #[cfg(test)]

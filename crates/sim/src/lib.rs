@@ -33,10 +33,12 @@ pub mod pipeline;
 #[cfg(test)]
 mod pipeline_tests;
 pub mod predictor;
+pub mod profile;
 pub mod stats;
 
 pub use ageset::AgeSet;
 pub use config::SimConfig;
 pub use pipeline::Simulator;
 pub use predictor::{BranchPredictor, Btb};
+pub use profile::{NoProbe, PipelineProbe, ProfilingProbe, Stage, StageProfile};
 pub use stats::SimStats;

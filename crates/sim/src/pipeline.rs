@@ -23,6 +23,31 @@
 //!    predictor, BTB and L1 I-cache; a mispredicted branch blocks fetch
 //!    until it resolves plus a redirect penalty.
 //!
+//! ## Hot-loop layout and event-driven cycle skipping
+//!
+//! In-flight ops live in a struct-of-arrays reorder buffer (`Rob`):
+//! the per-op record is split into parallel arrays indexed by the dense
+//! slot id `age - front_age` (ages are assigned sequentially at fetch and
+//! flushes clear the whole window, so the ROB is a dense age-indexed
+//! window). The commit scan touches only the `state` array, the wake-up
+//! walk only `waiting_on`/`state`, instead of dragging whole entries
+//! through the cache.
+//!
+//! Every stage reports how many units of work it performed. A cycle with
+//! zero events across all stages cannot unblock itself: every gate is a
+//! pure function of the (unchanged) pipeline state and the clock, and the
+//! clock only matters through three kinds of timer — scheduled
+//! completions, the fetch resume cycle, and functional-unit releases. So
+//! when a cycle performs no events (and no refused address is waiting in
+//! the LSQ retry queue, whose re-admission attempts charge LSQ activity),
+//! the simulator jumps straight to the earliest such timer, bulk-charging
+//! the per-cycle accounting (`stats.cycles`, LSQ occupancy integration
+//! via [`samie_lsq::LoadStoreQueue::tick_idle`], fetch-blocked cycles) so
+//! all statistics stay cycle-exact — runs with skipping on and off are
+//! bit-identical. The jump is capped just short of the watchdog so a
+//! genuinely stuck pipeline still trips the same assert on the same
+//! cycle.
+//!
 //! ## Replay
 //!
 //! The only squashes in this trace-driven model are whole-pipeline flushes
@@ -42,6 +67,7 @@ use crate::ageset::AgeSet;
 use crate::config::SimConfig;
 use crate::fu::FuScoreboard;
 use crate::predictor::{BranchPredictor, Btb};
+use crate::profile::{NoProbe, PipelineProbe, Stage};
 use crate::stats::SimStats;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,18 +93,110 @@ enum MemPhase {
     Finished,
 }
 
+/// Struct-of-arrays reorder buffer. One logical entry per in-flight op,
+/// split into parallel arrays indexed by the dense slot id
+/// `age - age0`: ages are assigned sequentially at fetch, dispatch pushes
+/// them in order, and the only squashes are whole-window flushes, so the
+/// ROB is always a contiguous age range.
 #[derive(Debug)]
-struct RobEntry {
-    age: Age,
-    op: MicroOp,
-    state: ExecState,
-    mem_phase: MemPhase,
+struct Rob {
+    /// Age of the front entry (meaningful only while non-empty).
+    age0: Age,
+    op: VecDeque<MicroOp>,
+    state: VecDeque<ExecState>,
+    mem_phase: VecDeque<MemPhase>,
     /// Producers still outstanding (0 → ready to issue).
-    waiting_on: u8,
+    waiting_on: VecDeque<u8>,
     /// Ages of dependents registered for wake-up.
-    consumers: Vec<Age>,
-    /// Occupies an issue-queue slot (dispatch gate accounting).
-    in_iq: bool,
+    consumers: VecDeque<Vec<Age>>,
+}
+
+impl Rob {
+    fn with_capacity(cap: usize) -> Self {
+        Rob {
+            age0: 0,
+            op: VecDeque::with_capacity(cap),
+            state: VecDeque::with_capacity(cap),
+            mem_phase: VecDeque::with_capacity(cap),
+            waiting_on: VecDeque::with_capacity(cap),
+            consumers: VecDeque::with_capacity(cap),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.op.len()
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.op.is_empty()
+    }
+
+    /// Slot id of `age`, or `None` if the op is not in the window (it
+    /// committed or was flushed — flushed ages are never re-used, so any
+    /// stale age falls below `age0`).
+    #[inline]
+    fn index(&self, age: Age) -> Option<usize> {
+        if self.op.is_empty() || age < self.age0 {
+            return None;
+        }
+        let i = (age - self.age0) as usize;
+        debug_assert!(i < self.op.len(), "age {age} beyond the ROB window");
+        Some(i)
+    }
+
+    fn push_back(&mut self, age: Age, op: MicroOp, waiting: u8, consumers: Vec<Age>) {
+        if self.op.is_empty() {
+            self.age0 = age;
+        }
+        debug_assert_eq!(
+            self.age0 + self.op.len() as u64,
+            age,
+            "ROB ages must be dense"
+        );
+        self.op.push_back(op);
+        self.state.push_back(ExecState::Waiting);
+        self.mem_phase.push_back(MemPhase::PreAgen);
+        self.waiting_on.push_back(waiting);
+        self.consumers.push_back(consumers);
+    }
+
+    /// Pop the front entry, returning its consumer list for recycling.
+    fn pop_front(&mut self) -> Vec<Age> {
+        self.age0 += 1;
+        self.op.pop_front();
+        self.state.pop_front();
+        self.mem_phase.pop_front();
+        self.waiting_on.pop_front();
+        self.consumers.pop_front().expect("pop from an empty ROB")
+    }
+
+    /// Drop every entry, recycling consumer lists into `pool`.
+    fn clear_into(&mut self, pool: &mut Vec<Vec<Age>>) {
+        self.op.clear();
+        self.state.clear();
+        self.mem_phase.clear();
+        self.waiting_on.clear();
+        for mut consumers in self.consumers.drain(..) {
+            consumers.clear();
+            pool.push(consumers);
+        }
+    }
+
+    /// Front-entry summary for the watchdog panic message.
+    fn front_debug(&self) -> Option<(Age, OpClass, ExecState, MemPhase)> {
+        if self.is_empty() {
+            None
+        } else {
+            Some((
+                self.age0,
+                self.op[0].class,
+                self.state[0],
+                self.mem_phase[0],
+            ))
+        }
+    }
 }
 
 /// The simulator. Generic over the LSQ design (`L`) and trace source
@@ -110,7 +228,7 @@ pub struct Simulator<L: LoadStoreQueue, T: TraceSource> {
     fetch_resume_at: u64,
     last_fetch_line: u64,
 
-    rob: VecDeque<RobEntry>,
+    rob: Rob,
     iq_int: usize,
     iq_fp: usize,
 
@@ -131,6 +249,12 @@ pub struct Simulator<L: LoadStoreQueue, T: TraceSource> {
 
     stats: SimStats,
     last_commit_cycle: u64,
+    /// Event-driven cycle skipping (on by default). Not part of
+    /// [`SimConfig`]: it cannot change any statistic, only wall time.
+    skip_enabled: bool,
+    /// Cycles jumped over by skipping (already included in
+    /// `stats.cycles`; kept separately for diagnostics/profiling).
+    skipped_cycles: u64,
     scratch_promoted: Vec<Age>,
     /// Per-cycle working copy of a ready set / the pending loads (reused
     /// so the stages allocate nothing in steady state).
@@ -162,7 +286,7 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
             fetch_blocked_on: None,
             fetch_resume_at: 0,
             last_fetch_line: u64::MAX,
-            rob: VecDeque::with_capacity(cfg.rob_size),
+            rob: Rob::with_capacity(cfg.rob_size),
             iq_int: 0,
             iq_fp: 0,
             ready_int: AgeSet::new(),
@@ -173,6 +297,8 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
             completions: BinaryHeap::new(),
             stats: SimStats::default(),
             last_commit_cycle: 0,
+            skip_enabled: true,
+            skipped_cycles: 0,
             scratch_promoted: Vec::new(),
             scratch_ages: Vec::new(),
             consumer_pool: Vec::new(),
@@ -202,6 +328,24 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
         &self.mem
     }
 
+    /// Enable/disable event-driven cycle skipping (on by default).
+    /// Statistics are bit-identical either way; off exists for
+    /// differential testing and single-stepped debugging.
+    pub fn set_cycle_skipping(&mut self, enabled: bool) {
+        self.skip_enabled = enabled;
+    }
+
+    /// Is event-driven cycle skipping enabled?
+    pub fn cycle_skipping(&self) -> bool {
+        self.skip_enabled
+    }
+
+    /// Cycles jumped over by event-driven skipping so far (a subset of
+    /// `stats.cycles`, which counts them as simulated).
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
+    }
+
     /// Ops pulled from the trace source so far (in 64-op batch refills,
     /// so this slightly over-counts what fetch actually used).
     /// A recording of this many ops replays the run bit-identically —
@@ -224,9 +368,23 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
 
     /// Run until `instructions` more have committed; returns final stats.
     pub fn run(&mut self, instructions: u64) -> SimStats {
+        self.run_with(instructions, &mut NoProbe)
+    }
+
+    /// [`run`](Self::run) with a [`PipelineProbe`] observing every stage
+    /// (the `samie-exp profile` entry point). `NoProbe` compiles to the
+    /// plain hot loop.
+    pub fn run_with<P: PipelineProbe>(&mut self, instructions: u64, probe: &mut P) -> SimStats {
         let target = self.stats.committed + instructions;
         while self.stats.committed < target {
-            self.step();
+            let events = self.step_with(probe);
+            // A cycle with zero events cannot unblock itself (see the
+            // module docs); jump to the next timer. The retry queue is
+            // excluded: re-offering a refused address charges LSQ
+            // activity every cycle, so those cycles must be stepped.
+            if events == 0 && self.skip_enabled && self.lsq_retry.is_empty() {
+                self.skip_ahead(probe);
+            }
         }
         self.stats()
     }
@@ -244,75 +402,130 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
 
     /// Advance one cycle.
     pub fn step(&mut self) {
-        self.complete_stage();
+        self.step_with(&mut NoProbe);
+    }
+
+    /// Advance one cycle, reporting per-stage work to `probe`. Returns
+    /// the total number of events (zero ⇒ the pipeline made no progress).
+    fn step_with<P: PipelineProbe>(&mut self, probe: &mut P) -> u64 {
+        probe.enter(Stage::Execute);
+        let completed = self.complete_stage();
+        probe.exit(Stage::Execute, completed);
+
+        probe.enter(Stage::LsqTick);
         let mut promoted = std::mem::take(&mut self.scratch_promoted);
         promoted.clear();
         self.lsq.tick(&mut promoted);
         // Promoted stores become complete (they were held back while in
         // the AddrBuffer so they could not commit undisambiguated).
+        let promotions = promoted.len() as u64;
         for &age in &promoted {
-            if let Some(e) = self.entry(age) {
-                if e.op.class == OpClass::Store {
-                    self.entry_mut(age).unwrap().mem_phase = MemPhase::Finished;
+            if let Some(i) = self.rob.index(age) {
+                if self.rob.op[i].class == OpClass::Store {
+                    self.rob.mem_phase[i] = MemPhase::Finished;
                     self.mark_done(age);
                 }
             }
         }
         self.scratch_promoted = promoted;
-        self.drain_lsq_retry();
-        self.commit_stage();
-        self.memory_issue_stage();
-        self.issue_stage();
-        self.dispatch_stage();
-        self.fetch_stage();
+        let drained = self.drain_lsq_retry();
+        probe.exit(Stage::LsqTick, promotions + drained);
+
+        probe.enter(Stage::Commit);
+        let committed = self.commit_stage();
+        probe.exit(Stage::Commit, committed);
+
+        probe.enter(Stage::Forward);
+        let mem_issued = self.memory_issue_stage();
+        probe.exit(Stage::Forward, mem_issued);
+
+        probe.enter(Stage::Issue);
+        let issued = self.issue_stage();
+        probe.exit(Stage::Issue, issued);
+
+        probe.enter(Stage::Dispatch);
+        let dispatched = self.dispatch_stage();
+        probe.exit(Stage::Dispatch, dispatched);
+
+        probe.enter(Stage::Fetch);
+        let fetched = self.fetch_stage();
+        probe.exit(Stage::Fetch, fetched);
+
         self.stats.cycles += 1;
         self.now += 1;
+        probe.cycle();
         assert!(
             self.now - self.last_commit_cycle < self.cfg.watchdog_cycles,
             "no commit for {} cycles at cycle {} (rob head: {:?})",
             self.cfg.watchdog_cycles,
             self.now,
-            self.rob
-                .front()
-                .map(|e| (e.age, e.op.class, e.state, e.mem_phase)),
+            self.rob.front_debug(),
         );
+        completed + promotions + drained + committed + mem_issued + issued + dispatched + fetched
     }
 
-    // ---- ROB helpers -------------------------------------------------
-
-    #[inline]
-    fn rob_index(&self, age: Age) -> Option<usize> {
-        let front = self.rob.front()?.age;
-        if age < front {
-            return None;
+    /// Jump from a proven-idle cycle to the earliest cycle at which
+    /// anything can happen, bulk-charging the per-cycle accounting so the
+    /// statistics are identical to stepping. Caller guarantees the step
+    /// just executed performed zero events and the LSQ retry queue is
+    /// empty.
+    fn skip_ahead<P: PipelineProbe>(&mut self, probe: &mut P) {
+        let now = self.now;
+        let mut wake = u64::MAX;
+        // The three timers that can unblock an idle pipeline:
+        // a scheduled completion...
+        if let Some(&Reverse((cycle, _))) = self.completions.peek() {
+            wake = wake.min(cycle);
         }
-        let i = (age - front) as usize;
-        debug_assert!(i < self.rob.len() && self.rob[i].age == age);
-        Some(i)
-    }
-
-    fn entry(&self, age: Age) -> Option<&RobEntry> {
-        self.rob_index(age).map(|i| &self.rob[i])
-    }
-
-    fn entry_mut(&mut self, age: Age) -> Option<&mut RobEntry> {
-        self.rob_index(age).map(move |i| &mut self.rob[i])
+        // ...fetch resuming after a redirect/I-miss penalty (irrelevant
+        // while fetch waits on a branch: resolution is a completion)...
+        if self.fetch_blocked_on.is_none() {
+            wake = wake.min(self.fetch_resume_at);
+        }
+        // ...or a busy functional unit freeing up.
+        if let Some(release) = self.fu.earliest_release(now) {
+            wake = wake.min(release);
+        }
+        // Never jump past the last cycle the watchdog allows: if no timer
+        // is pending the pipeline is stuck, and stepping from here makes
+        // the watchdog fire on exactly the cycle it would have without
+        // skipping.
+        let cap = self.last_commit_cycle + self.cfg.watchdog_cycles - 1;
+        let target = wake.min(cap);
+        if target <= now {
+            return;
+        }
+        let k = target - now;
+        // Per-cycle accounting the skipped steps would have performed.
+        self.stats.cycles += k;
+        if self.fetch_blocked_on.is_some() {
+            self.stats.fetch_blocked_cycles += k;
+        } else if self.fetch_resume_at > now {
+            self.stats.fetch_blocked_cycles += k.min(self.fetch_resume_at - now);
+        }
+        self.lsq.tick_idle(k);
+        self.now = target;
+        self.skipped_cycles += k;
+        probe.skipped(k);
     }
 
     // ---- stage 1: completion ------------------------------------------
 
-    fn complete_stage(&mut self) {
+    fn complete_stage(&mut self) -> u64 {
+        let mut events = 0;
         while let Some(&Reverse((cycle, age))) = self.completions.peek() {
             if cycle > self.now {
                 break;
             }
             self.completions.pop();
+            events += 1;
             // The op may have been flushed since scheduling.
-            if self.entry(age).is_none() {
+            if self.rob.index(age).is_none() {
                 continue;
             }
             self.finish_execution(age);
         }
+        events
     }
 
     /// An op's FU latency expired. A memory op completes twice: once when
@@ -320,8 +533,9 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
     /// loads — once more when its datum arrives; `mem_phase` tells the two
     /// events apart.
     fn finish_execution(&mut self, age: Age) {
-        let e = self.entry(age).expect("completing a flushed op");
-        let (op, phase) = (e.op, e.mem_phase);
+        let i = self.rob.index(age).expect("completing a flushed op");
+        let op = self.rob.op[i];
+        let phase = self.rob.mem_phase[i];
         match op.class {
             OpClass::Load | OpClass::Store if phase == MemPhase::PreAgen => {
                 self.agen_complete(age, op);
@@ -361,15 +575,15 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
             // from the LSQ (once placed) and writes the cache at commit.
             self.lsq.store_executed(age);
         }
-        let e = self.entry_mut(age).expect("agen for a flushed op");
-        e.mem_phase = MemPhase::InLsq;
+        let i = self.rob.index(age).expect("agen for a flushed op");
+        self.rob.mem_phase[i] = MemPhase::InLsq;
         if is_store {
             if outcome == PlaceOutcome::Placed {
                 // A store parked in the AddrBuffer is *not* complete: it
                 // has not been disambiguated, so it must not commit until
                 // promoted (the ROB-head deadlock check handles the stuck
                 // case).
-                self.entry_mut(age).unwrap().mem_phase = MemPhase::Finished;
+                self.rob.mem_phase[i] = MemPhase::Finished;
                 self.mark_done(age);
             }
         } else {
@@ -378,20 +592,25 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
         true
     }
 
-    /// Retry addresses the LSQ refused, oldest-arrival first.
-    fn drain_lsq_retry(&mut self) {
+    /// Retry addresses the LSQ refused, oldest-arrival first. Returns the
+    /// number of retry-queue entries resolved (admitted or flushed).
+    fn drain_lsq_retry(&mut self) -> u64 {
+        let mut events = 0;
         while let Some(&age) = self.lsq_retry.front() {
-            let Some(e) = self.entry(age) else {
+            let Some(i) = self.rob.index(age) else {
                 self.lsq_retry.pop_front(); // flushed meanwhile
+                events += 1;
                 continue;
             };
-            let op = e.op;
+            let op = self.rob.op[i];
             if self.lsq_admit(age, op) {
                 self.lsq_retry.pop_front();
+                events += 1;
             } else {
                 break;
             }
         }
+        events
     }
 
     fn resolve_branch(&mut self, age: Age) {
@@ -403,17 +622,16 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
 
     /// Mark `age` Done and wake its consumers.
     fn mark_done(&mut self, age: Age) {
-        let i = self.rob_index(age).expect("waking a flushed op");
-        self.rob[i].state = ExecState::Done;
-        let mut consumers = std::mem::take(&mut self.rob[i].consumers);
+        let i = self.rob.index(age).expect("waking a flushed op");
+        self.rob.state[i] = ExecState::Done;
+        let mut consumers = std::mem::take(&mut self.rob.consumers[i]);
         for &c in &consumers {
-            if let Some(j) = self.rob_index(c) {
-                let e = &mut self.rob[j];
-                debug_assert!(e.waiting_on > 0);
-                e.waiting_on -= 1;
-                let wake = e.waiting_on == 0 && e.state == ExecState::Waiting;
-                let class = e.op.class;
+            if let Some(j) = self.rob.index(c) {
+                debug_assert!(self.rob.waiting_on[j] > 0);
+                self.rob.waiting_on[j] -= 1;
+                let wake = self.rob.waiting_on[j] == 0 && self.rob.state[j] == ExecState::Waiting;
                 if wake {
+                    let class = self.rob.op[j].class;
                     self.push_ready(c, class);
                 }
             }
@@ -432,33 +650,34 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
 
     // ---- stage 3: commit ----------------------------------------------
 
-    fn commit_stage(&mut self) {
+    fn commit_stage(&mut self) -> u64 {
         // §3.3 deadlock avoidance: a ROB head stuck in the AddrBuffer (or
         // refused by the LSQ entirely) can never be freed by in-order
         // commit — everything older is gone and younger ops hold the
         // entries — so flush and replay. The tick above already gave
         // promotion its chance this cycle.
-        if let Some(head) = self.rob.front() {
-            if head.op.class.is_mem() {
-                if self.lsq.is_buffered(head.age) {
+        if !self.rob.is_empty() {
+            let head_age = self.rob.age0;
+            if self.rob.op[0].class.is_mem() {
+                if self.lsq.is_buffered(head_age) {
                     self.stats.deadlock_flushes += 1;
                     self.flush_pipeline();
-                    return;
+                    return 1;
                 }
-                if self.lsq_retry.front() == Some(&head.age) || self.lsq_retry.contains(&head.age) {
+                if self.lsq_retry.front() == Some(&head_age) || self.lsq_retry.contains(&head_age) {
                     self.stats.nospace_flushes += 1;
                     self.flush_pipeline();
-                    return;
+                    return 1;
                 }
             }
         }
+        let mut events = 0;
         for _ in 0..self.cfg.commit_width {
-            let Some(head) = self.rob.front() else { break };
-            if head.state != ExecState::Done {
+            if self.rob.is_empty() || self.rob.state[0] != ExecState::Done {
                 break;
             }
-            let age = head.age;
-            let op = head.op;
+            let age = self.rob.age0;
+            let op = self.rob.op[0];
             match op.class {
                 OpClass::Store => {
                     // The cache write needs a port; without one, commit
@@ -478,10 +697,15 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
                 OpClass::CondBranch => self.stats.branches += 1,
                 _ => {}
             }
-            self.rob.pop_front();
+            let consumers = self.rob.pop_front();
+            if consumers.capacity() > 0 {
+                self.consumer_pool.push(consumers);
+            }
             self.stats.committed += 1;
             self.last_commit_cycle = self.now;
+            events += 1;
         }
+        events
     }
 
     /// Access the D-cache for `age` using the LSQ's cached-location /
@@ -522,17 +746,19 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
 
     // ---- stage 4: memory issue ------------------------------------------
 
-    fn memory_issue_stage(&mut self) {
+    fn memory_issue_stage(&mut self) -> u64 {
+        let mut events = 0;
         // Oldest-first among disambiguation-ready loads (working copy: the
         // set is edited mid-walk).
         let mut candidates = std::mem::take(&mut self.scratch_ages);
         candidates.clear();
         candidates.extend_from_slice(self.pending_loads.as_slice());
         for &age in &candidates {
-            if self.entry(age).is_none() {
+            let Some(i) = self.rob.index(age) else {
                 self.pending_loads.remove(age);
+                events += 1;
                 continue;
-            }
+            };
             // A buffered load cannot be disambiguated yet (§3.1).
             if self.lsq.is_buffered(age) {
                 continue;
@@ -548,43 +774,45 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
                     self.lsq.load_data_arrived(age);
                     self.stats.forwarded_loads += 1;
                     self.pending_loads.remove(age);
-                    self.entry_mut(age).unwrap().mem_phase = MemPhase::Finished;
+                    self.rob.mem_phase[i] = MemPhase::Finished;
+                    self.rob.state[i] = ExecState::Executing;
                     self.completions.push(Reverse((self.now + 1, age)));
-                    self.entry_mut(age).unwrap().state = ExecState::Executing;
+                    events += 1;
                 }
                 ForwardStatus::AccessCache => {
                     if !self.fu.available(FuKind::MemPort, self.now) {
                         break; // out of ports this cycle
                     }
                     self.fu.try_issue(OpClass::Load, self.now);
-                    let op = self.entry(age).unwrap().op;
+                    let op = self.rob.op[i];
                     let latency = self.dcache_access(age, op, AccessKind::Read);
                     self.lsq.load_data_arrived(age);
                     self.pending_loads.remove(age);
-                    let e = self.entry_mut(age).unwrap();
-                    e.mem_phase = MemPhase::Finished;
-                    e.state = ExecState::Executing;
+                    self.rob.mem_phase[i] = MemPhase::Finished;
+                    self.rob.state[i] = ExecState::Executing;
                     self.completions
                         .push(Reverse((self.now + latency.max(1) as u64, age)));
+                    events += 1;
                 }
             }
         }
         self.scratch_ages = candidates;
+        events
     }
 
     // ---- stage 5: issue --------------------------------------------------
 
-    fn issue_stage(&mut self) {
-        self.issue_side(false);
-        self.issue_side(true);
+    fn issue_stage(&mut self) -> u64 {
+        self.issue_side(false) + self.issue_side(true)
     }
 
-    fn issue_side(&mut self, fp: bool) {
+    fn issue_side(&mut self, fp: bool) -> u64 {
         let width = if fp {
             self.cfg.issue_width_fp
         } else {
             self.cfg.issue_width_int
         };
+        let mut events = 0;
         // Working copy: the ready set is edited as ops issue.
         let mut ready = std::mem::take(&mut self.scratch_ages);
         ready.clear();
@@ -608,16 +836,17 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
             if issued == width {
                 break;
             }
-            let Some(i) = self.rob_index(age) else {
+            let Some(i) = self.rob.index(age) else {
                 // Flushed while ready.
                 if fp {
                     self.ready_fp.remove(age);
                 } else {
                     self.ready_int.remove(age);
                 }
+                events += 1;
                 continue;
             };
-            let class = self.rob[i].op.class;
+            let class = self.rob.op[i].class;
             // Memory ops run their address generation on an integer ALU.
             let agen_class = if class.is_mem() {
                 OpClass::IntAlu
@@ -635,9 +864,7 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
                 }
                 continue; // structural hazard; try a younger ready op
             };
-            let e = &mut self.rob[i];
-            e.state = ExecState::Executing;
-            e.in_iq = false;
+            self.rob.state[i] = ExecState::Executing;
             if class.is_fp() {
                 self.iq_fp -= 1;
                 self.ready_fp.remove(age);
@@ -647,13 +874,16 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
             }
             self.completions.push(Reverse((done, age)));
             issued += 1;
+            events += 1;
         }
         self.scratch_ages = ready;
+        events
     }
 
     // ---- stage 6: dispatch ----------------------------------------------
 
-    fn dispatch_stage(&mut self) {
+    fn dispatch_stage(&mut self) -> u64 {
+        let mut events = 0;
         for _ in 0..self.cfg.dispatch_width {
             let Some(&(age, op)) = self.fetch_queue.front() else {
                 break;
@@ -680,9 +910,9 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
                     continue;
                 }
                 let producer = age - d as u64;
-                if let Some(j) = self.rob_index(producer) {
-                    if self.rob[j].state != ExecState::Done {
-                        self.rob[j].consumers.push(age);
+                if let Some(j) = self.rob.index(producer) {
+                    if self.rob.state[j] != ExecState::Done {
+                        self.rob.consumers[j].push(age);
                         waiting += 1;
                     }
                 }
@@ -705,28 +935,28 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
             } else {
                 self.iq_int += 1;
             }
-            self.rob.push_back(RobEntry {
+            self.rob.push_back(
                 age,
                 op,
-                state: ExecState::Waiting,
-                mem_phase: MemPhase::PreAgen,
-                waiting_on: waiting,
-                consumers: self.consumer_pool.pop().unwrap_or_default(),
-                in_iq: true,
-            });
+                waiting,
+                self.consumer_pool.pop().unwrap_or_default(),
+            );
             if waiting == 0 {
                 self.push_ready(age, op.class);
             }
+            events += 1;
         }
+        events
     }
 
     // ---- stage 7: fetch ---------------------------------------------------
 
-    fn fetch_stage(&mut self) {
+    fn fetch_stage(&mut self) -> u64 {
         if self.fetch_blocked_on.is_some() || self.now < self.fetch_resume_at {
             self.stats.fetch_blocked_cycles += 1;
-            return;
+            return 0;
         }
+        let mut events = 0;
         for _ in 0..self.cfg.fetch_width {
             if self.fetch_queue.len() == self.cfg.fetch_queue {
                 break;
@@ -757,6 +987,7 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
             let age = self.next_age;
             self.next_age += 1;
             self.fetch_queue.push_back((age, op));
+            events += 1;
 
             if let Some(info) = op.branch_info() {
                 let (predicted_taken, predicted_target) = match op.class {
@@ -787,22 +1018,19 @@ impl<L: LoadStoreQueue, T: TraceSource> Simulator<L, T> {
                 break; // I-miss stall takes effect after this op
             }
         }
+        events
     }
 
     // ---- flush -------------------------------------------------------------
 
     /// Whole-pipeline flush (§3.3): every uncommitted op is replayed.
     fn flush_pipeline(&mut self) {
-        let mut replay: VecDeque<MicroOp> = self.rob.iter().map(|e| e.op).collect();
+        let mut replay: VecDeque<MicroOp> = self.rob.op.iter().copied().collect();
         replay.extend(self.fetch_queue.iter().map(|&(_, op)| op));
         replay.append(&mut self.replay);
         self.replay = replay;
 
-        for e in self.rob.drain(..) {
-            let mut consumers = e.consumers;
-            consumers.clear();
-            self.consumer_pool.push(consumers);
-        }
+        self.rob.clear_into(&mut self.consumer_pool);
         self.fetch_queue.clear();
         self.ready_int.clear();
         self.ready_fp.clear();

@@ -1,0 +1,199 @@
+//! Pipeline instrumentation: per-stage cycle and wall-time attribution.
+//!
+//! The simulator's hot loop is generic over a [`PipelineProbe`]. The
+//! default [`NoProbe`] compiles to nothing, so `Simulator::run` pays zero
+//! cost; `samie-exp profile` passes a [`ProfilingProbe`] that brackets
+//! every stage with a caller-supplied nanosecond clock and counts the
+//! events each stage performed. This crate deliberately takes the clock
+//! as a plain `fn() -> u64` — all wall-clock access stays in the harness
+//! (the sanctioned timing layer); the simulator itself never reads time.
+
+/// One pipeline stage, as attributed by the profiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Completion/write-back: FU latencies expiring, consumers waking.
+    Execute,
+    /// The LSQ's once-per-cycle tick (AddrBuffer promotion + occupancy)
+    /// and the retry drain — the LSQ search path.
+    LsqTick,
+    /// In-order retirement from the ROB head.
+    Commit,
+    /// Memory issue: forwarding decisions and D-cache accesses.
+    Forward,
+    /// Ready ops to functional units.
+    Issue,
+    /// Fetch queue → ROB (+ LSQ dispatch).
+    Dispatch,
+    /// Trace/replay → fetch queue through predictor, BTB and L1I.
+    Fetch,
+}
+
+impl Stage {
+    /// Every stage, in per-cycle execution order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Execute,
+        Stage::LsqTick,
+        Stage::Commit,
+        Stage::Forward,
+        Stage::Issue,
+        Stage::Dispatch,
+        Stage::Fetch,
+    ];
+
+    /// Stable lowercase name (JSON report keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Execute => "execute",
+            Stage::LsqTick => "lsq_tick",
+            Stage::Commit => "commit",
+            Stage::Forward => "forward",
+            Stage::Issue => "issue",
+            Stage::Dispatch => "dispatch",
+            Stage::Fetch => "fetch",
+        }
+    }
+}
+
+/// Observer of the simulator's per-cycle stage loop. All methods default
+/// to no-ops so the uninstrumented pipeline keeps its exact shape.
+pub trait PipelineProbe {
+    /// A stage is about to run.
+    #[inline(always)]
+    fn enter(&mut self, _stage: Stage) {}
+
+    /// The stage finished, having performed `events` units of work
+    /// (ops completed/committed/issued/fetched, promotions, ...).
+    #[inline(always)]
+    fn exit(&mut self, _stage: Stage, _events: u64) {}
+
+    /// A full cycle was simulated.
+    #[inline(always)]
+    fn cycle(&mut self) {}
+
+    /// `k` cycles were event-skipped in one jump.
+    #[inline(always)]
+    fn skipped(&mut self, _k: u64) {}
+}
+
+/// The zero-cost probe the ordinary `run` path uses.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoProbe;
+
+impl PipelineProbe for NoProbe {}
+
+/// Accumulated per-stage attribution.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct StageProfile {
+    /// Wall nanoseconds spent inside each stage ([`Stage::ALL`] order).
+    pub wall_ns: [u64; 7],
+    /// Work events each stage performed ([`Stage::ALL`] order).
+    pub events: [u64; 7],
+    /// Cycles stepped one by one (every stage ran).
+    pub stepped_cycles: u64,
+    /// Cycles jumped over by event-driven skipping.
+    pub skipped_cycles: u64,
+    /// Number of skip jumps.
+    pub skips: u64,
+}
+
+impl StageProfile {
+    /// Wall nanoseconds attributed to `stage`.
+    pub fn wall_ns_of(&self, stage: Stage) -> u64 {
+        self.wall_ns[stage as usize]
+    }
+
+    /// Events attributed to `stage`.
+    pub fn events_of(&self, stage: Stage) -> u64 {
+        self.events[stage as usize]
+    }
+
+    /// Total wall nanoseconds across all stages.
+    pub fn total_wall_ns(&self) -> u64 {
+        self.wall_ns.iter().sum()
+    }
+
+    /// Total simulated cycles (stepped + skipped).
+    pub fn total_cycles(&self) -> u64 {
+        self.stepped_cycles + self.skipped_cycles
+    }
+}
+
+/// A [`PipelineProbe`] that attributes wall time per stage using a
+/// harness-supplied monotonic nanosecond clock.
+#[derive(Debug)]
+pub struct ProfilingProbe {
+    clock: fn() -> u64,
+    entered_at: u64,
+    /// The attribution collected so far.
+    pub profile: StageProfile,
+}
+
+impl ProfilingProbe {
+    /// Probe reading time from `clock` (monotonic nanoseconds).
+    pub fn new(clock: fn() -> u64) -> Self {
+        ProfilingProbe {
+            clock,
+            entered_at: 0,
+            profile: StageProfile::default(),
+        }
+    }
+}
+
+impl PipelineProbe for ProfilingProbe {
+    #[inline]
+    fn enter(&mut self, _stage: Stage) {
+        self.entered_at = (self.clock)();
+    }
+
+    #[inline]
+    fn exit(&mut self, stage: Stage, events: u64) {
+        let now = (self.clock)();
+        self.profile.wall_ns[stage as usize] += now.saturating_sub(self.entered_at);
+        self.profile.events[stage as usize] += events;
+    }
+
+    #[inline]
+    fn cycle(&mut self) {
+        self.profile.stepped_cycles += 1;
+    }
+
+    #[inline]
+    fn skipped(&mut self, k: u64) {
+        self.profile.skipped_cycles += k;
+        self.profile.skips += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_are_stable() {
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            ["execute", "lsq_tick", "commit", "forward", "issue", "dispatch", "fetch"]
+        );
+    }
+
+    #[test]
+    fn probe_accumulates() {
+        fn fake_clock() -> u64 {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static T: AtomicU64 = AtomicU64::new(0);
+            T.fetch_add(5, Ordering::Relaxed)
+        }
+        let mut p = ProfilingProbe::new(fake_clock);
+        p.enter(Stage::Fetch);
+        p.exit(Stage::Fetch, 3);
+        p.cycle();
+        p.skipped(10);
+        assert_eq!(p.profile.wall_ns_of(Stage::Fetch), 5);
+        assert_eq!(p.profile.events_of(Stage::Fetch), 3);
+        assert_eq!(p.profile.stepped_cycles, 1);
+        assert_eq!(p.profile.skipped_cycles, 10);
+        assert_eq!(p.profile.skips, 1);
+        assert_eq!(p.profile.total_cycles(), 11);
+    }
+}
