@@ -5,7 +5,7 @@
 //! Scoping conventions:
 //!
 //! * *Deterministic crates* — `isa`, `mem`, `core`, `sim`, `energy`,
-//!   `workloads`, `store` — may not observe wall-clock time or iterate
+//!   `workloads`, `store`, `riscv` — may not observe wall-clock time or iterate
 //!   seed-dependent hash maps; the harness's timing modules are the
 //!   explicit whitelist.
 //! * *Daemon files* — `serve.rs`, `protocol.rs`, `store.rs` — may not
@@ -97,8 +97,16 @@ pub fn all() -> &'static [LintSpec] {
 }
 
 /// Crates whose results must be bit-identical across runs and hosts.
-const DETERMINISTIC_CRATES: &[&str] =
-    &["isa", "mem", "core", "sim", "energy", "workloads", "store"];
+const DETERMINISTIC_CRATES: &[&str] = &[
+    "isa",
+    "mem",
+    "core",
+    "sim",
+    "energy",
+    "workloads",
+    "store",
+    "riscv",
+];
 
 /// Harness modules whose *job* is measuring host wall time (cold/warm
 /// speedups, serve uptime, load latency, connect deadlines).

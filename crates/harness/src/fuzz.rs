@@ -22,8 +22,11 @@
 //! * a design's committed load/store/branch mix drifting from the
 //!   unbounded reference beyond the commit-group slack (identical traces
 //!   must commit identical prefixes),
-//! * more forwards than loads, or
-//! * any [`CheckedLsq`] forwarding divergence.
+//! * more forwards than loads,
+//! * any [`CheckedLsq`] forwarding divergence, or
+//! * for real-program (`rv:*` and generated RV32IM) workloads, the
+//!   [`rv_front::ArchOracle`] finding the replayed op stream or the
+//!   re-executed architectural state diverging from the committed record.
 //!
 //! On mismatch the consumed trace prefix is captured, shrunk with a
 //! ddmin-style loop to a minimal op sequence that still mismatches, and
@@ -145,15 +148,29 @@ fn iteration_designs(rng: &mut SmallRng) -> Vec<DesignHandle> {
     designs_from_specs([conv, DesignSpec::filtered_paper(), samie, arb])
 }
 
-/// The workload of one iteration: an adversarial/calibrated catalog entry
-/// half the time, a random mutant of a calibrated spec otherwise.
+/// The workload of one iteration: an adversarial/calibrated/real-program
+/// catalog entry half the time, a generated straight-line RV32IM program
+/// (assembled and emulated, so the oracle has real architectural state to
+/// check) a fifth of the time, a random mutant of a calibrated spec
+/// otherwise.
 fn iteration_workload(rng: &mut SmallRng) -> Workload {
     if rng.gen_bool(0.5) {
         let catalog = all_workloads();
         catalog[rng.gen_range(0..catalog.len())].clone()
+    } else if rng.gen_bool(0.4) {
+        rv_mutant(rng.gen(), rng.gen_range(200..1_200))
     } else {
         Workload::from(mutate_spec(rng))
     }
+}
+
+/// A generated RV32IM program as a fuzz workload. The generator only
+/// emits well-formed source, so assembly/emulation failure is a frontend
+/// bug — surfaced as a panic the campaign records as a mismatch.
+pub fn rv_mutant(seed: u64, n_ops: usize) -> Workload {
+    let source = rv_front::gen_program(seed, n_ops);
+    Workload::rv_source(&format!("rv-fuzz:{seed:016x}"), "rv-fuzz.s", &source)
+        .unwrap_or_else(|e| panic!("generated program rejected (seed {seed:#x}): {e}"))
 }
 
 /// A random valid spec mutation: knobs drawn across their whole legal
@@ -207,8 +224,12 @@ pub fn differential_check(
 ) -> Vec<String> {
     let run = catch_unwind(AssertUnwindSafe(|| {
         let mut checked_verdicts: Vec<(String, u64, Vec<String>)> = Vec::new();
+        // The architectural oracle is a no-op for synthetic workloads;
+        // for `rv:*` programs it re-executes the emulator and panics on
+        // any state divergence — caught below as a mismatch.
         let mut session = SimSession::new(DesignSpec::Unbounded, workload)
             .design(DesignSpec::Oracle)
+            .arch_oracle()
             .run_config(*rc);
         for d in designs {
             session = session.design(checked(d.clone()));
@@ -499,6 +520,21 @@ mod tests {
             &rc,
         );
         assert!(!again.is_empty(), "shrunken repro no longer reproduces");
+    }
+
+    #[test]
+    fn rv_mutants_pass_the_differential_and_the_oracle() {
+        let designs = designs_from_specs([
+            DesignSpec::conventional_paper(),
+            DesignSpec::filtered_paper(),
+            DesignSpec::samie_paper(),
+        ]);
+        for seed in [1u64, 7, 42] {
+            let w = rv_mutant(seed, 400);
+            assert!(w.cache_id().starts_with("rv:"), "{}", w.cache_id());
+            let failures = differential_check(&w, &designs, &quick_rc());
+            assert!(failures.is_empty(), "seed {seed}: {failures:?}");
+        }
     }
 
     #[test]

@@ -103,6 +103,19 @@
 //!   workspace; writes ANALYZE_report.json and exits 6 on findings.
 //!   The standalone `samie-analyze` binary adds --lints/--json/--list.
 //!
+//! samie-exp rv asm FILE.s
+//!   assemble an RV32I(M) program and print the listing (address,
+//!   encoding, canonical disassembly), the symbol table, and the image
+//!   summary. Assembly errors print `file:line: message` and exit 2.
+//!
+//! samie-exp rv run <FILE.s|rv:NAME> [--designs LIST] [common flags]
+//!   assemble + emulate a real program (a `.s` file or a committed
+//!   `rv:*` catalog entry), stream its retired ops through every design
+//!   (default: conv:128,filtered,samie,arb,unbounded,oracle) on the
+//!   identical trace, and verify the run against the architectural
+//!   oracle (fresh re-execution must reproduce registers, memory digest
+//!   and the exact op stream the designs consumed).
+//!
 //! caching: sweep and report consult the content-addressed store at
 //! --store DIR (default .samie-store) and only simulate cache misses;
 //! --no-cache forces full recomputation. bench never caches — it exists
@@ -123,7 +136,7 @@ use exp_harness::shard::{Coordinator, ShardSpec};
 use exp_harness::sweep::{check_regression, run_sweep_cached, run_sweep_sharded, SweepGrid};
 use exp_harness::table::Table;
 use exp_harness::{DesignRegistry, DesignSpec, SIM_VERSION};
-use spec_traces::{all_benchmarks, find_workload};
+use spec_traces::{all_benchmarks, find_workload, Workload};
 
 /// What the first positional argument asks for. The paper experiment ids
 /// (`fig1`, `tab456`, `summary`, ...) stay data — they select table
@@ -145,6 +158,8 @@ enum Command {
     Serve,
     Load,
     Analyze,
+    /// Real-ISA frontend: `rv asm FILE.s` / `rv run <FILE.s|rv:NAME>`.
+    Rv,
 }
 
 /// Paper experiment ids `Command::Paper` accepts.
@@ -167,6 +182,7 @@ impl Command {
             "serve" => return Ok(Command::Serve),
             "load" => return Ok(Command::Load),
             "analyze" => return Ok(Command::Analyze),
+            "rv" => return Ok(Command::Rv),
             _ => {}
         }
         if PAPER_IDS.contains(&word) {
@@ -177,7 +193,7 @@ impl Command {
             .copied()
             .chain([
                 "sweep", "bench", "profile", "designs", "fuzz", "record", "report", "store",
-                "serve", "load", "analyze",
+                "serve", "load", "analyze", "rv",
             ])
             .collect();
         let mut msg = format!("unknown command `{word}`");
@@ -250,6 +266,9 @@ struct Args {
     mix: MixSpec,
     shutdown: bool,
     dump: bool,
+    /// Extra positionals after the command word (only `rv` takes any:
+    /// the subcommand verb and its target).
+    positionals: Vec<String>,
 }
 
 fn parse_args() -> Args {
@@ -288,6 +307,7 @@ fn parse_args() -> Args {
     };
     let mut shutdown = false;
     let mut dump = false;
+    let mut positionals = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -372,7 +392,7 @@ fn parse_args() -> Args {
             "--shutdown" => shutdown = true,
             "--dump" => dump = true,
             "--help" | "-h" => {
-                eprintln!("usage: samie-exp <fig1|fig3|fig4|tab1|delay|fig5..fig12|tab456|summary|all|sweep|bench|profile|designs|fuzz|record|report|store|serve|load|analyze> [--exp SPEC] [--instrs N] [--warmup N] [--seed N] [--out DIR] [--quick] [--chart] [--designs LIST] [--bench LIST] [--seeds LIST] [--jobs N] [--baseline FILE] [--max-regression X] [--iters N] [--store DIR] [--no-cache] [--gc] [--dump] [--expect-warm X] [--shard I/N] [--workers N] [--max-restarts N] [--chaos-kill I] [--chaos-delay-ms MS] [--addr HOST:PORT] [--queue-cap N] [--clients N] [--requests N] [--mix H/M/D] [--shutdown]");
+                eprintln!("usage: samie-exp <fig1|fig3|fig4|tab1|delay|fig5..fig12|tab456|summary|all|sweep|bench|profile|designs|fuzz|record|report|store|serve|load|analyze|rv> [--exp SPEC] [--instrs N] [--warmup N] [--seed N] [--out DIR] [--quick] [--chart] [--designs LIST] [--bench LIST] [--seeds LIST] [--jobs N] [--baseline FILE] [--max-regression X] [--iters N] [--store DIR] [--no-cache] [--gc] [--dump] [--expect-warm X] [--shard I/N] [--workers N] [--max-restarts N] [--chaos-kill I] [--chaos-delay-ms MS] [--addr HOST:PORT] [--queue-cap N] [--clients N] [--requests N] [--mix H/M/D] [--shutdown]");
                 std::process::exit(0);
             }
             other if command.is_none() => {
@@ -381,6 +401,7 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 }));
             }
+            other if command == Some(Command::Rv) => positionals.push(other.to_string()),
             other => panic!("unexpected argument {other}"),
         }
     }
@@ -416,6 +437,7 @@ fn parse_args() -> Args {
         mix,
         shutdown,
         dump,
+        positionals,
     }
 }
 
@@ -1121,6 +1143,157 @@ fn run_load_command(args: &Args) -> i32 {
     0
 }
 
+/// `rv` entry point: the real-ISA frontend — assemble a program for
+/// inspection, or run one through the designs under the architectural
+/// oracle. Returns the process exit code (2 on usage or assembly error).
+fn run_rv_command(args: &Args) -> i32 {
+    const USAGE: &str =
+        "usage: samie-exp rv asm FILE.s | samie-exp rv run <FILE.s|rv:NAME> [--designs LIST] [common flags]";
+    let (verb, target) = match args.positionals.as_slice() {
+        [v, t] => (v.as_str(), t.as_str()),
+        _ => {
+            eprintln!("{USAGE}");
+            return 2;
+        }
+    };
+    match verb {
+        "asm" => run_rv_asm(target),
+        "run" => run_rv_run(args, target),
+        other => {
+            eprintln!("unknown rv subcommand `{other}`; {USAGE}");
+            2
+        }
+    }
+}
+
+/// `rv asm`: assemble and print the listing + symbol table.
+fn run_rv_asm(path: &str) -> i32 {
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let image = match rv_front::assemble(path, &source) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    for (i, &word) in image.text.iter().enumerate() {
+        let pc = rv_front::TEXT_BASE + 4 * i as u32;
+        // Every assembled word decodes back (encode/decode are inverses),
+        // so the listing shows the canonical disassembly.
+        let asm = rv_front::decode(word)
+            .map(|ins| ins.asm())
+            .unwrap_or_else(|_| "<raw>".into());
+        println!("{pc:08x}: {word:08x}  {asm}");
+    }
+    let mut labels: Vec<(&String, &u32)> = image.labels.iter().collect();
+    labels.sort_by_key(|&(_, addr)| *addr);
+    for (name, addr) in labels {
+        println!("{addr:08x}  {name}");
+    }
+    println!(
+        "{} instructions, {} data bytes, {} labels",
+        image.text.len(),
+        image.data.len(),
+        image.labels.len()
+    );
+    0
+}
+
+/// `rv run`: emulate a real program and compare every design on its
+/// retired-op trace, oracle-checked.
+fn run_rv_run(args: &Args, target: &str) -> i32 {
+    let workload = if target.ends_with(".s") {
+        let source = match std::fs::read_to_string(target) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {target}: {e}");
+                return 2;
+            }
+        };
+        let stem = std::path::Path::new(target)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("program");
+        match Workload::rv_source(&format!("rv:{stem}"), target, &source) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        }
+    } else {
+        match find_workload(target) {
+            Ok(w) if w.rv().is_some() => w,
+            Ok(w) => {
+                eprintln!(
+                    "`{}` is not a real program; `rv run` takes a .s file or an rv:* entry (e.g. rv:quicksort)",
+                    w.name()
+                );
+                return 2;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        }
+    };
+    let registry = DesignRegistry::builtin();
+    let designs = registry
+        .parse_list(
+            args.designs
+                .as_deref()
+                .unwrap_or("conv:128,filtered,samie,arb,unbounded,oracle"),
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+    let rc = if args.instrs_set || args.warmup_set {
+        args.rc
+    } else {
+        RunConfig {
+            seed: args.rc.seed,
+            ..RunConfig::quick()
+        }
+    };
+    let rv = workload
+        .rv()
+        .expect("rv run targets carry a program")
+        .clone();
+    eprintln!(
+        "rv: `{}` retires {} ops/pass ({:?}-halt, a0 = {:#x}); {} + {} instrs x {} designs",
+        workload.name(),
+        rv.period(),
+        rv.record.halt,
+        rv.record.state.regs[10],
+        rc.warmup,
+        rc.instrs,
+        designs.len(),
+    );
+    let mut session = SimSession::new(&designs[0], &workload)
+        .run_config(rc)
+        .arch_oracle();
+    for d in &designs[1..] {
+        session = session.design(d);
+    }
+    let report = session.run();
+    for run in &report.runs {
+        println!(
+            "  {:<28} ipc {:.4}  committed {}",
+            run.id,
+            run.stats.ipc(),
+            run.stats.committed
+        );
+    }
+    if let Some(summary) = &report.arch_oracle {
+        println!("{summary}");
+    }
+    0
+}
+
 /// `analyze` entry point: run the repo-specific lints
 /// (`samie-analyzer`) over the workspace, always denying findings —
 /// the standalone `samie-analyze` binary has the permissive flags.
@@ -1205,6 +1378,7 @@ fn main() {
         Command::Serve => std::process::exit(run_serve_command(&args)),
         Command::Load => std::process::exit(run_load_command(&args)),
         Command::Analyze => std::process::exit(run_analyze_command()),
+        Command::Rv => std::process::exit(run_rv_command(&args)),
         Command::Paper(id) => id.clone(),
     };
     let rc = args.rc;

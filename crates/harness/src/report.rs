@@ -3,9 +3,10 @@
 //!
 //! One call to [`generate_book`] produces `docs/book/`: an index page
 //! plus one page per table/figure of the paper (Table 1, the §3.6
-//! delays, Figures 1 and 3–12, Tables 4–6, and the §4/§5 summary), each
-//! holding the regenerated data as a Markdown table and, for the
-//! figures, a deterministic SVG bar chart. Every simulation point flows
+//! delays, Figures 1 and 3–12, Tables 4–6, and the §4/§5 summary) and a
+//! real-program chapter (the committed RV32I(M) workloads with their
+//! architectural-oracle witness), each holding the regenerated data as a
+//! Markdown table and, for the figures, a deterministic SVG bar chart. Every simulation point flows
 //! through the [`Runner`] — hand it a store-cached runner and a re-run
 //! after a code-free change is almost pure cache hits, making the whole
 //! reproduction one cheap idempotent command.
@@ -37,14 +38,15 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
+use energy_model::price_lsq;
 use exp_store::SIM_VERSION;
 use samie_lsq::DesignSpec;
-use spec_traces::{all_benchmarks, WorkloadSpec};
+use spec_traces::{all_benchmarks, find_workload, WorkloadSpec, RV_PROGRAM_NAMES};
 
 use crate::chart::svg_bar_chart;
 use crate::experiments::{fig1, fig3_4, paired, tab1_delay, tab456};
 use crate::runner::{run_paired_suite_with, RunConfig, Runner};
-use crate::table::Table;
+use crate::table::{fmt, Table};
 
 /// What to reproduce, where to, and through which runner.
 pub struct ReportOptions<'a> {
@@ -230,6 +232,19 @@ pub fn generate_book(opts: &ReportOptions<'_>) -> io::Result<BookSummary> {
             tables: vec![paired::summary_table(&paired_runs)],
             chart: None,
         },
+        Page {
+            slug: "realprog",
+            title: "Real programs — RV32I(M) workloads through the designs",
+            blurb: "Beyond the calibrated synthetic suite: four committed RISC-V \
+                    programs (quicksort, matmul, sieve, memcpy) assembled and emulated \
+                    by the in-repo RV32I(M) frontend, their retired-op streams replayed \
+                    through the paper pair on identical traces. The second table is the \
+                    architectural oracle's witness — the final register/memory state a \
+                    fresh re-execution must reproduce — so any emulator or program \
+                    change shows up here byte-visibly.",
+            tables: vec![realprog_table(runner, rc), realprog_oracle_table()],
+            chart: Some((0, 0, 4)),
+        },
     ];
 
     std::fs::create_dir_all(&opts.out)?;
@@ -259,6 +274,74 @@ pub fn generate_book(opts: &ReportOptions<'_>) -> io::Result<BookSummary> {
         pages: written,
         wall: t0.elapsed(),
     })
+}
+
+/// The real-program chapter: the committed RV32I(M) programs through
+/// the paper pair on their retired-op traces (identical per design, as
+/// everywhere in the book).
+fn realprog_table(runner: &Runner<'_>, rc: &RunConfig) -> Table {
+    let mut t = Table::new(
+        "Real programs - IPC and LSQ energy, conventional vs SAMIE",
+        &[
+            "program",
+            "ops_per_pass",
+            "conv_ipc",
+            "samie_ipc",
+            "ipc_loss_%",
+            "conv_nj",
+            "samie_nj",
+            "saving_%",
+        ],
+    );
+    for name in RV_PROGRAM_NAMES {
+        let w = find_workload(name).expect("committed program in the catalog");
+        let conv = runner.stats(&DesignSpec::conventional_paper(), &w, rc);
+        let samie = runner.stats(&DesignSpec::samie_paper(), &w, rc);
+        let (ci, si) = (conv.ipc(), samie.ipc());
+        let (ce, se) = (price_lsq(&conv.lsq).total(), price_lsq(&samie.lsq).total());
+        let period = w.rv().expect("rv workload").period();
+        t.push_row(vec![
+            name.into(),
+            period.to_string(),
+            fmt(ci, 4),
+            fmt(si, 4),
+            fmt((ci - si) / ci * 100.0, 2),
+            fmt(ce, 0),
+            fmt(se, 0),
+            fmt((1.0 - se / ce) * 100.0, 1),
+        ]);
+    }
+    t
+}
+
+/// The architectural-oracle table: re-executed final state of every
+/// committed program. Editing a program — or the emulator — changes
+/// this page byte-visibly, which is what makes the book a conformance
+/// witness for the real-ISA frontend.
+fn realprog_oracle_table() -> Table {
+    let mut t = Table::new(
+        "Real programs - architectural oracle",
+        &[
+            "program",
+            "retired_per_pass",
+            "a0",
+            "ops_digest",
+            "mem_digest",
+        ],
+    );
+    for name in RV_PROGRAM_NAMES {
+        let w = spec_traces::rv_by_name(name).expect("committed program");
+        let rep = rv_front::ArchOracle::verify(&w)
+            .unwrap_or_else(|e| panic!("arch-oracle mismatch on {name}: {e}"));
+        t.push_row(vec![
+            name.into(),
+            rep.retired.to_string(),
+            format!("{:#010x}", w.record.state.regs[10]),
+            format!("{:08x}", rep.ops_digest),
+            format!("{:08x}", rep.mem_digest),
+        ]);
+    }
+    t
 }
 
 fn index_page(opts: &ReportOptions<'_>, pages: &[Page]) -> String {
@@ -333,19 +416,19 @@ mod tests {
         let dir = std::env::temp_dir().join("samie-report-test");
         let _ = std::fs::remove_dir_all(&dir);
         let book = generate_book(&tiny_opts(&dir)).unwrap();
-        // 1 index + 14 pages + charts.
+        // 1 index + 16 pages + charts.
         let mds: Vec<_> = book
             .pages
             .iter()
             .filter(|p| p.extension().is_some_and(|e| e == "md"))
             .collect();
-        assert_eq!(mds.len(), 16, "index + 15 artefact pages");
+        assert_eq!(mds.len(), 17, "index + 16 artefact pages");
         let svgs = book.pages.len() - mds.len();
-        assert_eq!(svgs, 9, "nine charted figures");
+        assert_eq!(svgs, 10, "ten charted figures");
         let index = std::fs::read_to_string(dir.join("index.md")).unwrap();
         for slug in [
             "tab1", "delay", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig10", "fig11", "fig12", "tab456", "summary",
+            "fig10", "fig11", "fig12", "tab456", "summary", "realprog",
         ] {
             if slug != "index" {
                 assert!(

@@ -218,6 +218,10 @@ pub struct SessionReport {
     /// Where the consumed trace was recorded, if [`SimSession::record`]
     /// was requested.
     pub recorded: Option<PathBuf>,
+    /// Architectural-oracle summary, if [`SimSession::arch_oracle`] was
+    /// requested and the workload is a real `rv:*` program (`None` for
+    /// synthetic workloads, which have no architectural state to check).
+    pub arch_oracle: Option<String>,
 }
 
 impl SessionReport {
@@ -260,6 +264,7 @@ pub struct SimSession<'s> {
     observer: Option<Observer<'s>>,
     on_finish: Option<FinishHook<'s>>,
     record: Option<PathBuf>,
+    arch_oracle: bool,
 }
 
 impl<'s> SimSession<'s> {
@@ -278,6 +283,7 @@ impl<'s> SimSession<'s> {
             observer: None,
             on_finish: None,
             record: None,
+            arch_oracle: false,
         }
     }
 
@@ -375,6 +381,25 @@ impl<'s> SimSession<'s> {
         self
     }
 
+    /// Verify the workload against the [`rv_front::ArchOracle`] after the
+    /// designs run (only meaningful for `rv:*` workloads; a no-op
+    /// otherwise).
+    ///
+    /// The oracle re-executes the program on a fresh emulator and asserts
+    /// the final architectural state — registers, memory digest, retired
+    /// count, op-stream digest — matches the committed record, then
+    /// replays the exact op prefix the designs consumed through
+    /// [`Workload::build_trace`] and checks it op-for-op against the
+    /// committed stream. This is a timing-independent correctness check:
+    /// it can never be satisfied by a simulator bug, only by the trace
+    /// frontend genuinely reproducing the program. Mismatches panic (like
+    /// a failed recording, a failed oracle is a defect, not a result);
+    /// the success summary lands in [`SessionReport::arch_oracle`].
+    pub fn arch_oracle(mut self) -> Self {
+        self.arch_oracle = true;
+        self
+    }
+
     /// Run every design on the identical trace and collect the report.
     pub fn run(mut self) -> SessionReport {
         let designs = std::mem::take(&mut self.designs);
@@ -416,13 +441,33 @@ impl<'s> SimSession<'s> {
             w.finish()
                 .unwrap_or_else(|e| panic!("cannot record to {}: {e}", path.display()));
         }
+        let arch_oracle = if self.arch_oracle {
+            self.verify_arch_oracle(ops_consumed)
+        } else {
+            None
+        };
         SessionReport {
             workload: self.workload.name().to_string(),
             seed: self.seed,
             runs,
             ops_consumed,
             recorded: self.record,
+            arch_oracle,
         }
+    }
+
+    /// Run the architectural oracle for an `rv:*` workload: re-execute on
+    /// a fresh emulator and cross-check the consumed trace prefix against
+    /// the committed op stream. Returns the success summary, or `None`
+    /// for workloads without architectural state.
+    fn verify_arch_oracle(&self, ops_consumed: u64) -> Option<String> {
+        let w = self.workload.rv()?;
+        let report = rv_front::ArchOracle::verify(w)
+            .unwrap_or_else(|e| panic!("arch-oracle mismatch on {}: {e}", w.name()));
+        let mut src = self.workload.build_trace(self.seed);
+        rv_front::ArchOracle::verify_stream_prefix(w, &mut *src, ops_consumed)
+            .unwrap_or_else(|e| panic!("arch-oracle stream mismatch on {}: {e}", w.name()));
+        Some(report.to_string())
     }
 
     fn emit(&mut self, e: SessionEvent<'_>) {
@@ -556,6 +601,27 @@ mod tests {
             .run();
         assert_eq!((started, finished), (1, 1));
         assert!(occupancy_seen);
+    }
+
+    #[test]
+    fn arch_oracle_verifies_rv_workloads_and_skips_synthetic() {
+        let report = SimSession::new(
+            DesignSpec::samie_paper(),
+            spec_traces::find_workload("rv:sieve").unwrap(),
+        )
+        .instrs(8_000)
+        .warmup(2_000)
+        .arch_oracle()
+        .run();
+        let summary = report
+            .arch_oracle
+            .expect("rv workload must be oracle-checked");
+        assert!(summary.starts_with("arch-oracle ok"), "{summary}");
+
+        // Synthetic workloads have no architectural state: the oracle
+        // request is a no-op, not an error.
+        let report = quick(DesignSpec::samie_paper()).arch_oracle().run();
+        assert_eq!(report.arch_oracle, None);
     }
 
     #[test]

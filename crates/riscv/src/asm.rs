@@ -1,0 +1,1049 @@
+//! Two-pass RV32I(M) assembler.
+//!
+//! Pass 1 parses every line (labels, directives, instructions, pseudo
+//! expansion) and lays out the text and data sections; pass 2 resolves
+//! label references and encodes. All errors are single-line
+//! `file:line: message` diagnostics ([`AsmError`]) and the exact messages
+//! are pinned by the rejection-table test.
+//!
+//! Supported surface:
+//!
+//! * sections `.text` (default) and `.data`; data directives `.word`,
+//!   `.half`, `.byte`, `.asciiz`, `.space`, `.align` (data section only);
+//!   `.globl`/`.global` accepted and ignored,
+//! * labels `name:` (text labels are branch/jump/`la` targets; data labels
+//!   name addresses; `.word` may reference labels),
+//! * every mnemonic in [`crate::isa::MNEMONICS`] plus the pseudo
+//!   instructions `nop`, `mv`, `li`, `la`, `j`, `jr`, `call`, `ret`,
+//!   `beqz`, `bnez`, `bgt`, `ble`, `neg`, `not`, `seqz`, `snez`,
+//! * `#`-comments, decimal/hex immediates, `x0..x31` and ABI register
+//!   names.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::isa::{encode, AluImmOp, AluOp, BranchCond, Instr, LoadKind, StoreKind};
+
+/// Base address of the text section.
+pub const TEXT_BASE: u32 = 0x0000_0000;
+/// Base address of the data section.
+pub const DATA_BASE: u32 = 0x0001_0000;
+/// Total flat memory size (stack pointer starts at the top).
+pub const MEM_SIZE: u32 = 0x0008_0000;
+
+/// A single-line assembly diagnostic, rendered as `file:line: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// Source file name as passed to [`assemble`].
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// The diagnostic text.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.file, self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// An assembled program image: encoded text, initialised data, and the
+/// resolved label table (for listings and tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Encoded instruction words, starting at [`TEXT_BASE`].
+    pub text: Vec<u32>,
+    /// Initialised data bytes, starting at [`DATA_BASE`].
+    pub data: Vec<u8>,
+    /// Label name → resolved byte address.
+    pub labels: BTreeMap<String, u32>,
+}
+
+impl Image {
+    /// End address of the text section (exclusive).
+    pub fn text_end(&self) -> u32 {
+        TEXT_BASE + 4 * self.text.len() as u32
+    }
+}
+
+/// A label use or an immediate, resolved in pass 2.
+#[derive(Debug, Clone)]
+enum Ref {
+    Imm(i64),
+    Label(String),
+}
+
+/// What a reference resolves to once the label table is known.
+#[derive(Debug, Clone, Copy)]
+enum RefKind {
+    /// Absolute address/immediate (for `.word`, `la`).
+    Absolute,
+    /// Byte offset relative to the referencing instruction (branch/jal).
+    Relative { at: u32 },
+}
+
+/// One not-yet-encoded instruction: a template whose `Ref` operands are
+/// patched in pass 2.
+#[derive(Debug, Clone)]
+enum Proto {
+    /// Fully-formed already.
+    Done(Instr),
+    /// Branch with a pending target.
+    Branch {
+        cond: BranchCond,
+        rs1: u8,
+        rs2: u8,
+        target: Ref,
+    },
+    /// `jal` with a pending target.
+    Jal {
+        rd: u8,
+        target: Ref,
+    },
+    /// `lui`+`addi` pair loading a pending absolute address into `rd`;
+    /// this proto is the `lui` half, the next is the `addi` half.
+    LaHi {
+        rd: u8,
+        target: Ref,
+    },
+    LaLo {
+        rd: u8,
+        target: Ref,
+    },
+}
+
+/// A pending patch into the data image (a `.word label`).
+#[derive(Debug, Clone)]
+struct DataFix {
+    offset: usize,
+    label: String,
+    line: u32,
+}
+
+struct Assembler<'s> {
+    file: &'s str,
+    labels: BTreeMap<String, (u32, u32)>, // name -> (address, defining line)
+    text: Vec<(Proto, u32)>,              // proto + source line
+    data: Vec<u8>,
+    data_fixes: Vec<DataFix>,
+    in_data: bool,
+}
+
+/// Assemble `source` (named `file` in diagnostics) into an [`Image`].
+pub fn assemble(file: &str, source: &str) -> Result<Image, AsmError> {
+    let mut a = Assembler {
+        file,
+        labels: BTreeMap::new(),
+        text: Vec::new(),
+        data: Vec::new(),
+        data_fixes: Vec::new(),
+        in_data: false,
+    };
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx as u32 + 1;
+        a.line(raw, line)?;
+    }
+    a.finish()
+}
+
+impl<'s> Assembler<'s> {
+    fn err(&self, line: u32, msg: impl Into<String>) -> AsmError {
+        AsmError {
+            file: self.file.to_string(),
+            line,
+            msg: msg.into(),
+        }
+    }
+
+    fn text_cursor(&self) -> u32 {
+        TEXT_BASE + 4 * self.text.len() as u32
+    }
+
+    fn define_label(&mut self, name: &str, line: u32) -> Result<(), AsmError> {
+        if !is_label_name(name) {
+            return Err(self.err(line, format!("invalid label name `{name}`")));
+        }
+        if reg_number(name).is_some() {
+            return Err(self.err(
+                line,
+                format!("label may not shadow a register name: `{name}`"),
+            ));
+        }
+        let addr = if self.in_data {
+            DATA_BASE + self.data.len() as u32
+        } else {
+            self.text_cursor()
+        };
+        if let Some(&(_, first)) = self.labels.get(name) {
+            return Err(self.err(
+                line,
+                format!("duplicate label `{name}` (first defined at line {first})"),
+            ));
+        }
+        self.labels.insert(name.to_string(), (addr, line));
+        Ok(())
+    }
+
+    fn line(&mut self, raw: &str, line: u32) -> Result<(), AsmError> {
+        let mut rest = strip_comment(raw).trim();
+        // Leading labels (possibly several on one line).
+        while let Some(colon) = rest.find(':') {
+            let (head, tail) = rest.split_at(colon);
+            let head = head.trim();
+            // A ':' later in the operands (there are none in this grammar)
+            // would be caught as an invalid label; only treat the prefix as
+            // a label when it looks like one.
+            self.define_label(head, line)?;
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            return Ok(());
+        }
+        if let Some(directive) = rest.strip_prefix('.') {
+            return self.directive(directive, line);
+        }
+        if self.in_data {
+            return Err(self.err(line, "instruction outside .text section"));
+        }
+        let (mnemonic, operands) = split_mnemonic(rest);
+        let protos = self.instruction(mnemonic, operands, line)?;
+        for p in protos {
+            self.text.push((p, line));
+        }
+        Ok(())
+    }
+
+    fn directive(&mut self, directive: &str, line: u32) -> Result<(), AsmError> {
+        let (name, args) = split_mnemonic(directive);
+        match name {
+            "text" => {
+                self.in_data = false;
+                Ok(())
+            }
+            "data" => {
+                self.in_data = true;
+                Ok(())
+            }
+            "globl" | "global" => Ok(()), // accepted for compatibility, no-op
+            "word" | "half" | "byte" | "asciiz" | "space" | "align" if !self.in_data => {
+                Err(self.err(line, format!(".{name} outside .data section")))
+            }
+            "word" => {
+                for arg in split_operands(args) {
+                    match self.parse_ref(arg, line)? {
+                        Ref::Imm(v) => {
+                            let v = self.check_range(v, -(1 << 31), (1 << 32) - 1, line)?;
+                            self.data.extend_from_slice(&(v as u32).to_le_bytes());
+                        }
+                        Ref::Label(l) => {
+                            self.data_fixes.push(DataFix {
+                                offset: self.data.len(),
+                                label: l,
+                                line,
+                            });
+                            self.data.extend_from_slice(&[0; 4]);
+                        }
+                    }
+                }
+                Ok(())
+            }
+            "half" => {
+                for arg in split_operands(args) {
+                    let v = self.parse_int(arg, line)?;
+                    let v = self.check_range(v, -(1 << 15), (1 << 16) - 1, line)?;
+                    self.data.extend_from_slice(&(v as u16).to_le_bytes());
+                }
+                Ok(())
+            }
+            "byte" => {
+                for arg in split_operands(args) {
+                    let v = self.parse_int(arg, line)?;
+                    let v = self.check_range(v, -128, 255, line)?;
+                    self.data.push(v as u8);
+                }
+                Ok(())
+            }
+            "asciiz" => {
+                let bytes = parse_string(args).map_err(|m| self.err(line, m))?;
+                self.data.extend_from_slice(&bytes);
+                self.data.push(0);
+                Ok(())
+            }
+            "space" => {
+                let n = self.parse_int(args, line)?;
+                let n = self.check_range(n, 0, 1 << 20, line)?;
+                self.data.extend(std::iter::repeat_n(0u8, n as usize));
+                Ok(())
+            }
+            "align" => {
+                let n = self.parse_int(args, line)?;
+                if !matches!(n, 1 | 2 | 4 | 8 | 16 | 32) {
+                    return Err(self.err(
+                        line,
+                        format!(".align to {n} (expected 1, 2, 4, 8, 16 or 32)"),
+                    ));
+                }
+                while !(self.data.len() as u32).is_multiple_of(n as u32) {
+                    self.data.push(0);
+                }
+                Ok(())
+            }
+            _ => Err(self.err(line, format!("unknown directive `.{name}`"))),
+        }
+    }
+
+    /// Parse one instruction (or pseudo) into 1–2 protos.
+    fn instruction(
+        &self,
+        mnemonic: &str,
+        operands: &str,
+        line: u32,
+    ) -> Result<Vec<Proto>, AsmError> {
+        let ops = split_operands(operands);
+        let argc = |n: usize| -> Result<(), AsmError> {
+            if ops.len() != n {
+                Err(self.err(
+                    line,
+                    format!("`{mnemonic}` expects {n} operand(s), found {}", ops.len()),
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        let reg = |s: &str| -> Result<u8, AsmError> {
+            reg_number(s).ok_or_else(|| self.err(line, format!("expected register, found `{s}`")))
+        };
+        let done = |i: Instr| Ok(vec![Proto::Done(i)]);
+
+        if let Some(op) = alu_op(mnemonic) {
+            argc(3)?;
+            return done(Instr::Alu {
+                op,
+                rd: reg(ops[0])?,
+                rs1: reg(ops[1])?,
+                rs2: reg(ops[2])?,
+            });
+        }
+        if let Some(op) = alu_imm_op(mnemonic) {
+            argc(3)?;
+            let imm = self.parse_int(ops[2], line)?;
+            let imm = if op.is_shift() {
+                self.check_shamt(imm, line)?
+            } else {
+                self.check_imm12(imm, line)?
+            };
+            return done(Instr::AluImm {
+                op,
+                rd: reg(ops[0])?,
+                rs1: reg(ops[1])?,
+                imm,
+            });
+        }
+        if let Some(kind) = load_kind(mnemonic) {
+            argc(2)?;
+            let (offset, base) = self.parse_mem_operand(ops[1], line)?;
+            return done(Instr::Load {
+                kind,
+                rd: reg(ops[0])?,
+                rs1: base,
+                offset,
+            });
+        }
+        if let Some(kind) = store_kind(mnemonic) {
+            argc(2)?;
+            let (offset, base) = self.parse_mem_operand(ops[1], line)?;
+            return done(Instr::Store {
+                kind,
+                rs2: reg(ops[0])?,
+                rs1: base,
+                offset,
+            });
+        }
+        if let Some(cond) = branch_cond(mnemonic) {
+            argc(3)?;
+            return Ok(vec![Proto::Branch {
+                cond,
+                rs1: reg(ops[0])?,
+                rs2: reg(ops[1])?,
+                target: self.parse_ref(ops[2], line)?,
+            }]);
+        }
+        match mnemonic {
+            "lui" | "auipc" => {
+                argc(2)?;
+                let v = self.parse_int(ops[1], line)?;
+                let imm20 = self.check_range(v, 0, (1 << 20) - 1, line)? as u32;
+                let rd = reg(ops[0])?;
+                done(if mnemonic == "lui" {
+                    Instr::Lui { rd, imm20 }
+                } else {
+                    Instr::Auipc { rd, imm20 }
+                })
+            }
+            "jal" => {
+                // `jal target` (rd = ra) or `jal rd, target`.
+                let (rd, target) = match ops.len() {
+                    1 => (1u8, ops[0]),
+                    2 => (reg(ops[0])?, ops[1]),
+                    n => {
+                        return Err(
+                            self.err(line, format!("`jal` expects 1 or 2 operand(s), found {n}"))
+                        )
+                    }
+                };
+                Ok(vec![Proto::Jal {
+                    rd,
+                    target: self.parse_ref(target, line)?,
+                }])
+            }
+            "jalr" => {
+                // `jalr rs1` (rd = ra, offset 0) or `jalr rd, rs1, offset`.
+                match ops.len() {
+                    1 => done(Instr::Jalr {
+                        rd: 1,
+                        rs1: reg(ops[0])?,
+                        offset: 0,
+                    }),
+                    3 => {
+                        let offset = self.check_imm12(self.parse_int(ops[2], line)?, line)?;
+                        done(Instr::Jalr {
+                            rd: reg(ops[0])?,
+                            rs1: reg(ops[1])?,
+                            offset,
+                        })
+                    }
+                    n => {
+                        Err(self.err(line, format!("`jalr` expects 1 or 3 operand(s), found {n}")))
+                    }
+                }
+            }
+            "fence" => {
+                argc(0)?;
+                done(Instr::Fence)
+            }
+            "ecall" => {
+                argc(0)?;
+                done(Instr::Ecall)
+            }
+            "ebreak" => {
+                argc(0)?;
+                done(Instr::Ebreak)
+            }
+
+            // ---- pseudo instructions ----
+            "nop" => {
+                argc(0)?;
+                done(Instr::AluImm {
+                    op: AluImmOp::Addi,
+                    rd: 0,
+                    rs1: 0,
+                    imm: 0,
+                })
+            }
+            "mv" => {
+                argc(2)?;
+                done(Instr::AluImm {
+                    op: AluImmOp::Addi,
+                    rd: reg(ops[0])?,
+                    rs1: reg(ops[1])?,
+                    imm: 0,
+                })
+            }
+            "li" => {
+                argc(2)?;
+                let rd = reg(ops[0])?;
+                let v = self.parse_int(ops[1], line)?;
+                let v = self.check_range(v, -(1 << 31), (1 << 32) - 1, line)? as u32;
+                Ok(li_protos(rd, v))
+            }
+            "la" => {
+                argc(2)?;
+                let rd = reg(ops[0])?;
+                let target = self.parse_ref(ops[1], line)?;
+                Ok(vec![
+                    Proto::LaHi {
+                        rd,
+                        target: target.clone(),
+                    },
+                    Proto::LaLo { rd, target },
+                ])
+            }
+            "j" => {
+                argc(1)?;
+                Ok(vec![Proto::Jal {
+                    rd: 0,
+                    target: self.parse_ref(ops[0], line)?,
+                }])
+            }
+            "jr" => {
+                argc(1)?;
+                done(Instr::Jalr {
+                    rd: 0,
+                    rs1: reg(ops[0])?,
+                    offset: 0,
+                })
+            }
+            "call" => {
+                argc(1)?;
+                Ok(vec![Proto::Jal {
+                    rd: 1,
+                    target: self.parse_ref(ops[0], line)?,
+                }])
+            }
+            "ret" => {
+                argc(0)?;
+                done(Instr::Jalr {
+                    rd: 0,
+                    rs1: 1,
+                    offset: 0,
+                })
+            }
+            "beqz" | "bnez" => {
+                argc(2)?;
+                Ok(vec![Proto::Branch {
+                    cond: if mnemonic == "beqz" {
+                        BranchCond::Eq
+                    } else {
+                        BranchCond::Ne
+                    },
+                    rs1: reg(ops[0])?,
+                    rs2: 0,
+                    target: self.parse_ref(ops[1], line)?,
+                }])
+            }
+            "bgt" | "ble" | "bgtu" | "bleu" => {
+                argc(3)?;
+                let cond = match mnemonic {
+                    "bgt" => BranchCond::Lt,
+                    "ble" => BranchCond::Ge,
+                    "bgtu" => BranchCond::Ltu,
+                    _ => BranchCond::Geu,
+                };
+                // Swapped operands turn gt/le into lt/ge.
+                Ok(vec![Proto::Branch {
+                    cond,
+                    rs1: reg(ops[1])?,
+                    rs2: reg(ops[0])?,
+                    target: self.parse_ref(ops[2], line)?,
+                }])
+            }
+            "neg" => {
+                argc(2)?;
+                done(Instr::Alu {
+                    op: AluOp::Sub,
+                    rd: reg(ops[0])?,
+                    rs1: 0,
+                    rs2: reg(ops[1])?,
+                })
+            }
+            "not" => {
+                argc(2)?;
+                done(Instr::AluImm {
+                    op: AluImmOp::Xori,
+                    rd: reg(ops[0])?,
+                    rs1: reg(ops[1])?,
+                    imm: -1,
+                })
+            }
+            "seqz" => {
+                argc(2)?;
+                done(Instr::AluImm {
+                    op: AluImmOp::Sltiu,
+                    rd: reg(ops[0])?,
+                    rs1: reg(ops[1])?,
+                    imm: 1,
+                })
+            }
+            "snez" => {
+                argc(2)?;
+                done(Instr::Alu {
+                    op: AluOp::Sltu,
+                    rd: reg(ops[0])?,
+                    rs1: 0,
+                    rs2: reg(ops[1])?,
+                })
+            }
+            _ => Err(self.err(line, format!("unknown mnemonic `{mnemonic}`"))),
+        }
+    }
+
+    fn finish(mut self) -> Result<Image, AsmError> {
+        // Patch `.word label` slots.
+        let fixes = std::mem::take(&mut self.data_fixes);
+        for fix in fixes {
+            let addr = self.resolve(&fix.label, fix.line)?;
+            self.data[fix.offset..fix.offset + 4].copy_from_slice(&addr.to_le_bytes());
+        }
+        // Encode the text section, resolving label references.
+        let protos = std::mem::take(&mut self.text);
+        let mut text = Vec::with_capacity(protos.len());
+        for (i, (proto, line)) in protos.iter().enumerate() {
+            let at = TEXT_BASE + 4 * i as u32;
+            let instr = match proto {
+                Proto::Done(i) => *i,
+                Proto::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
+                    let offset = self.resolve_ref(target, RefKind::Relative { at }, *line)?;
+                    if !(-4096..=4094).contains(&offset) {
+                        return Err(self.err(
+                            *line,
+                            format!("branch target out of range: {offset} bytes (max ±4 KiB)"),
+                        ));
+                    }
+                    if offset % 2 != 0 {
+                        return Err(self.err(*line, format!("odd branch offset {offset}")));
+                    }
+                    Instr::Branch {
+                        cond: *cond,
+                        rs1: *rs1,
+                        rs2: *rs2,
+                        offset: offset as i32,
+                    }
+                }
+                Proto::Jal { rd, target } => {
+                    let offset = self.resolve_ref(target, RefKind::Relative { at }, *line)?;
+                    if !(-(1 << 20)..(1 << 20)).contains(&offset) {
+                        return Err(self.err(
+                            *line,
+                            format!("jump target out of range: {offset} bytes (max ±1 MiB)"),
+                        ));
+                    }
+                    if offset % 2 != 0 {
+                        return Err(self.err(*line, format!("odd jump offset {offset}")));
+                    }
+                    Instr::Jal {
+                        rd: *rd,
+                        offset: offset as i32,
+                    }
+                }
+                Proto::LaHi { rd, target } => {
+                    let addr = self.resolve_ref(target, RefKind::Absolute, *line)? as u32;
+                    Instr::Lui {
+                        rd: *rd,
+                        imm20: la_hi(addr),
+                    }
+                }
+                Proto::LaLo { rd, target } => {
+                    let addr = self.resolve_ref(target, RefKind::Absolute, *line)? as u32;
+                    Instr::AluImm {
+                        op: AluImmOp::Addi,
+                        rd: *rd,
+                        rs1: *rd,
+                        imm: la_lo(addr),
+                    }
+                }
+            };
+            text.push(encode(&instr));
+        }
+        if text.is_empty() {
+            return Err(self.err(
+                source_end_line(&self.labels),
+                "program has no instructions".to_string(),
+            ));
+        }
+        Ok(Image {
+            text,
+            data: self.data,
+            labels: self
+                .labels
+                .into_iter()
+                .map(|(name, (addr, _))| (name, addr))
+                .collect(),
+        })
+    }
+
+    fn resolve(&self, label: &str, line: u32) -> Result<u32, AsmError> {
+        self.labels
+            .get(label)
+            .map(|&(addr, _)| addr)
+            .ok_or_else(|| self.err(line, format!("unknown label `{label}`")))
+    }
+
+    fn resolve_ref(&self, r: &Ref, kind: RefKind, line: u32) -> Result<i64, AsmError> {
+        match (r, kind) {
+            (Ref::Imm(v), _) => Ok(*v),
+            (Ref::Label(l), RefKind::Absolute) => Ok(self.resolve(l, line)? as i64),
+            (Ref::Label(l), RefKind::Relative { at }) => {
+                Ok(self.resolve(l, line)? as i64 - at as i64)
+            }
+        }
+    }
+
+    /// Parse an operand that may be an integer or a label reference.
+    fn parse_ref(&self, s: &str, line: u32) -> Result<Ref, AsmError> {
+        if let Ok(v) = parse_integer(s) {
+            return Ok(Ref::Imm(v));
+        }
+        if is_label_name(s) {
+            return Ok(Ref::Label(s.to_string()));
+        }
+        Err(self.err(line, format!("expected label or integer, found `{s}`")))
+    }
+
+    fn parse_int(&self, s: &str, line: u32) -> Result<i64, AsmError> {
+        parse_integer(s).map_err(|_| self.err(line, format!("bad integer `{s}`")))
+    }
+
+    fn check_range(&self, v: i64, lo: i64, hi: i64, line: u32) -> Result<i64, AsmError> {
+        if (lo..=hi).contains(&v) {
+            Ok(v)
+        } else {
+            Err(self.err(line, format!("immediate {v} out of range [{lo}, {hi}]")))
+        }
+    }
+
+    fn check_imm12(&self, v: i64, line: u32) -> Result<i32, AsmError> {
+        Ok(self.check_range(v, -2048, 2047, line)? as i32)
+    }
+
+    fn check_shamt(&self, v: i64, line: u32) -> Result<i32, AsmError> {
+        if (0..=31).contains(&v) {
+            Ok(v as i32)
+        } else {
+            Err(self.err(line, format!("shift amount {v} out of range [0, 31]")))
+        }
+    }
+
+    /// Parse `off(reg)` / `(reg)` memory operands.
+    fn parse_mem_operand(&self, s: &str, line: u32) -> Result<(i32, u8), AsmError> {
+        let open = s
+            .find('(')
+            .ok_or_else(|| self.err(line, format!("expected `offset(reg)`, found `{s}`")))?;
+        let close = s
+            .rfind(')')
+            .filter(|&c| c > open && c == s.len() - 1)
+            .ok_or_else(|| self.err(line, "missing `)` in memory operand".to_string()))?;
+        let off_str = s[..open].trim();
+        let offset = if off_str.is_empty() {
+            0
+        } else {
+            self.check_imm12(self.parse_int(off_str, line)?, line)?
+        };
+        let base = &s[open + 1..close];
+        let base = reg_number(base.trim())
+            .ok_or_else(|| self.err(line, format!("expected register, found `{}`", base.trim())))?;
+        Ok((offset, base))
+    }
+}
+
+/// `li` expansion: one `addi` when the constant fits 12 bits, else
+/// `lui`+`addi`.
+fn li_protos(rd: u8, v: u32) -> Vec<Proto> {
+    let sv = v as i32;
+    if (-2048..=2047).contains(&sv) {
+        vec![Proto::Done(Instr::AluImm {
+            op: AluImmOp::Addi,
+            rd,
+            rs1: 0,
+            imm: sv,
+        })]
+    } else {
+        vec![
+            Proto::Done(Instr::Lui {
+                rd,
+                imm20: la_hi(v),
+            }),
+            Proto::Done(Instr::AluImm {
+                op: AluImmOp::Addi,
+                rd,
+                rs1: rd,
+                imm: la_lo(v),
+            }),
+        ]
+    }
+}
+
+/// Upper 20 bits for a `lui`+`addi` pair producing `addr` (the +0x800
+/// rounds so the sign-extended low half lands exactly).
+fn la_hi(addr: u32) -> u32 {
+    addr.wrapping_add(0x800) >> 12
+}
+
+/// Sign-extended low 12 bits paired with [`la_hi`].
+fn la_lo(addr: u32) -> i32 {
+    ((addr & 0xfff) as i32) << 20 >> 20
+}
+
+/// Line number to blame for whole-program errors (after the last label, or
+/// line 1 in an empty file).
+fn source_end_line(labels: &BTreeMap<String, (u32, u32)>) -> u32 {
+    labels.values().map(|&(_, l)| l).max().unwrap_or(1)
+}
+
+fn strip_comment(s: &str) -> &str {
+    // `#` starts a comment; inside a string literal it does not.
+    let mut in_str = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &s[..i],
+            _ => {}
+        }
+    }
+    s
+}
+
+fn split_mnemonic(s: &str) -> (&str, &str) {
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], s[i..].trim()),
+        None => (s, ""),
+    }
+}
+
+fn split_operands(s: &str) -> Vec<&str> {
+    if s.trim().is_empty() {
+        return Vec::new();
+    }
+    s.split(',').map(str::trim).collect()
+}
+
+fn is_label_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parse a decimal or `0x` hexadecimal integer with optional sign.
+fn parse_integer(s: &str) -> Result<i64, ()> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s.strip_prefix('+').unwrap_or(s)),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).map_err(|_| ())?
+    } else {
+        if body.is_empty() || !body.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(());
+        }
+        body.parse::<i64>().map_err(|_| ())?
+    };
+    Ok(if neg { -v } else { v })
+}
+
+/// Parse a quoted string literal with `\n \t \0 \\ \"` escapes.
+fn parse_string(s: &str) -> Result<Vec<u8>, String> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .filter(|_| s.len() >= 2)
+        .ok_or_else(|| "unterminated string literal".to_string())?;
+    let mut out = Vec::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push(b'\n'),
+            Some('t') => out.push(b'\t'),
+            Some('0') => out.push(0),
+            Some('\\') => out.push(b'\\'),
+            Some('"') => out.push(b'"'),
+            other => return Err(format!("bad escape `\\{}`", other.unwrap_or(' '))),
+        }
+    }
+    Ok(out)
+}
+
+/// Resolve a register name (`x0..x31` or ABI name) to its index.
+pub fn reg_number(s: &str) -> Option<u8> {
+    if let Some(n) = s.strip_prefix('x') {
+        if !n.is_empty() && n.bytes().all(|b| b.is_ascii_digit()) && n.len() <= 2 {
+            let v: u8 = n.parse().ok()?;
+            return (v < 32).then_some(v);
+        }
+        return None;
+    }
+    let abi = [
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+        "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+        "t5", "t6",
+    ];
+    if s == "fp" {
+        return Some(8);
+    }
+    abi.iter().position(|&a| a == s).map(|i| i as u8)
+}
+
+fn alu_op(m: &str) -> Option<AluOp> {
+    Some(match m {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "sll" => AluOp::Sll,
+        "slt" => AluOp::Slt,
+        "sltu" => AluOp::Sltu,
+        "xor" => AluOp::Xor,
+        "srl" => AluOp::Srl,
+        "sra" => AluOp::Sra,
+        "or" => AluOp::Or,
+        "and" => AluOp::And,
+        "mul" => AluOp::Mul,
+        "mulh" => AluOp::Mulh,
+        "mulhsu" => AluOp::Mulhsu,
+        "mulhu" => AluOp::Mulhu,
+        "div" => AluOp::Div,
+        "divu" => AluOp::Divu,
+        "rem" => AluOp::Rem,
+        "remu" => AluOp::Remu,
+        _ => return None,
+    })
+}
+
+fn alu_imm_op(m: &str) -> Option<AluImmOp> {
+    Some(match m {
+        "addi" => AluImmOp::Addi,
+        "slti" => AluImmOp::Slti,
+        "sltiu" => AluImmOp::Sltiu,
+        "xori" => AluImmOp::Xori,
+        "ori" => AluImmOp::Ori,
+        "andi" => AluImmOp::Andi,
+        "slli" => AluImmOp::Slli,
+        "srli" => AluImmOp::Srli,
+        "srai" => AluImmOp::Srai,
+        _ => return None,
+    })
+}
+
+fn load_kind(m: &str) -> Option<LoadKind> {
+    Some(match m {
+        "lb" => LoadKind::B,
+        "lh" => LoadKind::H,
+        "lw" => LoadKind::W,
+        "lbu" => LoadKind::Bu,
+        "lhu" => LoadKind::Hu,
+        _ => return None,
+    })
+}
+
+fn store_kind(m: &str) -> Option<StoreKind> {
+    Some(match m {
+        "sb" => StoreKind::B,
+        "sh" => StoreKind::H,
+        "sw" => StoreKind::W,
+        _ => return None,
+    })
+}
+
+fn branch_cond(m: &str) -> Option<BranchCond> {
+    Some(match m {
+        "beq" => BranchCond::Eq,
+        "bne" => BranchCond::Ne,
+        "blt" => BranchCond::Lt,
+        "bge" => BranchCond::Ge,
+        "bltu" => BranchCond::Ltu,
+        "bgeu" => BranchCond::Geu,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_program_assembles() {
+        let img = assemble(
+            "t.s",
+            "start:\n  addi x1, x0, 5\n  addi x2, x1, 7 # sum\n  ecall\n",
+        )
+        .unwrap();
+        assert_eq!(img.text.len(), 3);
+        assert_eq!(img.labels["start"], TEXT_BASE);
+        assert_eq!(img.data, Vec::<u8>::new());
+    }
+
+    #[test]
+    fn labels_and_branches_resolve_backwards_and_forwards() {
+        let img = assemble(
+            "t.s",
+            "  j over\nloop:\n  addi x1, x1, -1\n  bnez x1, loop\nover:\n  li x1, 3\n  j loop\n  ecall\n",
+        )
+        .unwrap();
+        // `j over` at 0 jumps +12 (3 instructions ahead).
+        let d = crate::isa::decode(img.text[0]).unwrap();
+        assert_eq!(d, Instr::Jal { rd: 0, offset: 12 });
+        // `bnez x1, loop` at 8 branches back 4.
+        let b = crate::isa::decode(img.text[2]).unwrap();
+        assert!(matches!(b, Instr::Branch { offset: -4, .. }));
+    }
+
+    #[test]
+    fn data_directives_lay_out_bytes() {
+        let img = assemble(
+            "t.s",
+            ".data\nv: .word 1, -1, 0x10\ns: .asciiz \"hi\\n\"\nb: .byte 7, 255\np: .word v\n.align 4\nw: .word 2\n.text\n  la a0, v\n  lw a1, (a0)\n  ecall\n",
+        )
+        .unwrap();
+        assert_eq!(&img.data[0..4], &1u32.to_le_bytes());
+        assert_eq!(&img.data[4..8], &(-1i32 as u32).to_le_bytes());
+        assert_eq!(&img.data[12..16], b"hi\n\0");
+        assert_eq!(img.data[16], 7);
+        assert_eq!(img.data[17], 255);
+        // `.word v` patched with v's absolute address.
+        assert_eq!(&img.data[18..22], &DATA_BASE.to_le_bytes());
+        assert_eq!(img.labels["w"] % 4, 0);
+        // `la a0, v` expands to lui+addi producing DATA_BASE exactly.
+        let hi = crate::isa::decode(img.text[0]).unwrap();
+        let lo = crate::isa::decode(img.text[1]).unwrap();
+        match (hi, lo) {
+            (Instr::Lui { imm20, .. }, Instr::AluImm { imm, .. }) => {
+                assert_eq!((imm20 << 12).wrapping_add(imm as u32), DATA_BASE);
+            }
+            other => panic!("unexpected la expansion: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn li_picks_short_and_long_forms() {
+        let one = assemble("t.s", "  li x1, 100\n  ecall\n").unwrap();
+        assert_eq!(one.text.len(), 2);
+        let two = assemble("t.s", "  li x1, 0x12345678\n  ecall\n").unwrap();
+        assert_eq!(two.text.len(), 3);
+        // The pair reconstructs the constant exactly (including the
+        // sign-extension carry case).
+        let carry = assemble("t.s", "  li x1, 0x12345fff\n  ecall\n").unwrap();
+        let (hi, lo) = (
+            crate::isa::decode(carry.text[0]).unwrap(),
+            crate::isa::decode(carry.text[1]).unwrap(),
+        );
+        match (hi, lo) {
+            (Instr::Lui { imm20, .. }, Instr::AluImm { imm, .. }) => {
+                assert_eq!((imm20 << 12).wrapping_add(imm as u32), 0x1234_5fff);
+            }
+            other => panic!("unexpected li expansion: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abi_register_names_resolve() {
+        assert_eq!(reg_number("zero"), Some(0));
+        assert_eq!(reg_number("ra"), Some(1));
+        assert_eq!(reg_number("sp"), Some(2));
+        assert_eq!(reg_number("fp"), Some(8));
+        assert_eq!(reg_number("s0"), Some(8));
+        assert_eq!(reg_number("a0"), Some(10));
+        assert_eq!(reg_number("t6"), Some(31));
+        assert_eq!(reg_number("x31"), Some(31));
+        assert_eq!(reg_number("x32"), None);
+        assert_eq!(reg_number("x031"), None);
+        assert_eq!(reg_number("q1"), None);
+    }
+
+    #[test]
+    fn error_carries_file_and_line() {
+        let e = assemble("prog.s", "  addi x1, x0, 1\n  addq x1, x1, x1\n").unwrap_err();
+        assert_eq!(e.to_string(), "prog.s:2: unknown mnemonic `addq`");
+    }
+}

@@ -1,0 +1,781 @@
+//! RV32I(M) instruction set: decoded form, binary encode/decode, and the
+//! canonical disassembly the assembler round-trips on.
+//!
+//! The subset is the full RV32I base (minus CSR instructions) plus the
+//! eight M-extension multiply/divide ops. Every instruction is 32 bits;
+//! there is no compressed extension. [`decode`] and [`encode`] are exact
+//! inverses over the valid encodings, and [`Instr::asm`] renders the
+//! canonical text form that [`crate::asm::assemble`] parses back — both
+//! properties are pinned by proptests.
+
+use std::fmt;
+
+/// Condition of a conditional branch (funct3 of the BRANCH opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// `beq` — equal.
+    Eq,
+    /// `bne` — not equal.
+    Ne,
+    /// `blt` — signed less-than.
+    Lt,
+    /// `bge` — signed greater-or-equal.
+    Ge,
+    /// `bltu` — unsigned less-than.
+    Ltu,
+    /// `bgeu` — unsigned greater-or-equal.
+    Geu,
+}
+
+impl BranchCond {
+    /// Mnemonic text.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+            BranchCond::Ltu => "bltu",
+            BranchCond::Geu => "bgeu",
+        }
+    }
+
+    fn funct3(self) -> u32 {
+        match self {
+            BranchCond::Eq => 0b000,
+            BranchCond::Ne => 0b001,
+            BranchCond::Lt => 0b100,
+            BranchCond::Ge => 0b101,
+            BranchCond::Ltu => 0b110,
+            BranchCond::Geu => 0b111,
+        }
+    }
+
+    /// Evaluate the condition on two register values.
+    pub fn holds(self, a: u32, b: u32) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => (a as i32) < (b as i32),
+            BranchCond::Ge => (a as i32) >= (b as i32),
+            BranchCond::Ltu => a < b,
+            BranchCond::Geu => a >= b,
+        }
+    }
+}
+
+/// Width/signedness of a load (funct3 of the LOAD opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadKind {
+    /// `lb` — signed byte.
+    B,
+    /// `lh` — signed halfword.
+    H,
+    /// `lw` — word.
+    W,
+    /// `lbu` — unsigned byte.
+    Bu,
+    /// `lhu` — unsigned halfword.
+    Hu,
+}
+
+impl LoadKind {
+    /// Mnemonic text.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            LoadKind::B => "lb",
+            LoadKind::H => "lh",
+            LoadKind::W => "lw",
+            LoadKind::Bu => "lbu",
+            LoadKind::Hu => "lhu",
+        }
+    }
+
+    /// Access size in bytes.
+    pub fn size(self) -> u8 {
+        match self {
+            LoadKind::B | LoadKind::Bu => 1,
+            LoadKind::H | LoadKind::Hu => 2,
+            LoadKind::W => 4,
+        }
+    }
+
+    fn funct3(self) -> u32 {
+        match self {
+            LoadKind::B => 0b000,
+            LoadKind::H => 0b001,
+            LoadKind::W => 0b010,
+            LoadKind::Bu => 0b100,
+            LoadKind::Hu => 0b101,
+        }
+    }
+}
+
+/// Width of a store (funct3 of the STORE opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreKind {
+    /// `sb` — byte.
+    B,
+    /// `sh` — halfword.
+    H,
+    /// `sw` — word.
+    W,
+}
+
+impl StoreKind {
+    /// Mnemonic text.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            StoreKind::B => "sb",
+            StoreKind::H => "sh",
+            StoreKind::W => "sw",
+        }
+    }
+
+    /// Access size in bytes.
+    pub fn size(self) -> u8 {
+        match self {
+            StoreKind::B => 1,
+            StoreKind::H => 2,
+            StoreKind::W => 4,
+        }
+    }
+
+    fn funct3(self) -> u32 {
+        match self {
+            StoreKind::B => 0b000,
+            StoreKind::H => 0b001,
+            StoreKind::W => 0b010,
+        }
+    }
+}
+
+/// Register–register ALU operation (OP opcode), including the RV32M
+/// multiply/divide group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// `add`.
+    Add,
+    /// `sub`.
+    Sub,
+    /// `sll` — shift left logical.
+    Sll,
+    /// `slt` — set if signed less-than.
+    Slt,
+    /// `sltu` — set if unsigned less-than.
+    Sltu,
+    /// `xor`.
+    Xor,
+    /// `srl` — shift right logical.
+    Srl,
+    /// `sra` — shift right arithmetic.
+    Sra,
+    /// `or`.
+    Or,
+    /// `and`.
+    And,
+    /// `mul` — low 32 bits of the product (RV32M).
+    Mul,
+    /// `mulh` — high 32 bits of signed×signed (RV32M).
+    Mulh,
+    /// `mulhsu` — high 32 bits of signed×unsigned (RV32M).
+    Mulhsu,
+    /// `mulhu` — high 32 bits of unsigned×unsigned (RV32M).
+    Mulhu,
+    /// `div` — signed division (RV32M).
+    Div,
+    /// `divu` — unsigned division (RV32M).
+    Divu,
+    /// `rem` — signed remainder (RV32M).
+    Rem,
+    /// `remu` — unsigned remainder (RV32M).
+    Remu,
+}
+
+impl AluOp {
+    /// Mnemonic text.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Sll => "sll",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Xor => "xor",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Or => "or",
+            AluOp::And => "and",
+            AluOp::Mul => "mul",
+            AluOp::Mulh => "mulh",
+            AluOp::Mulhsu => "mulhsu",
+            AluOp::Mulhu => "mulhu",
+            AluOp::Div => "div",
+            AluOp::Divu => "divu",
+            AluOp::Rem => "rem",
+            AluOp::Remu => "remu",
+        }
+    }
+
+    /// Is this one of the eight RV32M ops?
+    pub fn is_m_ext(self) -> bool {
+        matches!(
+            self,
+            AluOp::Mul
+                | AluOp::Mulh
+                | AluOp::Mulhsu
+                | AluOp::Mulhu
+                | AluOp::Div
+                | AluOp::Divu
+                | AluOp::Rem
+                | AluOp::Remu
+        )
+    }
+
+    fn funct3(self) -> u32 {
+        match self {
+            AluOp::Add | AluOp::Sub | AluOp::Mul => 0b000,
+            AluOp::Sll | AluOp::Mulh => 0b001,
+            AluOp::Slt | AluOp::Mulhsu => 0b010,
+            AluOp::Sltu | AluOp::Mulhu => 0b011,
+            AluOp::Xor | AluOp::Div => 0b100,
+            AluOp::Srl | AluOp::Sra | AluOp::Divu => 0b101,
+            AluOp::Or | AluOp::Rem => 0b110,
+            AluOp::And | AluOp::Remu => 0b111,
+        }
+    }
+
+    fn funct7(self) -> u32 {
+        match self {
+            AluOp::Sub | AluOp::Sra => 0b010_0000,
+            _ if self.is_m_ext() => 0b000_0001,
+            _ => 0,
+        }
+    }
+}
+
+/// Register–immediate ALU operation (OP-IMM opcode). Shifts carry a
+/// 5-bit shamt in the immediate field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluImmOp {
+    /// `addi`.
+    Addi,
+    /// `slti`.
+    Slti,
+    /// `sltiu`.
+    Sltiu,
+    /// `xori`.
+    Xori,
+    /// `ori`.
+    Ori,
+    /// `andi`.
+    Andi,
+    /// `slli`.
+    Slli,
+    /// `srli`.
+    Srli,
+    /// `srai`.
+    Srai,
+}
+
+impl AluImmOp {
+    /// Mnemonic text.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluImmOp::Addi => "addi",
+            AluImmOp::Slti => "slti",
+            AluImmOp::Sltiu => "sltiu",
+            AluImmOp::Xori => "xori",
+            AluImmOp::Ori => "ori",
+            AluImmOp::Andi => "andi",
+            AluImmOp::Slli => "slli",
+            AluImmOp::Srli => "srli",
+            AluImmOp::Srai => "srai",
+        }
+    }
+
+    /// Is this a shift (immediate restricted to a 5-bit shamt)?
+    pub fn is_shift(self) -> bool {
+        matches!(self, AluImmOp::Slli | AluImmOp::Srli | AluImmOp::Srai)
+    }
+
+    fn funct3(self) -> u32 {
+        match self {
+            AluImmOp::Addi => 0b000,
+            AluImmOp::Slli => 0b001,
+            AluImmOp::Slti => 0b010,
+            AluImmOp::Sltiu => 0b011,
+            AluImmOp::Xori => 0b100,
+            AluImmOp::Srli | AluImmOp::Srai => 0b101,
+            AluImmOp::Ori => 0b110,
+            AluImmOp::Andi => 0b111,
+        }
+    }
+}
+
+/// A decoded RV32I(M) instruction.
+///
+/// `rd`/`rs1`/`rs2` are register indices 0–31. Immediates are stored
+/// sign-extended; branch/jump offsets are byte offsets relative to the
+/// instruction's own address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// `lui rd, imm20` — load upper immediate (`imm20` is the raw 20-bit
+    /// field; the register receives `imm20 << 12`).
+    Lui { rd: u8, imm20: u32 },
+    /// `auipc rd, imm20` — PC + (`imm20` << 12).
+    Auipc { rd: u8, imm20: u32 },
+    /// `jal rd, offset` — jump and link.
+    Jal { rd: u8, offset: i32 },
+    /// `jalr rd, rs1, offset` — indirect jump and link.
+    Jalr { rd: u8, rs1: u8, offset: i32 },
+    /// Conditional branch.
+    Branch {
+        cond: BranchCond,
+        rs1: u8,
+        rs2: u8,
+        offset: i32,
+    },
+    /// Memory load `rd <- mem[rs1 + offset]`.
+    Load {
+        kind: LoadKind,
+        rd: u8,
+        rs1: u8,
+        offset: i32,
+    },
+    /// Memory store `mem[rs1 + offset] <- rs2`.
+    Store {
+        kind: StoreKind,
+        rs2: u8,
+        rs1: u8,
+        offset: i32,
+    },
+    /// Register–immediate ALU op.
+    AluImm {
+        op: AluImmOp,
+        rd: u8,
+        rs1: u8,
+        imm: i32,
+    },
+    /// Register–register ALU op (including RV32M).
+    Alu { op: AluOp, rd: u8, rs1: u8, rs2: u8 },
+    /// `fence` — memory ordering (a no-op for this in-order emulator).
+    Fence,
+    /// `ecall` — environment call; by convention, halts the program.
+    Ecall,
+    /// `ebreak` — breakpoint; also halts (flagged separately).
+    Ebreak,
+}
+
+const OPC_LUI: u32 = 0b011_0111;
+const OPC_AUIPC: u32 = 0b001_0111;
+const OPC_JAL: u32 = 0b110_1111;
+const OPC_JALR: u32 = 0b110_0111;
+const OPC_BRANCH: u32 = 0b110_0011;
+const OPC_LOAD: u32 = 0b000_0011;
+const OPC_STORE: u32 = 0b010_0011;
+const OPC_OP_IMM: u32 = 0b001_0011;
+const OPC_OP: u32 = 0b011_0011;
+const OPC_MISC_MEM: u32 = 0b000_1111;
+const OPC_SYSTEM: u32 = 0b111_0011;
+
+/// Every implemented mnemonic, in a stable order. The conformance corpus
+/// asserts one golden fixture exists per entry.
+pub const MNEMONICS: [&str; 48] = [
+    "lui", "auipc", "jal", "jalr", "beq", "bne", "blt", "bge", "bltu", "bgeu", "lb", "lh", "lw",
+    "lbu", "lhu", "sb", "sh", "sw", "addi", "slti", "sltiu", "xori", "ori", "andi", "slli", "srli",
+    "srai", "add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and", "fence", "ecall",
+    "ebreak", "mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu",
+];
+
+/// Word failed to decode as a valid RV32I(M) instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The undecodable instruction word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[inline]
+fn bits(word: u32, lo: u32, len: u32) -> u32 {
+    (word >> lo) & ((1 << len) - 1)
+}
+
+#[inline]
+fn sign_extend(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+/// Encode a decoded instruction into its 32-bit word.
+///
+/// Offsets/immediates out of field range are masked into the field (the
+/// assembler range-checks before calling; [`decode`]∘[`encode`] is exact
+/// only for in-range values).
+pub fn encode(i: &Instr) -> u32 {
+    let r = |v: u8| (v & 0x1f) as u32;
+    match *i {
+        Instr::Lui { rd, imm20 } => (imm20 & 0xf_ffff) << 12 | r(rd) << 7 | OPC_LUI,
+        Instr::Auipc { rd, imm20 } => (imm20 & 0xf_ffff) << 12 | r(rd) << 7 | OPC_AUIPC,
+        Instr::Jal { rd, offset } => {
+            let o = offset as u32;
+            bits(o, 20, 1) << 31
+                | bits(o, 1, 10) << 21
+                | bits(o, 11, 1) << 20
+                | bits(o, 12, 8) << 12
+                | r(rd) << 7
+                | OPC_JAL
+        }
+        Instr::Jalr { rd, rs1, offset } => {
+            (offset as u32 & 0xfff) << 20 | r(rs1) << 15 | r(rd) << 7 | OPC_JALR
+        }
+        Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            let o = offset as u32;
+            bits(o, 12, 1) << 31
+                | bits(o, 5, 6) << 25
+                | r(rs2) << 20
+                | r(rs1) << 15
+                | cond.funct3() << 12
+                | bits(o, 1, 4) << 8
+                | bits(o, 11, 1) << 7
+                | OPC_BRANCH
+        }
+        Instr::Load {
+            kind,
+            rd,
+            rs1,
+            offset,
+        } => {
+            (offset as u32 & 0xfff) << 20
+                | r(rs1) << 15
+                | kind.funct3() << 12
+                | r(rd) << 7
+                | OPC_LOAD
+        }
+        Instr::Store {
+            kind,
+            rs2,
+            rs1,
+            offset,
+        } => {
+            let o = offset as u32;
+            bits(o, 5, 7) << 25
+                | r(rs2) << 20
+                | r(rs1) << 15
+                | kind.funct3() << 12
+                | bits(o, 0, 5) << 7
+                | OPC_STORE
+        }
+        Instr::AluImm { op, rd, rs1, imm } => {
+            let imm12 = if op == AluImmOp::Srai {
+                (imm as u32 & 0x1f) | 0b010_0000 << 5
+            } else {
+                imm as u32 & 0xfff
+            };
+            imm12 << 20 | r(rs1) << 15 | op.funct3() << 12 | r(rd) << 7 | OPC_OP_IMM
+        }
+        Instr::Alu { op, rd, rs1, rs2 } => {
+            op.funct7() << 25
+                | r(rs2) << 20
+                | r(rs1) << 15
+                | op.funct3() << 12
+                | r(rd) << 7
+                | OPC_OP
+        }
+        // fence with all-zero pred/succ/fm fields — the only form emitted.
+        Instr::Fence => OPC_MISC_MEM,
+        Instr::Ecall => OPC_SYSTEM,
+        Instr::Ebreak => 1 << 20 | OPC_SYSTEM,
+    }
+}
+
+/// Decode a 32-bit word, rejecting anything outside the implemented
+/// RV32I(M) subset.
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let err = Err(DecodeError { word });
+    let rd = bits(word, 7, 5) as u8;
+    let rs1 = bits(word, 15, 5) as u8;
+    let rs2 = bits(word, 20, 5) as u8;
+    let funct3 = bits(word, 12, 3);
+    let funct7 = bits(word, 25, 7);
+    match bits(word, 0, 7) {
+        OPC_LUI => Ok(Instr::Lui {
+            rd,
+            imm20: bits(word, 12, 20),
+        }),
+        OPC_AUIPC => Ok(Instr::Auipc {
+            rd,
+            imm20: bits(word, 12, 20),
+        }),
+        OPC_JAL => {
+            let o = bits(word, 31, 1) << 20
+                | bits(word, 12, 8) << 12
+                | bits(word, 20, 1) << 11
+                | bits(word, 21, 10) << 1;
+            Ok(Instr::Jal {
+                rd,
+                offset: sign_extend(o, 21),
+            })
+        }
+        OPC_JALR if funct3 == 0 => Ok(Instr::Jalr {
+            rd,
+            rs1,
+            offset: sign_extend(bits(word, 20, 12), 12),
+        }),
+        OPC_BRANCH => {
+            let cond = match funct3 {
+                0b000 => BranchCond::Eq,
+                0b001 => BranchCond::Ne,
+                0b100 => BranchCond::Lt,
+                0b101 => BranchCond::Ge,
+                0b110 => BranchCond::Ltu,
+                0b111 => BranchCond::Geu,
+                _ => return err,
+            };
+            let o = bits(word, 31, 1) << 12
+                | bits(word, 7, 1) << 11
+                | bits(word, 25, 6) << 5
+                | bits(word, 8, 4) << 1;
+            Ok(Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset: sign_extend(o, 13),
+            })
+        }
+        OPC_LOAD => {
+            let kind = match funct3 {
+                0b000 => LoadKind::B,
+                0b001 => LoadKind::H,
+                0b010 => LoadKind::W,
+                0b100 => LoadKind::Bu,
+                0b101 => LoadKind::Hu,
+                _ => return err,
+            };
+            Ok(Instr::Load {
+                kind,
+                rd,
+                rs1,
+                offset: sign_extend(bits(word, 20, 12), 12),
+            })
+        }
+        OPC_STORE => {
+            let kind = match funct3 {
+                0b000 => StoreKind::B,
+                0b001 => StoreKind::H,
+                0b010 => StoreKind::W,
+                _ => return err,
+            };
+            let o = bits(word, 25, 7) << 5 | bits(word, 7, 5);
+            Ok(Instr::Store {
+                kind,
+                rs2,
+                rs1,
+                offset: sign_extend(o, 12),
+            })
+        }
+        OPC_OP_IMM => {
+            let op = match funct3 {
+                0b000 => AluImmOp::Addi,
+                0b010 => AluImmOp::Slti,
+                0b011 => AluImmOp::Sltiu,
+                0b100 => AluImmOp::Xori,
+                0b110 => AluImmOp::Ori,
+                0b111 => AluImmOp::Andi,
+                0b001 if funct7 == 0 => AluImmOp::Slli,
+                0b101 if funct7 == 0 => AluImmOp::Srli,
+                0b101 if funct7 == 0b010_0000 => AluImmOp::Srai,
+                _ => return err,
+            };
+            let imm = if op.is_shift() {
+                bits(word, 20, 5) as i32
+            } else {
+                sign_extend(bits(word, 20, 12), 12)
+            };
+            Ok(Instr::AluImm { op, rd, rs1, imm })
+        }
+        OPC_OP => {
+            let op = match (funct7, funct3) {
+                (0b000_0000, 0b000) => AluOp::Add,
+                (0b010_0000, 0b000) => AluOp::Sub,
+                (0b000_0000, 0b001) => AluOp::Sll,
+                (0b000_0000, 0b010) => AluOp::Slt,
+                (0b000_0000, 0b011) => AluOp::Sltu,
+                (0b000_0000, 0b100) => AluOp::Xor,
+                (0b000_0000, 0b101) => AluOp::Srl,
+                (0b010_0000, 0b101) => AluOp::Sra,
+                (0b000_0000, 0b110) => AluOp::Or,
+                (0b000_0000, 0b111) => AluOp::And,
+                (0b000_0001, 0b000) => AluOp::Mul,
+                (0b000_0001, 0b001) => AluOp::Mulh,
+                (0b000_0001, 0b010) => AluOp::Mulhsu,
+                (0b000_0001, 0b011) => AluOp::Mulhu,
+                (0b000_0001, 0b100) => AluOp::Div,
+                (0b000_0001, 0b101) => AluOp::Divu,
+                (0b000_0001, 0b110) => AluOp::Rem,
+                (0b000_0001, 0b111) => AluOp::Remu,
+                _ => return err,
+            };
+            Ok(Instr::Alu { op, rd, rs1, rs2 })
+        }
+        OPC_MISC_MEM if funct3 == 0 => Ok(Instr::Fence),
+        OPC_SYSTEM if word == OPC_SYSTEM => Ok(Instr::Ecall),
+        OPC_SYSTEM if word == (1 << 20 | OPC_SYSTEM) => Ok(Instr::Ebreak),
+        _ => err,
+    }
+}
+
+impl Instr {
+    /// Canonical assembly text: `x`-names for registers, decimal
+    /// immediates, branch/jump targets as byte offsets relative to this
+    /// instruction. [`crate::asm::assemble`] parses this form back to the
+    /// identical encoding (the round-trip fixed point).
+    pub fn asm(&self) -> String {
+        let x = |r: u8| format!("x{r}");
+        match *self {
+            Instr::Lui { rd, imm20 } => format!("lui {}, {}", x(rd), imm20),
+            Instr::Auipc { rd, imm20 } => format!("auipc {}, {}", x(rd), imm20),
+            Instr::Jal { rd, offset } => format!("jal {}, {}", x(rd), offset),
+            Instr::Jalr { rd, rs1, offset } => {
+                format!("jalr {}, {}, {}", x(rd), x(rs1), offset)
+            }
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => format!("{} {}, {}, {}", cond.mnemonic(), x(rs1), x(rs2), offset),
+            Instr::Load {
+                kind,
+                rd,
+                rs1,
+                offset,
+            } => format!("{} {}, {}({})", kind.mnemonic(), x(rd), offset, x(rs1)),
+            Instr::Store {
+                kind,
+                rs2,
+                rs1,
+                offset,
+            } => format!("{} {}, {}({})", kind.mnemonic(), x(rs2), offset, x(rs1)),
+            Instr::AluImm { op, rd, rs1, imm } => {
+                format!("{} {}, {}, {}", op.mnemonic(), x(rd), x(rs1), imm)
+            }
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                format!("{} {}, {}, {}", op.mnemonic(), x(rd), x(rs1), x(rs2))
+            }
+            Instr::Fence => "fence".to_string(),
+            Instr::Ecall => "ecall".to_string(),
+            Instr::Ebreak => "ebreak".to_string(),
+        }
+    }
+
+    /// The mnemonic of this instruction (an entry of [`MNEMONICS`]).
+    pub fn mnemonic(&self) -> &'static str {
+        match *self {
+            Instr::Lui { .. } => "lui",
+            Instr::Auipc { .. } => "auipc",
+            Instr::Jal { .. } => "jal",
+            Instr::Jalr { .. } => "jalr",
+            Instr::Branch { cond, .. } => cond.mnemonic(),
+            Instr::Load { kind, .. } => kind.mnemonic(),
+            Instr::Store { kind, .. } => kind.mnemonic(),
+            Instr::AluImm { op, .. } => op.mnemonic(),
+            Instr::Alu { op, .. } => op.mnemonic(),
+            Instr::Fence => "fence",
+            Instr::Ecall => "ecall",
+            Instr::Ebreak => "ebreak",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_hand_picked() {
+        // `addi x1, x2, -3` per the spec: imm=0xffd, rs1=2, funct3=0, rd=1.
+        let i = Instr::AluImm {
+            op: AluImmOp::Addi,
+            rd: 1,
+            rs1: 2,
+            imm: -3,
+        };
+        assert_eq!(encode(&i), 0xffd1_0093);
+        assert_eq!(decode(0xffd1_0093).unwrap(), i);
+
+        // `sw x5, 8(x2)` — S-type split immediate.
+        let s = Instr::Store {
+            kind: StoreKind::W,
+            rs2: 5,
+            rs1: 2,
+            offset: 8,
+        };
+        assert_eq!(decode(encode(&s)).unwrap(), s);
+
+        // `beq x1, x2, -16` — B-type split immediate with sign.
+        let b = Instr::Branch {
+            cond: BranchCond::Eq,
+            rs1: 1,
+            rs2: 2,
+            offset: -16,
+        };
+        assert_eq!(decode(encode(&b)).unwrap(), b);
+
+        // `jal x1, 0x12344` — J-type scrambled immediate.
+        let j = Instr::Jal {
+            rd: 1,
+            offset: 0x12344,
+        };
+        assert_eq!(decode(encode(&j)).unwrap(), j);
+
+        assert_eq!(decode(encode(&Instr::Ecall)).unwrap(), Instr::Ecall);
+        assert_eq!(decode(encode(&Instr::Ebreak)).unwrap(), Instr::Ebreak);
+        assert_eq!(decode(encode(&Instr::Fence)).unwrap(), Instr::Fence);
+    }
+
+    #[test]
+    fn illegal_words_are_rejected() {
+        for w in [
+            0u32, // all zeros: opcode 0 is not valid
+            0xffff_ffff,
+            0x0000_2073, // a CSR instruction (csrrs) — outside the subset
+        ] {
+            assert!(decode(w).is_err(), "{w:#010x} should not decode");
+        }
+        // OP with an unassigned funct7.
+        assert!(decode(0x4000_0033 | 1 << 25).is_err());
+    }
+
+    #[test]
+    fn srai_keeps_its_marker_bit() {
+        let i = Instr::AluImm {
+            op: AluImmOp::Srai,
+            rd: 3,
+            rs1: 4,
+            imm: 7,
+        };
+        let w = encode(&i);
+        assert_eq!(decode(w).unwrap(), i);
+        assert_eq!(bits(w, 25, 7), 0b010_0000);
+    }
+
+    #[test]
+    fn mnemonic_table_matches_variants() {
+        assert_eq!(MNEMONICS.len(), 48);
+        let set: std::collections::BTreeSet<_> = MNEMONICS.iter().collect();
+        assert_eq!(set.len(), MNEMONICS.len(), "mnemonics are unique");
+    }
+}

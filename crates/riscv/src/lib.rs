@@ -1,0 +1,49 @@
+//! # rv-front — the real-ISA trace frontend
+//!
+//! An RV32I + M-extension assembler and functional emulator that turns
+//! real programs into the [`trace_isa::TraceSource`] streams every LSQ
+//! design in this repository consumes. Until this crate, all workloads
+//! were synthetic/statistical; `rv:*` workloads carry the memory and
+//! dataflow behavior of actual code — with an architectural oracle to
+//! prove the frontend itself is deterministic and correct.
+//!
+//! Three layers:
+//!
+//! * [`asm`] — a two-pass assembler for the RV32I(M) subset
+//!   ([`isa::MNEMONICS`]) with labels, `.data`/`.word`/`.asciiz`
+//!   directives and single-line `file:line:` diagnostics, plus the
+//!   canonical disassembly ([`isa::Instr::asm`]) it round-trips on.
+//! * [`emu`] — an in-order fetch/decode/execute emulator over a flat
+//!   little-endian memory with the ecall-halt convention. Every retired
+//!   instruction becomes a [`trace_isa::MicroOp`]: loads/stores carry
+//!   real effective addresses, branches their resolved outcomes, and
+//!   register dataflow becomes producer distances.
+//! * [`trace`] — [`RvWorkload`] (program + committed execution),
+//!   [`RvTrace`] (the cyclic trace source), and [`ArchOracle`] (re-run
+//!   the emulator, assert identical op stream and final registers +
+//!   memory digest — a timing-independent end-to-end check).
+//!
+//! ```
+//! use rv_front::{ArchOracle, RvWorkload};
+//! use trace_isa::TraceSource;
+//!
+//! let src = "  li a0, 40\n  addi a0, a0, 2\n  ecall\n";
+//! let w = RvWorkload::new("rv:answer", "answer.s", src).unwrap();
+//! assert_eq!(w.record.state.regs[10], 42);
+//! let mut trace = w.trace();
+//! let op = trace.next_op(); // retired instruction stream, cycling
+//! assert!(op.is_well_formed());
+//! ArchOracle::verify(&w).unwrap();
+//! ```
+
+pub mod asm;
+pub mod emu;
+pub mod isa;
+pub mod trace;
+
+pub use asm::{assemble, reg_number, AsmError, Image, DATA_BASE, MEM_SIZE, TEXT_BASE};
+pub use emu::{ArchState, EmuError, Emulator, ExecRecord, Halt, DEFAULT_STEP_CAP};
+pub use isa::{decode, encode, DecodeError, Instr, MNEMONICS};
+pub use trace::{
+    gen_program, ArchOracle, OracleMismatch, OracleReport, RvError, RvProgram, RvTrace, RvWorkload,
+};

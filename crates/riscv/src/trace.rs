@@ -1,0 +1,451 @@
+//! Real-program trace sources and the architectural oracle.
+//!
+//! [`RvProgram`] couples a program's source with its assembled image;
+//! [`RvWorkload`] additionally pins the emulator's execution (the retired
+//! op stream and final [`crate::ArchState`]). [`RvTrace`] then replays that
+//! stream cyclically — the `TraceSource` contract is an infinite stream,
+//! exactly as `.strc` replays already wrap — so a real program can feed a
+//! simulation of any length.
+//!
+//! [`ArchOracle`] is the timing-independent correctness check: it
+//! re-executes the program on a fresh emulator and asserts the op stream
+//! and final architectural state (registers + memory digest) are
+//! identical to what the workload committed to. Any divergence means the
+//! frontend is not deterministic — a bug no forwarding-equivalence check
+//! would see.
+
+use std::fmt;
+use std::sync::Arc;
+
+use trace_isa::{fingerprint128, MicroOp, TraceSource};
+
+use crate::asm::{assemble, AsmError, Image};
+use crate::emu::{EmuError, Emulator, ExecRecord, DEFAULT_STEP_CAP};
+
+/// Anything that can go wrong turning source text into a workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RvError {
+    /// The assembler rejected the source.
+    Asm(AsmError),
+    /// The program left the emulator's contract at runtime.
+    Emu(EmuError),
+}
+
+impl fmt::Display for RvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RvError::Asm(e) => write!(f, "{e}"),
+            RvError::Emu(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RvError {}
+
+impl From<AsmError> for RvError {
+    fn from(e: AsmError) -> Self {
+        RvError::Asm(e)
+    }
+}
+
+impl From<EmuError> for RvError {
+    fn from(e: EmuError) -> Self {
+        RvError::Emu(e)
+    }
+}
+
+/// An assembled RV32 program: name, source text, image.
+#[derive(Debug, Clone)]
+pub struct RvProgram {
+    /// Display name (also the workload name, e.g. `rv:quicksort`).
+    pub name: String,
+    /// The assembly source.
+    pub source: String,
+    /// The assembled image.
+    pub image: Image,
+}
+
+impl RvProgram {
+    /// Assemble `source` (diagnostics blame `file`).
+    pub fn assemble(name: &str, file: &str, source: &str) -> Result<Self, AsmError> {
+        Ok(RvProgram {
+            name: name.to_string(),
+            source: source.to_string(),
+            image: assemble(file, source)?,
+        })
+    }
+
+    /// Content digest of the assembled image (text + data bytes). This is
+    /// what workload cache ids pin: editing the program changes the
+    /// digest, renaming it does not.
+    pub fn digest(&self) -> u128 {
+        let mut bytes = Vec::with_capacity(4 * self.image.text.len() + self.image.data.len() + 8);
+        for w in &self.image.text {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        bytes.extend_from_slice(&(self.image.data.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&self.image.data);
+        fingerprint128(&bytes)
+    }
+
+    /// Execute on a fresh emulator up to `cap` retired instructions.
+    pub fn execute(&self, cap: u64) -> Result<ExecRecord, EmuError> {
+        Emulator::new(&self.image)?.run_to_halt(cap)
+    }
+}
+
+/// A program plus its pinned execution: the unit the workload registry
+/// hands to sessions, sweeps, the fuzzer and the store.
+#[derive(Debug, Clone)]
+pub struct RvWorkload {
+    /// The program.
+    pub program: RvProgram,
+    /// The committed execution (op stream + final state).
+    pub record: Arc<ExecRecord>,
+}
+
+impl RvWorkload {
+    /// Assemble and execute `source`, committing the resulting stream.
+    pub fn new(name: &str, file: &str, source: &str) -> Result<Self, RvError> {
+        let program = RvProgram::assemble(name, file, source)?;
+        let record = Arc::new(program.execute(DEFAULT_STEP_CAP)?);
+        Ok(RvWorkload { program, record })
+    }
+
+    /// The workload/display name.
+    pub fn name(&self) -> &str {
+        &self.program.name
+    }
+
+    /// Instructions retired in one pass of the program (the trace period).
+    pub fn period(&self) -> u64 {
+        self.record.state.retired
+    }
+
+    /// The cyclic trace source over the committed op stream.
+    pub fn trace(&self) -> RvTrace {
+        RvTrace {
+            name: self.program.name.clone(),
+            rec: Arc::clone(&self.record),
+            pos: 0,
+        }
+    }
+
+    /// The op the committed stream yields at position `i` (cyclic).
+    pub fn expected_op(&self, i: u64) -> MicroOp {
+        let ops = &self.record.ops;
+        ops[(i % ops.len() as u64) as usize]
+    }
+}
+
+/// Cyclic [`TraceSource`] over a committed real-program op stream.
+#[derive(Debug, Clone)]
+pub struct RvTrace {
+    name: String,
+    rec: Arc<ExecRecord>,
+    pos: usize,
+}
+
+impl TraceSource for RvTrace {
+    fn next_op(&mut self) -> MicroOp {
+        let op = self.rec.ops[self.pos];
+        self.pos += 1;
+        if self.pos == self.rec.ops.len() {
+            self.pos = 0;
+        }
+        op
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A successful oracle verification, for reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleReport {
+    /// Instructions retired per program pass.
+    pub retired: u64,
+    /// Digest of the committed op stream.
+    pub ops_digest: u128,
+    /// Digest of the final memory image.
+    pub mem_digest: u128,
+}
+
+impl fmt::Display for OracleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "arch-oracle ok: {} retired/pass, ops {:08x}, mem {:08x}",
+            self.retired,
+            (self.ops_digest >> 96) as u32,
+            (self.mem_digest >> 96) as u32
+        )
+    }
+}
+
+/// The oracle failed: the re-execution diverged from the committed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleMismatch(pub String);
+
+impl fmt::Display for OracleMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "arch-oracle mismatch: {}", self.0)
+    }
+}
+
+impl std::error::Error for OracleMismatch {}
+
+/// The architectural oracle: independent re-execution of a workload's
+/// program, checked against its committed record.
+pub struct ArchOracle;
+
+impl ArchOracle {
+    /// Re-execute `w`'s program on a fresh emulator and compare the op
+    /// stream and final architectural state against the committed record.
+    pub fn verify(w: &RvWorkload) -> Result<OracleReport, OracleMismatch> {
+        let fresh = w
+            .program
+            .execute(DEFAULT_STEP_CAP)
+            .map_err(|e| OracleMismatch(format!("re-execution failed: {e}")))?;
+        let committed = &*w.record;
+        if fresh.state.retired != committed.state.retired {
+            return Err(OracleMismatch(format!(
+                "retired {} vs committed {}",
+                fresh.state.retired, committed.state.retired
+            )));
+        }
+        if fresh.ops != committed.ops {
+            let at = fresh
+                .ops
+                .iter()
+                .zip(&committed.ops)
+                .position(|(a, b)| a != b)
+                .unwrap_or(fresh.ops.len().min(committed.ops.len()));
+            return Err(OracleMismatch(format!("op stream diverges at index {at}")));
+        }
+        if fresh.state.regs != committed.state.regs {
+            let r = (0..32)
+                .find(|&r| fresh.state.regs[r] != committed.state.regs[r])
+                .unwrap_or(0);
+            return Err(OracleMismatch(format!(
+                "x{r} = {:#010x} vs committed {:#010x}",
+                fresh.state.regs[r], committed.state.regs[r]
+            )));
+        }
+        if fresh.state.mem_digest != committed.state.mem_digest {
+            return Err(OracleMismatch(format!(
+                "memory digest {:032x} vs committed {:032x}",
+                fresh.state.mem_digest, committed.state.mem_digest
+            )));
+        }
+        if fresh.halt != committed.halt {
+            return Err(OracleMismatch(format!(
+                "halt {:?} vs committed {:?}",
+                fresh.halt, committed.halt
+            )));
+        }
+        Ok(OracleReport {
+            retired: committed.state.retired,
+            ops_digest: committed.ops_digest(),
+            mem_digest: committed.state.mem_digest,
+        })
+    }
+
+    /// Check that `stream` (a freshly built trace for `w`) yields exactly
+    /// the committed op sequence for its first `n` ops — the prefix a
+    /// finished session consumed.
+    pub fn verify_stream_prefix(
+        w: &RvWorkload,
+        stream: &mut dyn TraceSource,
+        n: u64,
+    ) -> Result<(), OracleMismatch> {
+        for i in 0..n {
+            let got = stream.next_op();
+            let want = w.expected_op(i);
+            if got != want {
+                return Err(OracleMismatch(format!(
+                    "trace op {i} = {got:?}, committed stream has {want:?}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic straight-line RV32IM program generator for fuzzing and
+/// property tests.
+///
+/// The output always assembles and always halts: it is a linear sequence
+/// of register/memory ops over a private scratch buffer with an `ecall`
+/// at the end. "Branches" are included but always target the next
+/// instruction, so control flow stays linear while the branch classes
+/// still exercise the pipeline. Same `(seed, n_ops)` → same source text.
+pub fn gen_program(seed: u64, n_ops: usize) -> String {
+    let mut rng = Splitmix(seed);
+    let mut out = String::with_capacity(32 * n_ops + 256);
+    out.push_str("# generated straight-line RV32IM program\n");
+    out.push_str(".data\nscratch: .space 256\n.text\n");
+    out.push_str("  la x28, scratch\n");
+    for r in 1..8 {
+        out.push_str(&format!("  li x{r}, {}\n", rng.next() as u32 as i64));
+    }
+    for _ in 0..n_ops {
+        let rd = 1 + (rng.next() % 15) as u8;
+        let rs1 = (rng.next() % 16) as u8; // x0..x15
+        let rs2 = (rng.next() % 16) as u8;
+        match rng.next() % 12 {
+            0..=2 => {
+                const OPS: [&str; 10] = [
+                    "add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and",
+                ];
+                let op = OPS[(rng.next() % 10) as usize];
+                out.push_str(&format!("  {op} x{rd}, x{rs1}, x{rs2}\n"));
+            }
+            3 | 4 => {
+                const OPS: [&str; 6] = ["addi", "slti", "sltiu", "xori", "ori", "andi"];
+                let op = OPS[(rng.next() % 6) as usize];
+                let imm = (rng.next() % 4096) as i64 - 2048;
+                out.push_str(&format!("  {op} x{rd}, x{rs1}, {imm}\n"));
+            }
+            5 => {
+                const OPS: [&str; 3] = ["slli", "srli", "srai"];
+                let op = OPS[(rng.next() % 3) as usize];
+                out.push_str(&format!("  {op} x{rd}, x{rs1}, {}\n", rng.next() % 32));
+            }
+            6 => {
+                const OPS: [&str; 4] = ["mul", "mulh", "mulhsu", "mulhu"];
+                let op = OPS[(rng.next() % 4) as usize];
+                out.push_str(&format!("  {op} x{rd}, x{rs1}, x{rs2}\n"));
+            }
+            7 => {
+                const OPS: [&str; 4] = ["div", "divu", "rem", "remu"];
+                let op = OPS[(rng.next() % 4) as usize];
+                out.push_str(&format!("  {op} x{rd}, x{rs1}, x{rs2}\n"));
+            }
+            8 => {
+                const OPS: [(&str, u32); 5] =
+                    [("lw", 4), ("lh", 2), ("lhu", 2), ("lb", 1), ("lbu", 1)];
+                let (op, size) = OPS[(rng.next() % 5) as usize];
+                let off = (rng.next() % (256 / size as u64)) as u32 * size;
+                out.push_str(&format!("  {op} x{rd}, {off}(x28)\n"));
+            }
+            9 => {
+                const OPS: [(&str, u32); 3] = [("sw", 4), ("sh", 2), ("sb", 1)];
+                let (op, size) = OPS[(rng.next() % 3) as usize];
+                let off = (rng.next() % (256 / size as u64)) as u32 * size;
+                out.push_str(&format!("  {op} x{rd}, {off}(x28)\n"));
+            }
+            10 => {
+                // A branch to the next instruction: taken or not, control
+                // flow continues linearly.
+                const OPS: [&str; 4] = ["beq", "bne", "blt", "bgeu"];
+                let op = OPS[(rng.next() % 4) as usize];
+                out.push_str(&format!("  {op} x{rs1}, x{rs2}, 4\n"));
+            }
+            _ => {
+                if rng.next().is_multiple_of(2) {
+                    out.push_str(&format!("  lui x{rd}, {}\n", rng.next() % (1 << 20)));
+                } else {
+                    // Jump to the next instruction (an unconditional
+                    // branch op in the trace).
+                    out.push_str(&format!("  jal x{rd}, 4\n"));
+                }
+            }
+        }
+    }
+    // Fold a result into a0 so the program's outcome depends on the body.
+    out.push_str("  xor x10, x1, x2\n  add x10, x10, x3\n  ecall\n");
+    out
+}
+
+/// Splitmix64 — the repo's stock seeding PRNG, self-contained so this
+/// crate stays dependency-free.
+struct Splitmix(u64);
+
+impl Splitmix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str =
+        "  li t0, 5\nloop:\n  addi t0, t0, -1\n  bnez t0, loop\n  li a0, 99\n  ecall\n";
+
+    #[test]
+    fn workload_trace_cycles_the_committed_stream() {
+        let w = RvWorkload::new("rv:mini", "mini.s", MINI).unwrap();
+        let period = w.period();
+        assert!(period > 5);
+        let mut t = w.trace();
+        assert_eq!(t.name(), "rv:mini");
+        let first: Vec<MicroOp> = (0..period).map(|_| t.next_op()).collect();
+        let second: Vec<MicroOp> = (0..period).map(|_| t.next_op()).collect();
+        assert_eq!(first, second, "trace cycles with the program's period");
+        assert_eq!(first[0], w.expected_op(0));
+        assert_eq!(w.record.state.regs[10], 99);
+    }
+
+    #[test]
+    fn oracle_accepts_the_committed_record() {
+        let w = RvWorkload::new("rv:mini", "mini.s", MINI).unwrap();
+        let report = ArchOracle::verify(&w).unwrap();
+        assert_eq!(report.retired, w.period());
+        assert_eq!(report.ops_digest, w.record.ops_digest());
+        let mut t = w.trace();
+        ArchOracle::verify_stream_prefix(&w, &mut t, 3 * w.period() + 7).unwrap();
+    }
+
+    #[test]
+    fn oracle_rejects_a_tampered_record() {
+        let mut w = RvWorkload::new("rv:mini", "mini.s", MINI).unwrap();
+        let mut rec = (*w.record).clone();
+        rec.state.regs[10] ^= 1;
+        w.record = Arc::new(rec);
+        let e = ArchOracle::verify(&w).unwrap_err();
+        assert!(e.to_string().contains("x10"), "{e}");
+
+        let mut w2 = RvWorkload::new("rv:mini", "mini.s", MINI).unwrap();
+        let mut rec = (*w2.record).clone();
+        rec.ops[0].deps = [7, 7];
+        w2.record = Arc::new(rec);
+        let e = ArchOracle::verify(&w2).unwrap_err();
+        assert!(e.to_string().contains("index 0"), "{e}");
+    }
+
+    #[test]
+    fn digest_pins_program_bytes() {
+        let a = RvProgram::assemble("p", "p.s", MINI).unwrap();
+        let b = RvProgram::assemble("q", "q.s", MINI).unwrap();
+        assert_eq!(a.digest(), b.digest(), "renames do not change the digest");
+        let c = RvProgram::assemble(
+            "p",
+            "p.s",
+            "  li t0, 6\nloop:\n  addi t0, t0, -1\n  bnez t0, loop\n  li a0, 99\n  ecall\n",
+        )
+        .unwrap();
+        assert_ne!(a.digest(), c.digest(), "edits change the digest");
+    }
+
+    #[test]
+    fn generated_programs_assemble_run_and_are_deterministic() {
+        for seed in 0..24u64 {
+            let src = gen_program(seed, 120);
+            assert_eq!(src, gen_program(seed, 120));
+            let w = RvWorkload::new("rv:gen", "gen.s", &src)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(w.period() > 120);
+            assert!(w.record.ops.iter().all(|o| o.is_well_formed()));
+            ArchOracle::verify(&w).unwrap();
+        }
+        assert_ne!(gen_program(1, 50), gen_program(2, 50));
+    }
+}

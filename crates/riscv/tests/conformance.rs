@@ -1,0 +1,110 @@
+//! Per-opcode golden conformance corpus.
+//!
+//! `tests/corpus/` holds one `.s` fixture per RV32I(M) mnemonic plus a
+//! committed `.expect` rendering of the post-execution architectural
+//! state (retired count, halt kind, every nonzero register, memory
+//! digest). The test assembles and emulates each fixture and compares
+//! the rendering **byte for byte** — any semantic drift in the
+//! assembler or emulator shows up as a one-opcode diff.
+//!
+//! Bless new expectations after an intentional change with
+//! `UPDATE_EXPECT=1 cargo test -p rv-front --test conformance`.
+
+use std::path::{Path, PathBuf};
+
+use rv_front::{assemble, decode, Emulator, ExecRecord, DEFAULT_STEP_CAP, MNEMONICS};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+/// Canonical text rendering of a finished execution. Deliberately
+/// exhaustive over visible state: registers and the memory digest pin
+/// values, the retired count pins control flow.
+fn render(rec: &ExecRecord) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("retired: {}\n", rec.state.retired));
+    out.push_str(&format!("halt: {:?}\n", rec.halt));
+    for (i, &v) in rec.state.regs.iter().enumerate() {
+        if v != 0 {
+            out.push_str(&format!("x{i} = {v:#010x}\n"));
+        }
+    }
+    out.push_str(&format!("mem: {:032x}\n", rec.state.mem_digest));
+    out
+}
+
+fn run_fixture(mnemonic: &str) -> (String, ExecRecord) {
+    let path = corpus_dir().join(format!("{mnemonic}.s"));
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    let file = format!("corpus/{mnemonic}.s");
+    let image = assemble(&file, &source).unwrap_or_else(|e| panic!("{e}"));
+    // The fixture must actually emit the opcode it is named after
+    // (post-expansion: pseudo-instructions don't count as coverage).
+    assert!(
+        image
+            .text
+            .iter()
+            .any(|&w| decode(w).expect("assembled words decode").mnemonic() == mnemonic),
+        "{file} never emits `{mnemonic}`"
+    );
+    let emu = Emulator::new(&image).unwrap_or_else(|e| panic!("{file}: {e}"));
+    let rec = emu
+        .run_to_halt(DEFAULT_STEP_CAP)
+        .unwrap_or_else(|e| panic!("{file}: {e}"));
+    (render(&rec), rec)
+}
+
+#[test]
+fn every_mnemonic_has_a_fixture_and_no_strays() {
+    let mut found: Vec<String> = std::fs::read_dir(corpus_dir())
+        .expect("corpus directory exists")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter_map(|n| n.strip_suffix(".s").map(str::to_string))
+        .collect();
+    found.sort();
+    let mut want: Vec<String> = MNEMONICS.iter().map(|m| m.to_string()).collect();
+    want.sort();
+    assert_eq!(found, want, "corpus must cover exactly the 48 mnemonics");
+}
+
+#[test]
+fn golden_fixtures_match_byte_for_byte() {
+    let bless = std::env::var_os("UPDATE_EXPECT").is_some();
+    let mut diffs = Vec::new();
+    for mnemonic in MNEMONICS {
+        let (got, _) = run_fixture(mnemonic);
+        let expect_path = corpus_dir().join(format!("{mnemonic}.expect"));
+        if bless {
+            std::fs::write(&expect_path, &got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&expect_path).unwrap_or_else(|e| {
+            panic!(
+                "missing {} (bless with UPDATE_EXPECT=1): {e}",
+                expect_path.display()
+            )
+        });
+        if got != want {
+            diffs.push(format!(
+                "corpus/{mnemonic}.expect drifted:\n--- committed\n{want}\n--- produced\n{got}"
+            ));
+        }
+    }
+    assert!(bless || diffs.is_empty(), "{}", diffs.join("\n"));
+}
+
+#[test]
+fn fixtures_never_poison_their_witness_registers() {
+    // Control-flow fixtures write 0xbad into x10 on the path a correct
+    // branch/jump skips; seeing it in any fixture means the emulator
+    // took a wrong edge even if the .expect was blessed over it.
+    for mnemonic in MNEMONICS {
+        let (_, rec) = run_fixture(mnemonic);
+        assert!(
+            rec.state.regs.iter().all(|&v| v != 0xbad),
+            "{mnemonic}: a skipped-path poison value leaked into the register file"
+        );
+    }
+}

@@ -1,0 +1,8 @@
+# add: wrapping signed add
+main:
+  li   x1, 7
+  li   x2, -3
+  add  x3, x1, x2
+  add  x4, x2, x1
+  add  x5, x1, x1
+  ecall

@@ -1,0 +1,7 @@
+# addi: signed immediate add, both signs
+main:
+  li   x1, 100
+  addi  x3, x1, -3
+  addi  x4, x1, 2047
+  addi  x5, x3, -3
+  ecall

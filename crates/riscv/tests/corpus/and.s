@@ -1,0 +1,8 @@
+# and: bitwise and
+main:
+  li   x1, 4080
+  li   x2, 255
+  and  x3, x1, x2
+  and  x4, x2, x1
+  and  x5, x1, x1
+  ecall

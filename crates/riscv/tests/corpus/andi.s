@@ -1,0 +1,7 @@
+# andi: and masks low bits
+main:
+  li   x1, 2047
+  andi  x3, x1, 240
+  andi  x4, x1, -16
+  andi  x5, x3, 240
+  ecall

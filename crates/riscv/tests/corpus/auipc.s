@@ -1,0 +1,6 @@
+# auipc: pc-relative upper immediates at known addresses
+main:
+  auipc x1, 0
+  auipc x2, 1
+  auipc x3, 0xfffff
+  ecall

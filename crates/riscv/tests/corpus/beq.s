@@ -1,0 +1,14 @@
+# beq: equality — first taken, second not
+main:
+  li   x10, 0
+  li   x1, 5
+  li   x2, 5
+  beq  x1, x2, over
+  li   x10, 0xbad
+over:
+  li   x3, 5
+  li   x4, 6
+  beq  x3, x4, skip
+  addi x10, x10, 5
+skip:
+  ecall

@@ -1,0 +1,14 @@
+# bgeu: unsigned greater-or-equal — first taken, second not
+main:
+  li   x10, 0
+  li   x1, -2
+  li   x2, 1
+  bgeu x1, x2, over
+  li   x10, 0xbad
+over:
+  li   x3, 1
+  li   x4, -2
+  bgeu x3, x4, skip
+  addi x10, x10, 5
+skip:
+  ecall

@@ -1,0 +1,14 @@
+# blt: signed less-than — first taken, second not
+main:
+  li   x10, 0
+  li   x1, -2
+  li   x2, 1
+  blt  x1, x2, over
+  li   x10, 0xbad
+over:
+  li   x3, 1
+  li   x4, -2
+  blt  x3, x4, skip
+  addi x10, x10, 5
+skip:
+  ecall

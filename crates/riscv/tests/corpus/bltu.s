@@ -1,0 +1,14 @@
+# bltu: unsigned less-than (-2 is huge) — first taken, second not
+main:
+  li   x10, 0
+  li   x1, 1
+  li   x2, -2
+  bltu x1, x2, over
+  li   x10, 0xbad
+over:
+  li   x3, -2
+  li   x4, 1
+  bltu x3, x4, skip
+  addi x10, x10, 5
+skip:
+  ecall

@@ -1,0 +1,14 @@
+# bne: inequality — first taken, second not
+main:
+  li   x10, 0
+  li   x1, 5
+  li   x2, 6
+  bne  x1, x2, over
+  li   x10, 0xbad
+over:
+  li   x3, 7
+  li   x4, 7
+  bne  x3, x4, skip
+  addi x10, x10, 5
+skip:
+  ecall

@@ -1,0 +1,11 @@
+# div: truncating signed division and its two edge cases
+main:
+  li   x1, -20
+  li   x2, 3
+  div  x3, x1, x2
+  li   x4, 0
+  div  x5, x1, x4
+  li   x6, -2147483648
+  li   x7, -1
+  div  x8, x6, x7
+  ecall

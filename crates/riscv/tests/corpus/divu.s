@@ -1,0 +1,8 @@
+# divu: unsigned division; division by zero yields all-ones
+main:
+  li   x1, -20
+  li   x2, 3
+  divu x3, x1, x2
+  li   x4, 0
+  divu x5, x1, x4
+  ecall

@@ -1,0 +1,4 @@
+# ebreak: halts like ecall but reports Ebreak
+main:
+  li   x1, 9
+  ebreak

@@ -1,0 +1,4 @@
+# ecall: the halt convention, a0 carries the result
+main:
+  li   a0, 42
+  ecall

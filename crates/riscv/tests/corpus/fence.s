@@ -1,0 +1,6 @@
+# fence: an ordering no-op in the single-hart emulator
+main:
+  li    x1, 11
+  fence
+  addi  x1, x1, 1
+  ecall

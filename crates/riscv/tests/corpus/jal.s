@@ -1,0 +1,9 @@
+# jal: forward jump skips the poison, link register holds pc+4
+main:
+  li   x10, 7
+  jal  x1, over
+  li   x10, 0xbad
+over:
+  jal  x2, next
+next:
+  ecall

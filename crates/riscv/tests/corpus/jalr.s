@@ -1,0 +1,13 @@
+# jalr: register-indirect jumps, with and without an offset
+main:
+  li   x10, 3
+  la   x1, over
+  jalr x2, x1, 0
+  li   x10, 0xbad
+over:
+  la   x3, next
+  addi x3, x3, -4
+  jalr x4, x3, 4
+  li   x10, 0xbad
+next:
+  ecall

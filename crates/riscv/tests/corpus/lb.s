@@ -1,0 +1,11 @@
+# lb: signed byte loads from a known word
+.data
+buf: .word 0x80ff7f01
+.text
+main:
+  la   x5, buf
+  lb   x1, 0(x5)
+  lb   x2, 1(x5)
+  lb   x3, 2(x5)
+  lb   x4, 3(x5)
+  ecall

@@ -1,0 +1,11 @@
+# lbu: zero-extended byte loads from the same pattern as lb
+.data
+buf: .word 0x80ff7f01
+.text
+main:
+  la   x5, buf
+  lbu  x1, 0(x5)
+  lbu  x2, 1(x5)
+  lbu  x3, 2(x5)
+  lbu  x4, 3(x5)
+  ecall

@@ -1,0 +1,9 @@
+# lh: signed halfword loads, low and high half
+.data
+buf: .word 0x80017fff
+.text
+main:
+  la   x5, buf
+  lh   x1, 0(x5)
+  lh   x2, 2(x5)
+  ecall

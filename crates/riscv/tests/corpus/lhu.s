@@ -1,0 +1,9 @@
+# lhu: zero-extended halfword loads
+.data
+buf: .word 0x80017fff
+.text
+main:
+  la   x5, buf
+  lhu  x1, 0(x5)
+  lhu  x2, 2(x5)
+  ecall

@@ -1,0 +1,6 @@
+# lui: upper-immediate load, including the sign-heavy top page
+main:
+  lui  x1, 1
+  lui  x2, 0x12345
+  lui  x3, 0xfffff
+  ecall

@@ -1,0 +1,9 @@
+# lw: word loads at different offsets
+.data
+buf: .word 0xdeadbeef, 17
+.text
+main:
+  la   x5, buf
+  lw   x1, 0(x5)
+  lw   x2, 4(x5)
+  ecall

@@ -1,0 +1,8 @@
+# mul: low 32 bits of the product wrap
+main:
+  li   x1, 100000
+  li   x2, 100000
+  mul  x3, x1, x2
+  mul  x4, x2, x1
+  mul  x5, x1, x1
+  ecall

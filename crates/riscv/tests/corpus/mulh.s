@@ -1,0 +1,8 @@
+# mulh: high bits, signed x signed
+main:
+  li   x1, -3
+  li   x2, 100000
+  mulh x3, x1, x2
+  mulh x4, x2, x1
+  mulh x5, x1, x1
+  ecall

@@ -1,0 +1,8 @@
+# mulhsu: high bits, signed rs1 x unsigned rs2
+main:
+  li   x1, -3
+  li   x2, -5
+  mulhsu x3, x1, x2
+  mulhsu x4, x2, x1
+  mulhsu x5, x1, x1
+  ecall

@@ -1,0 +1,8 @@
+# mulhu: high bits, unsigned x unsigned
+main:
+  li   x1, -3
+  li   x2, -5
+  mulhu x3, x1, x2
+  mulhu x4, x2, x1
+  mulhu x5, x1, x1
+  ecall

@@ -1,0 +1,8 @@
+# or: bitwise or
+main:
+  li   x1, 240
+  li   x2, 3840
+  or   x3, x1, x2
+  or   x4, x2, x1
+  or   x5, x1, x1
+  ecall

@@ -1,0 +1,7 @@
+# ori: or with a negative immediate
+main:
+  li   x1, 1792
+  ori   x3, x1, 255
+  ori   x4, x1, -2048
+  ori   x5, x3, 255
+  ecall

@@ -1,0 +1,11 @@
+# rem: signed remainder and its two edge cases
+main:
+  li   x1, -20
+  li   x2, 3
+  rem  x3, x1, x2
+  li   x4, 0
+  rem  x5, x1, x4
+  li   x6, -2147483648
+  li   x7, -1
+  rem  x8, x6, x7
+  ecall

@@ -1,0 +1,8 @@
+# remu: unsigned remainder; remainder by zero yields the dividend
+main:
+  li   x1, -20
+  li   x2, 3
+  remu x3, x1, x2
+  li   x4, 0
+  remu x5, x1, x4
+  ecall

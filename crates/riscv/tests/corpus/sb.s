@@ -1,0 +1,11 @@
+# sb: byte stores only touch their byte
+.data
+buf: .word 0xffffffff
+.text
+main:
+  la   x5, buf
+  li   x6, 0x12
+  sb   x6, 0(x5)
+  sb   x6, 2(x5)
+  lw   x1, 0(x5)
+  ecall

@@ -1,0 +1,12 @@
+# sh: halfword stores only touch their half
+.data
+buf: .word 0xffffffff
+.text
+main:
+  la   x5, buf
+  li   x6, 0x1234
+  sh   x6, 0(x5)
+  lw   x1, 0(x5)
+  sh   x6, 2(x5)
+  lw   x2, 0(x5)
+  ecall

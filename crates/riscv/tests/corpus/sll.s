@@ -1,0 +1,8 @@
+# sll: shift amount is rs2 mod 32
+main:
+  li   x1, 9
+  li   x2, 33
+  sll  x3, x1, x2
+  sll  x4, x2, x1
+  sll  x5, x1, x1
+  ecall

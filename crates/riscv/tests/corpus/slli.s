@@ -1,0 +1,7 @@
+# slli: left shifts up to 31
+main:
+  li   x1, 291
+  slli  x3, x1, 4
+  slli  x4, x1, 31
+  slli  x5, x3, 4
+  ecall

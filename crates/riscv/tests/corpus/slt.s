@@ -1,0 +1,8 @@
+# slt: signed set-less-than
+main:
+  li   x1, -2
+  li   x2, 1
+  slt  x3, x1, x2
+  slt  x4, x2, x1
+  slt  x5, x1, x1
+  ecall

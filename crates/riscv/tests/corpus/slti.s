@@ -1,0 +1,7 @@
+# slti: signed set-less-than-immediate
+main:
+  li   x1, -5
+  slti  x3, x1, -4
+  slti  x4, x1, -6
+  slti  x5, x3, -4
+  ecall

@@ -1,0 +1,7 @@
+# sltiu: unsigned comparison (-1 is huge)
+main:
+  li   x1, 3
+  sltiu x3, x1, -1
+  sltiu x4, x1, 2
+  sltiu x5, x3, -1
+  ecall

@@ -1,0 +1,8 @@
+# sltu: unsigned set-less-than
+main:
+  li   x1, -2
+  li   x2, 1
+  sltu x3, x1, x2
+  sltu x4, x2, x1
+  sltu x5, x1, x1
+  ecall

@@ -1,0 +1,8 @@
+# sra: arithmetic right shift of a negative
+main:
+  li   x1, -64
+  li   x2, 2
+  sra  x3, x1, x2
+  sra  x4, x2, x1
+  sra  x5, x1, x1
+  ecall

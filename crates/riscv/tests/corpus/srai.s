@@ -1,0 +1,7 @@
+# srai: arithmetic right shift keeps the sign
+main:
+  li   x1, -16
+  srai  x3, x1, 1
+  srai  x4, x1, 31
+  srai  x5, x3, 1
+  ecall

@@ -1,0 +1,8 @@
+# srl: logical right shift of a negative
+main:
+  li   x1, -64
+  li   x2, 2
+  srl  x3, x1, x2
+  srl  x4, x2, x1
+  srl  x5, x1, x1
+  ecall

@@ -1,0 +1,7 @@
+# srli: logical right shift pulls in zeros
+main:
+  li   x1, -16
+  srli  x3, x1, 1
+  srli  x4, x1, 31
+  srli  x5, x3, 1
+  ecall

@@ -1,0 +1,8 @@
+# sub: subtract, both orders
+main:
+  li   x1, 3
+  li   x2, 10
+  sub  x3, x1, x2
+  sub  x4, x2, x1
+  sub  x5, x1, x1
+  ecall

@@ -1,0 +1,12 @@
+# sw: word stores land byte-exact, little-endian
+.data
+buf: .space 8
+.text
+main:
+  la   x5, buf
+  li   x6, 0x12345678
+  sw   x6, 0(x5)
+  sw   x6, 4(x5)
+  lw   x1, 0(x5)
+  lbu  x2, 4(x5)
+  ecall

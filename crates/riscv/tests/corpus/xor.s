@@ -1,0 +1,8 @@
+# xor: bitwise xor
+main:
+  li   x1, 255
+  li   x2, 3855
+  xor  x3, x1, x2
+  xor  x4, x2, x1
+  xor  x5, x1, x1
+  ecall

@@ -1,0 +1,7 @@
+# xori: xor with -1 is bitwise not
+main:
+  li   x1, 240
+  xori  x3, x1, 255
+  xori  x4, x1, -1
+  xori  x5, x3, 255
+  ecall

@@ -34,10 +34,12 @@
 
 pub mod adversarial;
 pub mod gen;
+pub mod rv;
 pub mod spec;
 pub mod workload;
 
 pub use adversarial::{AdversarialSpec, ADVERSARIAL_PACK};
 pub use gen::SpecTrace;
+pub use rv::{rv_by_name, rv_pack, RV_PROGRAM_NAMES};
 pub use spec::{all_benchmarks, by_name, WorkloadSpec, ALL_BENCHMARKS};
 pub use workload::{all_workloads, find_workload, workload_names, UnknownWorkload, Workload};

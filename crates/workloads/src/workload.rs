@@ -37,8 +37,11 @@ use std::sync::Arc;
 use trace_isa::strc::{RecordedTrace, StrcError};
 use trace_isa::TraceSource;
 
+use rv_front::RvWorkload;
+
 use crate::adversarial::{AdversarialSpec, ADVERSARIAL_PACK};
 use crate::gen::SpecTrace;
+use crate::rv::{rv_by_name, rv_pack, RV_PROGRAM_NAMES};
 use crate::spec::{WorkloadSpec, ALL_BENCHMARKS};
 
 /// A named workload: anything that can produce the deterministic, endless
@@ -54,6 +57,10 @@ pub enum Workload {
     /// A recorded `.strc` trace, replayed cyclically (the trace seed is
     /// ignored — the recording pinned the stream).
     Replay(Arc<RecordedTrace>),
+    /// A real RV32I(M) program executed by the `rv-front` emulator; the
+    /// committed retired-op stream replays cyclically (seed ignored) and
+    /// the final architectural state backs the `ArchOracle`.
+    Rv(Arc<RvWorkload>),
 }
 
 impl Workload {
@@ -67,6 +74,13 @@ impl Workload {
         Workload::Replay(Arc::new(rec))
     }
 
+    /// Assemble + execute RV32 assembly source as a workload (fuzzer
+    /// mutants, `samie-exp rv run path.s`). Errors are the assembler's or
+    /// emulator's single-line diagnostics.
+    pub fn rv_source(name: &str, file: &str, source: &str) -> Result<Self, rv_front::RvError> {
+        Ok(Workload::Rv(Arc::new(RvWorkload::new(name, file, source)?)))
+    }
+
     /// The workload's display name (stamped into reports and CSV rows).
     pub fn name(&self) -> &str {
         match self {
@@ -74,6 +88,7 @@ impl Workload {
             Workload::Owned(s) => s.name,
             Workload::Adversarial(a) => a.name,
             Workload::Replay(r) => r.name(),
+            Workload::Rv(w) => w.name(),
         }
     }
 
@@ -82,6 +97,15 @@ impl Workload {
         match self {
             Workload::Spec(s) => Some(s),
             Workload::Owned(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The underlying real-program workload, if this is an `rv:*` one —
+    /// the handle sessions use to run the architectural oracle.
+    pub fn rv(&self) -> Option<&Arc<RvWorkload>> {
+        match self {
+            Workload::Rv(w) => Some(w),
             _ => None,
         }
     }
@@ -106,6 +130,10 @@ impl Workload {
                 format!("adv:{}:{:016x}", a.name, fp64(format!("{:?}", a.kind)))
             }
             Workload::Replay(r) => format!("strc:{:032x}", r.content_digest()),
+            // Pinned by program bytes (text + data image), not by name:
+            // editing a `.s` file invalidates cached points, renaming the
+            // workload does not.
+            Workload::Rv(w) => format!("rv:{:032x}", w.program.digest()),
         }
     }
 
@@ -116,6 +144,7 @@ impl Workload {
             Workload::Owned(s) => Box::new(SpecTrace::new(s, seed)),
             Workload::Adversarial(a) => a.build(seed),
             Workload::Replay(r) => Box::new(trace_isa::FileTrace::from_recorded(Arc::clone(r))),
+            Workload::Rv(w) => Box::new(w.trace()),
         }
     }
 }
@@ -138,13 +167,14 @@ impl From<WorkloadSpec> for Workload {
     }
 }
 
-/// The full named catalog: 26 calibrated benchmarks, then the adversarial
-/// pack, in stable order.
+/// The full named catalog: 26 calibrated benchmarks, the adversarial
+/// pack, then the committed real programs, in stable order.
 pub fn all_workloads() -> Vec<Workload> {
     ALL_BENCHMARKS
         .iter()
         .map(Workload::Spec)
         .chain(ADVERSARIAL_PACK.iter().map(Workload::Adversarial))
+        .chain(rv_pack().iter().map(|w| Workload::Rv(Arc::clone(w))))
         .collect()
 }
 
@@ -154,6 +184,7 @@ pub fn workload_names() -> Vec<&'static str> {
         .iter()
         .map(|s| s.name)
         .chain(ADVERSARIAL_PACK.iter().map(|a| a.name))
+        .chain(RV_PROGRAM_NAMES)
         .collect()
 }
 
@@ -170,6 +201,9 @@ pub fn find_workload(name: &str) -> Result<Workload, UnknownWorkload> {
         .find(|a| a.name.eq_ignore_ascii_case(name))
     {
         return Ok(Workload::Adversarial(a));
+    }
+    if let Some(w) = rv_by_name(name) {
+        return Ok(Workload::Rv(w));
     }
     Err(UnknownWorkload::new(name, &workload_names()))
 }
@@ -253,9 +287,13 @@ mod tests {
     #[test]
     fn catalog_covers_specs_and_adversarial() {
         let names = workload_names();
-        assert_eq!(names.len(), 26 + ADVERSARIAL_PACK.len());
+        assert_eq!(
+            names.len(),
+            26 + ADVERSARIAL_PACK.len() + RV_PROGRAM_NAMES.len()
+        );
         assert!(names.contains(&"gzip"));
         assert!(names.contains(&"alias-storm"));
+        assert!(names.contains(&"rv:quicksort"));
         assert_eq!(all_workloads().len(), names.len());
         // Names are unique across families.
         let set: std::collections::BTreeSet<_> = names.iter().collect();

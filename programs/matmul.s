@@ -1,0 +1,82 @@
+# matmul.s — 12×12 integer matrix multiply.
+#
+# A and B are filled from closed-form rem/mul expressions (so the fill
+# exercises the divider), C = A×B with the classic triple loop, and a0
+# receives a position-weighted checksum of C.
+.data
+A: .space 576                   # 12*12 words
+B: .space 576
+C: .space 576
+
+.text
+main:
+  la   s0, A
+  la   s1, B
+  la   s2, C
+  li   s3, 12                   # N
+  li   s4, 144                  # N*N
+
+  li   t0, 0                    # k
+fill:
+  li   t1, 7                    # A[k] = k % 7 + 1
+  rem  t2, t0, t1
+  addi t2, t2, 1
+  slli t3, t0, 2
+  add  t4, s0, t3
+  sw   t2, 0(t4)
+  li   t1, 3                    # B[k] = (3k) % 11 + 1
+  mul  t2, t0, t1
+  li   t1, 11
+  rem  t2, t2, t1
+  addi t2, t2, 1
+  add  t4, s1, t3
+  sw   t2, 0(t4)
+  addi t0, t0, 1
+  blt  t0, s4, fill
+
+  li   t0, 0                    # i
+iloop:
+  li   t1, 0                    # j
+jloop:
+  li   t2, 0                    # acc
+  li   t3, 0                    # k
+kloop:
+  mul  t4, t0, s3               # A[i*N + k]
+  add  t4, t4, t3
+  slli t4, t4, 2
+  add  t4, s0, t4
+  lw   t5, 0(t4)
+  mul  t4, t3, s3               # B[k*N + j]
+  add  t4, t4, t1
+  slli t4, t4, 2
+  add  t4, s1, t4
+  lw   t6, 0(t4)
+  mul  t5, t5, t6
+  add  t2, t2, t5
+  addi t3, t3, 1
+  blt  t3, s3, kloop
+  mul  t4, t0, s3               # C[i*N + j] = acc
+  add  t4, t4, t1
+  slli t4, t4, 2
+  add  t4, s2, t4
+  sw   t2, 0(t4)
+  addi t1, t1, 1
+  blt  t1, s3, jloop
+  addi t0, t0, 1
+  blt  t0, s3, iloop
+
+  li   t0, 0                    # checksum: sum C[k] * (k % 9 + 1)
+  li   t1, 0
+csum:
+  slli t3, t0, 2
+  add  t3, s2, t3
+  lw   t4, 0(t3)
+  li   t5, 9
+  rem  t5, t0, t5
+  addi t5, t5, 1
+  mul  t4, t4, t5
+  add  t1, t1, t4
+  addi t0, t0, 1
+  blt  t0, s4, csum
+  mv   a0, t1
+  ecall

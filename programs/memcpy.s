@@ -1,0 +1,63 @@
+# memcpy.s — copy/stride microbenchmark.
+#
+# Initialises a 1 KiB source buffer, copies it word-wise to `dst`, then
+# reads dst back in 64-byte strides (16 interleaved passes — a classic
+# bank/line stressor) and finally sweeps it byte-wise at stride 3.
+# a0 accumulates everything read back.
+.data
+src: .space 1024
+dst: .space 1024
+
+.text
+main:
+  la   s0, src
+  la   s1, dst
+  li   s2, 256                  # words
+
+  li   t0, 0                    # src[i] = 37*i + 11
+init:
+  li   t1, 37
+  mul  t1, t0, t1
+  addi t1, t1, 11
+  slli t2, t0, 2
+  add  t3, s0, t2
+  sw   t1, 0(t3)
+  addi t0, t0, 1
+  blt  t0, s2, init
+
+  li   t0, 0                    # dst[i] = src[i]
+copy:
+  slli t2, t0, 2
+  add  t3, s0, t2
+  lw   t4, 0(t3)
+  add  t3, s1, t2
+  sw   t4, 0(t3)
+  addi t0, t0, 1
+  blt  t0, s2, copy
+
+  li   s3, 0                    # pass (start word)
+  li   t5, 0                    # acc
+souter:
+  mv   t0, s3
+sinner:
+  slli t2, t0, 2
+  add  t3, s1, t2
+  lw   t4, 0(t3)
+  add  t5, t5, t4
+  addi t0, t0, 16               # 16 words = 64-byte stride
+  blt  t0, s2, sinner
+  addi s3, s3, 1
+  li   t1, 16
+  blt  s3, t1, souter
+
+  li   t0, 0                    # byte sweep, stride 3
+  li   t6, 1024
+bsweep:
+  add  t3, s1, t0
+  lbu  t4, 0(t3)
+  add  t5, t5, t4
+  addi t0, t0, 3
+  blt  t0, t6, bsweep
+
+  mv   a0, t5
+  ecall

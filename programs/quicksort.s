@@ -1,0 +1,105 @@
+# quicksort.s — recursive quicksort over 64 pseudo-random words.
+#
+# Fills `arr` with an LCG, sorts it with Lomuto-partition quicksort
+# (real call stack, real recursion), then folds a position-weighted
+# checksum of the sorted array into a0 and halts. If the array is not
+# sorted the checksum is poisoned, so a0 witnesses correctness.
+.data
+arr: .space 256                 # 64 words
+
+.text
+main:
+  la   s0, arr
+  li   s1, 64                   # n
+  li   t0, 12345                # LCG state
+  li   t1, 1103515245
+  li   t5, 12345                # LCG increment
+  li   t2, 0                    # i
+fill:
+  mul  t0, t0, t1
+  add  t0, t0, t5
+  srli t3, t0, 17               # keep values positive and small
+  slli t4, t2, 2
+  add  t4, s0, t4
+  sw   t3, 0(t4)
+  addi t2, t2, 1
+  blt  t2, s1, fill
+
+  mv   a0, s0                   # qsort(arr, 0, 63)
+  li   a1, 0
+  li   a2, 63
+  call qsort
+
+  li   t0, 0                    # i
+  li   t1, 0                    # checksum
+  li   t2, 0                    # previous element
+check:
+  slli t3, t0, 2
+  add  t3, s0, t3
+  lw   t4, 0(t3)
+  bgeu t4, t2, sorted
+  li   t1, 0xdead               # poison: order violated
+sorted:
+  mv   t2, t4
+  addi t5, t0, 1
+  mul  t6, t4, t5
+  add  t1, t1, t6
+  addi t0, t0, 1
+  blt  t0, s1, check
+  mv   a0, t1
+  ecall
+
+# qsort(a0 = base, a1 = lo, a2 = hi), Lomuto partition with pivot a[hi].
+qsort:
+  bge  a1, a2, qdone
+  addi sp, sp, -16
+  sw   ra, 12(sp)
+  sw   s2, 8(sp)
+  sw   s3, 4(sp)
+  sw   s4, 0(sp)
+  mv   s2, a1                   # lo
+  mv   s3, a2                   # hi
+
+  slli t0, s3, 2
+  add  t0, a0, t0               # &a[hi]
+  lw   t1, 0(t0)                # pivot
+  mv   t2, s2                   # i
+  mv   t3, s2                   # j
+ploop:
+  bge  t3, s3, pend
+  slli t4, t3, 2
+  add  t4, a0, t4
+  lw   t5, 0(t4)                # a[j]
+  bgt  t5, t1, pskip
+  slli t6, t2, 2
+  add  t6, a0, t6
+  lw   s4, 0(t6)                # swap a[i] <-> a[j]
+  sw   t5, 0(t6)
+  sw   s4, 0(t4)
+  addi t2, t2, 1
+pskip:
+  addi t3, t3, 1
+  j    ploop
+pend:
+  slli t4, t2, 2
+  add  t4, a0, t4
+  lw   t5, 0(t4)                # swap a[i] <-> a[hi]
+  lw   t6, 0(t0)
+  sw   t6, 0(t4)
+  sw   t5, 0(t0)
+  mv   s4, t2                   # p
+
+  mv   a1, s2                   # qsort(base, lo, p-1)
+  addi a2, s4, -1
+  call qsort
+  addi a1, s4, 1                # qsort(base, p+1, hi)
+  mv   a2, s3
+  call qsort
+
+  lw   ra, 12(sp)
+  lw   s2, 8(sp)
+  lw   s3, 4(sp)
+  lw   s4, 0(sp)
+  addi sp, sp, 16
+qdone:
+  ret

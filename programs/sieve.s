@@ -1,0 +1,49 @@
+# sieve.s — sieve of Eratosthenes up to 2048.
+#
+# Byte-per-number composite flags (so the kernel is lbu/sb-heavy), then
+# a counting pass. a0 = (prime count << 16) | (sum of primes & 0xffff).
+.data
+flags: .space 2048
+
+.text
+main:
+  la   s0, flags
+  li   s1, 2048                 # limit
+
+  li   t0, 2                    # p
+outer:
+  mul  t1, t0, t0               # p*p
+  bge  t1, s1, count
+  add  t2, s0, t0
+  lbu  t3, 0(t2)
+  bnez t3, next                 # p already composite
+  mv   t2, t1                   # m = p*p
+mark:
+  add  t3, s0, t2
+  li   t4, 1
+  sb   t4, 0(t3)
+  add  t2, t2, t0
+  blt  t2, s1, mark
+next:
+  addi t0, t0, 1
+  j    outer
+
+count:
+  li   t0, 2                    # n
+  li   t1, 0                    # count
+  li   t2, 0                    # sum
+cloop:
+  add  t3, s0, t0
+  lbu  t4, 0(t3)
+  bnez t4, cskip
+  addi t1, t1, 1
+  add  t2, t2, t0
+cskip:
+  addi t0, t0, 1
+  blt  t0, s1, cloop
+
+  slli t1, t1, 16
+  li   t3, 0xffff
+  and  t2, t2, t3
+  add  a0, t1, t2
+  ecall

@@ -7,6 +7,8 @@
 //! * [`samie_lsq`] — the paper's contribution (SAMIE-LSQ) and baselines.
 //! * [`ooo_sim`] — out-of-order superscalar timing simulator substrate.
 //! * [`mem_hier`] — cache/TLB hierarchy.
+//! * [`rv_front`] — RV32I(M) assembler + functional emulator feeding real
+//!   program traces into every design.
 //! * [`spec_traces`] — synthetic SPEC CPU2000-like workloads.
 //! * [`energy_model`] — CACTI-lite timing/energy/area model and accounting.
 //! * [`exp_store`] — content-addressed experiment store (incremental sweeps).
@@ -18,6 +20,7 @@ pub use exp_harness;
 pub use exp_store;
 pub use mem_hier;
 pub use ooo_sim;
+pub use rv_front;
 pub use samie_analyzer;
 pub use samie_lsq;
 pub use spec_traces;

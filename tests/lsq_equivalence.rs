@@ -110,15 +110,19 @@ fn check_against_oracle<L: LoadStoreQueue>(mut lsq: L, ops: &[GenOp], mask: u64)
 }
 
 /// The full design × workload matrix: every `DesignSpec` family on every
-/// catalog workload (26 calibrated benchmarks + the adversarial pack),
-/// through real pipeline runs on identical traces.
+/// catalog workload (26 calibrated benchmarks + the adversarial pack +
+/// the committed `rv:*` real programs), through real pipeline runs on
+/// identical traces.
 ///
 /// `differential_check` runs the four bounded families wrapped in
 /// `CheckedLsq` (every forwarding answer cross-checked against the
 /// oracle model) next to `Unbounded` and `Oracle` (which self-asserts),
 /// and verifies the committed-instruction contract, the committed
 /// load/store/branch mix against the unbounded reference, and
-/// forwards ≤ loads. An empty failure list is the invariant.
+/// forwards ≤ loads. For the real programs it additionally runs the
+/// architectural oracle: a fresh emulator re-execution must reproduce
+/// the committed registers, memory digest and the exact op stream the
+/// designs consumed. An empty failure list is the invariant.
 #[test]
 fn design_workload_matrix_upholds_invariants() {
     let rc = RunConfig {

@@ -1,0 +1,204 @@
+//! Real-ISA differential tests.
+//!
+//! Three properties of the RV32I(M) frontend, checked end to end:
+//!
+//! 1. **Designs agree on real programs.** Generated straight-line RV32IM
+//!    programs (every opcode class, real effective addresses) run through
+//!    all six design families via `differential_check` — identical
+//!    committed mixes, oracle-checked forwarding, and the architectural
+//!    oracle re-executing the emulator over the exact consumed stream.
+//! 2. **Disassembly is a fixed point.** `assemble ∘ disassemble` is the
+//!    identity on assembled text, for generated programs and every
+//!    committed `programs/*.s`.
+//! 3. **Malformed source is rejected with pinned diagnostics.** One
+//!    `file:line: message` per failure mode, byte-exact — the error
+//!    surface is API.
+
+use proptest::prelude::*;
+
+use exp_harness::fuzz::{differential_check, rv_mutant};
+use exp_harness::runner::RunConfig;
+use exp_harness::sweep::designs_from_specs;
+use rv_front::{assemble, decode, gen_program, ArchOracle, Image};
+use samie_lsq::DesignSpec;
+use spec_traces::{rv_by_name, RV_PROGRAM_NAMES};
+
+fn quick_rc() -> RunConfig {
+    RunConfig {
+        instrs: 1_500,
+        warmup: 400,
+        seed: 3,
+    }
+}
+
+/// The four bounded families; `differential_check` adds Unbounded and
+/// Oracle, so all six `DesignSpec` kinds run.
+fn bounded_families() -> Vec<exp_harness::DesignHandle> {
+    designs_from_specs([
+        DesignSpec::conventional_paper(),
+        DesignSpec::filtered_paper(),
+        DesignSpec::samie_paper(),
+        "arb".parse().unwrap(),
+    ])
+}
+
+/// Reconstruct assembly source from an assembled image's text section.
+fn disassemble(image: &Image) -> String {
+    let mut out = String::from(".text\n");
+    for &word in &image.text {
+        out.push_str(&decode(word).expect("assembled words decode").asm());
+        out.push('\n');
+    }
+    out
+}
+
+proptest! {
+    // Each case simulates six designs — keep the count low; CI overrides
+    // via PROPTEST_CASES.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn generated_programs_uphold_every_invariant(seed in any::<u64>(), len in 150usize..500) {
+        let w = rv_mutant(seed, len);
+        let failures = differential_check(&w, &bounded_families(), &quick_rc());
+        prop_assert!(failures.is_empty(), "seed {seed}: {failures:#?}");
+        // Belt and braces: the oracle also holds outside the session.
+        let report = ArchOracle::verify(w.rv().expect("rv workload"));
+        prop_assert!(report.is_ok(), "seed {seed}: {}", report.unwrap_err());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn disassembly_of_generated_programs_is_a_fixed_point(
+        seed in any::<u64>(),
+        len in 40usize..250,
+    ) {
+        let src = gen_program(seed, len);
+        let img = assemble("gen.s", &src).expect("generated programs assemble");
+        let round = disassemble(&img);
+        let img2 = assemble("round.s", &round).expect("disassembly reassembles");
+        prop_assert_eq!(&img.text, &img2.text, "seed {}: text drifted", seed);
+        // Idempotence: a second round is byte-identical source.
+        prop_assert_eq!(round, disassemble(&img2));
+    }
+}
+
+#[test]
+fn committed_programs_disassemble_to_a_fixed_point() {
+    for name in RV_PROGRAM_NAMES {
+        let w = rv_by_name(name).expect("committed program");
+        let img = &w.program.image;
+        let round = disassemble(img);
+        let img2 = assemble("round.s", &round)
+            .unwrap_or_else(|e| panic!("{name} disassembly rejected: {e}"));
+        assert_eq!(
+            img.text, img2.text,
+            "{name}: text drifted through disassembly"
+        );
+    }
+}
+
+/// The rejection surface: every malformed-source failure mode with its
+/// pinned `file:line: message` diagnostic, byte-exact.
+#[test]
+fn malformed_source_is_rejected_with_exact_diagnostics() {
+    let cases: &[(&str, &str)] = &[
+        (
+            "main:\n  addq x1, x1, x1\n",
+            "bad.s:2: unknown mnemonic `addq`",
+        ),
+        (
+            "main:\n  add x99, x1, x2\n",
+            "bad.s:2: expected register, found `x99`",
+        ),
+        (
+            "main:\n  addi x1, x0, 5000\n",
+            "bad.s:2: immediate 5000 out of range [-2048, 2047]",
+        ),
+        (
+            "main:\n  lui x1, 1048576\n",
+            "bad.s:2: immediate 1048576 out of range [0, 1048575]",
+        ),
+        (
+            "main:\n  slli x1, x1, 32\n",
+            "bad.s:2: shift amount 32 out of range [0, 31]",
+        ),
+        (
+            "a:\n  nop\na:\n  ecall\n",
+            "bad.s:3: duplicate label `a` (first defined at line 1)",
+        ),
+        (
+            "main:\n  beq x0, x0, nowhere\n",
+            "bad.s:2: unknown label `nowhere`",
+        ),
+        (
+            "main:\n  beq x0, x0, 5000\n",
+            "bad.s:2: branch target out of range: 5000 bytes (max ±4 KiB)",
+        ),
+        ("main:\n  beq x0, x0, 7\n", "bad.s:2: odd branch offset 7"),
+        (
+            "main:\n  jal x0, 2097152\n",
+            "bad.s:2: jump target out of range: 2097152 bytes (max ±1 MiB)",
+        ),
+        ("main:\n  jal x0, 11\n", "bad.s:2: odd jump offset 11"),
+        (
+            "main:\n  .word 7\n  ecall\n",
+            "bad.s:2: .word outside .data section",
+        ),
+        (
+            ".data\n  addi x1, x0, 1\n",
+            "bad.s:2: instruction outside .text section",
+        ),
+        (
+            "main:\n  .frobnicate 3\n",
+            "bad.s:2: unknown directive `.frobnicate`",
+        ),
+        (
+            ".data\ns: .asciiz \"abc\n.text\nmain:\n  ecall\n",
+            "bad.s:2: unterminated string literal",
+        ),
+        (
+            ".data\ns: .asciiz \"a\\qb\"\n.text\nmain:\n  ecall\n",
+            "bad.s:2: bad escape `\\q`",
+        ),
+        ("main:\n  addi x1, x0, zz\n", "bad.s:2: bad integer `zz`"),
+        (
+            "main:\n  lw x1, 0(x2\n",
+            "bad.s:2: missing `)` in memory operand",
+        ),
+        (
+            "main:\n  lw x1, x2\n",
+            "bad.s:2: expected `offset(reg)`, found `x2`",
+        ),
+        (
+            "main:\n  add x1, x2\n",
+            "bad.s:2: `add` expects 3 operand(s), found 2",
+        ),
+        (
+            "x5:\n  ecall\n",
+            "bad.s:1: label may not shadow a register name: `x5`",
+        ),
+        ("1abc:\n  ecall\n", "bad.s:1: invalid label name `1abc`"),
+        (
+            "main:\n  beq x0, x0, @@\n",
+            "bad.s:2: expected label or integer, found `@@`",
+        ),
+        (
+            ".data\nb: .align 3\n.text\nmain:\n  ecall\n",
+            "bad.s:2: .align to 3 (expected 1, 2, 4, 8, 16 or 32)",
+        ),
+        (
+            "# nothing but comments\n",
+            "bad.s:1: program has no instructions",
+        ),
+    ];
+    for (source, want) in cases {
+        match assemble("bad.s", source) {
+            Ok(_) => panic!("accepted malformed source:\n{source}"),
+            Err(e) => assert_eq!(&e.to_string(), want, "wrong diagnostic for:\n{source}"),
+        }
+    }
+}

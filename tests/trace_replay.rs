@@ -99,6 +99,60 @@ fn recording_regenerates_exactly_the_consumed_stream() {
 }
 
 #[test]
+fn recorded_rv_program_replays_bit_identically() {
+    // Real-program traces go through the same capture/replay contract as
+    // the synthetic generators: the tee regenerates the emulator's
+    // retired-op stream, and replaying the file reproduces every
+    // design's stats bit for bit (the oracle hook rides the live side).
+    let path = temp_path("rv-sieve.strc");
+    let live = session(find_workload("rv:sieve").unwrap())
+        .arch_oracle()
+        .record(&path)
+        .run();
+    assert!(
+        live.arch_oracle
+            .as_deref()
+            .is_some_and(|s| s.starts_with("arch-oracle ok")),
+        "{:?}",
+        live.arch_oracle
+    );
+
+    let rec = RecordedTrace::load(&path).unwrap();
+    assert_eq!(rec.name(), "rv:sieve");
+    assert_eq!(rec.ops().len() as u64, live.ops_consumed);
+
+    let replay = session(Workload::replay_file(&path).unwrap()).run();
+    for (a, b) in live.runs.iter().zip(&replay.runs) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.stats, b.stats, "{} diverged under replay", a.id);
+    }
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+#[test]
+fn rv_cache_id_tracks_program_bytes_not_names() {
+    // The cache id is the program-content digest: renaming a program
+    // must not invalidate stored points, editing one instruction must.
+    let base = "main:\n  li a0, 5\n  addi a0, a0, 1\n  ecall\n";
+    let edited = "main:\n  li a0, 5\n  addi a0, a0, 2\n  ecall\n";
+    let a = Workload::rv_source("rv:a", "a.s", base).unwrap();
+    let renamed = Workload::rv_source("rv:b", "elsewhere/b.s", base).unwrap();
+    let b = Workload::rv_source("rv:a", "a.s", edited).unwrap();
+    assert_eq!(
+        a.cache_id(),
+        renamed.cache_id(),
+        "renames must not invalidate"
+    );
+    assert_ne!(a.cache_id(), b.cache_id(), "edits must invalidate");
+    assert!(a.cache_id().starts_with("rv:"));
+
+    // Whitespace and comments don't reach the image either.
+    let cosmetic = "# cosmetic change\nmain:\n  li  a0, 5\n  addi a0, a0, 1\n  ecall\n";
+    let c = Workload::rv_source("rv:a", "a.s", cosmetic).unwrap();
+    assert_eq!(a.cache_id(), c.cache_id(), "comments must not invalidate");
+}
+
+#[test]
 fn replay_traces_sweep_like_benchmarks() {
     let path = temp_path("sweepable.strc");
     session(find_workload("gcc").unwrap()).record(&path).run();
